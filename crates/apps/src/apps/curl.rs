@@ -1,0 +1,41 @@
+//! Curl model: web downloader (Table 2: 21,258 LoC).
+//!
+//! §7.2: "In the case of Curl, heap allocation functions such as `malloc`
+//! and `calloc` accessed via function pointers account for the majority of
+//! the imprecision. Resolving these function pointers itself requires
+//! complete pointer analysis, thus Kaleidoscope's context-sensitivity
+//! likely invariants do not sufficiently handle such patterns." We model
+//! that with a large allocator-behind-function-pointer population whose
+//! shared untyped heap merges everything, plus a small ctx/PA-susceptible
+//! handle group so the factor stays modestly above 1 (Table 3: 1.94×).
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the Curl model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("curl");
+    // The dominant, invariant-resistant channel: allocators behind fn ptrs
+    // shared by many transfer handlers.
+    b.alloc_fnptr("mem", 12);
+    // A small easy-handle group that Ctx/PA do improve.
+    let easy = b.service_group("easy", 2, 2, 2);
+    b.ctx_helper("setopt", &easy, 6);
+    let hdr = b.service_group("hdr", 2, 1, 2);
+    b.pa_coupling("header", &hdr, 16);
+    b.consumers("multi", &easy, 4);
+    b.filler("proto", 5, 4);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "Curl",
+        description: "Web Downloader",
+        paper_loc: 21258,
+        module,
+        entry,
+        // Repeated 4KB downloads: transfers + header parsing.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x6375),
+    }
+}

@@ -1,0 +1,41 @@
+//! LibPNG model: PNG reference library (Table 2: 58,831 LoC).
+//!
+//! Figure 7 of the paper is drawn from LibPNG: heap imprecision at
+//! `png_malloc` returns the same abstract object at differently-typed
+//! callsites, forming a positive weight cycle with the compression-state
+//! field accesses. Table 3 shows the interlock pattern (individual
+//! invariants ~nothing, full system 1.21, a 14.67× factor), so the model
+//! routes the PWC and PA channels through the same read/write-state
+//! structs.
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the LibPNG model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("libpng");
+    // png_struct family with row/transform callbacks.
+    let png = b.service_group("png", 3, 2, 6);
+    // Figure 7's channel: png_malloc-shared heap + compression_state PWC.
+    b.pwc_chain("zstate", &png);
+    b.pwc_chain("rowbuf", &png);
+    // Row-filter arithmetic over the row buffer, polluted with png structs.
+    b.pa_coupling("filter", &png, 40);
+    // Progressive-read callbacks registered via a helper (interlock).
+    b.ctx_helper("set_read_fn", &png, 6);
+    b.consumers("info", &png, 5);
+    b.filler("inflate", 4, 4);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "LibPNG",
+        description: "Library for manipulating PNG files",
+        paper_loc: 58831,
+        module,
+        entry,
+        // pngcp copying 4KB images: decode rows + filters.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x706e),
+    }
+}

@@ -1,0 +1,42 @@
+//! Libtiff model: TIFF manipulation library (Table 2: 34,221 LoC).
+//!
+//! Table 3 shows Libtiff's imprecision channels act *independently*:
+//! Kd-PA alone already drops the average from 138.37 to 53.59, Kd-Ctx to
+//! 113.13, and the full system multiplies the effects (2.91, a 47.55×
+//! factor). We model that with two disjoint codec groups — one polluted
+//! only through arbitrary pointer arithmetic (scanline buffers cast over
+//! codec state), one only through a context-insensitive `TIFFSetField`
+//! helper — plus a PWC on a third, small directory group.
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the Libtiff model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("libtiff");
+    // Codec group: dominated by scanline-buffer arithmetic (PA channel).
+    let codec = b.service_group("codec", 4, 3, 6);
+    b.pa_coupling("scanline", &codec, 48);
+    b.pa_coupling("strip", &codec, 24);
+    // Tag group: polluted only through the TIFFSetField-style helper.
+    let tag = b.service_group("tag", 3, 2, 4);
+    b.ctx_helper("setfield", &tag, 8);
+    // Directory group: a single PWC channel.
+    let dir = b.service_group("dir", 2, 1, 2);
+    b.pwc_chain("dirlink", &dir);
+    b.consumers("decode", &codec, 6);
+    b.filler("predictor", 5, 4);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "Libtiff",
+        description: "Library for manipulating TIFF files",
+        paper_loc: 34221,
+        module,
+        entry,
+        // tiffcrop-style batch: decode (serve codec) + scanline copies.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x7469),
+    }
+}

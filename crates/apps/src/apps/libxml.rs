@@ -1,0 +1,39 @@
+//! Libxml model: XML manipulation library (Table 2: 97,929 LoC).
+//!
+//! The largest code base in the suite: a SAX-handler struct family
+//! polluted through all three channels (interlock — Table 3's individual
+//! columns sit at ~298–300 against a 303.99 baseline), but with a sizable
+//! resistant floor (entity/IO callback tables) that caps the full factor
+//! at 3.47× and keeps the maximum set nearly unchanged (938 → 925).
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the Libxml model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("libxml");
+    // SAX handler structs (startElement/endElement/characters...).
+    let sax = b.service_group("sax", 4, 3, 6);
+    b.pa_coupling("parsebuf", &sax, 40);
+    b.pwc_chain("nodelink", &sax);
+    b.ctx_helper("sax_set", &sax, 8);
+    // Resistant floor: input-callback table (xmlRegisterInputCallbacks is
+    // literally an array of function pointers).
+    b.plugin_array("iocb", 10);
+    b.option_table("catalog", 6);
+    b.consumers("tree", &sax, 6);
+    b.filler("encode", 6, 5);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "Libxml",
+        description: "Library for manipulating XML files",
+        paper_loc: 97929,
+        module,
+        entry,
+        // xmllint validating one 8KB file.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x786d),
+    }
+}

@@ -1,0 +1,43 @@
+//! Lighttpd model: HTTP web server (Table 2: 77,912 LoC).
+//!
+//! §7.2: "Lighttpd uses these callbacks to implement a plugin
+//! architecture... Because our baseline analysis itself is array-index
+//! insensitive, Kaleidoscope is forced to treat each of these function
+//! pointers as the same, thus losing all benefits of preserving field
+//! sensitivity." Table 3 accordingly shows only a 1.16× factor. The model
+//! is dominated by a large plugin function-pointer array, with one small
+//! connection group that the invariants *do* help.
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the Lighttpd model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("lighttpd");
+    // Dominant, invariant-resistant channel: the plugin callback array
+    // (mod_auth, mod_cgi, ... each registering handle_uri/handle_request).
+    b.plugin_array("plugin", 14);
+    b.plugin_array("stage", 8);
+    // A small connection-state group improved by Ctx (the 1.16×).
+    let conn = b.service_group("conn", 2, 2, 2);
+    b.ctx_helper("conn_set", &conn, 5);
+    // http_write_header-style buffer arithmetic over the connection group
+    // (Figure 6 is literally from Lighttpd).
+    let hdr = b.service_group("hbuf", 2, 1, 2);
+    b.pa_coupling("hdr", &hdr, 24);
+    b.consumers("fdevent", &conn, 4);
+    b.filler("etag", 6, 5);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "Lighttpd",
+        description: "HTTP Web Server",
+        paper_loc: 77912,
+        module,
+        entry,
+        // ApacheBench: one URL, fixed request shape (limited variety §7.2).
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x6c69),
+    }
+}

@@ -1,0 +1,51 @@
+//! MbedTLS model: SSL library (Table 2: 73,528 LoC).
+//!
+//! The paper reports that for MbedTLS *all* likely invariants must be
+//! enabled to observe a significant reduction (§7.1): Table 3 shows the
+//! single-invariant configurations barely move (304.0 → ~298) while full
+//! Kaleidoscope reaches 6.71 (45.31×). We reproduce that *interlock* by
+//! polluting the same SSL-context service structs through all three
+//! channels — arbitrary arithmetic over the handshake buffer (Figure 3's
+//! `*(s+i)` on the `ssl` object), context-insensitive callback
+//! registration (`mbedtls_ssl_set_bio`-style helpers), and a heap-wrapper
+//! PWC — so removing any single channel leaves the others' collapse in
+//! place.
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the MbedTLS model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("mbedtls");
+    // The ssl_context family: 4 contexts with f_send/f_recv/f_recv_timeout.
+    let ssl = b.service_group("ssl", 5, 3, 8);
+    // Channel 1 (PA): the record-layer copy loop over the handshake buffer,
+    // statically polluted with the ssl contexts.
+    b.pa_coupling("record", &ssl, 32);
+    // Channel 2 (PWC): session objects from a shared `mbedtls_calloc`-style
+    // wrapper feed a field/store loop.
+    b.pwc_chain("session", &ssl);
+    // Channel 3 (Ctx): set_bio-style registration from many callsites.
+    b.ctx_helper("bio", &ssl, 15);
+    // A second, smaller x509 group polluted only via PA + PWC (keeps the
+    // pairwise columns from collapsing to the baseline).
+    let x509 = b.service_group("x509", 3, 2, 4);
+    b.pa_coupling("asn1", &x509, 16);
+    b.pwc_chain("chain", &x509);
+    // Measurement population + realistic code bulk.
+    b.consumers("state", &ssl, 10);
+    b.filler("crypto", 6, 6);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "MbedTLS",
+        description: "SSL Library",
+        paper_loc: 73528,
+        module,
+        entry,
+        // ssl_client-style benchmark: handshake (serve) + record IO.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x6d62),
+    }
+}

@@ -1,0 +1,15 @@
+//! The nine application models (Table 2 of the paper).
+//!
+//! Each module configures [`crate::patterns::AppBuilder`] with the
+//! imprecision-channel mix §7 reports for the corresponding real
+//! application; see the module docs for the per-app rationale.
+
+pub mod curl;
+pub mod libpng;
+pub mod libtiff;
+pub mod libxml;
+pub mod lighttpd;
+pub mod mbedtls;
+pub mod memcached;
+pub mod tinydtls;
+pub mod wget;

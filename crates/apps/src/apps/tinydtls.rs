@@ -1,0 +1,39 @@
+//! TinyDTLS model: datagram TLS library (Table 2: 10,207 LoC).
+//!
+//! The smallest application. Table 3: baseline average 6.58 with the PWC
+//! invariant supplying most of the gain (Kd-PWC 3.86) and the full system
+//! reaching 1.69 (3.89×); the maximum set never moves (183 → 183). The
+//! model pairs a PWC-heavy session/peer linked-structure channel with a
+//! small resistant cipher-suite table that owns the maximum set.
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the TinyDTLS model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("tinydtls");
+    // Peer/session structs with send/read callbacks.
+    let peer = b.service_group("peer", 2, 2, 3);
+    // Dominant channel: session list heap wrapper PWC.
+    b.pwc_chain("sessions", &peer);
+    b.pwc_chain("handshake", &peer);
+    // A minor ctx channel (dtls_set_handler).
+    b.ctx_helper("set_handler", &peer, 2);
+    // Resistant floor: cipher-suite dispatch array (the unchanged max).
+    b.plugin_array("cipher", 5);
+    b.consumers("crypto_ctx", &peer, 3);
+    b.filler("hmac", 3, 2);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "TinyDTLS",
+        description: "Library for Datagram Transport Layer Security",
+        paper_loc: 10207,
+        module,
+        entry,
+        // 10000 requests to the TinyDTLS server.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x7464),
+    }
+}

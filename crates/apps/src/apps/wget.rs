@@ -1,0 +1,36 @@
+//! Wget model: webpage downloader (Table 2: 65,490 LoC).
+//!
+//! §7.2: "Wget uses callbacks to implement the functionalities of the
+//! command line options" — an option table whose array-of-structs layout
+//! smashes, merging every handler in both views. Table 3: the *maximum*
+//! set size does not improve at all (397 → 397) while the average improves
+//! 1.83× thanks to a PA-susceptible retrieval-buffer channel.
+
+use crate::patterns::AppBuilder;
+use crate::workload::{bench_cmds, bench_mix, fuzz_seed_mix};
+use crate::AppModel;
+
+/// Build the Wget model.
+pub fn build() -> AppModel {
+    let mut b = AppBuilder::new("wget");
+    // Dominant resistant channel: the command-line option table.
+    b.option_table("opt", 12);
+    // A retrieval group improved by PA on the URL/response buffers.
+    let retr = b.service_group("retr", 2, 1, 4);
+    b.pa_coupling("url", &retr, 24);
+    b.pa_coupling("resp", &retr, 24);
+    b.consumers("host", &retr, 4);
+    b.filler("convert", 5, 4);
+    let hooks = b.hook_count();
+    let (module, entry) = b.finish();
+    AppModel {
+        name: "Wget",
+        description: "Webpage Downloader",
+        paper_loc: 65490,
+        module,
+        entry,
+        // Downloading one 4KB file repeatedly.
+        bench_inputs: bench_mix(&bench_cmds(hooks), 4),
+        fuzz_seeds: fuzz_seed_mix(hooks, 0x7767),
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic models of the paper's nine evaluation applications (Table 2).
+//!
+//! The paper evaluates on real C codebases (MbedTLS, Libtiff, Curl,
+//! Lighttpd, Memcached, LibPNG, Libxml, Wget, TinyDTLS) compiled to LLVM
+//! bitcode. This reproduction cannot compile C, so each application is
+//! modeled as a Kaleidoscope-IR module that reproduces the *imprecision
+//! structure* the paper reports for it:
+//!
+//! * which imprecision channels dominate (arbitrary pointer arithmetic,
+//!   positive weight cycles, context insensitivity),
+//! * whether the channels *interlock* (all three invariants needed, as in
+//!   MbedTLS) or act independently (as in Libtiff),
+//! * and which invariant-resistant patterns are present (Lighttpd/Wget's
+//!   function-pointer arrays, Curl's allocators behind function pointers).
+//!
+//! Models are deterministic: building the same app twice yields identical
+//! modules. Each model also carries benchmark request inputs and fuzz
+//! seeds for the runtime experiments.
+
+pub mod apps;
+pub mod patterns;
+pub mod workload;
+
+use kaleidoscope_ir::{FuncId, Module};
+
+/// A synthetic application model.
+#[derive(Debug, Clone)]
+pub struct AppModel {
+    /// Application name, matching the paper's Table 2.
+    pub name: &'static str,
+    /// Short description (Table 2's "Description" column).
+    pub description: &'static str,
+    /// The real application's LoC as reported in Table 2.
+    pub paper_loc: usize,
+    /// The model module.
+    pub module: Module,
+    /// The request-handling entry point (reads bytes via `input`).
+    pub entry: FuncId,
+    /// Representative benchmark inputs (the standard benchmarking tools of
+    /// §7.2 send a limited request mix).
+    pub bench_inputs: Vec<Vec<u8>>,
+    /// Fuzzing seed inputs (§7.3's man-page-derived seeds).
+    pub fuzz_seeds: Vec<Vec<u8>>,
+}
+
+impl AppModel {
+    /// Lines of the model's textual IR (our analogue of Table 2's LoC).
+    pub fn model_loc(&self) -> usize {
+        self.module.loc()
+    }
+}
+
+/// The paper's application names in Table 2 order.
+pub const APP_NAMES: [&str; 9] = [
+    "MbedTLS",
+    "Libtiff",
+    "Curl",
+    "Lighttpd",
+    "Memcached",
+    "LibPNG",
+    "Libxml",
+    "Wget",
+    "TinyDTLS",
+];
+
+/// Build every application model, in Table 2 order.
+pub fn all_models() -> Vec<AppModel> {
+    vec![
+        apps::mbedtls::build(),
+        apps::libtiff::build(),
+        apps::curl::build(),
+        apps::lighttpd::build(),
+        apps::memcached::build(),
+        apps::libpng::build(),
+        apps::libxml::build(),
+        apps::wget::build(),
+        apps::tinydtls::build(),
+    ]
+}
+
+/// Build one application model by its Table 2 name.
+pub fn model(name: &str) -> Option<AppModel> {
+    match name {
+        "MbedTLS" => Some(apps::mbedtls::build()),
+        "Libtiff" => Some(apps::libtiff::build()),
+        "Curl" => Some(apps::curl::build()),
+        "Lighttpd" => Some(apps::lighttpd::build()),
+        "Memcached" => Some(apps::memcached::build()),
+        "LibPNG" => Some(apps::libpng::build()),
+        "Libxml" => Some(apps::libxml::build()),
+        "Wget" => Some(apps::wget::build()),
+        "TinyDTLS" => Some(apps::tinydtls::build()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::verify_module;
+
+    #[test]
+    fn all_models_build_and_verify() {
+        for m in all_models() {
+            let errs = verify_module(&m.module);
+            assert!(errs.is_empty(), "{}: {:?}", m.name, errs);
+            assert!(!m.bench_inputs.is_empty(), "{} has bench inputs", m.name);
+            assert!(!m.fuzz_seeds.is_empty(), "{} has fuzz seeds", m.name);
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic() {
+        let a = apps::mbedtls::build();
+        let b = apps::mbedtls::build();
+        assert_eq!(a.module.to_text(), b.module.to_text());
+    }
+
+    #[test]
+    fn registry_matches_names() {
+        for name in APP_NAMES {
+            let m = model(name).expect(name);
+            assert_eq!(m.name, name);
+        }
+        assert!(model("nginx").is_none());
+        assert_eq!(all_models().len(), 9);
+    }
+
+    #[test]
+    fn models_have_substance() {
+        for m in all_models() {
+            assert!(
+                m.module.inst_count() > 200,
+                "{} too small: {} insts",
+                m.name,
+                m.module.inst_count()
+            );
+            assert!(m.model_loc() > 300, "{}: {} LoC", m.name, m.model_loc());
+        }
+    }
+}
+
+/// A parameterized stress module for solver-scaling benchmarks: `scale`
+/// controls the number of service groups and their sizes. Not one of the
+/// paper's applications — used by the ablation and scaling benches.
+pub fn stress_model(scale: usize) -> Module {
+    let mut b = patterns::AppBuilder::new("stress");
+    for g in 0..scale.max(1) {
+        let group = b.service_group(&format!("g{g}"), 3 + g % 3, 2, 3);
+        b.pa_coupling(&format!("pa{g}"), &group, 16);
+        b.pwc_chain(&format!("pw{g}"), &group);
+        b.ctx_helper(&format!("cx{g}"), &group, 4);
+        b.consumers(&format!("cn{g}"), &group, 4);
+    }
+    b.filler("fill", scale.max(1) * 2, scale.max(1));
+    let (module, _entry) = b.finish();
+    module
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use kaleidoscope_ir::verify_module;
+
+    #[test]
+    fn stress_model_scales_and_verifies() {
+        let small = stress_model(1);
+        let big = stress_model(4);
+        assert!(verify_module(&small).is_empty());
+        assert!(verify_module(&big).is_empty());
+        assert!(big.inst_count() > 2 * small.inst_count());
+    }
+}

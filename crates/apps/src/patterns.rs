@@ -1,0 +1,1104 @@
+//! Reusable imprecision patterns for application models.
+//!
+//! Each pattern reproduces one of the code shapes the paper identifies:
+//!
+//! * [`AppBuilder::service_group`] — structs with function-pointer fields
+//!   behind indirect dispatch (the substrate every channel pollutes). The
+//!   structs also carry buffer-pointer fields, and every handler stores its
+//!   argument into a per-handler registry cell read back by consumers —
+//!   this is the *compounding* loop of paper §2.2: a collapsed struct
+//!   widens the call graph, the widened call graph merges handler
+//!   arguments, and the merged arguments pollute everything downstream;
+//! * [`AppBuilder::pa_coupling`] — Figure 6: arbitrary pointer arithmetic
+//!   over a pointer whose points-to set is statically polluted with struct
+//!   objects (runtime only ever touches the buffer);
+//! * [`AppBuilder::pwc_chain`] — Figure 7: a shared heap-allocation site
+//!   plus a field access forming a positive weight cycle statically that
+//!   never materializes at runtime;
+//! * [`AppBuilder::ctx_helper`] — Figure 8: a helper storing one parameter
+//!   through another, called with different actuals from multiple sites;
+//! * [`AppBuilder::plugin_array`] — Lighttpd's plugin callbacks in arrays:
+//!   array smashing makes the merge invariant-resistant (§7.2);
+//! * [`AppBuilder::option_table`] — Wget's command-line option table:
+//!   an array of structs, likewise resistant;
+//! * [`AppBuilder::alloc_fnptr`] — Curl's allocators behind function
+//!   pointers: every caller shares the same untyped heap objects, and no
+//!   likely invariant can separate them (§7.2);
+//! * [`AppBuilder::filler`] — input-dependent computational code providing
+//!   realistic branch-coverage denominators.
+
+use kaleidoscope_ir::{
+    BinOpKind, FuncId, FunctionBuilder, GlobalId, Module, Operand, StructId, Type,
+};
+
+/// Handle to a service group created by [`AppBuilder::service_group`].
+#[derive(Debug, Clone)]
+pub struct ServiceGroup {
+    /// The struct type with function-pointer fields.
+    pub struct_id: StructId,
+    /// The group's global service objects.
+    pub globals: Vec<GlobalId>,
+    /// The handlers legitimately installed (per global, per cb field).
+    pub handlers: Vec<FuncId>,
+    /// Per-handler registry cells (each handler stores its argument there).
+    pub handler_regs: Vec<GlobalId>,
+    /// Index of the `int` data field (always 0).
+    pub data_field: usize,
+    /// Indices of the function-pointer fields.
+    pub cb_fields: Vec<usize>,
+    /// Index of the `int*` link field (used by PWC chains).
+    pub link_field: usize,
+    /// Indices of the buffer-pointer fields.
+    pub buf_fields: Vec<usize>,
+    /// The per-field dispatcher functions (contain the CFI-relevant
+    /// indirect callsites).
+    pub dispatchers: Vec<FuncId>,
+}
+
+/// Incrementally assembles an application model module.
+#[derive(Debug)]
+pub struct AppBuilder {
+    module: Module,
+    init_fns: Vec<FuncId>,
+    hooks: Vec<FuncId>,
+    handler_seq: usize,
+}
+
+/// The handler signature used throughout: `fn(int*) -> int`.
+fn handler_ty() -> Type {
+    Type::fn_ptr(vec![Type::ptr(Type::Int)], Type::Int)
+}
+
+impl AppBuilder {
+    /// Start a model named `name`.
+    pub fn new(name: &str) -> Self {
+        AppBuilder {
+            module: Module::new(name),
+            init_fns: Vec::new(),
+            hooks: Vec::new(),
+            handler_seq: 0,
+        }
+    }
+
+    /// Access the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Create one handler function `fn(int*) -> int` with a null guard, a
+    /// small computation, and a store of its argument into a fresh
+    /// registry cell (the compounding sink). Returns `(handler, registry)`.
+    pub fn handler(&mut self, prefix: &str) -> (FuncId, GlobalId) {
+        let seq = self.handler_seq;
+        self.handler_seq += 1;
+        let name = format!("{prefix}_h{seq}");
+        let reg = self
+            .module
+            .add_global(format!("{name}_reg"), Type::ptr(Type::Int))
+            .expect("unique registry cell");
+        let mut b = FunctionBuilder::new(
+            &mut self.module,
+            &name,
+            vec![("data", Type::ptr(Type::Int))],
+            Type::Int,
+        );
+        let p = b.param(0);
+        let isnull = b.binop("isnull", BinOpKind::Eq, p, Operand::Null);
+        let null_bb = b.new_block();
+        let ok_bb = b.new_block();
+        b.branch(isnull, null_bb, ok_bb);
+        b.switch_to(null_bb);
+        b.ret(Some(Operand::ConstInt(0)));
+        b.switch_to(ok_bb);
+        b.store(Operand::Global(reg), p); // compounding: arg escapes here
+        let v = b.load("v", p);
+        let r = b.binop("r", BinOpKind::Mul, v, (seq as i64 % 7) + 2);
+        let r2 = b.binop("r2", BinOpKind::Add, r, seq as i64);
+        b.ret(Some(r2.into()));
+        (b.finish(), reg)
+    }
+
+    /// Create a service group: `n_objs` global structs, each with one data
+    /// field, `n_cbs` function-pointer fields, an `int*` link field, and
+    /// `n_bufs` buffer-pointer fields initialized to distinct buffers.
+    /// One dispatcher per cb field loads a buffer pointer from the struct
+    /// and performs the protected indirect call with it.
+    pub fn service_group(
+        &mut self,
+        prefix: &str,
+        n_objs: usize,
+        n_cbs: usize,
+        n_bufs: usize,
+    ) -> ServiceGroup {
+        let mut fields = vec![Type::Int];
+        for _ in 0..n_cbs {
+            fields.push(handler_ty());
+        }
+        fields.push(Type::ptr(Type::Int)); // link field for PWC chains
+        for _ in 0..n_bufs {
+            fields.push(Type::ptr(Type::Int));
+        }
+        let struct_id = self
+            .module
+            .types
+            .declare(format!("{prefix}_ctx"), fields)
+            .expect("unique struct name");
+        let cb_fields: Vec<usize> = (1..=n_cbs).collect();
+        let link_field = n_cbs + 1;
+        let buf_fields: Vec<usize> = (n_cbs + 2..n_cbs + 2 + n_bufs).collect();
+
+        let globals: Vec<GlobalId> = (0..n_objs)
+            .map(|i| {
+                self.module
+                    .add_global(format!("{prefix}_obj{i}"), Type::Struct(struct_id))
+                    .expect("unique global")
+            })
+            .collect();
+
+        // One distinct backing buffer per (object, buffer field).
+        let mut buffers: Vec<Vec<GlobalId>> = Vec::new();
+        for oi in 0..n_objs {
+            let mut per_obj = Vec::new();
+            for bi in 0..n_bufs {
+                per_obj.push(
+                    self.module
+                        .add_global(
+                            format!("{prefix}_buf{oi}_{bi}"),
+                            Type::array(Type::Int, 8),
+                        )
+                        .expect("unique buffer"),
+                );
+            }
+            buffers.push(per_obj);
+        }
+
+        let mut handlers = Vec::new();
+        let mut handler_regs = Vec::new();
+        for _ in 0..n_objs {
+            for _ in 0..n_cbs {
+                let (h, r) = self.handler(prefix);
+                handlers.push(h);
+                handler_regs.push(r);
+            }
+        }
+
+        // Init: install each object's own handlers and buffer pointers.
+        let init = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_init"),
+                vec![],
+                Type::Void,
+            );
+            for (oi, g) in globals.iter().enumerate() {
+                for (ci, f) in cb_fields.iter().enumerate() {
+                    let slot = b.field_addr(&format!("s{oi}_{ci}"), Operand::Global(*g), *f);
+                    let h = handlers[oi * n_cbs + ci];
+                    b.store(slot, Operand::Func(h));
+                }
+                for (bi, f) in buf_fields.iter().enumerate() {
+                    let slot = b.field_addr(&format!("b{oi}_{bi}"), Operand::Global(*g), *f);
+                    let e = b.elem_addr(
+                        &format!("e{oi}_{bi}"),
+                        Operand::Global(buffers[oi][bi]),
+                        0i64,
+                    );
+                    b.store(slot, e);
+                }
+                let d = b.field_addr(&format!("d{oi}"), Operand::Global(*g), 0);
+                b.store(d, (oi as i64) + 1);
+            }
+            b.ret(None);
+            b.finish()
+        };
+        self.init_fns.push(init);
+
+        // Dispatchers: one per cb field; the icall inside is a CFI site.
+        let mut dispatchers = Vec::new();
+        for (ci, f) in cb_fields.iter().enumerate() {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_dispatch{ci}"),
+                vec![("ctx", Type::ptr(Type::Struct(struct_id)))],
+                Type::Int,
+            );
+            let ctx = b.param(0);
+            // Pass a buffer pointer loaded out of the struct: once the
+            // struct loses field sensitivity this load sees *everything*.
+            let bp = if buf_fields.is_empty() {
+                let d = b.field_addr("d", ctx, 0);
+                d.into()
+            } else {
+                let bf = buf_fields[ci % buf_fields.len()];
+                let slot = b.field_addr("bslot", ctx, bf);
+                let bp = b.load("bp", slot);
+                bp.into()
+            };
+            let slot = b.field_addr("slot", ctx, *f);
+            let fp = b.load("fp", slot);
+            let r = b
+                .call_ind("r", fp, vec![bp], Type::Int)
+                .expect("handler returns int");
+            b.ret(Some(r.into()));
+            dispatchers.push(b.finish());
+        }
+
+        // Watchers: one function per (object, cb field) that accesses the
+        // specific global directly — these witness *per-object* precision,
+        // which is exactly what the Ctx invariant recovers (Figure 8's
+        // `global_base.cbs` vs `evdns_base.cbs` distinction) and what
+        // parameter-passing dispatchers cannot see (their `ctx` parameter
+        // merges every object).
+        let mut watchers = Vec::new();
+        for (oi, g) in globals.iter().enumerate() {
+            for (ci, f) in cb_fields.iter().enumerate() {
+                let mut b = FunctionBuilder::new(
+                    &mut self.module,
+                    &format!("{prefix}_watch{oi}_{ci}"),
+                    vec![],
+                    Type::Int,
+                );
+                let slot = b.field_addr("slot", Operand::Global(*g), *f);
+                let fp = b.load("fp", slot);
+                let bp: Operand = if buf_fields.is_empty() {
+                    let d = b.field_addr("d", Operand::Global(*g), 0);
+                    d.into()
+                } else {
+                    let bf = buf_fields[ci % buf_fields.len()];
+                    let bslot = b.field_addr("bslot", Operand::Global(*g), bf);
+                    let bp = b.load("bp", bslot);
+                    bp.into()
+                };
+                let r = b.call_ind("r", fp, vec![bp], Type::Int).expect("int");
+                b.ret(Some(r.into()));
+                watchers.push((oi, b.finish()));
+            }
+        }
+        // Watch hook: pick an object from input, run its watchers.
+        let watch_hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_poll"),
+                vec![],
+                Type::Void,
+            );
+            let idx = b.input("idx");
+            let arms: Vec<_> = (0..n_objs).map(|_| b.new_block()).collect();
+            let done = b.new_block();
+            let mut next = b.current_block();
+            for oi in 0..n_objs {
+                b.switch_to(next);
+                let c = b.binop(&format!("c{oi}"), BinOpKind::Eq, idx, oi as i64);
+                if oi + 1 < n_objs {
+                    next = b.new_block();
+                    b.branch(c, arms[oi], next);
+                } else {
+                    b.branch(c, arms[oi], done);
+                }
+            }
+            for (oi, arm) in arms.iter().enumerate() {
+                b.switch_to(*arm);
+                for (wo, w) in &watchers {
+                    if wo == &oi {
+                        let r = b.call(&format!("w{oi}"), *w, vec![]).expect("int");
+                        b.output(r);
+                    }
+                }
+                b.jump(done);
+            }
+            b.switch_to(done);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(watch_hook);
+
+        // Serve hook: pick an object from input, run every dispatcher on it.
+        let serve = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_serve"),
+                vec![],
+                Type::Void,
+            );
+            let idx = b.input("idx");
+            let arms: Vec<_> = (0..n_objs).map(|_| b.new_block()).collect();
+            let done = b.new_block();
+            let mut next = b.current_block();
+            for oi in 0..n_objs {
+                b.switch_to(next);
+                let c = b.binop(&format!("c{oi}"), BinOpKind::Eq, idx, oi as i64);
+                if oi + 1 < n_objs {
+                    next = b.new_block();
+                    b.branch(c, arms[oi], next);
+                } else {
+                    b.branch(c, arms[oi], done);
+                }
+            }
+            for (oi, arm) in arms.iter().enumerate() {
+                b.switch_to(*arm);
+                for (ci, disp) in dispatchers.iter().enumerate() {
+                    let r = b
+                        .call(&format!("r{oi}_{ci}"), *disp, vec![globals[oi].into()])
+                        .expect("dispatcher returns int");
+                    b.output(r);
+                }
+                b.jump(done);
+            }
+            b.switch_to(done);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(serve);
+
+        ServiceGroup {
+            struct_id,
+            globals,
+            handlers,
+            handler_regs,
+            data_field: 0,
+            cb_fields,
+            link_field,
+            buf_fields,
+            dispatchers,
+        }
+    }
+
+    /// Figure 6: a copy routine doing arbitrary pointer arithmetic over a
+    /// pointer statically polluted with the group's struct objects. At
+    /// runtime the pointer always refers to the buffer, so the PA invariant
+    /// holds.
+    pub fn pa_coupling(&mut self, prefix: &str, group: &ServiceGroup, buf_len: usize) {
+        let buf = self
+            .module
+            .add_global(format!("{prefix}_buf"), Type::array(Type::Int, buf_len))
+            .expect("unique buf");
+        let slot = self
+            .module
+            .add_global(format!("{prefix}_cursor"), Type::ptr(Type::Int))
+            .expect("unique cursor");
+
+        // The copy routine: *(dst + i) = input, for i in 0..n.
+        let copy = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_copy_region"),
+                vec![("dst", Type::ptr(Type::Int)), ("n", Type::Int)],
+                Type::Void,
+            );
+            let dst = b.param(0);
+            let n = b.param(1);
+            let i = b.alloca("i", Type::Int);
+            b.store(i, 0i64);
+            let head = b.new_block();
+            let body = b.new_block();
+            let done = b.new_block();
+            b.jump(head);
+            b.switch_to(head);
+            let iv = b.load("iv", i);
+            let c = b.binop("c", BinOpKind::Lt, iv, n);
+            b.branch(c, body, done);
+            b.switch_to(body);
+            let iv2 = b.load("iv2", i);
+            let p = b.ptr_arith("p", dst, iv2); // the monitored arithmetic
+            let byte = b.input("byte");
+            b.store(p, byte);
+            let inc = b.binop("inc", BinOpKind::Add, iv2, 1i64);
+            b.store(i, inc);
+            b.jump(head);
+            b.switch_to(done);
+            b.ret(None);
+            b.finish()
+        };
+
+        // The polluter: statically, the cursor may hold any service object;
+        // at runtime the *last* store wins, and it is the buffer.
+        let pollute = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_reset_cursor"),
+                vec![],
+                Type::Void,
+            );
+            for (i, g) in group.globals.iter().enumerate() {
+                let c = b.copy_typed(&format!("g{i}"), Operand::Global(*g), Type::ptr(Type::Int));
+                b.store(Operand::Global(slot), c);
+            }
+            let e = b.elem_addr("e", Operand::Global(buf), 0i64);
+            b.store(Operand::Global(slot), e);
+            b.ret(None);
+            b.finish()
+        };
+
+        // Rarely-exercised second arithmetic site (its PA monitor exists in
+        // every hardened build but benchmark payloads never reach it).
+        let seek = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_seek"),
+                vec![("dst", Type::ptr(Type::Int)), ("k", Type::Int)],
+                Type::Void,
+            );
+            let dst = b.param(0);
+            let k = b.param(1);
+            let p = b.ptr_arith("p", dst, k);
+            b.store(p, 1i64);
+            b.ret(None);
+            b.finish()
+        };
+
+        let hook = {
+            let mut b =
+                FunctionBuilder::new(&mut self.module, &format!("{prefix}_io"), vec![], Type::Void);
+            b.call("_", pollute, vec![]);
+            let s = b.load("s", Operand::Global(slot));
+            let mode = b.input("mode");
+            let rare = b.binop("rare", BinOpKind::Eq, mode, 9i64);
+            let rare_bb = b.new_block();
+            let common_bb = b.new_block();
+            b.branch(rare, rare_bb, common_bb);
+            b.switch_to(rare_bb);
+            b.call("_sk", seek, vec![s.into(), Operand::ConstInt(1)]);
+            b.jump(common_bb);
+            b.switch_to(common_bb);
+            let n = b.input("n");
+            let len = b.binop("len", BinOpKind::Rem, n, (buf_len as i64).max(1));
+            b.call("_c", copy, vec![s.into(), len.into()]);
+            let v = b.load("v", s);
+            b.output(v);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Figure 7: a heap wrapper shared by two differently-used callsites,
+    /// plus a load/field/store loop that closes a positive weight cycle in
+    /// the constraint graph. At runtime the two wrapper calls produce
+    /// distinct objects, so the cycle never forms.
+    pub fn pwc_chain(&mut self, prefix: &str, group: &ServiceGroup) {
+        let sty = Type::Struct(group.struct_id);
+        let xalloc = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_xalloc"),
+                vec![],
+                Type::ptr(sty.clone()),
+            );
+            let h = b.heap_alloc("h", sty.clone());
+            b.ret(Some(h.into()));
+            b.finish()
+        };
+        let link = group.link_field;
+        // Route several service objects through the cycle so the baseline
+        // collapse hits more than one of them.
+        let routed: Vec<GlobalId> = group.globals.iter().copied().take(3).collect();
+        let hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_chain"),
+                vec![],
+                Type::Void,
+            );
+            // Two calls, one abstract heap object, two runtime objects.
+            let a = b.call("a", xalloc, vec![]).expect("ptr");
+            let braw = b.call("braw", xalloc, vec![]).expect("ptr");
+            let q = b.copy_typed("q", braw, Type::ptr(Type::ptr(Type::Int)));
+            let acast = b.copy_typed("acast", a, Type::ptr(Type::ptr(sty.clone())));
+            for (i, g) in routed.iter().enumerate() {
+                let gptr = b.copy(&format!("gp{i}"), Operand::Global(*g));
+                b.store(acast, gptr);
+            }
+            // s2 = *a; fb = &s2->link; *q = fb — the PWC shape.
+            let s2 = b.load("s2", acast);
+            let fb = b.field_addr("fb", s2, link);
+            b.store(q, fb);
+            let v = b.load("v", fb);
+            b.output(v);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Figure 8: a helper storing parameter `cb` into a field of parameter
+    /// `base`, invoked with `pairs` different (object, handler) actuals.
+    /// Returns the extra handlers it registered.
+    pub fn ctx_helper(&mut self, prefix: &str, group: &ServiceGroup, pairs: usize) -> Vec<FuncId> {
+        let sty = Type::Struct(group.struct_id);
+        let cb_field = group.cb_fields[0];
+        let set_cb = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_set_cb"),
+                vec![("base", Type::ptr(sty.clone())), ("cb", handler_ty())],
+                Type::Void,
+            );
+            let base = b.param(0);
+            let cb = b.param(1);
+            let t = b.field_addr("t", base, cb_field);
+            b.store(t, cb);
+            b.ret(None);
+            b.finish()
+        };
+        let mut extra = Vec::new();
+        for _ in 0..pairs {
+            let (h, _r) = self.handler(prefix);
+            extra.push(h);
+        }
+        // Registration callsites are spread over hot, rare, and cold code —
+        // every callsite carries a Ctx monitor, but only some execute,
+        // which is what gives Tables 4/5 their partial monitor coverage.
+        let n_init = pairs.div_ceil(2);
+        let n_late = (pairs - n_init).div_ceil(2);
+        let register = |b: &mut FunctionBuilder<'_>, hs: &[FuncId], offset: usize| {
+            for (i, h) in hs.iter().enumerate() {
+                let g = group.globals[(offset + i) % group.globals.len()];
+                b.call(
+                    &format!("_s{}", offset + i),
+                    set_cb,
+                    vec![Operand::Global(g), Operand::Func(*h)],
+                );
+            }
+        };
+        let init = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_register_cbs"),
+                vec![],
+                Type::Void,
+            );
+            register(&mut b, &extra[..n_init], 0);
+            b.ret(None);
+            b.finish()
+        };
+        self.init_fns.push(init);
+        if n_init < pairs {
+            // Rare path: a reconfiguration hook placed late in the command
+            // space (benchmark tools never send it; fuzzing does).
+            let late = {
+                let mut b = FunctionBuilder::new(
+                    &mut self.module,
+                    &format!("{prefix}_reconfigure"),
+                    vec![],
+                    Type::Void,
+                );
+                register(&mut b, &extra[n_init..n_init + n_late], n_init);
+                b.ret(None);
+                b.finish()
+            };
+            self.hooks.push(late);
+        }
+        if n_init + n_late < pairs {
+            // Cold path: statically present, never executed.
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_cold_reconfig"),
+                vec![],
+                Type::Void,
+            );
+            register(&mut b, &extra[n_init + n_late..], n_init + n_late);
+            b.ret(None);
+            b.finish();
+        }
+        extra
+    }
+
+    /// Lighttpd-style plugin callbacks in a flat function-pointer array.
+    /// Array smashing merges every element, so no likely invariant narrows
+    /// the dispatch targets (§7.2's explanation for Lighttpd and Wget).
+    pub fn plugin_array(&mut self, prefix: &str, n: usize) {
+        let arr = self
+            .module
+            .add_global(format!("{prefix}_plugins"), Type::array(handler_ty(), n))
+            .expect("unique array");
+        let data = self
+            .module
+            .add_global(format!("{prefix}_pdata"), Type::Int)
+            .expect("unique data");
+        let handlers: Vec<FuncId> = (0..n).map(|_| self.handler(prefix).0).collect();
+        let init = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_register_plugins"),
+                vec![],
+                Type::Void,
+            );
+            for (i, h) in handlers.iter().enumerate() {
+                let e = b.elem_addr(&format!("e{i}"), Operand::Global(arr), i as i64);
+                b.store(e, Operand::Func(*h));
+            }
+            b.store(Operand::Global(data), 7i64);
+            b.ret(None);
+            b.finish()
+        };
+        self.init_fns.push(init);
+        let hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_plugin_dispatch"),
+                vec![],
+                Type::Void,
+            );
+            let idx = b.input("idx");
+            let bounded = b.binop("bounded", BinOpKind::Rem, idx, n as i64);
+            let e = b.elem_addr("e", Operand::Global(arr), bounded);
+            let fp = b.load("fp", e);
+            let r = b
+                .call_ind("r", fp, vec![Operand::Global(data)], Type::Int)
+                .expect("int");
+            b.output(r);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Wget-style option table: an array of `{ id, handler }` structs. The
+    /// array smashes into one element, merging all handlers, in both views.
+    pub fn option_table(&mut self, prefix: &str, n: usize) {
+        let opt = self
+            .module
+            .types
+            .declare(format!("{prefix}_option"), vec![Type::Int, handler_ty()])
+            .expect("unique struct");
+        let arr = self
+            .module
+            .add_global(
+                format!("{prefix}_options"),
+                Type::array(Type::Struct(opt), n),
+            )
+            .expect("unique array");
+        let data = self
+            .module
+            .add_global(format!("{prefix}_odata"), Type::Int)
+            .expect("unique data");
+        let handlers: Vec<FuncId> = (0..n).map(|_| self.handler(prefix).0).collect();
+        let init = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_register_options"),
+                vec![],
+                Type::Void,
+            );
+            for (i, h) in handlers.iter().enumerate() {
+                let e = b.elem_addr(&format!("e{i}"), Operand::Global(arr), i as i64);
+                let idf = b.field_addr(&format!("id{i}"), e, 0);
+                b.store(idf, i as i64);
+                let hf = b.field_addr(&format!("h{i}"), e, 1);
+                b.store(hf, Operand::Func(*h));
+            }
+            b.ret(None);
+            b.finish()
+        };
+        self.init_fns.push(init);
+        let hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_run_option"),
+                vec![],
+                Type::Void,
+            );
+            let idx = b.input("idx");
+            let bounded = b.binop("bounded", BinOpKind::Rem, idx, n as i64);
+            let e = b.elem_addr("e", Operand::Global(arr), bounded);
+            let hf = b.field_addr("hf", e, 1);
+            let fp = b.load("fp", hf);
+            let r = b
+                .call_ind("r", fp, vec![Operand::Global(data)], Type::Int)
+                .expect("int");
+            b.output(r);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Curl-style allocators behind function pointers. All `users` share
+    /// the same two untyped abstract heap objects, whose contents therefore
+    /// merge globally — imprecision no likely invariant removes (§7.2).
+    /// Callbacks stored into the shared heap make every dispatch site see
+    /// every user's handler, in both views.
+    pub fn alloc_fnptr(&mut self, prefix: &str, users: usize) {
+        let alloc_ty = Type::fn_ptr(vec![Type::Int], Type::ptr(Type::Int));
+        let allocators = self
+            .module
+            .add_global(format!("{prefix}_allocators"), Type::array(alloc_ty, 2))
+            .expect("unique allocators");
+        let mut alloc_fns = Vec::new();
+        for name in ["malloc_like", "calloc_like"] {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_{name}"),
+                vec![("sz", Type::Int)],
+                Type::ptr(Type::Int),
+            );
+            // The allocation site's type metadata is unknown — exactly the
+            // case paper §6 says must never be filtered.
+            let h = b.heap_alloc_untyped("h");
+            b.ret(Some(h.into()));
+            alloc_fns.push(b.finish());
+        }
+        let init = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_init_allocators"),
+                vec![],
+                Type::Void,
+            );
+            for (i, f) in alloc_fns.iter().enumerate() {
+                let e = b.elem_addr(&format!("e{i}"), Operand::Global(allocators), i as i64);
+                b.store(e, Operand::Func(*f));
+            }
+            b.ret(None);
+            b.finish()
+        };
+        self.init_fns.push(init);
+
+        // xalloc(sz): dispatch through the allocator function pointer.
+        let xalloc = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_xalloc"),
+                vec![("sz", Type::Int)],
+                Type::ptr(Type::Int),
+            );
+            let sz = b.param(0);
+            let which = b.binop("which", BinOpKind::Rem, sz, 2i64);
+            let e = b.elem_addr("e", Operand::Global(allocators), which);
+            let fp = b.load("fp", e);
+            let r = b
+                .call_ind("r", fp, vec![sz.into()], Type::ptr(Type::Int))
+                .expect("ptr");
+            b.ret(Some(r.into()));
+            b.finish()
+        };
+
+        // Users: allocate, stash a callback in the shared heap, call back
+        // through it. Every user's handler reaches every user's icall.
+        let mut user_fns = Vec::new();
+        for u in 0..users {
+            let (h, _r) = self.handler(prefix);
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_user{u}"),
+                vec![],
+                Type::Void,
+            );
+            let p = b
+                .call("p", xalloc, vec![Operand::ConstInt((u as i64) + 2)])
+                .expect("ptr");
+            let slot = b.copy_typed("slot", p, Type::ptr(handler_ty()));
+            b.store(slot, Operand::Func(h));
+            let fp = b.load("fp", slot);
+            let d = b.alloca("d", Type::Int);
+            b.store(d, u as i64);
+            let r = b.call_ind("r", fp, vec![d.into()], Type::Int).expect("int");
+            b.output(r);
+            b.ret(None);
+            user_fns.push(b.finish());
+        }
+
+        let hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_transfer"),
+                vec![],
+                Type::Void,
+            );
+            let idx = b.input("idx");
+            let mut next = b.current_block();
+            let done = b.new_block();
+            for (u, f) in user_fns.iter().enumerate() {
+                b.switch_to(next);
+                let c = b.binop(&format!("c{u}"), BinOpKind::Eq, idx, u as i64);
+                let arm = b.new_block();
+                if u + 1 < user_fns.len() {
+                    next = b.new_block();
+                    b.branch(c, arm, next);
+                } else {
+                    b.branch(c, arm, done);
+                }
+                b.switch_to(arm);
+                b.call("_u", *f, vec![]);
+                b.jump(done);
+            }
+            b.switch_to(done);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Input-driven computational filler: `reachable` functions dispatched
+    /// from a hook plus `dead` functions that are never called (realistic
+    /// coverage denominators — real binaries execute a fraction of their
+    /// branches; Tables 4 and 5).
+    pub fn filler(&mut self, prefix: &str, reachable: usize, dead: usize) {
+        let mk = |this: &mut Self, name: String, seed: i64| -> FuncId {
+            let mut b =
+                FunctionBuilder::new(&mut this.module, &name, vec![("x", Type::Int)], Type::Int);
+            let x = b.param(0);
+            let acc = b.alloca("acc", Type::Int);
+            b.store(acc, seed);
+            let i = b.alloca("i", Type::Int);
+            b.store(i, 0i64);
+            let head = b.new_block();
+            let body = b.new_block();
+            let odd = b.new_block();
+            let even = b.new_block();
+            let next = b.new_block();
+            let done = b.new_block();
+            b.jump(head);
+            b.switch_to(head);
+            let iv = b.load("iv", i);
+            let c = b.binop("c", BinOpKind::Lt, iv, 8i64);
+            b.branch(c, body, done);
+            b.switch_to(body);
+            let av = b.load("av", acc);
+            let parity = b.binop("parity", BinOpKind::And, av, 1i64);
+            b.branch(parity, odd, even);
+            b.switch_to(odd);
+            let t1 = b.binop("t1", BinOpKind::Mul, av, 3i64);
+            let t2 = b.binop("t2", BinOpKind::Add, t1, x);
+            b.store(acc, t2);
+            b.jump(next);
+            b.switch_to(even);
+            let t3 = b.binop("t3", BinOpKind::Div, av, 2i64);
+            b.store(acc, t3);
+            b.jump(next);
+            b.switch_to(next);
+            let iv2 = b.load("iv2", i);
+            let inc = b.binop("inc", BinOpKind::Add, iv2, 1i64);
+            b.store(i, inc);
+            b.jump(head);
+            b.switch_to(done);
+            let out = b.load("out", acc);
+            b.ret(Some(out.into()));
+            b.finish()
+        };
+        let reach: Vec<FuncId> = (0..reachable)
+            .map(|i| mk(self, format!("{prefix}_calc{i}"), i as i64 + 3))
+            .collect();
+        for i in 0..dead {
+            mk(self, format!("{prefix}_cold{i}"), i as i64 + 11);
+        }
+        if reach.is_empty() {
+            return;
+        }
+        let hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_compute"),
+                vec![],
+                Type::Void,
+            );
+            let idx = b.input("idx");
+            let x = b.input("x");
+            let mut next = b.current_block();
+            let done = b.new_block();
+            for (u, f) in reach.iter().enumerate() {
+                b.switch_to(next);
+                let c = b.binop(&format!("c{u}"), BinOpKind::Eq, idx, u as i64);
+                let arm = b.new_block();
+                if u + 1 < reach.len() {
+                    next = b.new_block();
+                    b.branch(c, arm, next);
+                } else {
+                    b.branch(c, arm, done);
+                }
+                b.switch_to(arm);
+                let r = b.call(&format!("r{u}"), *f, vec![x.into()]).expect("int");
+                b.output(r);
+                b.jump(done);
+            }
+            b.switch_to(done);
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Consumers: functions reading a group's fields and the handler
+    /// registry cells into pointer locals — the population the Table 3
+    /// statistics measure and over which baseline pollution compounds.
+    pub fn consumers(&mut self, prefix: &str, group: &ServiceGroup, n: usize) {
+        let sty = Type::Struct(group.struct_id);
+        let mut fns = Vec::new();
+        for j in 0..n {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_cons{j}"),
+                vec![("ctx", Type::ptr(sty.clone()))],
+                Type::Int,
+            );
+            let ctx = b.param(0);
+            let d = b.field_addr("d", ctx, group.data_field);
+            let cb = group.cb_fields[j % group.cb_fields.len()];
+            let slot = b.field_addr("slot", ctx, cb);
+            let fp = b.load("fp", slot);
+            let _keep = b.copy("keep", fp);
+            if !group.buf_fields.is_empty() {
+                let bf = group.buf_fields[j % group.buf_fields.len()];
+                let bslot = b.field_addr("bslot", ctx, bf);
+                let bp = b.load("bp", bslot);
+                let _keepb = b.copy("keepb", bp);
+            }
+            // Read back a registry cell: this is where widened call graphs
+            // (and therefore merged handler arguments) become visible.
+            let reg = group.handler_regs[j % group.handler_regs.len()];
+            let seen = b.load("seen", Operand::Global(reg));
+            let _keepr = b.copy("keepr", seen);
+            let v = b.load("v", d);
+            b.ret(Some(v.into()));
+            fns.push(b.finish());
+        }
+        let globals = group.globals.clone();
+        let hook = {
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_inspect"),
+                vec![],
+                Type::Void,
+            );
+            for (j, f) in fns.iter().enumerate() {
+                let g = globals[j % globals.len()];
+                let r = b
+                    .call(&format!("r{j}"), *f, vec![Operand::Global(g)])
+                    .expect("int");
+                b.output(r);
+            }
+            b.ret(None);
+            b.finish()
+        };
+        self.hooks.push(hook);
+    }
+
+    /// Assemble the entry function and return `(module, entry)`.
+    ///
+    /// The entry runs one *request*: it lazily calls every init function on
+    /// first entry (guarded by a global flag, like a server process), then
+    /// reads a command byte and dispatches to one hook.
+    pub fn finish(mut self) -> (Module, FuncId) {
+        let flag = self
+            .module
+            .add_global("app_initialized", Type::Int)
+            .expect("unique flag");
+        let init_fns = self.init_fns.clone();
+        let hooks = self.hooks.clone();
+        let entry = {
+            let mut b =
+                FunctionBuilder::new(&mut self.module, "handle_request", vec![], Type::Void);
+            let v = b.load("v", Operand::Global(flag));
+            let skip = b.new_block();
+            let doinit = b.new_block();
+            b.branch(v, skip, doinit);
+            b.switch_to(doinit);
+            for (i, f) in init_fns.iter().enumerate() {
+                b.call(&format!("_i{i}"), *f, vec![]);
+            }
+            b.store(Operand::Global(flag), 1i64);
+            b.jump(skip);
+            b.switch_to(skip);
+            let cmd = b.input("cmd");
+            let done = b.new_block();
+            if hooks.is_empty() {
+                b.jump(done);
+            } else {
+                let mut next = b.current_block();
+                for (i, h) in hooks.iter().enumerate() {
+                    b.switch_to(next);
+                    let c = b.binop(&format!("c{i}"), BinOpKind::Eq, cmd, i as i64);
+                    let arm = b.new_block();
+                    if i + 1 < hooks.len() {
+                        next = b.new_block();
+                        b.branch(c, arm, next);
+                    } else {
+                        b.branch(c, arm, done);
+                    }
+                    b.switch_to(arm);
+                    b.call("_h", *h, vec![]);
+                    b.jump(done);
+                }
+            }
+            b.switch_to(done);
+            b.output(0i64);
+            b.ret(None);
+            b.finish()
+        };
+        (self.module, entry)
+    }
+
+    /// Number of hooks registered so far (the valid command-byte range).
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::verify_module;
+
+    #[test]
+    fn service_group_builds_and_verifies() {
+        let mut b = AppBuilder::new("t");
+        let g = b.service_group("svc", 3, 2, 2);
+        assert_eq!(g.globals.len(), 3);
+        assert_eq!(g.handlers.len(), 6);
+        assert_eq!(g.handler_regs.len(), 6);
+        assert_eq!(g.dispatchers.len(), 2);
+        assert_eq!(g.buf_fields.len(), 2);
+        let (m, _entry) = b.finish();
+        assert!(verify_module(&m).is_empty(), "{:?}", verify_module(&m));
+    }
+
+    #[test]
+    fn full_pattern_mix_verifies() {
+        let mut b = AppBuilder::new("t");
+        let g = b.service_group("svc", 2, 2, 2);
+        b.pa_coupling("io", &g, 16);
+        b.pwc_chain("pw", &g);
+        b.ctx_helper("cx", &g, 4);
+        b.plugin_array("pl", 5);
+        b.option_table("opt", 4);
+        b.alloc_fnptr("al", 3);
+        b.filler("fl", 3, 2);
+        b.consumers("cn", &g, 4);
+        let hooks = b.hook_count();
+        let (m, entry) = b.finish();
+        assert!(verify_module(&m).is_empty(), "{:?}", verify_module(&m));
+        assert!(hooks >= 7);
+        assert_eq!(m.func(entry).name, "handle_request");
+    }
+
+    #[test]
+    fn entry_runs_under_interpreter() {
+        // Smoke-test execution of the assembled app.
+        let mut b = AppBuilder::new("t");
+        let g = b.service_group("svc", 2, 2, 2);
+        b.pa_coupling("io", &g, 8);
+        b.filler("fl", 2, 1);
+        let (m, entry) = b.finish();
+        let mut ex = kaleidoscope_runtime::Executor::unhardened(&m);
+        for cmd in 0..4u8 {
+            ex.set_input(&[cmd, 1, 2, 3, 4]);
+            ex.run(entry, vec![]).expect("runs cleanly");
+        }
+        assert!(ex.output_count > 0);
+    }
+
+    #[test]
+    fn handlers_record_arguments_in_registry() {
+        let mut b = AppBuilder::new("t");
+        let g = b.service_group("svc", 2, 1, 1);
+        let (m, entry) = b.finish();
+        let mut ex = kaleidoscope_runtime::Executor::unhardened(&m);
+        // serve object 0 (cmd 0 = serve hook, then idx byte 0)
+        ex.set_input(&[0, 0]);
+        ex.run(entry, vec![]).unwrap();
+        // The handler stored its buffer-pointer argument into its registry.
+        let reg = m.global_by_name("svc_h0_reg").unwrap();
+        let _ = (reg, g);
+        assert!(ex.output_count > 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Benchmark request mixes and fuzz seeds.
+//!
+//! Benchmark tools in the paper (§7.2) send a limited request variety
+//! (ApacheBench cannot vary URLs; memaslap lacks `stats`/`flush`), while
+//! the fuzzing campaign (§7.3) explores much more. We reflect that split:
+//! [`bench_mix`] cycles over a few hook commands with small payloads,
+//! [`fuzz_seed_mix`] seeds every hook with several payload shapes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic benchmark request mix: `cycle` commands drawn from
+/// `cmds`, each with a small payload pattern.
+pub fn bench_mix(cmds: &[u8], variants: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for (i, &cmd) in cmds.iter().enumerate() {
+        for v in 0..variants.max(1) {
+            let payload: Vec<u8> = (0..6).map(|k| ((i + v + k) % 5) as u8).collect();
+            let mut req = vec![cmd];
+            req.extend(payload);
+            out.push(req);
+        }
+    }
+    out
+}
+
+/// Deterministic fuzz seeds: every command byte in `0..hooks`, with a few
+/// payload shapes each (all-zero, ramp, pseudo-random).
+pub fn fuzz_seed_mix(hooks: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for cmd in 0..hooks.max(1) as u8 {
+        out.push(vec![cmd, 0, 0, 0, 0, 0]);
+        out.push(vec![cmd, 1, 2, 3, 4, 5, 6, 7]);
+        let rand_payload: Vec<u8> = (0..10).map(|_| rng.gen_range(0..16)).collect();
+        let mut req = vec![cmd];
+        req.extend(rand_payload);
+        out.push(req);
+    }
+    out
+}
+
+/// The command bytes a benchmark tool exercises: roughly the first 60% of
+/// an app's hooks (benchmark tools cannot reach everything — §7.2 notes
+/// ApacheBench and memaslap limit the request variety).
+pub fn bench_cmds(hooks: usize) -> Vec<u8> {
+    let n = (hooks * 3).div_ceil(5).clamp(2, hooks.max(2));
+    (0..n as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_mix_is_deterministic_and_shaped() {
+        let a = bench_mix(&[0, 1, 2], 2);
+        let b = bench_mix(&[0, 1, 2], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|r| r.len() == 7));
+        assert_eq!(a[0][0], 0);
+        assert_eq!(a[2][0], 1);
+    }
+
+    #[test]
+    fn fuzz_seeds_cover_every_command() {
+        let seeds = fuzz_seed_mix(5, 42);
+        assert_eq!(seeds.len(), 15);
+        for cmd in 0..5u8 {
+            assert!(seeds.iter().any(|s| s[0] == cmd));
+        }
+        // Determinism.
+        assert_eq!(fuzz_seed_mix(5, 42), fuzz_seed_mix(5, 42));
+        assert_ne!(fuzz_seed_mix(5, 42), fuzz_seed_mix(5, 43));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(bench_mix(&[], 3).len(), 0);
+        assert_eq!(bench_mix(&[1], 0).len(), 1);
+        assert_eq!(fuzz_seed_mix(0, 1).len(), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for the pointer-analysis solver: baseline
+//! Andersen's vs the optimistic configurations vs Steensgaard, on the two
+//! largest application models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kaleidoscope::{analyze, PolicyConfig};
+use kaleidoscope_pta::{steensgaard, Analysis, SolveOptions};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    for name in ["MbedTLS", "TinyDTLS"] {
+        let model = kaleidoscope_apps::model(name).expect("model");
+        group.bench_with_input(
+            BenchmarkId::new("andersen_baseline", name),
+            &model,
+            |b, m| b.iter(|| Analysis::run(&m.module, &SolveOptions::baseline())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kaleidoscope_full", name),
+            &model,
+            |b, m| b.iter(|| analyze(&m.module, PolicyConfig::all())),
+        );
+        group.bench_with_input(BenchmarkId::new("steensgaard", name), &model, |b, m| {
+            b.iter(|| steensgaard(&m.module))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates **Figure 11**: average CFI targets per indirect callsite,
+//! per application and policy configuration.
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_bench::{mean, row, run_all_configs};
+
+fn main() {
+    let configs = PolicyConfig::table3_order();
+    let widths = [11usize, 9, 9, 9, 9, 9, 9, 9, 12];
+    let mut header = vec!["Application".to_string()];
+    header.extend(configs.iter().map(|c| c.name().to_string()));
+    println!("Figure 11 (reproduction): average CFI targets per indirect callsite");
+    println!("{}", row(&header, &widths));
+    let mut csv = String::from("app,config,avg_targets,sites\n");
+    for model in kaleidoscope_apps::all_models() {
+        let runs = run_all_configs(&model);
+        let mut cells = vec![model.name.to_string()];
+        for r in &runs {
+            cells.push(format!("{:.2}", mean(&r.cfi_counts)));
+            csv.push_str(&format!(
+                "{},{},{:.4},{}\n",
+                model.name,
+                r.config.name(),
+                mean(&r.cfi_counts),
+                r.cfi_counts.len()
+            ));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    println!();
+    println!("CSV:");
+    print!("{csv}");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 12**: the distribution (box plot) of CFI target
+//! counts per indirect callsite, per application and configuration.
+
+use kaleidoscope_bench::{ascii_box, five_num, run_all_configs};
+
+fn main() {
+    println!("Figure 12 (reproduction): CFI target count distributions");
+    println!("(#: median, ===: interquartile range, |---|: min..max)");
+    let mut csv = String::from("app,config,min,q1,median,q3,max,sites\n");
+    for model in kaleidoscope_apps::all_models() {
+        let runs = run_all_configs(&model);
+        let global_max = runs
+            .iter()
+            .flat_map(|r| r.cfi_counts.iter().copied())
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        println!("\n{}", model.name);
+        for r in &runs {
+            let f = five_num(&r.cfi_counts);
+            println!(
+                "  {:<13} {} [{:>3.0} {:>6.2} {:>6.2} {:>6.2} {:>4.0}]",
+                r.config.name(),
+                ascii_box(f, global_max, 40),
+                f.0,
+                f.1,
+                f.2,
+                f.3,
+                f.4
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                model.name,
+                r.config.name(),
+                f.0,
+                f.1,
+                f.2,
+                f.3,
+                f.4,
+                r.cfi_counts.len()
+            ));
+        }
+    }
+    println!();
+    println!("CSV:");
+    print!("{csv}");
+}

@@ -1,0 +1,138 @@
+//! Regenerates **Figure 13**: throughput of the CFI-hardened applications
+//! per policy configuration, and the monitor overhead relative to the
+//! baseline-hardened build.
+//!
+//! The paper reports an average overhead of 5.45% (max 9.67%, Memcached)
+//! and notes the number of monitor checks stays below 4.78% of memory
+//! operations. We reproduce those *relative* quantities: absolute req/s is
+//! interpreter throughput, not native throughput.
+//!
+//! Measurement: per cell, 500 warmup requests; the overhead comparison
+//! runs three alternating windows per side and keeps the best (least
+//! noise-disturbed) rate of each.
+
+use std::time::{Duration, Instant};
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_apps::AppModel;
+use kaleidoscope_bench::row;
+use kaleidoscope_cfi::{harden, Hardened};
+use kaleidoscope_runtime::Executor;
+
+fn window() -> Duration {
+    let ms = std::env::var("FIG13_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150u64);
+    Duration::from_millis(ms)
+}
+
+fn run_one(model: &AppModel, ex: &mut Executor<'_>, i: usize) {
+    let input = &model.bench_inputs[i % model.bench_inputs.len()];
+    ex.set_input(input);
+    ex.run(model.entry, vec![]).expect("benign request");
+}
+
+/// Requests/second over one measurement window (after shared warmup).
+fn measure(model: &AppModel, ex: &mut Executor<'_>, win: Duration) -> f64 {
+    let start = Instant::now();
+    let mut n = 0usize;
+    while start.elapsed() < win {
+        for _ in 0..50 {
+            run_one(model, ex, n);
+            n += 1;
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn executor_for<'m>(h: &Hardened, model: &'m AppModel, config: PolicyConfig) -> Executor<'m> {
+    if config.any() {
+        h.executor(&model.module)
+    } else {
+        h.executor_unmonitored(&model.module)
+    }
+}
+
+fn main() {
+    let win = window();
+    let configs = PolicyConfig::table3_order();
+    println!("Figure 13 (reproduction): throughput of hardened applications");
+    println!(
+        "({} ms windows, best of 3 alternating runs; req/s is interpreter throughput)",
+        win.as_millis()
+    );
+    let widths = [11usize, 13, 13, 10, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "Application".into(),
+                "Base req/s".into(),
+                "Kd req/s".into(),
+                "Overhead".into(),
+                "MonChecks".into(),
+                "MemOps".into(),
+                "Chk/Mem".into(),
+            ],
+            &widths
+        )
+    );
+    let mut csv = String::from("app,config,reqs_per_sec\n");
+    let mut overheads = Vec::new();
+    for model in kaleidoscope_apps::all_models() {
+        // Per-config single-window rates for the CSV (the eight bars).
+        for config in configs {
+            let hardened = harden(&model.module, config);
+            let mut ex = executor_for(&hardened, &model, config);
+            for i in 0..500 {
+                run_one(&model, &mut ex, i);
+            }
+            let rps = measure(&model, &mut ex, win);
+            csv.push_str(&format!("{},{},{:.0}\n", model.name, config.name(), rps));
+        }
+        // Overhead: alternate Baseline and full Kaleidoscope, best-of-3.
+        let hardened = harden(&model.module, PolicyConfig::all());
+        let mut base_ex = hardened.executor_unmonitored(&model.module);
+        let mut kd_ex = hardened.executor(&model.module);
+        for i in 0..500 {
+            run_one(&model, &mut base_ex, i);
+            run_one(&model, &mut kd_ex, i);
+        }
+        let mut base_best = 0.0f64;
+        let mut kd_best = 0.0f64;
+        for _ in 0..3 {
+            base_best = base_best.max(measure(&model, &mut base_ex, win));
+            kd_best = kd_best.max(measure(&model, &mut kd_ex, win));
+        }
+        let overhead = (base_best / kd_best - 1.0) * 100.0;
+        overheads.push(overhead);
+        println!(
+            "{}",
+            row(
+                &[
+                    model.name.to_string(),
+                    format!("{base_best:.0}"),
+                    format!("{kd_best:.0}"),
+                    format!("{overhead:.2}%"),
+                    kd_ex.monitor_checks().to_string(),
+                    kd_ex.mem_ops.to_string(),
+                    format!(
+                        "{:.2}%",
+                        100.0 * kd_ex.monitor_checks() as f64 / kd_ex.mem_ops.max(1) as f64
+                    ),
+                ],
+                &widths
+            )
+        );
+    }
+    let avg = overheads.iter().sum::<f64>() / overheads.len().max(1) as f64;
+    println!();
+    println!(
+        "average overhead: {avg:.2}% (paper: 5.45%); max: {:.2}% (paper: 9.67%)",
+        overheads.iter().cloned().fold(f64::MIN, f64::max)
+    );
+    println!();
+    println!("CSV:");
+    print!("{csv}");
+}

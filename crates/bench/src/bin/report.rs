@@ -1,0 +1,135 @@
+//! Generates a single self-contained HTML dashboard with the core
+//! evaluation artifacts (Tables 2/3, Figures 10/11/12) so the whole
+//! reproduction can be browsed offline.
+//!
+//! ```sh
+//! cargo run --release -p kaleidoscope-bench --bin report
+//! # → target/kaleidoscope-report.html
+//! ```
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_bench::html::Report;
+use kaleidoscope_bench::{five_num, mean, run_all_configs};
+
+fn main() {
+    let mut report = Report::new("Kaleidoscope reproduction — evaluation dashboard");
+    report.paragraph(
+        "Regenerated from the synthetic application models; absolute numbers are \
+         model-scale, the paper-vs-ours comparison lives in EXPERIMENTS.md.",
+    );
+
+    // Table 2.
+    let models = kaleidoscope_apps::all_models();
+    report.heading("Table 2 — applications");
+    report.table(
+        "Applications and model sizes",
+        vec![
+            "Application".into(),
+            "Description".into(),
+            "Paper LoC".into(),
+            "Model LoC".into(),
+            "Funcs".into(),
+        ],
+        models
+            .iter()
+            .map(|m| {
+                vec![
+                    m.name.to_string(),
+                    m.description.to_string(),
+                    m.paper_loc.to_string(),
+                    m.model_loc().to_string(),
+                    m.module.funcs.len().to_string(),
+                ]
+            })
+            .collect(),
+    );
+
+    // Analyze everything once.
+    let all: Vec<(String, Vec<kaleidoscope_bench::ConfigRun>)> = models
+        .iter()
+        .map(|m| (m.name.to_string(), run_all_configs(m)))
+        .collect();
+    let config_names: Vec<String> = PolicyConfig::table3_order()
+        .iter()
+        .map(|c| c.name().to_string())
+        .collect();
+
+    // Table 3.
+    report.heading("Table 3 — points-to set sizes");
+    let mut header = vec!["Application".to_string()];
+    header.extend(config_names.iter().cloned());
+    header.push("Factor".into());
+    report.table(
+        "Average points-to set size of top-level pointers",
+        header,
+        all.iter()
+            .map(|(name, runs)| {
+                let mut row = vec![name.clone()];
+                row.extend(runs.iter().map(|r| format!("{:.2}", r.stats.avg)));
+                row.push(format!(
+                    "{:.2}",
+                    runs[0].stats.factor_over(&runs[7].stats)
+                ));
+                row
+            })
+            .collect(),
+    );
+    report.grouped_bars(
+        "Average points-to set size, Baseline vs full Kaleidoscope",
+        all.iter()
+            .map(|(name, runs)| {
+                (
+                    name.clone(),
+                    vec![
+                        ("Baseline".to_string(), runs[0].stats.avg),
+                        ("Kaleidoscope".to_string(), runs[7].stats.avg),
+                    ],
+                )
+            })
+            .collect(),
+    );
+
+    // Figure 10 as box plots for the two extreme configs.
+    report.heading("Figure 10 — points-to distributions");
+    for (name, runs) in &all {
+        report.box_plots(
+            &format!("{name}: points-to set sizes per configuration"),
+            runs.iter()
+                .map(|r| (r.config.name().to_string(), five_num(&r.stats.sizes)))
+                .collect(),
+        );
+    }
+
+    // Figure 11.
+    report.heading("Figure 11 — average CFI targets");
+    report.grouped_bars(
+        "Average CFI targets per indirect callsite",
+        all.iter()
+            .map(|(name, runs)| {
+                (
+                    name.clone(),
+                    runs.iter()
+                        .map(|r| (r.config.name().to_string(), mean(&r.cfi_counts)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+
+    // Figure 12.
+    report.heading("Figure 12 — CFI target distributions");
+    for (name, runs) in &all {
+        report.box_plots(
+            &format!("{name}: CFI targets per callsite"),
+            runs.iter()
+                .map(|r| (r.config.name().to_string(), five_num(&r.cfi_counts)))
+                .collect(),
+        );
+    }
+
+    let html = report.render();
+    let path = std::path::Path::new("target").join("kaleidoscope-report.html");
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write(&path, html).expect("write report");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 3**: average and maximum points-to set sizes of
+//! top-level pointers, per application and per policy configuration, with
+//! the improvement factor of full Kaleidoscope over the baseline.
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_bench::{row, run_all_configs};
+
+fn main() {
+    let configs = PolicyConfig::table3_order();
+    let names: Vec<String> = configs.iter().map(|c| c.name().to_string()).collect();
+    let widths = [11usize, 9, 9, 9, 9, 9, 9, 9, 12, 7];
+
+    let models = kaleidoscope_apps::all_models();
+    let mut rows_avg = Vec::new();
+    let mut rows_max = Vec::new();
+    let mut csv = String::from("app,config,avg,max,count,invariants\n");
+    for model in &models {
+        let runs = run_all_configs(model);
+        let base = &runs[0].stats;
+        let full = &runs[7].stats;
+        let mut avg_cells = vec![model.name.to_string()];
+        let mut max_cells = vec![model.name.to_string()];
+        for r in &runs {
+            avg_cells.push(format!("{:.2}", r.stats.avg));
+            max_cells.push(format!("{}", r.stats.max));
+            csv.push_str(&format!(
+                "{},{},{:.4},{},{},{}\n",
+                model.name,
+                r.config.name(),
+                r.stats.avg,
+                r.stats.max,
+                r.stats.count,
+                r.invariants
+            ));
+        }
+        avg_cells.push(format!("{:.2}", base.factor_over(full)));
+        let max_factor = if full.max == 0 {
+            1.0
+        } else {
+            base.max as f64 / full.max as f64
+        };
+        max_cells.push(format!("{max_factor:.2}"));
+        rows_avg.push(avg_cells);
+        rows_max.push(max_cells);
+    }
+
+    println!("Table 3 (reproduction): Average Pts. Set Size of top-level pointers");
+    let mut header = vec!["Application".to_string()];
+    header.extend(names.iter().cloned());
+    header.push("Factor".into());
+    println!("{}", row(&header, &widths));
+    for r in &rows_avg {
+        println!("{}", row(r, &widths));
+    }
+    println!();
+    println!("Table 3 (reproduction): Max Pts. Set Size of top-level pointers");
+    println!("{}", row(&header, &widths));
+    for r in &rows_max {
+        println!("{}", row(r, &widths));
+    }
+    println!();
+    println!("CSV:");
+    print!("{csv}");
+}

@@ -1,0 +1,340 @@
+//! Self-contained HTML report generation (no external dependencies).
+//!
+//! [`Report`] accumulates sections — tables, bar charts, grouped box plots —
+//! and renders a single standalone HTML file with inline SVG, so the whole
+//! evaluation can be browsed without rerunning anything. Used by the
+//! `report` binary.
+
+use std::fmt::Write as _;
+
+/// Escape text for HTML.
+pub fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// A report section.
+#[derive(Debug, Clone)]
+enum Section {
+    Heading(String),
+    Paragraph(String),
+    Table {
+        caption: String,
+        header: Vec<String>,
+        rows: Vec<Vec<String>>,
+    },
+    GroupedBars {
+        caption: String,
+        /// Group label (e.g. an application) → (series label, value).
+        groups: Vec<(String, Vec<(String, f64)>)>,
+    },
+    BoxPlots {
+        caption: String,
+        /// Row label → five-number summary.
+        rows: Vec<(String, (f64, f64, f64, f64, f64))>,
+    },
+}
+
+/// An HTML report builder.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// Start a report with a page title.
+    pub fn new(title: &str) -> Self {
+        Report {
+            title: title.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Add a section heading.
+    pub fn heading(&mut self, text: &str) -> &mut Self {
+        self.sections.push(Section::Heading(text.to_string()));
+        self
+    }
+
+    /// Add a paragraph of prose.
+    pub fn paragraph(&mut self, text: &str) -> &mut Self {
+        self.sections.push(Section::Paragraph(text.to_string()));
+        self
+    }
+
+    /// Add a table.
+    pub fn table(&mut self, caption: &str, header: Vec<String>, rows: Vec<Vec<String>>) -> &mut Self {
+        self.sections.push(Section::Table {
+            caption: caption.to_string(),
+            header,
+            rows,
+        });
+        self
+    }
+
+    /// Add a grouped bar chart (one cluster of bars per group).
+    pub fn grouped_bars(
+        &mut self,
+        caption: &str,
+        groups: Vec<(String, Vec<(String, f64)>)>,
+    ) -> &mut Self {
+        self.sections.push(Section::GroupedBars {
+            caption: caption.to_string(),
+            groups,
+        });
+        self
+    }
+
+    /// Add horizontal box plots (min, q1, median, q3, max per row).
+    pub fn box_plots(
+        &mut self,
+        caption: &str,
+        rows: Vec<(String, (f64, f64, f64, f64, f64))>,
+    ) -> &mut Self {
+        self.sections.push(Section::BoxPlots {
+            caption: caption.to_string(),
+            rows,
+        });
+        self
+    }
+
+    /// Render the full HTML document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+             <title>{}</title><style>{}</style></head><body><h1>{}</h1>",
+            esc(&self.title),
+            CSS,
+            esc(&self.title)
+        );
+        for s in &self.sections {
+            match s {
+                Section::Heading(t) => {
+                    let _ = write!(out, "<h2>{}</h2>", esc(t));
+                }
+                Section::Paragraph(t) => {
+                    let _ = write!(out, "<p>{}</p>", esc(t));
+                }
+                Section::Table {
+                    caption,
+                    header,
+                    rows,
+                } => render_table(&mut out, caption, header, rows),
+                Section::GroupedBars { caption, groups } => {
+                    render_grouped_bars(&mut out, caption, groups)
+                }
+                Section::BoxPlots { caption, rows } => render_box_plots(&mut out, caption, rows),
+            }
+        }
+        out.push_str("</body></html>");
+        out
+    }
+}
+
+const CSS: &str = "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:70em;\
+color:#222}table{border-collapse:collapse;margin:1em 0}th,td{border:1px solid #ccc;\
+padding:.3em .6em;text-align:right}th:first-child,td:first-child{text-align:left}\
+caption{font-weight:600;margin-bottom:.4em;text-align:left}svg{margin:.5em 0}\
+h1{border-bottom:2px solid #444}h2{margin-top:2em}";
+
+const PALETTE: [&str; 8] = [
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2", "#ff9da6", "#9d755d",
+];
+
+fn render_table(out: &mut String, caption: &str, header: &[String], rows: &[Vec<String>]) {
+    let _ = write!(out, "<table><caption>{}</caption><tr>", esc(caption));
+    for h in header {
+        let _ = write!(out, "<th>{}</th>", esc(h));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for c in row {
+            let _ = write!(out, "<td>{}</td>", esc(c));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+}
+
+fn render_grouped_bars(out: &mut String, caption: &str, groups: &[(String, Vec<(String, f64)>)]) {
+    let series = groups.first().map(|(_, s)| s.len()).unwrap_or(0);
+    let maxv = groups
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|(_, v)| *v))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let bar_w = 12usize;
+    let group_w = series * bar_w + 24;
+    let chart_h = 180usize;
+    let label_h = 64usize;
+    let width = groups.len() * group_w + 60;
+    let height = chart_h + label_h;
+    let _ = write!(
+        out,
+        "<figure><figcaption>{}</figcaption><svg width=\"{width}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">",
+        esc(caption)
+    );
+    // Axis.
+    let _ = write!(
+        out,
+        "<line x1=\"40\" y1=\"{chart_h}\" x2=\"{width}\" y2=\"{chart_h}\" stroke=\"#888\"/>\
+         <text x=\"2\" y=\"12\" font-size=\"10\">{maxv:.1}</text>\
+         <text x=\"2\" y=\"{chart_h}\" font-size=\"10\">0</text>"
+    );
+    for (gi, (label, ss)) in groups.iter().enumerate() {
+        let gx = 46 + gi * group_w;
+        for (si, (_, v)) in ss.iter().enumerate() {
+            let h = ((v / maxv) * (chart_h as f64 - 14.0)).round() as usize;
+            let x = gx + si * bar_w;
+            let y = chart_h - h;
+            let color = PALETTE[si % PALETTE.len()];
+            let _ = write!(
+                out,
+                "<rect x=\"{x}\" y=\"{y}\" width=\"{}\" height=\"{h}\" fill=\"{color}\">\
+                 <title>{}: {v:.2}</title></rect>",
+                bar_w - 2,
+                esc(&ss[si].0)
+            );
+        }
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{}\" font-size=\"10\" transform=\"rotate(40 {} {})\">{}</text>",
+            gx,
+            chart_h + 14,
+            gx,
+            chart_h + 14,
+            esc(label)
+        );
+    }
+    // Legend.
+    if let Some((_, ss)) = groups.first() {
+        for (si, (name, _)) in ss.iter().enumerate() {
+            let lx = 46 + si * 110;
+            let ly = chart_h + 40;
+            let color = PALETTE[si % PALETTE.len()];
+            let _ = write!(
+                out,
+                "<rect x=\"{lx}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
+                 <text x=\"{}\" y=\"{}\" font-size=\"10\">{}</text>",
+                ly - 9,
+                lx + 14,
+                ly,
+                esc(name)
+            );
+        }
+    }
+    out.push_str("</svg></figure>");
+}
+
+fn render_box_plots(
+    out: &mut String,
+    caption: &str,
+    rows: &[(String, (f64, f64, f64, f64, f64))],
+) {
+    let maxv = rows
+        .iter()
+        .map(|(_, f)| f.4)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let row_h = 22usize;
+    let label_w = 150usize;
+    let plot_w = 480usize;
+    let height = rows.len() * row_h + 24;
+    let width = label_w + plot_w + 60;
+    let sx = |v: f64| label_w as f64 + (v / maxv) * plot_w as f64;
+    let _ = write!(
+        out,
+        "<figure><figcaption>{}</figcaption><svg width=\"{width}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">",
+        esc(caption)
+    );
+    for (i, (label, (min, q1, med, q3, max))) in rows.iter().enumerate() {
+        let cy = i * row_h + 14;
+        let _ = write!(
+            out,
+            "<text x=\"2\" y=\"{}\" font-size=\"10\">{}</text>",
+            cy + 4,
+            esc(label)
+        );
+        let (x0, x1, x2, x3, x4) = (sx(*min), sx(*q1), sx(*med), sx(*q3), sx(*max));
+        let color = PALETTE[i % PALETTE.len()];
+        let _ = write!(
+            out,
+            "<line x1=\"{x0:.1}\" y1=\"{cy}\" x2=\"{x4:.1}\" y2=\"{cy}\" stroke=\"#888\"/>\
+             <rect x=\"{x1:.1}\" y=\"{}\" width=\"{:.1}\" height=\"12\" fill=\"{color}\" \
+             opacity=\"0.7\"><title>{label}: min {min:.1} q1 {q1:.1} med {med:.1} q3 {q3:.1} \
+             max {max:.1}</title></rect>\
+             <line x1=\"{x2:.1}\" y1=\"{}\" x2=\"{x2:.1}\" y2=\"{}\" stroke=\"#000\" \
+             stroke-width=\"2\"/>",
+            cy - 6,
+            (x3 - x1).max(1.0),
+            cy - 6,
+            cy + 6,
+            label = esc(label),
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"10\">0 .. {maxv:.1}</text>",
+        label_w,
+        height - 4
+    );
+    out.push_str("</svg></figure>");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn renders_all_section_kinds() {
+        let mut r = Report::new("Kaleidoscope <Report>");
+        r.heading("Results")
+            .paragraph("Shapes & numbers")
+            .table(
+                "Table X",
+                vec!["App".into(), "Value".into()],
+                vec![vec!["MbedTLS".into(), "1.23".into()]],
+            )
+            .grouped_bars(
+                "Figure Y",
+                vec![
+                    ("A".into(), vec![("base".into(), 3.0), ("kd".into(), 1.0)]),
+                    ("B".into(), vec![("base".into(), 2.0), ("kd".into(), 2.0)]),
+                ],
+            )
+            .box_plots("Figure Z", vec![("A".into(), (0.0, 1.0, 2.0, 3.0, 4.0))]);
+        let html = r.render();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("&lt;Report&gt;"));
+        assert!(html.contains("<table>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Figure Y"));
+        assert!(html.contains("Figure Z"));
+        assert!(html.ends_with("</body></html>"));
+        // Balanced svg tags.
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        let mut r = Report::new("empty");
+        r.grouped_bars("nothing", vec![]);
+        r.box_plots("nothing either", vec![]);
+        r.table("bare", vec![], vec![]);
+        let html = r.render();
+        assert!(html.contains("nothing"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Graded (finer-grained) fallback CFI — the extension sketched in the
+//! paper's §8 "Finer Grained Fallback Mechanisms".
+//!
+//! Instead of the two pre-generated memory views of the base system, the
+//! graded policy pre-generates a view for **every subset of invariant
+//! families** (eight, one per `PolicyConfig`). At runtime a violation
+//! disables only the violated family; the CFI check then consults the view
+//! whose surviving families match the switcher's degradation mask. The
+//! paper notes this trades binary size (more pre-generated views) for
+//! slower precision loss — exactly the trade-off reproduced here: eight
+//! policies are materialized up front.
+
+use kaleidoscope::{analyze, PolicyConfig};
+use kaleidoscope_ir::{FuncId, InstLoc, Module};
+use kaleidoscope_runtime::{
+    ExecConfig, Executor, IndirectCallGuard, MonitorSet, ViewKind, FAMILY_CTX, FAMILY_PA,
+    FAMILY_PWC,
+};
+
+use crate::policy::CfiPolicy;
+
+/// The configuration whose enabled families are exactly those *not* in the
+/// degradation mask.
+pub fn config_for_mask(mask: u8) -> PolicyConfig {
+    PolicyConfig {
+        ctx: mask & FAMILY_CTX == 0,
+        pa: mask & FAMILY_PA == 0,
+        pwc: mask & FAMILY_PWC == 0,
+    }
+}
+
+/// Eight pre-generated CFI policies, indexed by degradation mask.
+#[derive(Debug, Clone)]
+pub struct GradedPolicy {
+    by_mask: Vec<CfiPolicy>, // indexed 0..8 by mask
+}
+
+impl GradedPolicy {
+    /// Analyze the module under all eight configurations and materialize
+    /// one policy per degradation mask.
+    pub fn build(module: &Module) -> GradedPolicy {
+        let by_mask = (0u8..8)
+            .map(|mask| {
+                let result = analyze(module, config_for_mask(mask));
+                // For a graded mask, the *optimistic* side of the reduced
+                // configuration is the active view.
+                CfiPolicy::from_result(&result)
+            })
+            .collect();
+        GradedPolicy { by_mask }
+    }
+
+    /// The policy active under a degradation mask.
+    pub fn policy(&self, mask: u8) -> &CfiPolicy {
+        &self.by_mask[(mask & 0b111) as usize]
+    }
+
+    /// Average targets per callsite under a mask (monotonicity checks).
+    pub fn avg_targets(&self, mask: u8) -> f64 {
+        self.policy(mask).avg_targets(ViewKind::Optimistic)
+    }
+}
+
+impl IndirectCallGuard for GradedPolicy {
+    fn allowed(&self, site: InstLoc, target: FuncId, view: ViewKind) -> bool {
+        let mask = match view {
+            ViewKind::Optimistic => 0,
+            ViewKind::Fallback => 0b111,
+        };
+        self.allowed_masked(site, target, mask)
+    }
+
+    fn allowed_masked(&self, site: InstLoc, target: FuncId, disabled_mask: u8) -> bool {
+        self.policy(disabled_mask)
+            .allowed(site, target, ViewKind::Optimistic)
+    }
+}
+
+/// A module hardened with graded-fallback CFI.
+#[derive(Debug, Clone)]
+pub struct GradedHardened {
+    /// The per-mask policies.
+    pub policy: GradedPolicy,
+    /// The likely invariants of the fully-optimistic configuration (whose
+    /// monitors drive the per-family degradation).
+    pub invariants: Vec<kaleidoscope::LikelyInvariant>,
+}
+
+/// Harden a module with the graded-fallback extension.
+pub fn harden_graded(module: &Module) -> GradedHardened {
+    let full = analyze(module, PolicyConfig::all());
+    GradedHardened {
+        policy: GradedPolicy::build(module),
+        invariants: full.invariants,
+    }
+}
+
+impl GradedHardened {
+    /// Build an executor in graded mode: monitors for all families armed,
+    /// violations disable exactly the violated family.
+    pub fn executor<'m>(&self, module: &'m Module) -> Executor<'m> {
+        Executor::new(
+            module,
+            MonitorSet::compile(&self.invariants),
+            Some(Box::new(self.policy.clone())),
+            ExecConfig {
+                graded: true,
+                ..ExecConfig::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::{FunctionBuilder, Operand, Type};
+    use kaleidoscope_runtime::FAMILY_ALL;
+
+    /// A module with independent PA and Ctx imprecision channels, where a
+    /// runtime input can violate the PA invariant without touching Ctx.
+    fn two_channel_module() -> Module {
+        let mut m = Module::new("graded");
+        let cb_ty = Type::fn_ptr(vec![Type::Int], Type::Int);
+        let sctx = m
+            .types
+            .declare("sctx", vec![Type::Int, cb_ty.clone()])
+            .unwrap();
+        for name in ["h_pa1", "h_pa2", "h_ctx1", "h_ctx2"] {
+            let mut b = FunctionBuilder::new(&mut m, name, vec![("x", Type::Int)], Type::Int);
+            let x = b.param(0);
+            b.ret(Some(x.into()));
+            b.finish();
+        }
+        let hpa1 = m.func_by_name("h_pa1").unwrap();
+        let hpa2 = m.func_by_name("h_pa2").unwrap();
+        let hc1 = m.func_by_name("h_ctx1").unwrap();
+        let hc2 = m.func_by_name("h_ctx2").unwrap();
+        m.add_global("pa_obj1", Type::Struct(sctx)).unwrap();
+        m.add_global("pa_obj2", Type::Struct(sctx)).unwrap();
+        m.add_global("ctx_obj1", Type::Struct(sctx)).unwrap();
+        m.add_global("ctx_obj2", Type::Struct(sctx)).unwrap();
+        m.add_global("buf", Type::array(Type::Int, 8)).unwrap();
+        m.add_global("cursor", Type::ptr(Type::Int)).unwrap();
+        let (p1, p2, c1, c2, buf, cursor) = (
+            m.global_by_name("pa_obj1").unwrap(),
+            m.global_by_name("pa_obj2").unwrap(),
+            m.global_by_name("ctx_obj1").unwrap(),
+            m.global_by_name("ctx_obj2").unwrap(),
+            m.global_by_name("buf").unwrap(),
+            m.global_by_name("cursor").unwrap(),
+        );
+        // Ctx channel: a helper registering distinct callbacks.
+        let set_cb = {
+            let mut b = FunctionBuilder::new(
+                &mut m,
+                "set_cb",
+                vec![("base", Type::ptr(Type::Struct(sctx))), ("cb", cb_ty.clone())],
+                Type::Void,
+            );
+            let base = b.param(0);
+            let cb = b.param(1);
+            let t = b.field_addr("t", base, 1);
+            b.store(t, cb);
+            b.ret(None);
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        // PA-channel fn ptrs installed directly.
+        let s1 = b.field_addr("s1", Operand::Global(p1), 1);
+        b.store(s1, Operand::Func(hpa1));
+        let s2 = b.field_addr("s2", Operand::Global(p2), 1);
+        b.store(s2, Operand::Func(hpa2));
+        // Ctx registrations from two callsites.
+        b.call("r1", set_cb, vec![Operand::Global(c1), Operand::Func(hc1)]);
+        b.call("r2", set_cb, vec![Operand::Global(c2), Operand::Func(hc2)]);
+        // PA pollution: cursor may point at the pa objects; input decides
+        // whether the invariant actually breaks.
+        let pc1 = b.copy_typed("pc1", Operand::Global(p1), Type::ptr(Type::Int));
+        b.store(Operand::Global(cursor), pc1);
+        let e = b.elem_addr("e", Operand::Global(buf), 0i64);
+        b.store(Operand::Global(cursor), e);
+        let evil = b.input("evil");
+        let t = b.new_block();
+        let j = b.new_block();
+        b.branch(evil, t, j);
+        b.switch_to(t);
+        let pc2 = b.copy_typed("pc2", Operand::Global(p1), Type::ptr(Type::Int));
+        b.store(Operand::Global(cursor), pc2);
+        b.jump(j);
+        b.switch_to(j);
+        let sv = b.load("sv", Operand::Global(cursor));
+        let i = b.input("i");
+        let w = b.ptr_arith("w", sv, i);
+        let _sink = b.copy("sink", w);
+        // Protected calls through both channels.
+        let fpa = b.load("fpa", s1);
+        b.call_ind("ra", fpa, vec![Operand::ConstInt(1)], Type::Int);
+        let cslot = b.field_addr("cslot", Operand::Global(c1), 1);
+        let fc = b.load("fc", cslot);
+        b.call_ind("rc", fc, vec![Operand::ConstInt(2)], Type::Int);
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn masks_map_to_configs() {
+        assert_eq!(config_for_mask(0), PolicyConfig::all());
+        assert_eq!(config_for_mask(FAMILY_ALL), PolicyConfig::none());
+        let c = config_for_mask(FAMILY_PA);
+        assert!(!c.pa && c.pwc && c.ctx);
+    }
+
+    #[test]
+    fn precision_degrades_monotonically_with_mask() {
+        let m = two_channel_module();
+        let g = GradedPolicy::build(&m);
+        let full = g.avg_targets(0);
+        let pa_off = g.avg_targets(FAMILY_PA);
+        let none = g.avg_targets(FAMILY_ALL);
+        assert!(full <= pa_off + 1e-9);
+        assert!(pa_off <= none + 1e-9);
+        assert!(full < none, "graded lattice has real spread");
+    }
+
+    #[test]
+    fn pa_violation_degrades_only_pa_family() {
+        let m = two_channel_module();
+        let h = harden_graded(&m);
+        let main = m.func_by_name("main").unwrap();
+
+        // Benign run: fully optimistic.
+        let mut ex = h.executor(&m);
+        ex.set_input(&[0, 0]);
+        ex.run(main, vec![]).unwrap();
+        assert_eq!(ex.switcher.disabled_mask(), 0);
+
+        // PA-violating run: only the PA family degrades; the Ctx channel's
+        // tight policy stays active, and execution still completes.
+        let mut ex = h.executor(&m);
+        ex.set_input(&[1, 0]);
+        ex.run(main, vec![]).unwrap();
+        assert_eq!(ex.switcher.disabled_mask(), FAMILY_PA);
+        assert!(ex.switcher.family_enabled(FAMILY_CTX));
+        assert!(ex.violations.iter().all(|v| v.policy == "PA"));
+
+        // The active policy is the Kd-Ctx-PWC one: wider than full
+        // Kaleidoscope on PA-affected sites, tighter than fallback.
+        let avg_active = h.policy.avg_targets(FAMILY_PA);
+        assert!(avg_active >= h.policy.avg_targets(0));
+        assert!(avg_active <= h.policy.avg_targets(FAMILY_ALL));
+
+        // Subsequent requests still run under the partially-degraded view.
+        ex.set_input(&[0, 0]);
+        ex.run(main, vec![]).unwrap();
+        assert_eq!(ex.switcher.disabled_mask(), FAMILY_PA, "one-way");
+    }
+
+    #[test]
+    fn binary_mode_still_switches_wholesale() {
+        let m = two_channel_module();
+        let h = crate::harden(&m, PolicyConfig::all());
+        let mut ex = h.executor(&m); // graded: false
+        ex.set_input(&[1, 0]);
+        ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(ex.switcher.disabled_mask(), FAMILY_ALL);
+    }
+
+    #[test]
+    fn graded_guard_defaults_are_conservative() {
+        let m = two_channel_module();
+        let g = GradedPolicy::build(&m);
+        // Binary-view entry points behave like mask 0 / mask 7.
+        for site in g.policy(0).sites() {
+            for t in g.policy(0).targets(site, ViewKind::Optimistic) {
+                assert!(g.allowed(site, *t, ViewKind::Optimistic));
+            }
+        }
+    }
+}

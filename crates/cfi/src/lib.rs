@@ -1,0 +1,34 @@
+//! Forward-edge control-flow integrity on top of Kaleidoscope memory views
+//! (the paper's case study, §5).
+//!
+//! A CFI *memory view* is, per indirect callsite, the set of functions the
+//! corresponding analysis resolved for the callsite's function pointer
+//! (Figure 9). The program starts under the optimistic view; when a likely
+//! invariant is violated, the runtime's secure switcher moves it to the
+//! fallback view — never the other way.
+//!
+//! # Example
+//!
+//! ```
+//! use kaleidoscope::PolicyConfig;
+//! use kaleidoscope_cfi::harden;
+//! use kaleidoscope_ir::{FunctionBuilder, Module, Operand, Type};
+//!
+//! let mut m = Module::new("tiny");
+//! let h = FunctionBuilder::new(&mut m, "handler", vec![], Type::Void).finish();
+//! let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+//! let fp = b.copy("fp", Operand::Func(h));
+//! b.call_ind("r", fp, vec![], Type::Void);
+//! b.ret(None);
+//! b.finish();
+//!
+//! let hardened = harden(&m, PolicyConfig::all());
+//! let mut ex = hardened.executor(&m);
+//! ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+//! ```
+
+pub mod graded;
+pub mod policy;
+
+pub use graded::{harden_graded, GradedHardened, GradedPolicy};
+pub use policy::{harden, CfiPolicy, Hardened};

@@ -1,0 +1,217 @@
+//! Abstract syntax of the C subset.
+
+/// A type in the C subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int`.
+    Int,
+    /// `void` (return types only).
+    Void,
+    /// `T*`.
+    Ptr(Box<CType>),
+    /// `struct name`.
+    Struct(String),
+    /// `T name[n]`.
+    Array(Box<CType>, usize),
+    /// `ret (*name)(params)` — a function pointer.
+    FnPtr(Vec<CType>, Box<CType>),
+}
+
+impl CType {
+    /// Convenience `T*`.
+    pub fn ptr(inner: CType) -> CType {
+        CType::Ptr(Box::new(inner))
+    }
+
+    /// Whether the type is pointer-like (pointer or function pointer).
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CType::Ptr(_) | CType::FnPtr(_, _))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (becomes pointer arithmetic when one side is a pointer).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `&&` (non-short-circuit in this subset).
+    And,
+    /// `||` (non-short-circuit in this subset).
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `*e`.
+    Deref,
+    /// `&e`.
+    AddrOf,
+    /// `-e`.
+    Neg,
+    /// `!e`.
+    Not,
+}
+
+/// An expression, tagged with its source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Source line.
+    pub line: usize,
+    /// The expression proper.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Num(i64),
+    /// `NULL`.
+    Null,
+    /// Variable or function reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
+    Field(Box<Expr>, String, bool),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `callee(args)` — direct or through a function pointer; resolved at
+    /// lowering time.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `(T)e`.
+    Cast(CType, Box<Expr>),
+    /// `malloc(sizeof(T))` (typed) or `malloc(e)` (untyped).
+    Malloc(Option<CType>),
+    /// `input()`.
+    Input,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target (validated as an lvalue during lowering).
+        lhs: Expr,
+        /// Value.
+        rhs: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` / `return e;`.
+    Return(Option<Expr>, usize),
+    /// `output(e);`.
+    Output(Expr),
+    /// An expression evaluated for effect (calls).
+    Expr(Expr),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<(String, CType)>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: CType,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, CType)>,
+    /// Return type.
+    pub ret: CType,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctype_helpers() {
+        let t = CType::ptr(CType::Int);
+        assert!(t.is_ptr());
+        assert!(CType::FnPtr(vec![], Box::new(CType::Void)).is_ptr());
+        assert!(!CType::Int.is_ptr());
+    }
+}

@@ -1,0 +1,164 @@
+//! Lexer for the C subset.
+
+use crate::CError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// Punctuation / operator, stored verbatim (e.g. `"->"`, `"=="`).
+    Punct(&'static str),
+}
+
+const PUNCTS2: [&str; 9] = ["->", "==", "!=", "<=", ">=", "&&", "||", "+=", "-="];
+const PUNCTS1: [&str; 18] = [
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "*", "&", "+", "-", "/", "%", "<", ">", "=",
+];
+
+/// Tokenize C-subset source. `//` and `/* */` comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, CError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= bytes.len() {
+                return Err(CError {
+                    line,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let v = text.parse::<i64>().map_err(|_| CError {
+                line,
+                msg: format!("integer literal `{text}` out of range"),
+            })?;
+            out.push((Token::Num(v), line));
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push((Token::Ident(bytes[start..i].iter().collect()), line));
+            continue;
+        }
+        // Two-char punctuation first.
+        if i + 1 < bytes.len() {
+            let two: String = bytes[i..i + 2].iter().collect();
+            if let Some(p) = PUNCTS2.iter().find(|p| **p == two) {
+                out.push((Token::Punct(p), line));
+                i += 2;
+                continue;
+            }
+        }
+        let one = c.to_string();
+        if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
+            out.push((Token::Punct(p), line));
+            i += 1;
+            continue;
+        }
+        if c == '!' {
+            out.push((Token::Punct("!"), line));
+            i += 1;
+            continue;
+        }
+        return Err(CError {
+            line,
+            msg: format!("unexpected character `{c}`"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Token::Ident("int".into()),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Num(42),
+                Token::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a->b == c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("->"),
+                Token::Ident("b".into()),
+                Token::Punct("=="),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let ts = lex("a // line one\n/* multi\nline */ b").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].1, 1);
+        assert_eq!(ts[1].1, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.msg.contains('$'));
+    }
+}

@@ -1,0 +1,324 @@
+//! A C-subset frontend for the Kaleidoscope IR.
+//!
+//! The paper analyzes real C codebases; this crate lets users feed C-like
+//! source straight into the pipeline instead of hand-writing IR. The
+//! supported subset covers everything the pointer analysis cares about:
+//!
+//! * `struct` definitions (including function-pointer members), globals,
+//!   functions;
+//! * pointers, `&`/`*`, member access (`.`/`->`), indexing, **pointer
+//!   arithmetic** (lowered to the IR's `arith` — the paper's §4.2
+//!   construct), casts;
+//! * `malloc(sizeof(T))` with type metadata and bare `malloc(n)` without
+//!   (paper §6's distinction), `input()` / `output(e)` builtins;
+//! * `if`/`else`, `while`, `return`, function calls — direct and through
+//!   function-pointer values.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     int id(int x) { return x; }
+//!     int main() {
+//!         int (*f)(int);
+//!         f = id;
+//!         return f(41) + 1;
+//!     }
+//! "#;
+//! let module = kaleidoscope_cfront::compile(src, "demo").unwrap();
+//! assert!(module.func_by_name("main").is_some());
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+use kaleidoscope_ir::Module;
+
+pub use ast::{CType, Program};
+pub use lexer::Token;
+
+/// A frontend error (lexing, parsing, or lowering) with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CError {}
+
+/// Compile C-subset source into a Kaleidoscope IR module.
+///
+/// # Errors
+///
+/// Returns a [`CError`] describing the first problem found.
+pub fn compile(src: &str, module_name: &str) -> Result<Module, CError> {
+    let mut module = compile_no_opt(src, module_name)?;
+    // Promote non-escaping locals to registers — the role LLVM's mem2reg
+    // plays under SVF. Without it every C local flows through Load/Store
+    // constraints and the Ctx policy's lightweight dataflow (paper §4.4)
+    // cannot see the param→store chains.
+    kaleidoscope_ir::mem2reg(&mut module);
+    Ok(module)
+}
+
+/// [`compile`] without the mem2reg cleanup (for tests and comparisons).
+pub fn compile_no_opt(src: &str, module_name: &str) -> Result<Module, CError> {
+    let tokens = lexer::lex(src)?;
+    let program = parser::parse(&tokens)?;
+    lower::lower(&program, module_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::verify_module;
+    use kaleidoscope_runtime::{Executor, RtValue};
+
+    fn run_main(src: &str) -> RtValue {
+        let m = compile(src, "t").expect("compiles");
+        let errs = verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+        let mut ex = Executor::unhardened(&m);
+        ex.run(m.func_by_name("main").unwrap(), vec![])
+            .expect("runs")
+            .ret
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = r#"
+            int main() {
+                int acc;
+                int i;
+                acc = 0;
+                i = 1;
+                while (i < 6) {
+                    acc = acc + i;
+                    i = i + 1;
+                }
+                if (acc == 15) { return 42; } else { return 0; }
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn pointers_and_address_of() {
+        let src = r#"
+            int main() {
+                int x;
+                int *p;
+                x = 1;
+                p = &x;
+                *p = 41;
+                return x + 1;
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn structs_and_member_access() {
+        let src = r#"
+            struct pair { int a; int b; };
+            int main() {
+                struct pair p;
+                struct pair *q;
+                p.a = 40;
+                q = &p;
+                q->b = 2;
+                return p.a + q->b;
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn arrays_and_indexing() {
+        let src = r#"
+            int main() {
+                int a[4];
+                int i;
+                i = 0;
+                while (i < 4) { a[i] = i * i; i = i + 1; }
+                return a[3] * 4 + a[2] + 2;
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let src = r#"
+            int fact(int n) {
+                if (n < 2) { return 1; }
+                return n * fact(n - 1);
+            }
+            int main() { return fact(5) - 78; }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn function_pointers() {
+        let src = r#"
+            int twice(int x) { return x * 2; }
+            int thrice(int x) { return x * 3; }
+            int main() {
+                int (*f)(int);
+                f = twice;
+                int a;
+                a = f(6);
+                f = thrice;
+                return a + f(10);
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn malloc_with_and_without_sizeof() {
+        let src = r#"
+            struct node { int v; struct node *next; };
+            int main() {
+                struct node *n;
+                int *raw;
+                n = malloc(sizeof(struct node));
+                n->v = 40;
+                raw = malloc(8);
+                *raw = 2;
+                return n->v + *raw;
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+        // Check the metadata distinction (§6).
+        let m = compile(src, "t").unwrap();
+        let mut typed = 0;
+        let mut untyped = 0;
+        for (_, inst) in m.iter_locs() {
+            match inst {
+                kaleidoscope_ir::Inst::HeapAlloc { ty: Some(_), .. } => typed += 1,
+                kaleidoscope_ir::Inst::HeapAlloc { ty: None, .. } => untyped += 1,
+                _ => {}
+            }
+        }
+        assert_eq!((typed, untyped), (1, 1));
+    }
+
+    #[test]
+    fn pointer_arithmetic_lowers_to_arith() {
+        let src = r#"
+            int main() {
+                int a[8];
+                int *p;
+                int i;
+                p = &a[0];
+                i = input();
+                *(p + i) = 7;
+                return *(p + i);
+            }
+        "#;
+        let m = compile(src, "t").unwrap();
+        let has_arith = m
+            .iter_locs()
+            .any(|(_, i)| matches!(i, kaleidoscope_ir::Inst::PtrArith { .. }));
+        assert!(has_arith, "{}", m.to_text());
+        let mut ex = Executor::unhardened(&m);
+        ex.set_input(&[3]);
+        let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(out.ret, RtValue::Int(7));
+    }
+
+    #[test]
+    fn globals_and_output() {
+        let src = r#"
+            int counter;
+            int bump() { counter = counter + 1; return counter; }
+            int main() {
+                bump();
+                bump();
+                output(counter);
+                return counter * 21;
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn casts_between_pointer_types() {
+        let src = r#"
+            struct ctx { int tag; int (*cb)(int); };
+            int handler(int x) { return x; }
+            int main() {
+                struct ctx c;
+                int *raw;
+                c.tag = 42;
+                raw = (int*)&c;
+                return *raw;
+            }
+        "#;
+        assert_eq!(run_main(src), RtValue::Int(42));
+    }
+
+    #[test]
+    fn figure6_in_c_produces_pa_invariant() {
+        // The Lighttpd fragment, now as C source, through the full pipeline.
+        let src = r#"
+            struct plugin { int *data; int (*handle_uri)(int); int (*handle_req)(int); };
+            struct plugin mod_auth;
+            struct plugin mod_cgi;
+            int buff[16];
+            int *cursor;
+            int h1(int x) { return x; }
+            int h2(int x) { return x + 1; }
+            int main() {
+                int i;
+                int *s;
+                mod_auth.handle_uri = h1;
+                mod_cgi.handle_req = h2;
+                cursor = (int*)&mod_auth;
+                cursor = (int*)&mod_cgi;
+                cursor = &buff[0];
+                s = cursor;
+                i = input();
+                *(s + i) = 7;
+                return 0;
+            }
+        "#;
+        let m = compile(src, "fig6").unwrap();
+        assert!(verify_module(&m).is_empty());
+        let result = kaleidoscope::analyze(&m, kaleidoscope::PolicyConfig::all());
+        let pa = result
+            .invariants
+            .iter()
+            .filter(|i| matches!(i, kaleidoscope::LikelyInvariant::PtrArith { .. }))
+            .count();
+        assert_eq!(pa, 1, "{:?}", result.invariants);
+        // And the hardened program runs clean.
+        let h = kaleidoscope_cfi::harden(&m, kaleidoscope::PolicyConfig::all());
+        let mut ex = h.executor(&m);
+        ex.set_input(&[5]);
+        ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert!(ex.violations.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = compile("int main() { return x; }", "t").unwrap_err();
+        assert!(e.msg.contains("x"), "{e}");
+        let e = compile("int main() { int x = ; }", "t").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = compile("struct s { int a; };\nstruct s { int b; };", "t").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,567 @@
+//! Lowering from the C AST to the Kaleidoscope IR.
+//!
+//! Follows C semantics at the granularity the pointer analysis needs:
+//! every local variable is an `alloca` slot (so `&x` works), parameters are
+//! spilled on entry, arrays decay to element pointers, and `ptr + int`
+//! becomes the IR's arbitrary-arithmetic instruction.
+
+use std::collections::HashMap;
+
+use kaleidoscope_ir::{
+    BinOpKind, FuncId, FunctionBuilder, GlobalId, LocalId, Module, Operand, StructId, Type,
+};
+
+use crate::ast::*;
+use crate::CError;
+
+fn err(line: usize, msg: impl Into<String>) -> CError {
+    CError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Name-resolution context shared by all function bodies.
+struct Cx {
+    structs: HashMap<String, (StructId, Vec<(String, CType)>)>,
+    globals: HashMap<String, (GlobalId, CType)>,
+    funcs: HashMap<String, (FuncId, Vec<CType>, CType)>,
+}
+
+impl Cx {
+    fn ir_type(&self, ty: &CType, line: usize) -> Result<Type, CError> {
+        Ok(match ty {
+            CType::Int => Type::Int,
+            CType::Void => Type::Void,
+            CType::Ptr(inner) => match **inner {
+                CType::Void => Type::ptr(Type::Int), // void* ≈ int*
+                _ => Type::ptr(self.ir_type(inner, line)?),
+            },
+            CType::Struct(name) => {
+                let (sid, _) = self
+                    .structs
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown struct `{name}`")))?;
+                Type::Struct(*sid)
+            }
+            CType::Array(elem, n) => Type::array(self.ir_type(elem, line)?, *n),
+            CType::FnPtr(params, ret) => {
+                let ps = params
+                    .iter()
+                    .map(|p| self.ir_type(p, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Type::fn_ptr(ps, self.ir_type(ret, line)?)
+            }
+        })
+    }
+
+    fn field_index(&self, sname: &str, field: &str, line: usize) -> Result<(usize, CType), CError> {
+        let (_, fields) = self
+            .structs
+            .get(sname)
+            .ok_or_else(|| err(line, format!("unknown struct `{sname}`")))?;
+        fields
+            .iter()
+            .position(|(n, _)| n == field)
+            .map(|i| (i, fields[i].1.clone()))
+            .ok_or_else(|| err(line, format!("struct `{sname}` has no field `{field}`")))
+    }
+}
+
+/// Lower a parsed program into an IR module.
+pub fn lower(prog: &Program, module_name: &str) -> Result<Module, CError> {
+    let mut module = Module::new(module_name);
+    let mut cx = Cx {
+        structs: HashMap::new(),
+        globals: HashMap::new(),
+        funcs: HashMap::new(),
+    };
+
+    // Structs first (two passes for forward references between structs).
+    for s in &prog.structs {
+        let id = module
+            .types
+            .declare(s.name.clone(), Vec::new())
+            .ok_or_else(|| err(s.line, format!("duplicate struct `{}`", s.name)))?;
+        cx.structs
+            .insert(s.name.clone(), (id, s.fields.clone()));
+    }
+    for s in &prog.structs {
+        let fields = s
+            .fields
+            .iter()
+            .map(|(_, t)| cx.ir_type(t, s.line))
+            .collect::<Result<Vec<_>, _>>()?;
+        let (id, _) = cx.structs[&s.name];
+        module.types.define_fields(id, fields);
+    }
+
+    // Globals.
+    for g in &prog.globals {
+        let ty = cx.ir_type(&g.ty, g.line)?;
+        let id = module
+            .add_global(g.name.clone(), ty)
+            .ok_or_else(|| err(g.line, format!("duplicate global `{}`", g.name)))?;
+        cx.globals.insert(g.name.clone(), (id, g.ty.clone()));
+    }
+
+    // Function signatures (forward references).
+    for f in &prog.funcs {
+        let params = f
+            .params
+            .iter()
+            .map(|(_, t)| cx.ir_type(t, f.line))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ret = cx.ir_type(&f.ret, f.line)?;
+        let id = module
+            .declare_func(f.name.clone(), params, ret)
+            .ok_or_else(|| err(f.line, format!("duplicate function `{}`", f.name)))?;
+        cx.funcs.insert(
+            f.name.clone(),
+            (
+                id,
+                f.params.iter().map(|(_, t)| t.clone()).collect(),
+                f.ret.clone(),
+            ),
+        );
+    }
+
+    // Bodies.
+    for f in &prog.funcs {
+        lower_func(&mut module, &cx, f)?;
+    }
+    Ok(module)
+}
+
+/// Per-function lowering state. Generated temporaries reuse short
+/// diagnostic names (IR local names need not be unique).
+struct Fx<'m, 'cx> {
+    b: FunctionBuilder<'m>,
+    cx: &'cx Cx,
+    /// name → (address local of the variable's slot, C type).
+    vars: HashMap<String, (LocalId, CType)>,
+    /// Whether the current block already has a terminator.
+    terminated: bool,
+}
+
+fn lower_func(module: &mut Module, cx: &Cx, f: &FuncDef) -> Result<(), CError> {
+    let (fid, _, _) = cx.funcs[&f.name];
+    let b = FunctionBuilder::for_declared(module, fid);
+    let mut fx = Fx {
+        b,
+        cx,
+        vars: HashMap::new(),
+        terminated: false,
+    };
+    // Spill parameters into addressable slots (C semantics).
+    for (i, (pname, pty)) in f.params.iter().enumerate() {
+        let ir_ty = cx.ir_type(pty, f.line)?;
+        let slot = fx.b.alloca(&format!("{pname}_slot"), ir_ty);
+        let pv = fx.b.param(i);
+        fx.b.store(slot, pv);
+        fx.vars.insert(pname.clone(), (slot, pty.clone()));
+    }
+    lower_stmts(&mut fx, &f.body)?;
+    if !fx.terminated {
+        if f.ret == CType::Void {
+            fx.b.ret(None);
+        } else {
+            // Falling off a non-void function returns 0, like the lenient
+            // C compilers the evaluation subjects were built with.
+            fx.b.ret(Some(Operand::ConstInt(0)));
+        }
+    }
+    fx.b.finish();
+    Ok(())
+}
+
+fn lower_stmts(fx: &mut Fx<'_, '_>, stmts: &[Stmt]) -> Result<(), CError> {
+    for s in stmts {
+        if fx.terminated {
+            // Dead code after return: lower into a fresh unreachable block
+            // to keep the builder happy and the IR well-formed.
+            let dead = fx.b.new_block();
+            fx.b.switch_to(dead);
+            fx.terminated = false;
+        }
+        lower_stmt(fx, s)?;
+    }
+    Ok(())
+}
+
+fn lower_stmt(fx: &mut Fx<'_, '_>, s: &Stmt) -> Result<(), CError> {
+    match s {
+        Stmt::Decl {
+            name,
+            ty,
+            init,
+            line,
+        } => {
+            if fx.vars.contains_key(name) {
+                return Err(err(*line, format!("duplicate local `{name}`")));
+            }
+            let ir_ty = fx.cx.ir_type(ty, *line)?;
+            let slot = fx.b.alloca(name, ir_ty);
+            fx.vars.insert(name.clone(), (slot, ty.clone()));
+            if let Some(e) = init {
+                let (v, _) = rvalue(fx, e)?;
+                fx.b.store(slot, v);
+            }
+        }
+        Stmt::Assign { lhs, rhs } => {
+            let (addr, _) = lvalue(fx, lhs)?;
+            let (v, _) = rvalue(fx, rhs)?;
+            fx.b.store(addr, v);
+        }
+        Stmt::If { cond, then, els } => {
+            let (c, _) = rvalue(fx, cond)?;
+            let then_bb = fx.b.new_block();
+            let else_bb = fx.b.new_block();
+            let join = fx.b.new_block();
+            fx.b.branch(c, then_bb, else_bb);
+            fx.b.switch_to(then_bb);
+            fx.terminated = false;
+            lower_stmts(fx, then)?;
+            if !fx.terminated {
+                fx.b.jump(join);
+            }
+            fx.b.switch_to(else_bb);
+            fx.terminated = false;
+            lower_stmts(fx, els)?;
+            if !fx.terminated {
+                fx.b.jump(join);
+            }
+            fx.b.switch_to(join);
+            fx.terminated = false;
+        }
+        Stmt::While { cond, body } => {
+            let head = fx.b.new_block();
+            let body_bb = fx.b.new_block();
+            let done = fx.b.new_block();
+            fx.b.jump(head);
+            fx.b.switch_to(head);
+            let (c, _) = rvalue(fx, cond)?;
+            fx.b.branch(c, body_bb, done);
+            fx.b.switch_to(body_bb);
+            fx.terminated = false;
+            lower_stmts(fx, body)?;
+            if !fx.terminated {
+                fx.b.jump(head);
+            }
+            fx.b.switch_to(done);
+            fx.terminated = false;
+        }
+        Stmt::Return(e, _line) => {
+            let v = match e {
+                Some(e) => Some(rvalue(fx, e)?.0),
+                None => None,
+            };
+            fx.b.ret(v);
+            fx.terminated = true;
+        }
+        Stmt::Output(e) => {
+            let (v, _) = rvalue(fx, e)?;
+            fx.b.output(v);
+        }
+        Stmt::Expr(e) => {
+            let _ = rvalue_or_void(fx, e)?;
+        }
+    }
+    Ok(())
+}
+
+/// Compute an expression for its value (errors on `void` calls).
+fn rvalue(fx: &mut Fx<'_, '_>, e: &Expr) -> Result<(Operand, CType), CError> {
+    rvalue_or_void(fx, e)?.ok_or_else(|| err(e.line, "void value used in expression"))
+}
+
+/// Like [`rvalue`] but tolerates `void` call results (statement position).
+fn rvalue_or_void(fx: &mut Fx<'_, '_>, e: &Expr) -> Result<Option<(Operand, CType)>, CError> {
+    let line = e.line;
+    let some = |v, t| Ok(Some((v, t)));
+    match &e.kind {
+        ExprKind::Num(v) => some(Operand::ConstInt(*v), CType::Int),
+        ExprKind::Null => some(Operand::Null, CType::ptr(CType::Int)),
+        ExprKind::Input => {
+            let d = fx.b.input("in");
+            some(d.into(), CType::Int)
+        }
+        ExprKind::Malloc(ty) => match ty {
+            Some(t) => {
+                let ir = fx.cx.ir_type(t, line)?;
+                let d = fx.b.heap_alloc("h", ir);
+                some(d.into(), CType::ptr(t.clone()))
+            }
+            None => {
+                let d = fx.b.heap_alloc_untyped("h");
+                some(d.into(), CType::ptr(CType::Int))
+            }
+        },
+        ExprKind::Var(name) => {
+            if let Some((slot, ty)) = fx.vars.get(name).cloned() {
+                // Arrays decay to a pointer to their first element.
+                if let CType::Array(elem, _) = &ty {
+                    let d = fx.b.elem_addr("dec", slot, 0i64);
+                    return some(d.into(), CType::Ptr(elem.clone()));
+                }
+                let d = fx.b.load("v", slot);
+                return some(d.into(), ty);
+            }
+            if let Some((gid, ty)) = fx.cx.globals.get(name).cloned() {
+                if let CType::Array(elem, _) = &ty {
+                    let d = fx.b.elem_addr("dec", Operand::Global(gid), 0i64);
+                    return some(d.into(), CType::Ptr(elem.clone()));
+                }
+                let d = fx.b.load("v", Operand::Global(gid));
+                return some(d.into(), ty);
+            }
+            if let Some((fid, params, ret)) = fx.cx.funcs.get(name).cloned() {
+                return some(
+                    Operand::Func(fid),
+                    CType::FnPtr(params, Box::new(ret)),
+                );
+            }
+            Err(err(line, format!("unknown identifier `{name}`")))
+        }
+        ExprKind::Unary(UnOp::Deref, inner) => {
+            let (p, ty) = rvalue(fx, inner)?;
+            let pointee = match ty {
+                CType::Ptr(t) => *t,
+                other => return Err(err(line, format!("cannot deref non-pointer {other:?}"))),
+            };
+            let d = fx.b.load("d", p);
+            some(d.into(), pointee)
+        }
+        ExprKind::Unary(UnOp::AddrOf, inner) => {
+            let (addr, ty) = lvalue(fx, inner)?;
+            some(addr, CType::ptr(ty))
+        }
+        ExprKind::Unary(UnOp::Neg, inner) => {
+            let (v, _) = rvalue(fx, inner)?;
+            let d = fx.b.binop("neg", BinOpKind::Sub, 0i64, v);
+            some(d.into(), CType::Int)
+        }
+        ExprKind::Unary(UnOp::Not, inner) => {
+            let (v, _) = rvalue(fx, inner)?;
+            let d = fx.b.binop("not", BinOpKind::Eq, v, 0i64);
+            some(d.into(), CType::Int)
+        }
+        ExprKind::Bin(op, l, r) => {
+            let (lv, lt) = rvalue(fx, l)?;
+            let (rv, rt) = rvalue(fx, r)?;
+            // Pointer arithmetic: ptr ± int (or int + ptr).
+            if matches!(op, BinOp::Add | BinOp::Sub) {
+                if lt.is_ptr() && rt == CType::Int {
+                    let off = if *op == BinOp::Sub {
+                        fx.b.binop("negoff", BinOpKind::Sub, 0i64, rv)
+                            .into()
+                    } else {
+                        rv
+                    };
+                    let d = fx.b.ptr_arith("pa", lv, off);
+                    return some(d.into(), lt);
+                }
+                if rt.is_ptr() && lt == CType::Int && *op == BinOp::Add {
+                    let d = fx.b.ptr_arith("pa", rv, lv);
+                    return some(d.into(), rt);
+                }
+            }
+            let truthy = |fx: &mut Fx<'_, '_>, v: Operand| -> Operand {
+                let z = fx.b.binop("z", BinOpKind::Eq, v, 0i64);
+                fx.b.binop("t", BinOpKind::Eq, z, 0i64).into()
+            };
+            let d: Operand = match op {
+                BinOp::Add => fx.b.binop("b", BinOpKind::Add, lv, rv).into(),
+                BinOp::Sub => fx.b.binop("b", BinOpKind::Sub, lv, rv).into(),
+                BinOp::Mul => fx.b.binop("b", BinOpKind::Mul, lv, rv).into(),
+                BinOp::Div => fx.b.binop("b", BinOpKind::Div, lv, rv).into(),
+                BinOp::Rem => fx.b.binop("b", BinOpKind::Rem, lv, rv).into(),
+                BinOp::Eq => fx.b.binop("b", BinOpKind::Eq, lv, rv).into(),
+                BinOp::Ne => {
+                    let eq = fx.b.binop("b", BinOpKind::Eq, lv, rv);
+                    fx.b.binop("b", BinOpKind::Eq, eq, 0i64).into()
+                }
+                BinOp::Lt => fx.b.binop("b", BinOpKind::Lt, lv, rv).into(),
+                BinOp::Gt => fx.b.binop("b", BinOpKind::Lt, rv, lv).into(),
+                BinOp::Le => {
+                    let gt = fx.b.binop("b", BinOpKind::Lt, rv, lv);
+                    fx.b.binop("b", BinOpKind::Eq, gt, 0i64).into()
+                }
+                BinOp::Ge => {
+                    let lt = fx.b.binop("b", BinOpKind::Lt, lv, rv);
+                    fx.b.binop("b", BinOpKind::Eq, lt, 0i64).into()
+                }
+                BinOp::And => {
+                    let a = truthy(fx, lv);
+                    let b2 = truthy(fx, rv);
+                    fx.b.binop("b", BinOpKind::And, a, b2).into()
+                }
+                BinOp::Or => {
+                    let a = truthy(fx, lv);
+                    let b2 = truthy(fx, rv);
+                    fx.b.binop("b", BinOpKind::Or, a, b2).into()
+                }
+            };
+            some(d, CType::Int)
+        }
+        ExprKind::Field(..) | ExprKind::Index(..) => {
+            let (addr, ty) = lvalue(fx, e)?;
+            if let CType::Array(elem, _) = &ty {
+                // Accessing an array member decays to its first element.
+                let d = fx.b.elem_addr("dec", addr, 0i64);
+                return some(d.into(), CType::Ptr(elem.clone()));
+            }
+            let d = fx.b.load("m", addr);
+            some(d.into(), ty)
+        }
+        ExprKind::Call(callee, args) => {
+            let mut argv = Vec::new();
+            for a in args {
+                argv.push(rvalue(fx, a)?.0);
+            }
+            // Direct call when the callee names a function.
+            if let ExprKind::Var(name) = &callee.kind {
+                if !fx.vars.contains_key(name) && !fx.cx.globals.contains_key(name) {
+                    let (fid, params, ret) = fx
+                        .cx
+                        .funcs
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| err(line, format!("unknown function `{name}`")))?;
+                    if params.len() != argv.len() {
+                        return Err(err(
+                            line,
+                            format!(
+                                "`{name}` expects {} argument(s), got {}",
+                                params.len(),
+                                argv.len()
+                            ),
+                        ));
+                    }
+                    let dst = fx.b.call("call", fid, argv);
+                    return Ok(dst.map(|d| (d.into(), ret)));
+                }
+            }
+            // Indirect call through a function-pointer value.
+            let (fp, fpty) = rvalue(fx, callee)?;
+            let CType::FnPtr(params, ret) = fpty else {
+                return Err(err(line, "call through a non-function value"));
+            };
+            if params.len() != argv.len() {
+                return Err(err(line, "indirect call arity mismatch"));
+            }
+            let ret_ir = fx.cx.ir_type(&ret, line)?;
+            let dst = fx.b.call_ind("icall", fp, argv, ret_ir);
+            Ok(dst.map(|d| (d.into(), (*ret).clone())))
+        }
+        ExprKind::Cast(ty, inner) => {
+            let (v, _) = rvalue(fx, inner)?;
+            let ir = fx.cx.ir_type(ty, line)?;
+            let d = fx.b.copy_typed("cast", v, ir);
+            some(d.into(), ty.clone())
+        }
+    }
+}
+
+/// Compute the *address* of an lvalue expression.
+fn lvalue(fx: &mut Fx<'_, '_>, e: &Expr) -> Result<(Operand, CType), CError> {
+    let line = e.line;
+    match &e.kind {
+        ExprKind::Var(name) => {
+            if let Some((slot, ty)) = fx.vars.get(name).cloned() {
+                return Ok((slot.into(), ty));
+            }
+            if let Some((gid, ty)) = fx.cx.globals.get(name).cloned() {
+                return Ok((Operand::Global(gid), ty));
+            }
+            Err(err(line, format!("`{name}` is not an lvalue")))
+        }
+        ExprKind::Unary(UnOp::Deref, inner) => {
+            let (p, ty) = rvalue(fx, inner)?;
+            match ty {
+                CType::Ptr(t) => Ok((p, *t)),
+                other => Err(err(line, format!("cannot deref non-pointer {other:?}"))),
+            }
+        }
+        ExprKind::Field(base, fname, arrow) => {
+            let (base_addr, sname) = if *arrow {
+                let (p, ty) = rvalue(fx, base)?;
+                match ty {
+                    CType::Ptr(inner) => match *inner {
+                        CType::Struct(s) => (p, s),
+                        other => {
+                            return Err(err(line, format!("`->` on non-struct ptr {other:?}")))
+                        }
+                    },
+                    other => return Err(err(line, format!("`->` on non-pointer {other:?}"))),
+                }
+            } else {
+                let (addr, ty) = lvalue(fx, base)?;
+                match ty {
+                    CType::Struct(s) => (addr, s),
+                    other => return Err(err(line, format!("`.` on non-struct {other:?}"))),
+                }
+            };
+            let (idx, fty) = fx.cx.field_index(&sname, fname, line)?;
+            let d = fx.b.field_addr("f", base_addr, idx);
+            Ok((d.into(), fty))
+        }
+        ExprKind::Index(base, idx) => {
+            let (p, ty) = rvalue(fx, base)?; // arrays decay here
+            let elem = match ty {
+                CType::Ptr(t) => *t,
+                other => return Err(err(line, format!("indexing non-pointer {other:?}"))),
+            };
+            let (iv, _) = rvalue(fx, idx)?;
+            let d = fx.b.elem_addr("e", p, iv);
+            Ok((d.into(), elem))
+        }
+        _ => Err(err(line, "expression is not an lvalue")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn lower_src(src: &str) -> Result<Module, CError> {
+        let toks = lexer::lex(src)?;
+        let prog = parser::parse(&toks)?;
+        lower(&prog, "t")
+    }
+
+    #[test]
+    fn unknown_struct_field_reported() {
+        let e = lower_src(
+            "struct s { int a; };\nint main() { struct s x; x.b = 1; return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("no field `b`"), "{e}");
+    }
+
+    #[test]
+    fn deref_of_int_reported() {
+        let e = lower_src("int main() { int x; return *x; }").unwrap_err();
+        assert!(e.msg.contains("non-pointer"), "{e}");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let e = lower_src("int f(int a) { return a; }\nint main() { return f(); }")
+            .unwrap_err();
+        assert!(e.msg.contains("expects 1"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_local_reported() {
+        let e = lower_src("int main() { int x; int x; return 0; }").unwrap_err();
+        assert!(e.msg.contains("duplicate local"), "{e}");
+    }
+
+    #[test]
+    fn void_in_expression_reported() {
+        let e = lower_src("void f() { return; }\nint main() { return f(); }").unwrap_err();
+        assert!(e.msg.contains("void value"), "{e}");
+    }
+}

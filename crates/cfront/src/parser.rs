@@ -1,0 +1,656 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::*;
+use crate::lexer::Token;
+use crate::CError;
+
+struct P<'a> {
+    toks: &'a [(Token, usize)],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(1)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CError {
+        CError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Result<Token, CError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {other:?}")))
+            }
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+}
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(toks: &[(Token, usize)]) -> Result<Program, CError> {
+    let mut p = P { toks, pos: 0 };
+    let mut prog = Program::default();
+    while p.peek().is_some() {
+        if p.peek_kw("struct") && is_struct_def(&p) {
+            prog.structs.push(parse_struct(&mut p, &prog)?);
+            continue;
+        }
+        let line = p.line();
+        let base = parse_base_type(&mut p)?;
+        let (name, ty, is_func) = parse_declarator(&mut p, base)?;
+        if is_func || p.peek() == Some(&Token::Punct("(")) {
+            prog.funcs
+                .push(parse_func_def(&mut p, name, ty, line)?);
+        } else {
+            p.expect_punct(";")?;
+            if prog.globals.iter().any(|g| g.name == name) {
+                return Err(CError {
+                    line,
+                    msg: format!("duplicate global `{name}`"),
+                });
+            }
+            prog.globals.push(GlobalDef { name, ty, line });
+        }
+    }
+    Ok(prog)
+}
+
+/// `struct name {` starts a definition; `struct name ident` is a decl.
+fn is_struct_def(p: &P<'_>) -> bool {
+    matches!(p.peek2(), Some(Token::Ident(_)))
+        && matches!(p.toks.get(p.pos + 2), Some((Token::Punct("{"), _)))
+}
+
+fn parse_struct(p: &mut P<'_>, prog: &Program) -> Result<StructDef, CError> {
+    let line = p.line();
+    p.next()?; // struct
+    let name = p.ident()?;
+    if prog.structs.iter().any(|s| s.name == name) {
+        return Err(CError {
+            line,
+            msg: format!("duplicate struct `{name}`"),
+        });
+    }
+    p.expect_punct("{")?;
+    let mut fields = Vec::new();
+    while !p.eat_punct("}") {
+        let base = parse_base_type(p)?;
+        let (fname, fty, is_func) = parse_declarator(p, base)?;
+        if is_func {
+            return Err(p.err("function definitions not allowed in structs"));
+        }
+        p.expect_punct(";")?;
+        fields.push((fname, fty));
+    }
+    p.expect_punct(";")?;
+    Ok(StructDef { name, fields, line })
+}
+
+fn parse_func_def(
+    p: &mut P<'_>,
+    name: String,
+    ret: CType,
+    line: usize,
+) -> Result<FuncDef, CError> {
+    p.expect_punct("(")?;
+    let mut params = Vec::new();
+    if !p.eat_punct(")") {
+        loop {
+            if p.eat_kw("void") && p.peek() == Some(&Token::Punct(")")) {
+                p.next()?;
+                break;
+            }
+            let base = parse_base_type(p)?;
+            let (pname, pty, is_func) = parse_declarator(p, base)?;
+            if is_func {
+                return Err(p.err("bad parameter"));
+            }
+            // Array parameters decay to pointers, as in C.
+            let pty = match pty {
+                CType::Array(e, _) => CType::Ptr(e),
+                t => t,
+            };
+            params.push((pname, pty));
+            if p.eat_punct(")") {
+                break;
+            }
+            p.expect_punct(",")?;
+        }
+    }
+    let body = parse_block(p)?;
+    Ok(FuncDef {
+        name,
+        params,
+        ret,
+        body,
+        line,
+    })
+}
+
+fn parse_base_type(p: &mut P<'_>) -> Result<CType, CError> {
+    if p.eat_kw("int") {
+        Ok(CType::Int)
+    } else if p.eat_kw("void") {
+        Ok(CType::Void)
+    } else if p.eat_kw("struct") {
+        let name = p.ident()?;
+        Ok(CType::Struct(name))
+    } else {
+        Err(p.err("expected a type"))
+    }
+}
+
+/// Parse a declarator after a base type: stars, a name (or `(*name)(..)`
+/// for function pointers), and an optional array suffix. Returns
+/// `(name, type, started_function_def)` — the last is always false here;
+/// functions are recognized by the caller via a following `(`.
+fn parse_declarator(p: &mut P<'_>, mut base: CType) -> Result<(String, CType, bool), CError> {
+    while p.eat_punct("*") {
+        base = CType::ptr(base);
+    }
+    if p.peek() == Some(&Token::Punct("(")) && p.peek2() == Some(&Token::Punct("*")) {
+        // Function pointer: ret (*name)(param-types)
+        p.next()?; // (
+        p.next()?; // *
+        let name = p.ident()?;
+        p.expect_punct(")")?;
+        p.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !p.eat_punct(")") {
+            loop {
+                if p.eat_kw("void") && p.peek() == Some(&Token::Punct(")")) {
+                    p.next()?;
+                    break;
+                }
+                let pb = parse_base_type(p)?;
+                let mut pt = pb;
+                while p.eat_punct("*") {
+                    pt = CType::ptr(pt);
+                }
+                params.push(pt);
+                if p.eat_punct(")") {
+                    break;
+                }
+                p.expect_punct(",")?;
+            }
+        }
+        return Ok((name, CType::FnPtr(params, Box::new(base)), false));
+    }
+    let name = p.ident()?;
+    if p.eat_punct("[") {
+        let n = match p.next()? {
+            Token::Num(v) if v >= 0 => v as usize,
+            _ => return Err(p.err("expected array length")),
+        };
+        p.expect_punct("]")?;
+        base = CType::Array(Box::new(base), n);
+    }
+    Ok((name, base, false))
+}
+
+fn parse_block(p: &mut P<'_>) -> Result<Vec<Stmt>, CError> {
+    p.expect_punct("{")?;
+    let mut stmts = Vec::new();
+    while !p.eat_punct("}") {
+        stmts.push(parse_stmt(p)?);
+    }
+    Ok(stmts)
+}
+
+fn starts_decl(p: &P<'_>) -> bool {
+    match p.peek() {
+        Some(Token::Ident(s)) if s == "int" || s == "void" => true,
+        Some(Token::Ident(s)) if s == "struct" => {
+            // `struct name ident/star` is a declaration.
+            matches!(p.peek2(), Some(Token::Ident(_)))
+        }
+        _ => false,
+    }
+}
+
+fn parse_stmt(p: &mut P<'_>) -> Result<Stmt, CError> {
+    let line = p.line();
+    if p.eat_kw("return") {
+        if p.eat_punct(";") {
+            return Ok(Stmt::Return(None, line));
+        }
+        let e = parse_expr(p)?;
+        p.expect_punct(";")?;
+        return Ok(Stmt::Return(Some(e), line));
+    }
+    if p.eat_kw("if") {
+        p.expect_punct("(")?;
+        let cond = parse_expr(p)?;
+        p.expect_punct(")")?;
+        let then = parse_block(p)?;
+        let els = if p.eat_kw("else") {
+            parse_block(p)?
+        } else {
+            Vec::new()
+        };
+        return Ok(Stmt::If { cond, then, els });
+    }
+    if p.eat_kw("while") {
+        p.expect_punct("(")?;
+        let cond = parse_expr(p)?;
+        p.expect_punct(")")?;
+        let body = parse_block(p)?;
+        return Ok(Stmt::While { cond, body });
+    }
+    if p.peek_kw("output") && p.peek2() == Some(&Token::Punct("(")) {
+        p.next()?;
+        p.next()?;
+        let e = parse_expr(p)?;
+        p.expect_punct(")")?;
+        p.expect_punct(";")?;
+        return Ok(Stmt::Output(e));
+    }
+    if starts_decl(p) {
+        let base = parse_base_type(p)?;
+        let (name, ty, _) = parse_declarator(p, base)?;
+        let init = if p.eat_punct("=") {
+            Some(parse_expr(p)?)
+        } else {
+            None
+        };
+        p.expect_punct(";")?;
+        return Ok(Stmt::Decl {
+            name,
+            ty,
+            init,
+            line,
+        });
+    }
+    // Expression or assignment.
+    let e = parse_expr(p)?;
+    if p.eat_punct("=") {
+        let rhs = parse_expr(p)?;
+        p.expect_punct(";")?;
+        return Ok(Stmt::Assign { lhs: e, rhs });
+    }
+    p.expect_punct(";")?;
+    Ok(Stmt::Expr(e))
+}
+
+fn parse_expr(p: &mut P<'_>) -> Result<Expr, CError> {
+    parse_or(p)
+}
+
+fn bin(line: usize, op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr {
+        line,
+        kind: ExprKind::Bin(op, Box::new(l), Box::new(r)),
+    }
+}
+
+fn parse_or(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_and(p)?;
+    while p.eat_punct("||") {
+        let r = parse_and(p)?;
+        e = bin(e.line, BinOp::Or, e, r);
+    }
+    Ok(e)
+}
+
+fn parse_and(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_eq(p)?;
+    while p.eat_punct("&&") {
+        let r = parse_eq(p)?;
+        e = bin(e.line, BinOp::And, e, r);
+    }
+    Ok(e)
+}
+
+fn parse_eq(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_rel(p)?;
+    loop {
+        if p.eat_punct("==") {
+            let r = parse_rel(p)?;
+            e = bin(e.line, BinOp::Eq, e, r);
+        } else if p.eat_punct("!=") {
+            let r = parse_rel(p)?;
+            e = bin(e.line, BinOp::Ne, e, r);
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+fn parse_rel(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_add(p)?;
+    loop {
+        let op = if p.eat_punct("<") {
+            BinOp::Lt
+        } else if p.eat_punct(">") {
+            BinOp::Gt
+        } else if p.eat_punct("<=") {
+            BinOp::Le
+        } else if p.eat_punct(">=") {
+            BinOp::Ge
+        } else {
+            return Ok(e);
+        };
+        let r = parse_add(p)?;
+        e = bin(e.line, op, e, r);
+    }
+}
+
+fn parse_add(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_mul(p)?;
+    loop {
+        if p.eat_punct("+") {
+            let r = parse_mul(p)?;
+            e = bin(e.line, BinOp::Add, e, r);
+        } else if p.eat_punct("-") {
+            let r = parse_mul(p)?;
+            e = bin(e.line, BinOp::Sub, e, r);
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+fn parse_mul(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_unary(p)?;
+    loop {
+        if p.eat_punct("*") {
+            let r = parse_unary(p)?;
+            e = bin(e.line, BinOp::Mul, e, r);
+        } else if p.eat_punct("/") {
+            let r = parse_unary(p)?;
+            e = bin(e.line, BinOp::Div, e, r);
+        } else if p.eat_punct("%") {
+            let r = parse_unary(p)?;
+            e = bin(e.line, BinOp::Rem, e, r);
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+/// Whether the parenthesized tokens at the cursor form a cast `(type)`.
+fn is_cast(p: &P<'_>) -> bool {
+    if p.peek() != Some(&Token::Punct("(")) {
+        return false;
+    }
+    match p.peek2() {
+        Some(Token::Ident(s)) if s == "int" || s == "void" || s == "struct" => true,
+        _ => false,
+    }
+}
+
+fn parse_unary(p: &mut P<'_>) -> Result<Expr, CError> {
+    let line = p.line();
+    let un = |op, e: Expr| Expr {
+        line,
+        kind: ExprKind::Unary(op, Box::new(e)),
+    };
+    if p.eat_punct("*") {
+        return Ok(un(UnOp::Deref, parse_unary(p)?));
+    }
+    if p.eat_punct("&") {
+        return Ok(un(UnOp::AddrOf, parse_unary(p)?));
+    }
+    if p.eat_punct("-") {
+        return Ok(un(UnOp::Neg, parse_unary(p)?));
+    }
+    if p.eat_punct("!") {
+        return Ok(un(UnOp::Not, parse_unary(p)?));
+    }
+    if is_cast(p) {
+        p.next()?; // (
+        let base = parse_base_type(p)?;
+        let mut ty = base;
+        while p.eat_punct("*") {
+            ty = CType::ptr(ty);
+        }
+        p.expect_punct(")")?;
+        let inner = parse_unary(p)?;
+        return Ok(Expr {
+            line,
+            kind: ExprKind::Cast(ty, Box::new(inner)),
+        });
+    }
+    parse_postfix(p)
+}
+
+fn parse_postfix(p: &mut P<'_>) -> Result<Expr, CError> {
+    let mut e = parse_primary(p)?;
+    loop {
+        let line = p.line();
+        if p.eat_punct("(") {
+            let mut args = Vec::new();
+            if !p.eat_punct(")") {
+                loop {
+                    args.push(parse_expr(p)?);
+                    if p.eat_punct(")") {
+                        break;
+                    }
+                    p.expect_punct(",")?;
+                }
+            }
+            e = Expr {
+                line,
+                kind: ExprKind::Call(Box::new(e), args),
+            };
+        } else if p.eat_punct("[") {
+            let idx = parse_expr(p)?;
+            p.expect_punct("]")?;
+            e = Expr {
+                line,
+                kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+            };
+        } else if p.eat_punct(".") {
+            let f = p.ident()?;
+            e = Expr {
+                line,
+                kind: ExprKind::Field(Box::new(e), f, false),
+            };
+        } else if p.eat_punct("->") {
+            let f = p.ident()?;
+            e = Expr {
+                line,
+                kind: ExprKind::Field(Box::new(e), f, true),
+            };
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+fn parse_primary(p: &mut P<'_>) -> Result<Expr, CError> {
+    let line = p.line();
+    match p.next()? {
+        Token::Num(v) => Ok(Expr {
+            line,
+            kind: ExprKind::Num(v),
+        }),
+        Token::Ident(s) if s == "NULL" => Ok(Expr {
+            line,
+            kind: ExprKind::Null,
+        }),
+        Token::Ident(s) if s == "input" => {
+            p.expect_punct("(")?;
+            p.expect_punct(")")?;
+            Ok(Expr {
+                line,
+                kind: ExprKind::Input,
+            })
+        }
+        Token::Ident(s) if s == "malloc" => {
+            p.expect_punct("(")?;
+            if p.eat_kw("sizeof") {
+                p.expect_punct("(")?;
+                let base = parse_base_type(p)?;
+                let mut ty = base;
+                while p.eat_punct("*") {
+                    ty = CType::ptr(ty);
+                }
+                p.expect_punct(")")?;
+                p.expect_punct(")")?;
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Malloc(Some(ty)),
+                })
+            } else {
+                let _size = parse_expr(p)?;
+                p.expect_punct(")")?;
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Malloc(None),
+                })
+            }
+        }
+        Token::Ident(s) => Ok(Expr {
+            line,
+            kind: ExprKind::Var(s),
+        }),
+        Token::Punct("(") => {
+            let e = parse_expr(p)?;
+            p.expect_punct(")")?;
+            Ok(e)
+        }
+        other => {
+            p.pos -= 1;
+            Err(p.err(format!("expected expression, found {other:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn struct_global_function() {
+        let prog = parse_src(
+            "struct s { int a; int *b; };\nstruct s g;\nint f(int x) { return x; }",
+        );
+        assert_eq!(prog.structs.len(), 1);
+        assert_eq!(prog.structs[0].fields.len(), 2);
+        assert_eq!(prog.globals.len(), 1);
+        assert_eq!(prog.funcs.len(), 1);
+    }
+
+    #[test]
+    fn fn_ptr_declarators() {
+        let prog = parse_src("int main() { int (*f)(int, int*); return 0; }");
+        match &prog.funcs[0].body[0] {
+            Stmt::Decl { ty, .. } => {
+                assert!(matches!(ty, CType::FnPtr(params, _) if params.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let prog = parse_src("int main() { return 1 + 2 * 3 == 7; }");
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => {
+                assert!(matches!(&e.kind, ExprKind::Bin(BinOp::Eq, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let prog = parse_src("int main(struct s *p) { return p->a[1].b; }");
+        let _ = prog;
+    }
+
+    #[test]
+    fn cast_vs_parenthesized_expr() {
+        let prog = parse_src("int main(int x) { return (x) + (int)x; }");
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => {
+                let ExprKind::Bin(BinOp::Add, l, r) = &e.kind else {
+                    panic!()
+                };
+                assert!(matches!(l.kind, ExprKind::Var(_)));
+                assert!(matches!(r.kind, ExprKind::Cast(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_params_decay() {
+        let prog = parse_src("int f(int a[8]) { return a[0]; }");
+        assert!(matches!(prog.funcs[0].params[0].1, CType::Ptr(_)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let toks = lex("int main() { return ; ; }").unwrap();
+        assert!(parse(&toks).is_err());
+        let toks = lex("int main() { if x { } }").unwrap();
+        assert!(parse(&toks).is_err());
+        let toks = lex("struct s { int a; };\nstruct s { int b; };").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

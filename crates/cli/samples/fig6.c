@@ -1,0 +1,31 @@
+/* Figure 6 of the paper, as C source: http_write_header's arbitrary
+ * pointer arithmetic over a cursor statically polluted with the plugin
+ * structs. At runtime the cursor only ever holds the buffer. */
+struct plugin {
+    int *data;
+    int (*handle_uri)(int);
+    int (*handle_request)(int);
+};
+
+struct plugin mod_auth;
+struct plugin mod_cgi;
+int buff[16];
+int *cursor;
+
+int h_uri(int x) { return x; }
+int h_req(int x) { return x + 1; }
+
+int main() {
+    int i;
+    int *s;
+    mod_auth.handle_uri = h_uri;
+    mod_cgi.handle_request = h_req;
+    cursor = (int*)&mod_auth;
+    cursor = (int*)&mod_cgi;
+    cursor = &buff[0];
+    s = cursor;
+    i = input();
+    *(s + i) = 7;
+    output(*(s + i));
+    return 0;
+}

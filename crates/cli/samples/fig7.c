@@ -1,0 +1,26 @@
+/* Figure 7 of the paper: heap imprecision at png_malloc creates a
+ * positive weight cycle in the constraint graph that never forms at
+ * runtime (the two calls return distinct objects). */
+struct compression_state {
+    int *f1;
+    int *f2;
+};
+
+struct compression_state *png_malloc() {
+    struct compression_state *p;
+    p = malloc(sizeof(struct compression_state));
+    return p;
+}
+
+int main() {
+    struct compression_state **s1;
+    struct compression_state *s2;
+    int **q;
+    struct compression_state init;
+    s1 = (struct compression_state**)png_malloc();
+    q = (int**)png_malloc();
+    *s1 = &init;
+    s2 = *s1;
+    *q = (int*)&s2->f2;
+    return 0;
+}

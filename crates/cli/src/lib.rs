@@ -1,0 +1,418 @@
+//! Command implementations for the `kaleidoscope` CLI.
+//!
+//! Each command is a pure function from parsed arguments to a rendered
+//! report string, so the test suite can drive them without spawning
+//! processes. The binary in `main.rs` is a thin argument dispatcher.
+//!
+//! Programs are given either as textual-IR files (conventionally `.kir`,
+//! the format printed by `Module::to_text`) or as built-in application
+//! models via `--model <Name>`.
+
+use std::fmt::Write as _;
+
+use kaleidoscope::{analyze, IntrospectionConfig, Introspector, PolicyConfig};
+use kaleidoscope_cfi::harden;
+use kaleidoscope_debloat::DebloatPlan;
+use kaleidoscope_ir::{parse_module, verify_module, Module};
+use kaleidoscope_pta::{Analysis, PtsStats, SolveOptions};
+use kaleidoscope_runtime::ViewKind;
+
+/// CLI-level error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// How the program to analyze is specified.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A textual-IR file path.
+    File(String),
+    /// A built-in application model name (Table 2).
+    Model(String),
+}
+
+/// Load a module from a source.
+pub fn load(source: &Source) -> Result<Module, CliError> {
+    match source {
+        Source::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "module".into());
+            let module = if path.ends_with(".c") {
+                kaleidoscope_cfront::compile(&text, &stem)
+                    .map_err(|e| err(format!("in `{path}`: {e}")))?
+            } else {
+                parse_module(&text).map_err(|e| err(format!("parse error in `{path}`: {e}")))?
+            };
+            let problems = verify_module(&module);
+            if !problems.is_empty() {
+                return Err(err(format!(
+                    "`{path}` failed verification: {}",
+                    problems
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )));
+            }
+            Ok(module)
+        }
+        Source::Model(name) => kaleidoscope_apps::model(name)
+            .map(|m| m.module)
+            .ok_or_else(|| {
+                err(format!(
+                    "unknown model `{name}` (known: {})",
+                    kaleidoscope_apps::APP_NAMES.join(", ")
+                ))
+            }),
+    }
+}
+
+/// Parse a configuration name (`baseline`, `ctx`, `pa`, `pwc`, combinations
+/// joined by `-`, or `all`/`kaleidoscope`).
+pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
+    let lower = name.to_ascii_lowercase();
+    match lower.as_str() {
+        "baseline" | "none" => return Ok(PolicyConfig::none()),
+        "all" | "kaleidoscope" | "full" => return Ok(PolicyConfig::all()),
+        _ => {}
+    }
+    let mut c = PolicyConfig::none();
+    for part in lower.split('-') {
+        match part {
+            "kd" => {}
+            "ctx" => c.ctx = true,
+            "pa" => c.pa = true,
+            "pwc" => c.pwc = true,
+            other => return Err(err(format!("unknown policy `{other}` in `{name}`"))),
+        }
+    }
+    Ok(c)
+}
+
+/// `kaleidoscope analyze` — run the IGO pipeline, print invariants and
+/// points-to statistics for one configuration (or all eight).
+pub fn cmd_analyze(source: &Source, config: Option<&str>) -> Result<String, CliError> {
+    let module = load(source)?;
+    let mut out = String::new();
+    let configs: Vec<PolicyConfig> = match config {
+        Some(c) => vec![parse_config(c)?],
+        None => PolicyConfig::table3_order().to_vec(),
+    };
+    let _ = writeln!(
+        out,
+        "module `{}`: {} functions, {} instructions",
+        module.name,
+        module.funcs.len(),
+        module.inst_count()
+    );
+    let _ = writeln!(
+        out,
+        "{:<13} {:>8} {:>8} {:>8} {:>11}",
+        "config", "avg-pts", "max-pts", "pointers", "invariants"
+    );
+    for c in configs {
+        let r = analyze(&module, c);
+        let stats = PtsStats::collect(&r.optimistic, &module);
+        let _ = writeln!(
+            out,
+            "{:<13} {:>8.2} {:>8} {:>8} {:>11}",
+            c.name(),
+            stats.avg,
+            stats.max,
+            stats.count,
+            r.invariants.len()
+        );
+        for inv in &r.invariants {
+            let _ = writeln!(out, "    {inv}");
+        }
+    }
+    Ok(out)
+}
+
+/// `kaleidoscope cfi` — print the per-callsite target sets of both views.
+pub fn cmd_cfi(source: &Source, config: Option<&str>) -> Result<String, CliError> {
+    let module = load(source)?;
+    let c = config.map(parse_config).transpose()?.unwrap_or(PolicyConfig::all());
+    let h = harden(&module, c);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CFI policy under {} — avg targets: optimistic {:.2}, fallback {:.2}",
+        c.name(),
+        h.policy.avg_targets(ViewKind::Optimistic),
+        h.policy.avg_targets(ViewKind::Fallback)
+    );
+    for site in h.policy.sites() {
+        let opt = h.policy.targets(site, ViewKind::Optimistic);
+        let fall = h.policy.targets(site, ViewKind::Fallback);
+        let names = |ts: &[kaleidoscope_ir::FuncId]| {
+            ts.iter()
+                .map(|f| module.func(*f).name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "  {site}");
+        let _ = writeln!(out, "    optimistic ({}): {}", opt.len(), names(opt));
+        let _ = writeln!(out, "    fallback   ({}): {}", fall.len(), names(fall));
+    }
+    Ok(out)
+}
+
+/// `kaleidoscope introspect` — run the baseline analysis under the §4.1
+/// introspection framework and print the alert report.
+pub fn cmd_introspect(
+    source: &Source,
+    growth: Option<usize>,
+    types: Option<usize>,
+) -> Result<String, CliError> {
+    let module = load(source)?;
+    let auto = IntrospectionConfig::for_module(&module);
+    let cfg = IntrospectionConfig {
+        growth_threshold: growth.unwrap_or(auto.growth_threshold),
+        type_threshold: types.unwrap_or(auto.type_threshold),
+    };
+    let mut intro = Introspector::new(cfg);
+    let analysis = Analysis::run_full(&module, &SolveOptions::baseline(), None, &mut intro);
+    let report = intro.into_report();
+    Ok(report.render(&module, &analysis.result.nodes))
+}
+
+/// `kaleidoscope run` — execute a function under the interpreter, with or
+/// without hardening.
+pub fn cmd_run(
+    source: &Source,
+    entry: &str,
+    input: &[u8],
+    hardened: bool,
+) -> Result<String, CliError> {
+    let module = load(source)?;
+    let entry_id = module
+        .func_by_name(entry)
+        .ok_or_else(|| err(format!("no function named `{entry}`")))?;
+    let mut out = String::new();
+    let outcome = if hardened {
+        let h = harden(&module, PolicyConfig::all());
+        let mut ex = h.executor(&module);
+        ex.set_input(input);
+        let o = ex.run(entry_id, vec![]).map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "hardened run: view={} violations={} monitor-checks={}",
+            ex.switcher.view(),
+            ex.violations.len(),
+            ex.monitor_checks()
+        );
+        o
+    } else {
+        let mut ex = kaleidoscope_runtime::Executor::unhardened(&module);
+        ex.set_input(input);
+        let o = ex.run(entry_id, vec![]).map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "run: outputs={} branch-coverage={:.1}%",
+            ex.output_count,
+            ex.coverage.branch_pct()
+        );
+        o
+    };
+    let _ = writeln!(out, "steps: {}", outcome.steps);
+    let _ = writeln!(out, "result: {}", outcome.ret);
+    Ok(out)
+}
+
+/// `kaleidoscope debloat` — print the per-view reachable sets.
+pub fn cmd_debloat(source: &Source, entry: &str) -> Result<String, CliError> {
+    let module = load(source)?;
+    let entry_id = module
+        .func_by_name(entry)
+        .ok_or_else(|| err(format!("no function named `{entry}`")))?;
+    let result = analyze(&module, PolicyConfig::all());
+    let plan = DebloatPlan::from_result(&module, &result, entry_id);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "debloating from `{entry}`: {} functions total",
+        plan.total_funcs
+    );
+    let _ = writeln!(
+        out,
+        "  optimistic view: {} reachable, {:.1}% debloated",
+        plan.optimistic.len(),
+        plan.debloated_pct(ViewKind::Optimistic)
+    );
+    let _ = writeln!(
+        out,
+        "  fallback view:   {} reachable, {:.1}% debloated",
+        plan.fallback.len(),
+        plan.debloated_pct(ViewKind::Fallback)
+    );
+    let extra = plan.extra_debloated();
+    let _ = writeln!(
+        out,
+        "  extra functions debloated by the optimistic view: {}",
+        extra.len()
+    );
+    for f in extra {
+        let _ = writeln!(out, "    {}", module.func(f).name);
+    }
+    Ok(out)
+}
+
+/// `kaleidoscope fmt` — parse and re-print a module (canonical form).
+pub fn cmd_fmt(source: &Source) -> Result<String, CliError> {
+    Ok(load(source)?.to_text())
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+kd — the Kaleidoscope invariant-guided optimistic pointer analysis CLI
+
+USAGE:
+    kd <COMMAND> (<file.kir> | <file.c> | --model <Name>) [OPTIONS]
+
+COMMANDS:
+    analyze      run the IGO pipeline (all 8 configs, or --config <name>)
+    cfi          print per-callsite CFI target sets for both memory views
+    introspect   run the imprecision-introspection framework (§4.1)
+    run          interpret a function: --entry <fn> --input <b,b,..> [--harden]
+    debloat      compute per-view reachable function sets: --entry <fn>
+    fmt          parse and pretty-print a module
+
+OPTIONS:
+    --model <Name>     use a built-in application model instead of a file
+    --config <name>    baseline | ctx | pa | pwc | ctx-pa | ... | all
+    --entry <fn>       entry function name (default: main)
+    --input <bytes>    comma-separated input bytes (default: empty)
+    --harden           run with CFI + monitors armed
+    --growth <n>       introspection growth threshold
+    --types <n>        introspection type-diversity threshold
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str) -> Source {
+        Source::File(format!(
+            "{}/samples/{name}",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+    }
+
+    #[test]
+    fn parse_config_names() {
+        assert_eq!(parse_config("baseline").unwrap(), PolicyConfig::none());
+        assert_eq!(parse_config("all").unwrap(), PolicyConfig::all());
+        assert_eq!(parse_config("Kaleidoscope").unwrap(), PolicyConfig::all());
+        let c = parse_config("kd-ctx-pa").unwrap();
+        assert!(c.ctx && c.pa && !c.pwc);
+        assert!(parse_config("bogus").is_err());
+    }
+
+    #[test]
+    fn analyze_sample_file() {
+        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None).unwrap();
+        assert!(out.contains("Baseline"));
+        assert!(out.contains("Kaleidoscope"));
+        assert!(out.contains("PA@"), "PA invariant listed:\n{out}");
+    }
+
+    #[test]
+    fn analyze_model() {
+        let out = cmd_analyze(&Source::Model("TinyDTLS".into()), Some("all")).unwrap();
+        assert!(out.contains("Kaleidoscope"));
+    }
+
+    #[test]
+    fn cfi_sample_file() {
+        let out = cmd_cfi(&sample("libevent_fig8.kir"), None).unwrap();
+        assert!(out.contains("optimistic"));
+        assert!(out.contains("fallback"));
+        assert!(out.contains("cb1"));
+    }
+
+    #[test]
+    fn run_sample_file() {
+        let out = cmd_run(&sample("libevent_fig8.kir"), "main", &[], true).unwrap();
+        assert!(out.contains("view=optimistic"), "{out}");
+        assert!(out.contains("violations=0"));
+    }
+
+    #[test]
+    fn introspect_sample_file() {
+        let out = cmd_introspect(&sample("lighttpd_fig6.kir"), Some(2), Some(2)).unwrap();
+        assert!(out.contains("introspection:"));
+    }
+
+    #[test]
+    fn debloat_model() {
+        let out = cmd_debloat(&Source::Model("Lighttpd".into()), "handle_request").unwrap();
+        assert!(out.contains("debloated"));
+    }
+
+    #[test]
+    fn fmt_roundtrips() {
+        let a = cmd_fmt(&sample("lighttpd_fig6.kir")).unwrap();
+        // Formatting the formatted output is a fixpoint.
+        let tmp = std::env::temp_dir().join("kaleidoscope_fmt_test.kir");
+        std::fs::write(&tmp, &a).unwrap();
+        let b = cmd_fmt(&Source::File(tmp.to_string_lossy().into_owned())).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(load(&Source::File("/no/such/file.kir".into())).is_err());
+        assert!(load(&Source::Model("Nginx".into())).is_err());
+        assert!(cmd_run(&sample("lighttpd_fig6.kir"), "nope", &[], false).is_err());
+    }
+}
+
+#[cfg(test)]
+mod c_tests {
+    use super::*;
+
+    fn sample_c(name: &str) -> Source {
+        Source::File(format!("{}/samples/{name}", env!("CARGO_MANIFEST_DIR")))
+    }
+
+    #[test]
+    fn analyze_c_source_end_to_end() {
+        let out = cmd_analyze(&sample_c("fig6.c"), None).unwrap();
+        assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
+    }
+
+    #[test]
+    fn run_c_source_hardened() {
+        let out = cmd_run(&sample_c("fig6.c"), "main", &[2], true).unwrap();
+        assert!(out.contains("violations=0"), "{out}");
+    }
+
+    #[test]
+    fn fig7_c_emits_pwc_invariant() {
+        let out = cmd_analyze(&sample_c("fig7.c"), Some("all")).unwrap();
+        assert!(out.contains("PWC"), "{out}");
+    }
+
+    #[test]
+    fn c_fmt_prints_ir() {
+        let out = cmd_fmt(&sample_c("fig6.c")).unwrap();
+        assert!(out.contains("module \"fig6\""));
+        assert!(out.contains("= arith"));
+    }
+}

@@ -1,0 +1,110 @@
+//! The `kaleidoscope` binary: a thin argument dispatcher over the command
+//! implementations in the library (see `lib.rs`).
+
+use std::process::ExitCode;
+
+use kaleidoscope_cli::{
+    cmd_analyze, cmd_cfi, cmd_debloat, cmd_fmt, cmd_introspect, cmd_run, CliError, Source, USAGE,
+};
+
+struct Args {
+    source: Option<Source>,
+    config: Option<String>,
+    entry: String,
+    input: Vec<u8>,
+    harden: bool,
+    growth: Option<usize>,
+    types: Option<usize>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
+    let cmd = argv
+        .next()
+        .ok_or_else(|| CliError("missing command; see --help".into()))?;
+    let mut args = Args {
+        source: None,
+        config: None,
+        entry: "main".into(),
+        input: Vec::new(),
+        harden: false,
+        growth: None,
+        types: None,
+    };
+    let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--model" => args.source = Some(Source::Model(need(&mut argv, "--model")?)),
+            "--config" => args.config = Some(need(&mut argv, "--config")?),
+            "--entry" => args.entry = need(&mut argv, "--entry")?,
+            "--harden" => args.harden = true,
+            "--input" => {
+                let raw = need(&mut argv, "--input")?;
+                args.input = raw
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u8>()
+                            .map_err(|_| CliError(format!("bad input byte `{s}`")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--growth" => {
+                args.growth = Some(
+                    need(&mut argv, "--growth")?
+                        .parse()
+                        .map_err(|_| CliError("--growth needs a number".into()))?,
+                )
+            }
+            "--types" => {
+                args.types = Some(
+                    need(&mut argv, "--types")?
+                        .parse()
+                        .map_err(|_| CliError("--types needs a number".into()))?,
+                )
+            }
+            other if !other.starts_with('-') && args.source.is_none() => {
+                args.source = Some(Source::File(other.to_string()));
+            }
+            other => return Err(CliError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
+    let source = args
+        .source
+        .as_ref()
+        .ok_or_else(|| CliError("no input: give a .kir file or --model <Name>".into()))?;
+    match cmd {
+        "analyze" => cmd_analyze(source, args.config.as_deref()),
+        "cfi" => cmd_cfi(source, args.config.as_deref()),
+        "introspect" => cmd_introspect(source, args.growth, args.types),
+        "run" => cmd_run(source, &args.entry, &args.input, args.harden),
+        "debloat" => cmd_debloat(source, &args.entry),
+        "fmt" => cmd_fmt(source),
+        other => Err(CliError(format!("unknown command `{other}`; see --help"))),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(argv.into_iter()).and_then(|(cmd, args)| dispatch(&cmd, &args)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Interprocedural heap-type inference (paper §6, "Heap Type Detection").
+//!
+//! The paper extracts the type passed to `sizeof` at heap-allocation
+//! callsites and uses "an interprocedural analysis to propagate the
+//! heap-type information" — covering the ubiquitous C pattern of typed
+//! allocation *wrappers* (`png_malloc`, `mbedtls_calloc`, ...) whose inner
+//! `malloc` carries no type. "If the type information for a heap allocation
+//! site cannot be determined, then the objects allocated at that callsite
+//! are never filtered, thus ensuring soundness."
+//!
+//! This module reproduces that propagation: an *untyped* `halloc` whose
+//! result is returned by its function gets the pointee type `T` when
+//! **every** direct callsite of that function immediately casts (or uses)
+//! the result as `T*` — consistently. Any disagreement, address-taken
+//! wrapper, or non-cast use leaves the site untyped (never filtered).
+
+use std::collections::HashMap;
+
+use kaleidoscope_ir::{FuncId, Inst, LocalId, Module, Operand, Terminator, Type};
+
+/// Result of the inference: how many sites were typed, per function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapTypeReport {
+    /// `(function, inferred pointee type)` for each retyped allocation.
+    pub typed: Vec<(FuncId, Type)>,
+    /// Untyped allocations left untyped (conflicts or unknown uses).
+    pub left_untyped: usize,
+}
+
+/// Run the inference, rewriting `HeapAlloc { ty: None }` instructions
+/// in-place where a consistent type is found. Returns a report.
+pub fn infer_heap_types(module: &mut Module) -> HeapTypeReport {
+    let mut report = HeapTypeReport::default();
+
+    // Step 1: find wrapper candidates — functions with exactly one untyped
+    // heap allocation whose result is (a copy-chain of) every return value.
+    let mut candidates: Vec<FuncId> = Vec::new();
+    for (fid, func) in module.iter_funcs() {
+        let mut untyped: Vec<LocalId> = Vec::new();
+        for (_, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Inst::HeapAlloc { dst, ty: None } = inst {
+                    untyped.push(*dst);
+                }
+            }
+        }
+        let [h] = untyped.as_slice() else {
+            report.left_untyped += untyped.len();
+            continue;
+        };
+        // Flow-insensitive copy map (single-def only).
+        let mut copy_of: HashMap<LocalId, LocalId> = HashMap::new();
+        let mut multi: Vec<LocalId> = Vec::new();
+        for (_, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Inst::Copy {
+                    dst,
+                    src: Operand::Local(src),
+                } = inst
+                {
+                    if copy_of.insert(*dst, *src).is_some() {
+                        multi.push(*dst);
+                    }
+                }
+            }
+        }
+        let chases_to_h = |mut l: LocalId| -> bool {
+            for _ in 0..8 {
+                if l == *h {
+                    return true;
+                }
+                if multi.contains(&l) {
+                    return false;
+                }
+                match copy_of.get(&l) {
+                    Some(&src) => l = src,
+                    None => return false,
+                }
+            }
+            false
+        };
+        let mut rets = 0usize;
+        let mut rets_from_h = 0usize;
+        for block in &func.blocks {
+            if let Terminator::Ret(Some(op)) = &block.term {
+                rets += 1;
+                if let Operand::Local(l) = op {
+                    if chases_to_h(*l) {
+                        rets_from_h += 1;
+                    }
+                }
+            }
+        }
+        if rets > 0 && rets == rets_from_h {
+            candidates.push(fid);
+        } else {
+            report.left_untyped += 1;
+        }
+    }
+
+    // Step 2: at every direct callsite of a candidate, see what pointee
+    // type the result is used as (via `copy_typed`-style re-declarations of
+    // the destination or an immediately following cast copy).
+    let address_taken = module.address_taken_funcs();
+    let mut votes: HashMap<FuncId, Option<Type>> = HashMap::new();
+    for (_fid, func) in module.iter_funcs() {
+        for (_, block) in func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                let Inst::Call {
+                    dst: Some(dst),
+                    callee,
+                    ..
+                } = inst
+                else {
+                    continue;
+                };
+                if !candidates.contains(callee) {
+                    continue;
+                }
+                // The observed use type: the destination local's declared
+                // pointee, or — when the very next instruction casts it —
+                // the cast's pointee.
+                let mut used_as = func.local_ty(*dst).pointee().cloned();
+                if let Some(Inst::Copy {
+                    dst: cast_dst,
+                    src: Operand::Local(src),
+                }) = block.insts.get(i + 1)
+                {
+                    if src == dst {
+                        used_as = func.local_ty(*cast_dst).pointee().cloned();
+                    }
+                }
+                let entry = votes.entry(*callee);
+                match entry {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(used_as);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if *o.get() != used_as {
+                            o.insert(None); // conflict → stay untyped
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 3: rewrite consistent, non-address-taken wrappers.
+    for fid in candidates {
+        if address_taken.contains(&fid) {
+            report.left_untyped += 1;
+            continue;
+        }
+        let inferred = votes.get(&fid).cloned().flatten();
+        let Some(ty) = inferred else {
+            report.left_untyped += 1;
+            continue;
+        };
+        if ty == Type::Int || ty == Type::Void {
+            // `int*` results carry no structure worth typing; keep untyped
+            // (equivalent precision, and never filterable either way).
+            report.left_untyped += 1;
+            continue;
+        }
+        let func = &mut module.funcs[fid.index()];
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                if let Inst::HeapAlloc { ty: t @ None, .. } = inst {
+                    *t = Some(ty.clone());
+                }
+            }
+        }
+        report.typed.push((fid, ty));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, PolicyConfig};
+    use kaleidoscope_ir::FunctionBuilder;
+
+    /// `xalloc()` returns untyped heap; both callers use it as `pair*`.
+    fn wrapper_module(conflicting: bool) -> Module {
+        let mut m = Module::new("wrap");
+        let pair = m
+            .types
+            .declare("pair", vec![Type::ptr(Type::Int), Type::ptr(Type::Int)])
+            .unwrap();
+        let xalloc = {
+            let mut b = FunctionBuilder::new(&mut m, "xalloc", vec![], Type::ptr(Type::Int));
+            let h = b.heap_alloc_untyped("h");
+            let c = b.copy("c", h);
+            b.ret(Some(c.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let p = b.call("p", xalloc, vec![]).unwrap();
+        let _pp = b.copy_typed("pp", p, Type::ptr(Type::Struct(pair)));
+        let q = b.call("q", xalloc, vec![]).unwrap();
+        if conflicting {
+            let _qq = b.copy_typed("qq", q, Type::ptr(Type::array(Type::Int, 4)));
+        } else {
+            let _qq = b.copy_typed("qq", q, Type::ptr(Type::Struct(pair)));
+        }
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn consistent_wrapper_gets_typed() {
+        let mut m = wrapper_module(false);
+        let report = infer_heap_types(&mut m);
+        assert_eq!(report.typed.len(), 1);
+        let (fid, ty) = &report.typed[0];
+        assert_eq!(m.func(*fid).name, "xalloc");
+        assert!(matches!(ty, Type::Struct(_)));
+        // The halloc instruction now carries the type.
+        let xalloc = m.func_by_name("xalloc").unwrap();
+        let has_typed = m.func(xalloc).blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, Inst::HeapAlloc { ty: Some(_), .. }))
+        });
+        assert!(has_typed);
+    }
+
+    #[test]
+    fn conflicting_uses_stay_untyped() {
+        let mut m = wrapper_module(true);
+        let report = infer_heap_types(&mut m);
+        assert!(report.typed.is_empty());
+        assert!(report.left_untyped >= 1);
+    }
+
+    #[test]
+    fn address_taken_wrappers_stay_untyped() {
+        let mut m = wrapper_module(false);
+        // Take the wrapper's address somewhere.
+        let xalloc = m.func_by_name("xalloc").unwrap();
+        let mut b = FunctionBuilder::new(&mut m, "extra", vec![], Type::Void);
+        let _fp = b.copy("fp", Operand::Func(xalloc));
+        b.ret(None);
+        b.finish();
+        let report = infer_heap_types(&mut m);
+        assert!(report.typed.is_empty());
+    }
+
+    #[test]
+    fn typed_heap_becomes_filterable_by_pa_invariant() {
+        // Before inference, the PA invariant cannot filter the wrapper's
+        // heap object (no type metadata, §6's soundness rule); after
+        // inference it can.
+        let build = |infer: bool| {
+            let mut m = wrapper_module(false);
+            if infer {
+                infer_heap_types(&mut m);
+            }
+            // Add the pollution + arithmetic pattern over the heap object.
+            let xalloc = m.func_by_name("xalloc").unwrap();
+            let mut b = FunctionBuilder::new(&mut m, "io", vec![], Type::Void);
+            let p = b.call("p", xalloc, vec![]).unwrap();
+            let buf = b.alloca("buf", Type::array(Type::Int, 4));
+            let cur = b.alloca("cur", Type::ptr(Type::Int));
+            b.store(cur, p);
+            let e = b.elem_addr("e", buf, 0i64);
+            b.store(cur, e);
+            let sv = b.load("sv", cur);
+            let i = b.input("i");
+            let w = b.ptr_arith("w", sv, i);
+            let _s = b.copy("s", w);
+            b.ret(None);
+            b.finish();
+            analyze(&m, PolicyConfig::all())
+        };
+        let without = build(false);
+        let with = build(true);
+        let pa_invs = |r: &crate::KaleidoscopeResult| {
+            r.invariants
+                .iter()
+                .filter(|i| matches!(i, crate::LikelyInvariant::PtrArith { .. }))
+                .count()
+        };
+        assert_eq!(pa_invs(&without), 0, "untyped heap is never filtered");
+        assert_eq!(pa_invs(&with), 1, "typed heap becomes filterable");
+    }
+
+    #[test]
+    fn int_pointee_not_worth_typing() {
+        let mut m = Module::new("intptr");
+        let xalloc = {
+            let mut b = FunctionBuilder::new(&mut m, "xalloc", vec![], Type::ptr(Type::Int));
+            let h = b.heap_alloc_untyped("h");
+            b.ret(Some(h.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let _p = b.call("p", xalloc, vec![]);
+        b.ret(None);
+        b.finish();
+        let report = infer_heap_types(&mut m);
+        assert!(report.typed.is_empty());
+    }
+
+    use kaleidoscope_ir::Operand;
+}

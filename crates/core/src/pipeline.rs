@@ -1,0 +1,341 @@
+//! The three-stage IGO pipeline (paper §3, Figure 4).
+//!
+//! ❶ Run the standard pointer analysis → the **fallback memory view**.
+//! ❷ Run it again with the selected likely invariants → the **optimistic
+//!   memory view**.
+//! ❸ Package the invariant descriptors for runtime monitoring.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kaleidoscope_ir::{InstLoc, Module};
+use kaleidoscope_pta::{Analysis, CriticalFlow, CtxPlan, ObjSite, SolveOptions};
+
+use crate::invariant::LikelyInvariant;
+use crate::policy::{detect_ctx_plan, direct_callsites};
+
+/// Which likely-invariant policies are enabled — the `Kd-*` configurations
+/// of Table 3 / Figures 10–13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolicyConfig {
+    /// Context-sensitivity likely invariant (§4.4).
+    pub ctx: bool,
+    /// Arbitrary-pointer-arithmetic likely invariant (§4.2).
+    pub pa: bool,
+    /// Positive-weight-cycle likely invariant (§4.3).
+    pub pwc: bool,
+}
+
+impl PolicyConfig {
+    /// No policies: the baseline analysis.
+    pub fn none() -> Self {
+        PolicyConfig {
+            ctx: false,
+            pa: false,
+            pwc: false,
+        }
+    }
+
+    /// All three policies: full Kaleidoscope.
+    pub fn all() -> Self {
+        PolicyConfig {
+            ctx: true,
+            pa: true,
+            pwc: true,
+        }
+    }
+
+    /// The paper's display name for this configuration (`Baseline`,
+    /// `Kd-Ctx`, …, `Kaleidoscope`).
+    pub fn name(&self) -> &'static str {
+        match (self.ctx, self.pa, self.pwc) {
+            (false, false, false) => "Baseline",
+            (true, false, false) => "Kd-Ctx",
+            (false, true, false) => "Kd-PA",
+            (false, false, true) => "Kd-PWC",
+            (true, true, false) => "Kd-Ctx-PA",
+            (true, false, true) => "Kd-Ctx-PWC",
+            (false, true, true) => "Kd-PA-PWC",
+            (true, true, true) => "Kaleidoscope",
+        }
+    }
+
+    /// All eight configurations in the column order of Table 3.
+    pub fn table3_order() -> [PolicyConfig; 8] {
+        let c = |ctx, pa, pwc| PolicyConfig { ctx, pa, pwc };
+        [
+            c(false, false, false),
+            c(true, false, false),
+            c(false, true, false),
+            c(false, false, true),
+            c(true, true, false),
+            c(true, false, true),
+            c(false, true, true),
+            c(true, true, true),
+        ]
+    }
+
+    /// Whether any policy is enabled.
+    pub fn any(&self) -> bool {
+        self.ctx || self.pa || self.pwc
+    }
+}
+
+impl fmt::Display for PolicyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The output of the IGO pipeline: both memory views plus the likely
+/// invariants connecting them.
+#[derive(Debug, Clone)]
+pub struct KaleidoscopeResult {
+    /// The configuration that produced this result.
+    pub config: PolicyConfig,
+    /// ❶ The conservative analysis (fallback memory view).
+    pub fallback: Analysis,
+    /// ❷ The optimistic analysis (optimistic memory view).
+    pub optimistic: Analysis,
+    /// ❸ The optimistic assumptions to monitor at runtime.
+    pub invariants: Vec<LikelyInvariant>,
+    /// The context plan used (empty when `config.ctx` is off).
+    pub ctx_plan: CtxPlan,
+}
+
+impl KaleidoscopeResult {
+    /// Number of invariants per policy tag, for reports.
+    pub fn invariant_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for inv in &self.invariants {
+            *m.entry(inv.policy()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Run the full IGO pipeline over a module with the given policies.
+///
+/// With [`PolicyConfig::none`], both views are the same baseline analysis
+/// and no invariants are produced.
+pub fn analyze(module: &Module, config: PolicyConfig) -> KaleidoscopeResult {
+    // ❶ Fallback view: the standard (conservative) analysis.
+    let fallback = Analysis::run(module, &SolveOptions::baseline());
+
+    // ❷ Optimistic view.
+    let ctx_plan = if config.ctx {
+        detect_ctx_plan(module)
+    } else {
+        CtxPlan::new()
+    };
+    let opts = SolveOptions::optimistic(config.pa, config.pwc);
+    let optimistic = Analysis::run_full(
+        module,
+        &opts,
+        if config.ctx { Some(&ctx_plan) } else { None },
+        &mut kaleidoscope_pta::NullObserver,
+    );
+
+    // ❸ Invariant descriptors.
+    let mut invariants = Vec::new();
+
+    // PA: group filter events by instruction.
+    let mut by_loc: BTreeMap<InstLoc, Vec<ObjSite>> = BTreeMap::new();
+    for ev in &optimistic.result.pa_filters {
+        let site = optimistic.result.nodes.obj_info(ev.obj).site;
+        by_loc.entry(ev.loc).or_default().push(site);
+    }
+    for (loc, mut sites) in by_loc {
+        sites.sort_unstable();
+        sites.dedup();
+        invariants.push(LikelyInvariant::PtrArith {
+            loc,
+            filtered_sites: sites,
+        });
+    }
+
+    // PWC: one invariant per deferred cycle (deduplicated by field set).
+    let mut seen_pwc: Vec<Vec<InstLoc>> = Vec::new();
+    for pwc in &optimistic.result.pwcs {
+        if pwc.field_locs.is_empty() || seen_pwc.contains(&pwc.field_locs) {
+            continue;
+        }
+        seen_pwc.push(pwc.field_locs.clone());
+        invariants.push(LikelyInvariant::Pwc {
+            field_locs: pwc.field_locs.clone(),
+        });
+    }
+
+    // Ctx: one invariant per critical flow.
+    if config.ctx && !ctx_plan.is_empty() {
+        let callsites = direct_callsites(module);
+        let mut funcs: Vec<_> = ctx_plan.funcs.iter().collect();
+        funcs.sort_by_key(|(f, _)| **f);
+        for (fid, plan) in funcs {
+            let sites = callsites.get(fid).cloned().unwrap_or_default();
+            for flow in &plan.flows {
+                match flow {
+                    CriticalFlow::Store {
+                        loc,
+                        base_param,
+                        src_param,
+                        ..
+                    } => invariants.push(LikelyInvariant::CtxStore {
+                        func: *fid,
+                        store_loc: *loc,
+                        base_param: *base_param,
+                        src_param: *src_param,
+                        callsites: sites.clone(),
+                    }),
+                    CriticalFlow::Ret { param } => invariants.push(LikelyInvariant::CtxRet {
+                        func: *fid,
+                        param: *param,
+                        callsites: sites.clone(),
+                    }),
+                }
+            }
+        }
+    }
+
+    KaleidoscopeResult {
+        config,
+        fallback,
+        optimistic,
+        invariants,
+        ctx_plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::{FunctionBuilder, LocalId, Type};
+    use kaleidoscope_pta::PtsStats;
+
+    /// The Figure 6 (Lighttpd) shape: arbitrary arithmetic on a char buffer
+    /// whose points-to set was polluted with struct plugins.
+    fn lighttpd_module() -> Module {
+        let mut m = Module::new("lighttpd");
+        let plugin = m
+            .types
+            .declare(
+                "plugin",
+                vec![
+                    Type::ptr(Type::Int),
+                    Type::fn_ptr(vec![], Type::Void),
+                    Type::fn_ptr(vec![], Type::Void),
+                ],
+            )
+            .unwrap();
+        let mut b = FunctionBuilder::new(&mut m, "http_write_header", vec![], Type::Void);
+        let buff = b.alloca("buff", Type::array(Type::Int, 16));
+        let mod_auth = b.alloca("mod_auth", Type::Struct(plugin));
+        let mod_cgi = b.alloca("mod_cgi", Type::Struct(plugin));
+        // Imprecision source: s may point to buff, mod_auth, or mod_cgi.
+        let s = b.alloca("s", Type::ptr(Type::Int));
+        let buffc = b.copy_typed("buffc", buff, Type::ptr(Type::Int));
+        b.store(s, buffc);
+        let mac = b.copy_typed("mac", mod_auth, Type::ptr(Type::Int));
+        b.store(s, mac);
+        let mcc = b.copy_typed("mcc", mod_cgi, Type::ptr(Type::Int));
+        b.store(s, mcc);
+        let sv = b.load("sv", s);
+        let i = b.input("i");
+        let w = b.ptr_arith("w", sv, i); // *(s+i)
+        b.store(w, 0i64);
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn all_config_produces_pa_invariants_on_lighttpd_shape() {
+        let m = lighttpd_module();
+        let r = analyze(&m, PolicyConfig::all());
+        let pa: Vec<_> = r
+            .invariants
+            .iter()
+            .filter(|i| matches!(i, LikelyInvariant::PtrArith { .. }))
+            .collect();
+        assert_eq!(pa.len(), 1, "one monitored arithmetic site");
+        if let LikelyInvariant::PtrArith { filtered_sites, .. } = pa[0] {
+            assert_eq!(filtered_sites.len(), 2, "mod_auth and mod_cgi filtered");
+        }
+    }
+
+    #[test]
+    fn optimistic_view_keeps_field_sensitivity() {
+        let m = lighttpd_module();
+        let base = analyze(&m, PolicyConfig::none());
+        let opt = analyze(&m, PolicyConfig::all());
+        let f = m.func_by_name("http_write_header").unwrap();
+        // `w` is local 9 (buff,mod_auth,mod_cgi,s,buffc,mac,mcc,sv,i,w).
+        let w = LocalId(9);
+        let base_w = base.optimistic.pts_of_local(f, w);
+        let opt_w = opt.optimistic.pts_of_local(f, w);
+        assert!(opt_w.len() < base_w.len(), "filtering shrank pts(w)");
+        assert_eq!(opt_w.len(), 1, "only the array remains");
+    }
+
+    #[test]
+    fn baseline_config_has_no_invariants_and_equal_views() {
+        let m = lighttpd_module();
+        let r = analyze(&m, PolicyConfig::none());
+        assert!(r.invariants.is_empty());
+        let s1 = PtsStats::collect(&r.fallback, &m);
+        let s2 = PtsStats::collect(&r.optimistic, &m);
+        assert_eq!(s1.sizes, s2.sizes);
+    }
+
+    #[test]
+    fn optimistic_subset_of_fallback_sitewise() {
+        let m = lighttpd_module();
+        let r = analyze(&m, PolicyConfig::all());
+        for (fid, f) in m.iter_funcs() {
+            for l in 0..f.locals.len() as u32 {
+                let opt = r.optimistic.pts_of_local(fid, LocalId(l));
+                let fall = r.fallback.pts_of_local(fid, LocalId(l));
+                let opt_sites = r.optimistic.sites_of(&opt);
+                let fall_sites = r.fallback.sites_of(&fall);
+                for s in opt_sites {
+                    assert!(
+                        fall_sites.contains(&s),
+                        "{}::{} optimistic site {s} not in fallback",
+                        f.name,
+                        f.locals[l as usize].name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_names_match_paper() {
+        let names: Vec<_> = PolicyConfig::table3_order()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "Baseline",
+                "Kd-Ctx",
+                "Kd-PA",
+                "Kd-PWC",
+                "Kd-Ctx-PA",
+                "Kd-Ctx-PWC",
+                "Kd-PA-PWC",
+                "Kaleidoscope"
+            ]
+        );
+    }
+
+    #[test]
+    fn invariant_counts_grouped_by_policy() {
+        let m = lighttpd_module();
+        let r = analyze(&m, PolicyConfig::all());
+        let counts = r.invariant_counts();
+        assert_eq!(counts.get("PA"), Some(&1));
+        assert_eq!(counts.get("Ctx"), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Coverage-guided fuzzing of hardened application models (paper §7.3).
+//!
+//! The paper validates the likely invariants by running AFL++ for 24 hours
+//! per application, reporting branch/monitor coverage and observing **zero**
+//! invariant violations (Table 5). This crate provides the equivalent for
+//! the interpreter substrate: a deterministic, coverage-guided mutation
+//! fuzzer that drives an application's request entry point, accumulates
+//! branch/monitor coverage, and counts invariant violations.
+
+pub mod mutate;
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_apps::AppModel;
+use kaleidoscope_cfi::harden;
+use kaleidoscope_runtime::{ExecError, Executor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fuzzing campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Number of executions (our stand-in for the paper's 24-hour budget).
+    pub iterations: usize,
+    /// RNG seed (campaigns are deterministic given the seed).
+    pub seed: u64,
+    /// Maximum input length.
+    pub max_len: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iterations: 2000,
+            seed: 0xf0cc,
+            max_len: 64,
+        }
+    }
+}
+
+/// Result of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Application name.
+    pub app: &'static str,
+    /// Total executions performed.
+    pub executions: usize,
+    /// Final corpus size (inputs that increased coverage).
+    pub corpus_size: usize,
+    /// Total branch edges in the module.
+    pub branch_total: usize,
+    /// Branch edges executed at least once.
+    pub branch_executed: usize,
+    /// Total monitor instrumentation points.
+    pub monitor_total: usize,
+    /// Monitor points executed at least once.
+    pub monitor_executed: usize,
+    /// Likely-invariant violations observed (expected: 0).
+    pub violations: usize,
+    /// CFI violations observed (expected: 0 — benign inputs only).
+    pub cfi_violations: usize,
+    /// Runs ending in other runtime errors (step limit etc.).
+    pub errors: usize,
+}
+
+impl FuzzReport {
+    /// Branch coverage percentage.
+    pub fn branch_pct(&self) -> f64 {
+        if self.branch_total == 0 {
+            0.0
+        } else {
+            100.0 * self.branch_executed as f64 / self.branch_total as f64
+        }
+    }
+
+    /// Monitor coverage percentage.
+    pub fn monitor_pct(&self) -> f64 {
+        if self.monitor_total == 0 {
+            0.0
+        } else {
+            100.0 * self.monitor_executed as f64 / self.monitor_total as f64
+        }
+    }
+}
+
+/// Run a coverage-guided fuzzing campaign over one application, hardened
+/// under `config`.
+///
+/// The executor persists across runs (server model): globals and coverage
+/// accumulate, exactly like the paper's long-running fuzz targets.
+pub fn fuzz_app(model: &AppModel, config: PolicyConfig, fcfg: &FuzzConfig) -> FuzzReport {
+    let hardened = harden(&model.module, config);
+    let mut ex = hardened.executor(&model.module);
+    let mut rng = StdRng::seed_from_u64(fcfg.seed);
+
+    let mut corpus: Vec<Vec<u8>> = model.fuzz_seeds.clone();
+    if corpus.is_empty() {
+        corpus.push(vec![0]);
+    }
+    let mut report = FuzzReport {
+        app: model.name,
+        executions: 0,
+        corpus_size: corpus.len(),
+        branch_total: 0,
+        branch_executed: 0,
+        monitor_total: 0,
+        monitor_executed: 0,
+        violations: 0,
+        cfi_violations: 0,
+        errors: 0,
+    };
+
+    // Seed pass: run every corpus entry once.
+    for i in 0..corpus.len() {
+        let input = corpus[i].clone();
+        run_one(&mut ex, model, &input, &mut report);
+    }
+
+    // Mutation passes.
+    for i in 0..fcfg.iterations {
+        let base = corpus[i % corpus.len()].clone();
+        let input = mutate::mutate(&base, &mut rng, fcfg.max_len);
+        let before = (
+            ex.coverage.branch_executed(),
+            ex.coverage.monitor_executed(),
+        );
+        run_one(&mut ex, model, &input, &mut report);
+        let after = (
+            ex.coverage.branch_executed(),
+            ex.coverage.monitor_executed(),
+        );
+        if after > before {
+            corpus.push(input);
+        }
+    }
+
+    report.corpus_size = corpus.len();
+    report.branch_total = ex.coverage.branch_total();
+    report.branch_executed = ex.coverage.branch_executed();
+    report.monitor_total = ex.coverage.monitor_total();
+    report.monitor_executed = ex.coverage.monitor_executed();
+    report
+}
+
+fn run_one(ex: &mut Executor<'_>, model: &AppModel, input: &[u8], report: &mut FuzzReport) {
+    ex.set_input(input);
+    report.executions += 1;
+    match ex.run(model.entry, vec![]) {
+        Ok(out) => {
+            report.violations += out.violations.len();
+        }
+        Err(ExecError::CfiViolation { .. }) => report.cfi_violations += 1,
+        Err(_) => report.errors += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign(app: &str) -> FuzzReport {
+        let model = kaleidoscope_apps::model(app).unwrap();
+        fuzz_app(
+            &model,
+            PolicyConfig::all(),
+            &FuzzConfig {
+                iterations: 150,
+                seed: 7,
+                max_len: 32,
+            },
+        )
+    }
+
+    #[test]
+    fn fuzzing_tinydtls_finds_no_violations() {
+        let r = small_campaign("TinyDTLS");
+        assert!(r.executions > 150);
+        assert_eq!(r.violations, 0, "likely invariants must hold");
+        assert_eq!(r.cfi_violations, 0);
+        assert_eq!(r.errors, 0, "models must not crash under fuzzing");
+        assert!(r.branch_executed > 0);
+        assert!(r.branch_pct() > 10.0, "got {:.1}%", r.branch_pct());
+    }
+
+    #[test]
+    fn fuzzing_exercises_monitors() {
+        let r = small_campaign("Wget");
+        assert!(r.monitor_total > 0, "Wget model has PA invariants");
+        assert!(
+            r.monitor_executed > 0,
+            "fuzzing should reach at least one monitor"
+        );
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let model = kaleidoscope_apps::model("TinyDTLS").unwrap();
+        let cfg = FuzzConfig {
+            iterations: 80,
+            seed: 99,
+            max_len: 24,
+        };
+        let a = fuzz_app(&model, PolicyConfig::all(), &cfg);
+        let b = fuzz_app(&model, PolicyConfig::all(), &cfg);
+        assert_eq!(a.branch_executed, b.branch_executed);
+        assert_eq!(a.monitor_executed, b.monitor_executed);
+        assert_eq!(a.corpus_size, b.corpus_size);
+    }
+
+    #[test]
+    fn coverage_grows_with_budget() {
+        let model = kaleidoscope_apps::model("Lighttpd").unwrap();
+        let small = fuzz_app(
+            &model,
+            PolicyConfig::all(),
+            &FuzzConfig {
+                iterations: 10,
+                seed: 5,
+                max_len: 16,
+            },
+        );
+        let large = fuzz_app(
+            &model,
+            PolicyConfig::all(),
+            &FuzzConfig {
+                iterations: 400,
+                seed: 5,
+                max_len: 16,
+            },
+        );
+        assert!(large.branch_executed >= small.branch_executed);
+    }
+}

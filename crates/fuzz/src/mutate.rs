@@ -1,0 +1,106 @@
+//! Input mutation operators (AFL-style havoc-lite).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Produce a mutated copy of `base`, at most `max_len` bytes long.
+///
+/// Operators: byte flip, byte randomize, insert, delete, duplicate-extend,
+/// and truncation — a small havoc set sufficient to explore the models'
+/// command/payload input space.
+pub fn mutate(base: &[u8], rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let mut out: Vec<u8> = base.to_vec();
+    if out.is_empty() {
+        out.push(rng.gen_range(0..32));
+    }
+    let ops = 1 + rng.gen_range(0..3);
+    for _ in 0..ops {
+        match rng.gen_range(0..6) {
+            0 => {
+                // Flip one bit.
+                let i = rng.gen_range(0..out.len());
+                let bit = rng.gen_range(0..8);
+                out[i] ^= 1 << bit;
+            }
+            1 => {
+                // Randomize one byte (small values: command bytes matter).
+                let i = rng.gen_range(0..out.len());
+                out[i] = rng.gen_range(0..32);
+            }
+            2 => {
+                // Insert a byte.
+                if out.len() < max_len {
+                    let i = rng.gen_range(0..=out.len());
+                    out.insert(i, rng.gen_range(0..32));
+                }
+            }
+            3 => {
+                // Delete a byte.
+                if out.len() > 1 {
+                    let i = rng.gen_range(0..out.len());
+                    out.remove(i);
+                }
+            }
+            4 => {
+                // Extend with a copy of a prefix.
+                let take = rng.gen_range(0..=out.len().min(8));
+                let extra: Vec<u8> = out[..take].to_vec();
+                for b in extra {
+                    if out.len() >= max_len {
+                        break;
+                    }
+                    out.push(b);
+                }
+            }
+            _ => {
+                // Truncate.
+                if out.len() > 2 {
+                    let keep = rng.gen_range(1..out.len());
+                    out.truncate(keep);
+                }
+            }
+        }
+    }
+    out.truncate(max_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_max_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let m = mutate(&[1, 2, 3, 4, 5, 6, 7, 8], &mut rng, 10);
+            assert!(m.len() <= 10);
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_input_becomes_nonempty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = mutate(&[], &mut rng, 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(mutate(&[9, 9, 9], &mut a, 16), mutate(&[9, 9, 9], &mut b, 16));
+        }
+    }
+
+    #[test]
+    fn eventually_changes_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = vec![5u8; 6];
+        let changed = (0..50).any(|_| mutate(&base, &mut rng, 16) != base);
+        assert!(changed);
+    }
+}

@@ -1,0 +1,152 @@
+//! Slot-based object layouts.
+//!
+//! Both the interpreter and the field-sensitive analysis need a common
+//! notion of *where a field lives* inside an object. We measure in abstract
+//! *slots*: an `int` or a pointer occupies one slot, a struct occupies the
+//! concatenation of its fields, and an array occupies `len` copies of its
+//! element. This mirrors how the paper's arbitrary pointer arithmetic
+//! (`*(p+i)`) can land on any slot of an object.
+
+use crate::types::{StructId, Type, TypeRegistry};
+
+/// Maximum number of slots in a single object layout.
+///
+/// Keeps pathological declared types (huge arrays) from exhausting memory in
+/// the interpreter; models stay far below this.
+pub const MAX_SLOTS: usize = 1 << 20;
+
+/// The computed layout of a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Total slot count of the type.
+    pub slots: usize,
+    /// For struct types: slot offset of each field. Empty otherwise.
+    pub field_offsets: Vec<usize>,
+}
+
+impl Layout {
+    /// Compute the layout of `ty` under `reg`.
+    ///
+    /// Recursive struct types are given a single slot at the recursion point
+    /// (they can only recur through pointers in well-formed programs, and
+    /// pointers are one slot anyway); layouts are clamped at [`MAX_SLOTS`].
+    pub fn of(ty: &Type, reg: &TypeRegistry) -> Layout {
+        let mut visiting = Vec::new();
+        let slots = size_of(ty, reg, &mut visiting);
+        let field_offsets = match ty {
+            Type::Struct(s) => {
+                let def = reg.def(*s);
+                let mut offs = Vec::with_capacity(def.fields.len());
+                let mut at = 0usize;
+                for f in &def.fields {
+                    offs.push(at);
+                    let mut v = Vec::new();
+                    at = (at + size_of(f, reg, &mut v)).min(MAX_SLOTS);
+                }
+                offs
+            }
+            _ => Vec::new(),
+        };
+        Layout {
+            slots,
+            field_offsets,
+        }
+    }
+
+    /// Slot offset of field `idx`, if this layout is a struct layout with
+    /// that many fields.
+    pub fn field_offset(&self, idx: usize) -> Option<usize> {
+        self.field_offsets.get(idx).copied()
+    }
+}
+
+fn size_of(ty: &Type, reg: &TypeRegistry, visiting: &mut Vec<StructId>) -> usize {
+    match ty {
+        Type::Void => 0,
+        Type::Int | Type::Ptr(_) | Type::Func(_) => 1,
+        Type::Array(elem, n) => {
+            let e = size_of(elem, reg, visiting);
+            e.saturating_mul(*n).min(MAX_SLOTS)
+        }
+        Type::Struct(s) => {
+            if visiting.contains(s) {
+                // A struct can only contain itself through a pointer in a
+                // well-formed program; treat direct recursion as one slot.
+                return 1;
+            }
+            visiting.push(*s);
+            let total: usize = reg
+                .def(*s)
+                .fields
+                .iter()
+                .map(|f| size_of(f, reg, visiting))
+                .sum();
+            visiting.pop();
+            total.min(MAX_SLOTS).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_layouts() {
+        let reg = TypeRegistry::new();
+        assert_eq!(Layout::of(&Type::Int, &reg).slots, 1);
+        assert_eq!(Layout::of(&Type::ptr(Type::Int), &reg).slots, 1);
+        assert_eq!(Layout::of(&Type::Void, &reg).slots, 0);
+    }
+
+    #[test]
+    fn struct_layout_offsets() {
+        let mut reg = TypeRegistry::new();
+        let inner = reg.declare("inner", vec![Type::Int, Type::Int]).unwrap();
+        let outer = reg
+            .declare(
+                "outer",
+                vec![Type::Int, Type::Struct(inner), Type::ptr(Type::Int)],
+            )
+            .unwrap();
+        let l = Layout::of(&Type::Struct(outer), &reg);
+        assert_eq!(l.slots, 4);
+        assert_eq!(l.field_offsets, vec![0, 1, 3]);
+        assert_eq!(l.field_offset(2), Some(3));
+        assert_eq!(l.field_offset(3), None);
+    }
+
+    #[test]
+    fn array_layout() {
+        let mut reg = TypeRegistry::new();
+        let s = reg.declare("pair", vec![Type::Int, Type::Int]).unwrap();
+        let l = Layout::of(&Type::array(Type::Struct(s), 5), &reg);
+        assert_eq!(l.slots, 10);
+        assert!(l.field_offsets.is_empty());
+    }
+
+    #[test]
+    fn recursive_struct_has_finite_layout() {
+        let mut reg = TypeRegistry::new();
+        // struct node { node* next; int v; } is fine (ptr = 1 slot).
+        let node = StructId(0);
+        reg.declare("node", vec![Type::ptr(Type::Struct(node)), Type::Int])
+            .unwrap();
+        let l = Layout::of(&Type::Struct(node), &reg);
+        assert_eq!(l.slots, 2);
+    }
+
+    #[test]
+    fn huge_array_clamped() {
+        let reg = TypeRegistry::new();
+        let l = Layout::of(&Type::array(Type::Int, usize::MAX / 2), &reg);
+        assert!(l.slots <= MAX_SLOTS);
+    }
+
+    #[test]
+    fn empty_struct_occupies_one_slot() {
+        let mut reg = TypeRegistry::new();
+        let s = reg.declare("empty", vec![]).unwrap();
+        assert_eq!(Layout::of(&Type::Struct(s), &reg).slots, 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Stable instruction locations.
+//!
+//! Monitors, CFI policies, and introspection provenance all need to refer to
+//! a specific instruction in a module. [`InstLoc`] is that reference: a
+//! `(function, block, instruction-index)` triple that is stable as long as
+//! the module is not mutated.
+
+use std::fmt;
+
+use crate::module::{BlockId, FuncId};
+
+/// A stable reference to one instruction in a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstLoc {
+    /// The containing function.
+    pub func: FuncId,
+    /// The containing block.
+    pub block: BlockId,
+    /// Index of the instruction within the block.
+    pub inst: u32,
+}
+
+impl InstLoc {
+    /// Create a location.
+    pub fn new(func: FuncId, block: BlockId, inst: u32) -> Self {
+        InstLoc { func, block, inst }
+    }
+}
+
+impl fmt::Display for InstLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:bb{}:{}", self.func.0, self.block.0, self.inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = InstLoc::new(FuncId(0), BlockId(0), 5);
+        let b = InstLoc::new(FuncId(0), BlockId(1), 0);
+        let c = InstLoc::new(FuncId(1), BlockId(0), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let loc = InstLoc::new(FuncId(3), BlockId(1), 7);
+        assert_eq!(loc.to_string(), "f3:bb1:7");
+    }
+}

@@ -1,0 +1,958 @@
+//! Parser for the textual IR form produced by [`Module::to_text`].
+//!
+//! The grammar is line-oriented and small; see the crate examples and the
+//! round-trip property test at the bottom of this module.
+
+use std::fmt;
+
+use crate::module::{
+    BinOpKind, Block, BlockId, FuncId, Function, Inst, LocalDecl, LocalId, Module, Operand,
+    Terminator,
+};
+use crate::types::{FuncSig, Type};
+
+/// Error produced when parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Local(u32),
+    At(String),
+    Dollar(String),
+    Int(i64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Star,
+    Arrow,
+    Eq,
+    Question,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Local(n) => write!(f, "%{n}"),
+            Tok::At(s) => write!(f, "@{s}"),
+            Tok::Dollar(s) => write!(f, "${s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Star => write!(f, "*"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Eq => write!(f, "="),
+            Tok::Question => write!(f, "?"),
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let err = |line: usize, msg: String| ParseError { line, msg };
+    while let Some(&(_, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&(_, c)) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('/') {
+                    while let Some(&(_, c)) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(err(line, "stray `/`".into()));
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, '\n')) | None => {
+                            return Err(err(line, "unterminated string".into()))
+                        }
+                        Some((_, c)) => s.push(c),
+                    }
+                }
+                toks.push((Tok::Str(s), line));
+            }
+            '%' => {
+                chars.next();
+                let mut n = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        n.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: u32 = n
+                    .parse()
+                    .map_err(|_| err(line, "bad local index after `%`".into()))?;
+                toks.push((Tok::Local(v), line));
+            }
+            '@' | '$' => {
+                let sigil = c;
+                chars.next();
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(err(line, format!("empty name after `{sigil}`")));
+                }
+                toks.push((
+                    if sigil == '@' {
+                        Tok::At(s)
+                    } else {
+                        Tok::Dollar(s)
+                    },
+                    line,
+                ));
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '>')) => {
+                        chars.next();
+                        toks.push((Tok::Arrow, line));
+                    }
+                    Some(&(_, c)) if c.is_ascii_digit() => {
+                        let mut n = String::from("-");
+                        while let Some(&(_, c)) = chars.peek() {
+                            if c.is_ascii_digit() {
+                                n.push(c);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        toks.push((
+                            Tok::Int(n.parse().map_err(|_| err(line, "bad integer".into()))?),
+                            line,
+                        ));
+                    }
+                    _ => return Err(err(line, "stray `-`".into())),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        n.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((
+                    Tok::Int(n.parse().map_err(|_| err(line, "bad integer".into()))?),
+                    line,
+                ));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(s), line));
+            }
+            _ => {
+                chars.next();
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '*' => Tok::Star,
+                    '=' => Tok::Eq,
+                    '?' => Tok::Question,
+                    ';' => Tok::Colon, // `[T; n]` separator reuses Colon slot
+                    other => return Err(err(line, format!("unexpected character `{other}`"))),
+                };
+                toks.push((tok, line));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [(Tok, usize)],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err(format!("expected {want}, found {got}")))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {other}")))
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match self.next()? {
+            Tok::Int(v) => Ok(v),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected integer, found {other}")))
+            }
+        }
+    }
+
+    fn parse_type(&mut self, m: &Module) -> Result<Type, ParseError> {
+        let mut base = match self.next()? {
+            Tok::Ident(s) => match s.as_str() {
+                "void" => Type::Void,
+                "int" => Type::Int,
+                "fn" => {
+                    self.expect(Tok::LParen)?;
+                    let mut params = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            params.push(self.parse_type(m)?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    self.expect(Tok::Arrow)?;
+                    let ret = self.parse_type(m)?;
+                    Type::Func(FuncSig::new(params, ret))
+                }
+                name => {
+                    let id = m
+                        .types
+                        .by_name(name)
+                        .ok_or_else(|| self.err(format!("unknown struct `{name}`")))?;
+                    Type::Struct(id)
+                }
+            },
+            Tok::LParen => {
+                let inner = self.parse_type(m)?;
+                self.expect(Tok::RParen)?;
+                inner
+            }
+            Tok::LBracket => {
+                let elem = self.parse_type(m)?;
+                self.expect(Tok::Colon)?; // `;` is lexed as Colon
+                let n = self.int()?;
+                self.expect(Tok::RBracket)?;
+                Type::array(elem, n.max(0) as usize)
+            }
+            other => {
+                self.pos -= 1;
+                return Err(self.err(format!("expected type, found {other}")));
+            }
+        };
+        while self.eat(&Tok::Star) {
+            base = Type::ptr(base);
+        }
+        Ok(base)
+    }
+
+    fn parse_operand(&mut self, m: &Module) -> Result<Operand, ParseError> {
+        match self.next()? {
+            Tok::Local(n) => Ok(Operand::Local(LocalId(n))),
+            Tok::Dollar(name) => m
+                .global_by_name(&name)
+                .map(Operand::Global)
+                .ok_or_else(|| self.err(format!("unknown global `{name}`"))),
+            Tok::At(name) => m
+                .func_by_name(&name)
+                .map(Operand::Func)
+                .ok_or_else(|| self.err(format!("unknown function `{name}`"))),
+            Tok::Int(v) => Ok(Operand::ConstInt(v)),
+            Tok::Ident(s) if s == "null" => Ok(Operand::Null),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected operand, found {other}")))
+            }
+        }
+    }
+
+    fn parse_args(&mut self, m: &Module) -> Result<Vec<Operand>, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.parse_operand(m)?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn block_label(&mut self) -> Result<u32, ParseError> {
+        let s = self.ident()?;
+        s.strip_prefix("bb")
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| self.err(format!("expected block label, found `{s}`")))
+    }
+}
+
+fn binop_kind(name: &str) -> Option<BinOpKind> {
+    Some(match name {
+        "add" => BinOpKind::Add,
+        "sub" => BinOpKind::Sub,
+        "mul" => BinOpKind::Mul,
+        "div" => BinOpKind::Div,
+        "rem" => BinOpKind::Rem,
+        "eq" => BinOpKind::Eq,
+        "lt" => BinOpKind::Lt,
+        "and" => BinOpKind::And,
+        "or" => BinOpKind::Or,
+        "xor" => BinOpKind::Xor,
+        _ => return None,
+    })
+}
+
+/// Parse a module from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax or resolution
+/// problem encountered.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+    };
+    // Header.
+    let kw = p.ident()?;
+    if kw != "module" {
+        return Err(p.err("expected `module`"));
+    }
+    let name = match p.next()? {
+        Tok::Str(s) => s,
+        _ => return Err(p.err("expected module name string")),
+    };
+    let mut m = Module::new(name);
+
+    // Pass 1: declare struct names, then parse items, deferring struct field
+    // types and function bodies until all names are known.
+    struct PendingStruct {
+        start: usize,
+    }
+    struct PendingFunc {
+        id: FuncId,
+        body_start: usize,
+        param_names: Vec<String>,
+    }
+    let mut pending_structs: Vec<PendingStruct> = Vec::new();
+    let mut pending_funcs: Vec<PendingFunc> = Vec::new();
+
+    while p.peek().is_some() {
+        let kw = p.ident()?;
+        match kw.as_str() {
+            "struct" => {
+                let sname = p.ident()?;
+                // `declare` is idempotent for identical definitions, and all
+                // placeholders are identical — reject duplicates by name.
+                if m.types.by_name(&sname).is_some() {
+                    return Err(p.err(format!("duplicate struct `{sname}`")));
+                }
+                m.types
+                    .declare(sname.clone(), Vec::new())
+                    .ok_or_else(|| p.err(format!("duplicate struct `{sname}`")))?;
+                p.expect(Tok::LBrace)?;
+                pending_structs.push(PendingStruct { start: p.pos });
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match p.next()? {
+                        Tok::LBrace => depth += 1,
+                        Tok::RBrace => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            "global" => {
+                let gname = p.ident()?;
+                p.expect(Tok::Colon)?;
+                match p.parse_type(&m) {
+                    Ok(ty) => {
+                        m.add_global(gname.clone(), ty)
+                            .ok_or_else(|| p.err(format!("duplicate global `{gname}`")))?;
+                    }
+                    Err(e) => {
+                        return Err(ParseError {
+                            line: e.line,
+                            msg: format!(
+                                "global `{gname}`: {} (note: structs must be \
+                                 declared before globals)",
+                                e.msg
+                            ),
+                        });
+                    }
+                }
+            }
+            "func" => {
+                let fname = p.ident()?;
+                p.expect(Tok::LParen)?;
+                let mut param_names = Vec::new();
+                let mut param_tys = Vec::new();
+                if !p.eat(&Tok::RParen) {
+                    loop {
+                        let idx = match p.next()? {
+                            Tok::Local(n) => n,
+                            _ => return Err(p.err("expected `%N` in parameter list")),
+                        };
+                        if idx as usize != param_names.len() {
+                            return Err(p.err("parameter indices must be sequential"));
+                        }
+                        let pname = p.ident()?;
+                        p.expect(Tok::Colon)?;
+                        let ty = p.parse_type(&m)?;
+                        param_names.push(pname);
+                        param_tys.push(ty);
+                        if p.eat(&Tok::RParen) {
+                            break;
+                        }
+                        p.expect(Tok::Comma)?;
+                    }
+                }
+                p.expect(Tok::Arrow)?;
+                let ret_ty = p.parse_type(&m)?;
+                let id = m
+                    .declare_func(fname.clone(), param_tys, ret_ty)
+                    .ok_or_else(|| p.err(format!("duplicate function `{fname}`")))?;
+                p.expect(Tok::LBrace)?;
+                pending_funcs.push(PendingFunc {
+                    id,
+                    body_start: p.pos,
+                    param_names,
+                });
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match p.next()? {
+                        Tok::LBrace => depth += 1,
+                        Tok::RBrace => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            other => return Err(p.err(format!("expected item, found `{other}`"))),
+        }
+    }
+
+    // Pass 2a: struct fields (all struct names are now registered).
+    for (i, ps) in pending_structs.iter().enumerate() {
+        let mut sp = Parser {
+            toks: &toks,
+            pos: ps.start,
+        };
+        let mut fields = Vec::new();
+        if !sp.eat(&Tok::RBrace) {
+            loop {
+                fields.push(sp.parse_type(&m)?);
+                if sp.eat(&Tok::RBrace) {
+                    break;
+                }
+                sp.expect(Tok::Comma)?;
+            }
+        }
+        m.types.define_fields(crate::types::StructId(i as u32), fields);
+    }
+
+    // Pass 2b: function bodies.
+    for pf in &pending_funcs {
+        let body = parse_body(&toks, pf.body_start, &m, pf.id, &pf.param_names)?;
+        m.replace_func(pf.id, body);
+    }
+    Ok(m)
+}
+
+fn parse_body(
+    toks: &[(Tok, usize)],
+    start: usize,
+    m: &Module,
+    id: FuncId,
+    param_names: &[String],
+) -> Result<Function, ParseError> {
+    let mut p = Parser { toks, pos: start };
+    let declared = m.func(id);
+    let mut locals: Vec<LocalDecl> = declared.locals[..declared.param_count]
+        .iter()
+        .zip(param_names)
+        .map(|(l, n)| LocalDecl {
+            name: n.clone(),
+            ty: l.ty.clone(),
+        })
+        .collect();
+    // Locals.
+    while let Some(Tok::Ident(s)) = p.peek() {
+        if s != "local" {
+            break;
+        }
+        p.next()?;
+        let idx = match p.next()? {
+            Tok::Local(n) => n,
+            _ => return Err(p.err("expected `%N` after `local`")),
+        };
+        if idx as usize != locals.len() {
+            return Err(p.err(format!(
+                "local index %{idx} out of order (expected %{})",
+                locals.len()
+            )));
+        }
+        let lname = p.ident()?;
+        p.expect(Tok::Colon)?;
+        let ty = p.parse_type(m)?;
+        locals.push(LocalDecl { name: lname, ty });
+    }
+    // Blocks.
+    let mut blocks: Vec<Block> = Vec::new();
+    loop {
+        if p.eat(&Tok::RBrace) {
+            break;
+        }
+        let label = p.block_label()?;
+        if label as usize != blocks.len() {
+            return Err(p.err(format!(
+                "block bb{label} out of order (expected bb{})",
+                blocks.len()
+            )));
+        }
+        p.expect(Tok::Colon)?;
+        let (insts, term) = parse_block(&mut p, m)?;
+        blocks.push(Block { insts, term });
+    }
+    if blocks.is_empty() {
+        blocks.push(Block {
+            insts: vec![],
+            term: Terminator::Ret(None),
+        });
+    }
+    Ok(Function {
+        name: declared.name.clone(),
+        param_count: declared.param_count,
+        ret_ty: declared.ret_ty.clone(),
+        locals,
+        blocks,
+    })
+}
+
+fn parse_block(p: &mut Parser<'_>, m: &Module) -> Result<(Vec<Inst>, Terminator), ParseError> {
+    let mut insts = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::Local(_)) => {
+                let dst = match p.next()? {
+                    Tok::Local(n) => LocalId(n),
+                    _ => unreachable!(),
+                };
+                p.expect(Tok::Eq)?;
+                let op = p.ident()?;
+                let inst = match op.as_str() {
+                    "alloca" => Inst::Alloca {
+                        dst,
+                        ty: p.parse_type(m)?,
+                    },
+                    "halloc" => {
+                        if p.eat(&Tok::Question) {
+                            Inst::HeapAlloc { dst, ty: None }
+                        } else {
+                            Inst::HeapAlloc {
+                                dst,
+                                ty: Some(p.parse_type(m)?),
+                            }
+                        }
+                    }
+                    "copy" => Inst::Copy {
+                        dst,
+                        src: p.parse_operand(m)?,
+                    },
+                    "load" => Inst::Load {
+                        dst,
+                        src: p.parse_operand(m)?,
+                    },
+                    "field" => {
+                        let base = p.parse_operand(m)?;
+                        p.expect(Tok::Comma)?;
+                        let f = p.int()?;
+                        Inst::FieldAddr {
+                            dst,
+                            base,
+                            field: f.max(0) as usize,
+                        }
+                    }
+                    "arith" => {
+                        let base = p.parse_operand(m)?;
+                        p.expect(Tok::Comma)?;
+                        let offset = p.parse_operand(m)?;
+                        Inst::PtrArith { dst, base, offset }
+                    }
+                    "elem" => {
+                        let base = p.parse_operand(m)?;
+                        p.expect(Tok::Comma)?;
+                        let index = p.parse_operand(m)?;
+                        Inst::ElemAddr { dst, base, index }
+                    }
+                    "call" => {
+                        let callee = match p.next()? {
+                            Tok::At(name) => m
+                                .func_by_name(&name)
+                                .ok_or_else(|| p.err(format!("unknown function `{name}`")))?,
+                            _ => return Err(p.err("expected `@name` after `call`")),
+                        };
+                        let args = p.parse_args(m)?;
+                        Inst::Call {
+                            dst: Some(dst),
+                            callee,
+                            args,
+                        }
+                    }
+                    "icall" => {
+                        let callee = p.parse_operand(m)?;
+                        let args = p.parse_args(m)?;
+                        Inst::CallInd {
+                            dst: Some(dst),
+                            callee,
+                            args,
+                        }
+                    }
+                    "input" => Inst::Input { dst },
+                    other => {
+                        if let Some(kind) = binop_kind(other) {
+                            let lhs = p.parse_operand(m)?;
+                            p.expect(Tok::Comma)?;
+                            let rhs = p.parse_operand(m)?;
+                            Inst::BinOp {
+                                dst,
+                                op: kind,
+                                lhs,
+                                rhs,
+                            }
+                        } else {
+                            return Err(p.err(format!("unknown instruction `{other}`")));
+                        }
+                    }
+                };
+                insts.push(inst);
+            }
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "store" => {
+                    p.next()?;
+                    let src = p.parse_operand(m)?;
+                    p.expect(Tok::Arrow)?;
+                    let dst = p.parse_operand(m)?;
+                    insts.push(Inst::Store { dst, src });
+                }
+                "output" => {
+                    p.next()?;
+                    let src = p.parse_operand(m)?;
+                    insts.push(Inst::Output { src });
+                }
+                "call" => {
+                    p.next()?;
+                    let callee = match p.next()? {
+                        Tok::At(name) => m
+                            .func_by_name(&name)
+                            .ok_or_else(|| p.err(format!("unknown function `{name}`")))?,
+                        _ => return Err(p.err("expected `@name` after `call`")),
+                    };
+                    let args = p.parse_args(m)?;
+                    insts.push(Inst::Call {
+                        dst: None,
+                        callee,
+                        args,
+                    });
+                }
+                "icall" => {
+                    p.next()?;
+                    let callee = p.parse_operand(m)?;
+                    let args = p.parse_args(m)?;
+                    insts.push(Inst::CallInd {
+                        dst: None,
+                        callee,
+                        args,
+                    });
+                }
+                "jmp" => {
+                    p.next()?;
+                    let bb = p.block_label()?;
+                    return Ok((insts, Terminator::Jump(BlockId(bb))));
+                }
+                "br" => {
+                    p.next()?;
+                    let cond = p.parse_operand(m)?;
+                    p.expect(Tok::Comma)?;
+                    let t = p.block_label()?;
+                    p.expect(Tok::Comma)?;
+                    let e = p.block_label()?;
+                    return Ok((
+                        insts,
+                        Terminator::Branch {
+                            cond,
+                            then_bb: BlockId(t),
+                            else_bb: BlockId(e),
+                        },
+                    ));
+                }
+                "ret" => {
+                    p.next()?;
+                    // `ret` may be followed by a value or by the next block
+                    // label / closing brace.
+                    let val = match p.peek() {
+                        Some(Tok::Local(_))
+                        | Some(Tok::Dollar(_))
+                        | Some(Tok::At(_))
+                        | Some(Tok::Int(_)) => Some(p.parse_operand(m)?),
+                        Some(Tok::Ident(s)) if s == "null" => Some(p.parse_operand(m)?),
+                        _ => None,
+                    };
+                    return Ok((insts, Terminator::Ret(val)));
+                }
+                other => return Err(p.err(format!("unexpected `{other}` in block"))),
+            },
+            other => {
+                return Err(p.err(format!(
+                    "unexpected {} in block",
+                    other.map(|t| t.to_string()).unwrap_or("end".into())
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::BinOpKind;
+
+    #[test]
+    fn parse_minimal_module() {
+        let m = parse_module("module \"m\"").unwrap();
+        assert_eq!(m.name, "m");
+        assert!(m.funcs.is_empty());
+    }
+
+    #[test]
+    fn parse_struct_global_func() {
+        let src = r#"
+module "demo"
+struct plugin { int, (fn() -> void)* }
+global mod_auth: plugin
+func f(%0 x: int) -> int {
+  local %1 y: int
+bb0:
+  %1 = add %0, 1
+  ret %1
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.types.len(), 1);
+        assert_eq!(m.globals.len(), 1);
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert_eq!(f.locals.len(), 2);
+        assert_eq!(f.locals[1].name, "y");
+        assert!(matches!(f.blocks[0].insts[0], Inst::BinOp { .. }));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let src = "module \"m\"\nglobal g: unknown_struct\n";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn forward_function_references_resolve() {
+        let src = r#"
+module "fwd"
+func a() -> void {
+bb0:
+  call @b()
+  ret
+}
+func b() -> void {
+bb0:
+  ret
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let a = m.func(m.func_by_name("a").unwrap());
+        assert!(matches!(a.blocks[0].insts[0], Inst::Call { .. }));
+    }
+
+    #[test]
+    fn mutually_recursive_structs_parse() {
+        let src = r#"
+module "rec"
+struct a { b*, int }
+struct b { a*, int }
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.types.len(), 2);
+        let a = m.types.by_name("a").unwrap();
+        let bty = &m.types.def(a).fields[0];
+        assert!(bty.is_ptr());
+    }
+
+    #[test]
+    fn round_trip_built_module() {
+        let mut m = Module::new("rt");
+        let s = m
+            .types
+            .declare("ctx", vec![Type::fn_ptr(vec![Type::Int], Type::Int), Type::Int])
+            .unwrap();
+        m.add_global("gctx", Type::Struct(s)).unwrap();
+        let handler = {
+            let mut b =
+                FunctionBuilder::new(&mut m, "handler", vec![("x", Type::Int)], Type::Int);
+            let x = b.param(0);
+            let r = b.binop("r", BinOpKind::Mul, x, 2i64);
+            b.ret(Some(r.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let g = m_global(&b);
+        let fp = b.field_addr("fp", g, 0);
+        b.store(fp, Operand::Func(handler));
+        let f = b.load("f", fp);
+        let arr = b.alloca("arr", Type::array(Type::Int, 4));
+        let e = b.elem_addr("e", arr, 2i64);
+        b.store(e, 7i64);
+        let pa = b.ptr_arith("pa", e, 1i64);
+        let v = b.load("v", pa);
+        b.call_ind("rv", f, vec![v.into()], Type::Int);
+        let t = b.new_block();
+        let el = b.new_block();
+        b.branch(v, t, el);
+        b.switch_to(t);
+        b.output(v);
+        b.ret(None);
+        b.switch_to(el);
+        b.ret(None);
+        b.finish();
+
+        let text = m.to_text();
+        let m2 = parse_module(&text).expect("round-trip parse");
+        let text2 = m2.to_text();
+        assert_eq!(text, text2, "print→parse→print must be a fixpoint");
+    }
+
+    fn m_global(b: &FunctionBuilder<'_>) -> Operand {
+        Operand::Global(b.module().global_by_name("gctx").unwrap())
+    }
+}

@@ -1,0 +1,233 @@
+//! Textual printing of modules.
+//!
+//! The format round-trips through [`crate::parser::parse_module`]; the
+//! property tests in the parser module rely on this.
+
+use std::fmt::Write as _;
+
+use crate::module::{Block, Function, Inst, Module, Operand, Terminator};
+use crate::types::{FuncSig, Type, TypeRegistry};
+
+impl Module {
+    /// Render the module in its textual form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "module \"{}\"", self.name);
+        for (_, def) in self.types.iter() {
+            let fields = def
+                .fields
+                .iter()
+                .map(|f| type_text(f, &self.types))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "struct {} {{ {} }}", def.name, fields);
+        }
+        for g in &self.globals {
+            let _ = writeln!(out, "global {}: {}", g.name, type_text(&g.ty, &self.types));
+        }
+        for f in &self.funcs {
+            out.push('\n');
+            self.print_func(f, &mut out);
+        }
+        out
+    }
+
+    fn print_func(&self, f: &Function, out: &mut String) {
+        let params = f.locals[..f.param_count]
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("%{} {}: {}", i, l.name, type_text(&l.ty, &self.types)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "func {}({}) -> {} {{",
+            f.name,
+            params,
+            type_text(&f.ret_ty, &self.types)
+        );
+        for (i, l) in f.locals.iter().enumerate().skip(f.param_count) {
+            let _ = writeln!(
+                out,
+                "  local %{} {}: {}",
+                i,
+                l.name,
+                type_text(&l.ty, &self.types)
+            );
+        }
+        for (i, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(out, "bb{}:", i);
+            self.print_block(b, out);
+        }
+        out.push_str("}\n");
+    }
+
+    fn print_block(&self, b: &Block, out: &mut String) {
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {}", self.inst_text(inst));
+        }
+        let t = match &b.term {
+            Terminator::Jump(bb) => format!("jmp {bb}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("br {}, {}, {}", op_text(cond, self), then_bb, else_bb),
+            Terminator::Ret(Some(v)) => format!("ret {}", op_text(v, self)),
+            Terminator::Ret(None) => "ret".to_string(),
+        };
+        let _ = writeln!(out, "  {t}");
+    }
+
+    /// Render one instruction (used by diagnostics as well as `to_text`).
+    pub fn inst_text(&self, inst: &Inst) -> String {
+        let t = |ty: &Type| type_text(ty, &self.types);
+        let o = |op: &Operand| op_text(op, self);
+        match inst {
+            Inst::Alloca { dst, ty } => format!("{dst} = alloca {}", t(ty)),
+            Inst::HeapAlloc { dst, ty: Some(ty) } => format!("{dst} = halloc {}", t(ty)),
+            Inst::HeapAlloc { dst, ty: None } => format!("{dst} = halloc ?"),
+            Inst::Copy { dst, src } => format!("{dst} = copy {}", o(src)),
+            Inst::Load { dst, src } => format!("{dst} = load {}", o(src)),
+            Inst::Store { dst, src } => format!("store {} -> {}", o(src), o(dst)),
+            Inst::FieldAddr { dst, base, field } => {
+                format!("{dst} = field {}, {}", o(base), field)
+            }
+            Inst::PtrArith { dst, base, offset } => {
+                format!("{dst} = arith {}, {}", o(base), o(offset))
+            }
+            Inst::ElemAddr { dst, base, index } => {
+                format!("{dst} = elem {}, {}", o(base), o(index))
+            }
+            Inst::BinOp { dst, op, lhs, rhs } => {
+                format!("{dst} = {} {}, {}", op, o(lhs), o(rhs))
+            }
+            Inst::Call { dst, callee, args } => {
+                let args = args.iter().map(o).collect::<Vec<_>>().join(", ");
+                let callee = &self.func(*callee).name;
+                match dst {
+                    Some(d) => format!("{d} = call @{callee}({args})"),
+                    None => format!("call @{callee}({args})"),
+                }
+            }
+            Inst::CallInd { dst, callee, args } => {
+                let args = args.iter().map(o).collect::<Vec<_>>().join(", ");
+                match dst {
+                    Some(d) => format!("{d} = icall {}({args})", o(callee)),
+                    None => format!("icall {}({args})", o(callee)),
+                }
+            }
+            Inst::Input { dst } => format!("{dst} = input"),
+            Inst::Output { src } => format!("output {}", o(src)),
+        }
+    }
+}
+
+fn op_text(op: &Operand, m: &Module) -> String {
+    match op {
+        Operand::Local(l) => format!("{l}"),
+        Operand::Global(g) => format!("${}", m.global(*g).name),
+        Operand::Func(f) => format!("@{}", m.func(*f).name),
+        Operand::ConstInt(v) => format!("{v}"),
+        Operand::Null => "null".to_string(),
+    }
+}
+
+/// Render a type using struct *names* (so the text can be re-parsed).
+///
+/// Pointers to function types are parenthesized — `(fn(int) -> int)*` —
+/// because `fn(int) -> int*` denotes a function *returning* `int*`.
+pub fn type_text(ty: &Type, reg: &TypeRegistry) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int => "int".into(),
+        Type::Ptr(t) => match **t {
+            Type::Func(_) => format!("({})*", type_text(t, reg)),
+            _ => format!("{}*", type_text(t, reg)),
+        },
+        Type::Struct(s) => reg.def(*s).name.clone(),
+        Type::Array(t, n) => format!("[{}; {}]", type_text(t, reg), n),
+        Type::Func(FuncSig { params, ret }) => {
+            let ps = params
+                .iter()
+                .map(|p| type_text(p, reg))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("fn({}) -> {}", ps, type_text(ret, reg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::BinOpKind;
+
+    #[test]
+    fn prints_structs_globals_and_functions() {
+        let mut m = Module::new("demo");
+        let s = m
+            .types
+            .declare("plugin", vec![Type::Int, Type::fn_ptr(vec![], Type::Void)])
+            .unwrap();
+        m.add_global("mod_auth", Type::Struct(s)).unwrap();
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![("x", Type::Int)], Type::Int);
+        let x = b.param(0);
+        let y = b.binop("y", BinOpKind::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        b.finish();
+        let text = m.to_text();
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("struct plugin { int, (fn() -> void)* }"));
+        assert!(text.contains("global mod_auth: plugin"));
+        assert!(text.contains("func f(%0 x: int) -> int {"));
+        assert!(text.contains("%1 = add %0, 1"));
+        assert!(text.contains("ret %1"));
+    }
+
+    #[test]
+    fn prints_all_instruction_forms() {
+        let mut m = Module::new("all");
+        let s = m.types.declare("s", vec![Type::Int]).unwrap();
+        let g = m.add_global("g", Type::Int).unwrap();
+        let callee = {
+            let b = FunctionBuilder::new(&mut m, "callee", vec![], Type::Void);
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let a = b.alloca("a", Type::Struct(s));
+        let h = b.heap_alloc("h", Type::Int);
+        let _hu = b.heap_alloc_untyped("hu");
+        let c = b.copy("c", a);
+        let l = b.load("l", h);
+        b.store(g, l);
+        let f = b.field_addr("f", c, 0);
+        let p = b.ptr_arith("p", f, l);
+        let _e = b.elem_addr("e", p, 0i64);
+        b.call("r", callee, vec![]);
+        b.call_ind("ri", Operand::Func(callee), vec![], Type::Void);
+        let i = b.input("i");
+        b.output(i);
+        b.ret(None);
+        b.finish();
+        let text = m.to_text();
+        for needle in [
+            "= alloca s",
+            "= halloc int",
+            "= halloc ?",
+            "= copy %",
+            "= load %",
+            "store %",
+            "= field %",
+            "= arith %",
+            "= elem %",
+            "call @callee()",
+            "icall @callee()",
+            "= input",
+            "output %",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Parser robustness: every class of syntax/resolution error is reported
+//! with a line number and a useful message, and never panics.
+
+use kaleidoscope_ir::{parse_module, Module};
+
+fn expect_err(src: &str, needle: &str) {
+    let e = parse_module(src).expect_err(&format!("should fail: {src:?}"));
+    assert!(
+        e.msg.contains(needle) || e.to_string().contains(needle),
+        "error {e} should mention {needle:?}"
+    );
+    assert!(e.line >= 1);
+}
+
+#[test]
+fn missing_module_header() {
+    expect_err("func f() -> void {\nbb0:\n  ret\n}", "expected `module`");
+    expect_err("module", "unexpected end");
+    expect_err("module 42", "module name");
+}
+
+#[test]
+fn unknown_references() {
+    expect_err("module \"m\"\nglobal g: mystery\n", "unknown struct");
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\nbb0:\n  call @ghost()\n  ret\n}\n",
+        "unknown function",
+    );
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\nbb0:\n  output $ghost\n  ret\n}\n",
+        "unknown global",
+    );
+}
+
+#[test]
+fn duplicate_names() {
+    expect_err(
+        "module \"m\"\nstruct s { int }\nstruct s { int }\n",
+        "duplicate struct",
+    );
+    expect_err(
+        "module \"m\"\nglobal g: int\nglobal g: int\n",
+        "duplicate global",
+    );
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\nbb0:\n  ret\n}\nfunc f() -> void {\nbb0:\n  ret\n}\n",
+        "duplicate function",
+    );
+}
+
+#[test]
+fn malformed_blocks_and_locals() {
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\nbb1:\n  ret\n}\n",
+        "out of order",
+    );
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\n  local %5 x: int\nbb0:\n  ret\n}\n",
+        "out of order",
+    );
+    expect_err(
+        "module \"m\"\nfunc f(%1 a: int) -> void {\nbb0:\n  ret\n}\n",
+        "sequential",
+    );
+}
+
+#[test]
+fn malformed_instructions() {
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\n  local %0 x: int\nbb0:\n  %0 = frobnicate 1\n  ret\n}\n",
+        "unknown instruction",
+    );
+    expect_err(
+        "module \"m\"\nfunc f() -> void {\nbb0:\n  store 1 2\n  ret\n}\n",
+        "expected",
+    );
+}
+
+#[test]
+fn lexer_errors() {
+    expect_err("module \"m\nnext", "unterminated string");
+    expect_err("module \"m\"\n^\n", "unexpected character");
+    expect_err("module \"m\"\nglobal g: int -\n", "stray `-`");
+    expect_err("module \"m\"\n/ oops\n", "stray `/`");
+}
+
+#[test]
+fn comments_and_whitespace_are_tolerated() {
+    let src = "\n# leading comment\nmodule \"m\"  // trailing comment\n\n# done\n";
+    let m = parse_module(src).unwrap();
+    assert_eq!(m.name, "m");
+}
+
+#[test]
+fn line_numbers_are_accurate() {
+    let src = "module \"m\"\n\n\nglobal g: nope\n";
+    let e = parse_module(src).unwrap_err();
+    assert_eq!(e.line, 4);
+}
+
+#[test]
+fn empty_function_gets_implicit_return() {
+    let src = "module \"m\"\nfunc f() -> void {\n}\n";
+    let m = parse_module(src).unwrap();
+    let f = m.func(m.func_by_name("f").unwrap());
+    assert_eq!(f.blocks.len(), 1);
+}
+
+#[test]
+fn negative_integers_and_null() {
+    let src = "module \"m\"\nfunc f() -> void {\n  local %0 x: int\n  local %1 p: int*\nbb0:\n  %0 = add -5, -3\n  %1 = copy null\n  ret\n}\n";
+    let m = parse_module(src).unwrap();
+    assert_eq!(m.inst_count(), 2);
+}
+
+#[test]
+fn fn_ptr_type_parses_both_forms() {
+    // Function type returning a pointer vs pointer to function type.
+    let src = "module \"m\"\nfunc g(%0 a: (fn(int) -> int)*) -> void {\nbb0:\n  ret\n}\n";
+    let m = parse_module(src).unwrap();
+    let f = m.func(m.func_by_name("g").unwrap());
+    assert!(f.locals[0].ty.is_ptr());
+    assert!(matches!(
+        f.locals[0].ty.pointee(),
+        Some(kaleidoscope_ir::Type::Func(_))
+    ));
+}
+
+#[test]
+fn giant_module_round_trips() {
+    // Programmatic large module exercise: print → parse → print fixpoint.
+    use kaleidoscope_ir::{BinOpKind, FunctionBuilder, Type};
+    let mut m = Module::new("giant");
+    for i in 0..50 {
+        let mut b =
+            FunctionBuilder::new(&mut m, &format!("f{i}"), vec![("x", Type::Int)], Type::Int);
+        let x = b.param(0);
+        let mut acc = x;
+        for j in 0..20 {
+            acc = b.binop(&format!("a{j}"), BinOpKind::Add, acc, j as i64);
+        }
+        b.ret(Some(acc.into()));
+        b.finish();
+    }
+    let text = m.to_text();
+    let m2 = parse_module(&text).unwrap();
+    assert_eq!(text, m2.to_text());
+    assert_eq!(m2.funcs.len(), 50);
+}

@@ -1,0 +1,147 @@
+//! The call graph produced by the analysis.
+//!
+//! Direct edges come straight from the IR; indirect edges are resolved
+//! on-the-fly by the solver as function objects flow into function-pointer
+//! nodes — which is exactly the channel through which pointer-analysis
+//! imprecision "compounds" into call-graph imprecision (paper §2.2).
+
+use std::collections::BTreeMap;
+
+use kaleidoscope_ir::{FuncId, InstLoc};
+
+/// Call graph: per-callsite callee sets.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    direct: BTreeMap<InstLoc, FuncId>,
+    indirect: BTreeMap<InstLoc, Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Create an empty call graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a direct call.
+    pub fn add_direct(&mut self, site: InstLoc, callee: FuncId) {
+        self.direct.insert(site, callee);
+    }
+
+    /// Register an indirect callsite (so unresolved sites still appear).
+    pub fn add_indirect_site(&mut self, site: InstLoc) {
+        self.indirect.entry(site).or_default();
+    }
+
+    /// Record an indirect-call target; returns `true` if it was new.
+    pub fn add_indirect(&mut self, site: InstLoc, callee: FuncId) -> bool {
+        let targets = self.indirect.entry(site).or_default();
+        match targets.binary_search(&callee) {
+            Ok(_) => false,
+            Err(pos) => {
+                targets.insert(pos, callee);
+                true
+            }
+        }
+    }
+
+    /// The direct callee of a callsite, if it is a direct call.
+    pub fn direct_callee(&self, site: InstLoc) -> Option<FuncId> {
+        self.direct.get(&site).copied()
+    }
+
+    /// Targets of an indirect callsite (empty slice if unresolved).
+    pub fn indirect_targets(&self, site: InstLoc) -> &[FuncId] {
+        self.indirect.get(&site).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All indirect callsites, in deterministic order.
+    pub fn indirect_sites(&self) -> impl Iterator<Item = (InstLoc, &[FuncId])> {
+        self.indirect.iter().map(|(l, v)| (*l, v.as_slice()))
+    }
+
+    /// All direct call edges.
+    pub fn direct_edges(&self) -> impl Iterator<Item = (InstLoc, FuncId)> + '_ {
+        self.direct.iter().map(|(l, f)| (*l, *f))
+    }
+
+    /// Number of indirect callsites.
+    pub fn indirect_site_count(&self) -> usize {
+        self.indirect.len()
+    }
+
+    /// Average number of targets per indirect callsite (the quantity
+    /// Figure 11 of the paper plots). `None` when there are no sites.
+    pub fn avg_indirect_targets(&self) -> Option<f64> {
+        if self.indirect.is_empty() {
+            return None;
+        }
+        let total: usize = self.indirect.values().map(|v| v.len()).sum();
+        Some(total as f64 / self.indirect.len() as f64)
+    }
+
+    /// Whether every target set in `self` is contained in `other`'s
+    /// (i.e. `self` is at least as precise, site by site).
+    pub fn refines(&self, other: &CallGraph) -> bool {
+        self.indirect.iter().all(|(site, targets)| {
+            let theirs = other.indirect_targets(*site);
+            targets.iter().all(|t| theirs.contains(t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::BlockId;
+
+    fn site(i: u32) -> InstLoc {
+        InstLoc::new(FuncId(0), BlockId(0), i)
+    }
+
+    #[test]
+    fn indirect_targets_sorted_and_deduped() {
+        let mut cg = CallGraph::new();
+        assert!(cg.add_indirect(site(0), FuncId(3)));
+        assert!(cg.add_indirect(site(0), FuncId(1)));
+        assert!(!cg.add_indirect(site(0), FuncId(3)));
+        assert_eq!(cg.indirect_targets(site(0)), &[FuncId(1), FuncId(3)]);
+        assert_eq!(cg.indirect_site_count(), 1);
+    }
+
+    #[test]
+    fn unresolved_sites_still_listed() {
+        let mut cg = CallGraph::new();
+        cg.add_indirect_site(site(1));
+        assert_eq!(cg.indirect_targets(site(1)), &[]);
+        assert_eq!(cg.avg_indirect_targets(), Some(0.0));
+    }
+
+    #[test]
+    fn averages() {
+        let mut cg = CallGraph::new();
+        cg.add_indirect(site(0), FuncId(1));
+        cg.add_indirect(site(0), FuncId(2));
+        cg.add_indirect(site(1), FuncId(1));
+        assert_eq!(cg.avg_indirect_targets(), Some(1.5));
+        assert_eq!(CallGraph::new().avg_indirect_targets(), None);
+    }
+
+    #[test]
+    fn refinement() {
+        let mut precise = CallGraph::new();
+        precise.add_indirect(site(0), FuncId(1));
+        let mut coarse = CallGraph::new();
+        coarse.add_indirect(site(0), FuncId(1));
+        coarse.add_indirect(site(0), FuncId(2));
+        assert!(precise.refines(&coarse));
+        assert!(!coarse.refines(&precise));
+    }
+
+    #[test]
+    fn direct_edges_recorded() {
+        let mut cg = CallGraph::new();
+        cg.add_direct(site(2), FuncId(7));
+        assert_eq!(cg.direct_callee(site(2)), Some(FuncId(7)));
+        assert_eq!(cg.direct_edges().count(), 1);
+    }
+}

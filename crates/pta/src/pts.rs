@@ -1,0 +1,242 @@
+//! Points-to sets.
+//!
+//! A [`PtsSet`] is a sorted, deduplicated vector of node ids. The solver
+//! relies on `union_into` returning exactly the newly added elements so it
+//! can do difference ("delta") propagation.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// A set of node ids (object nodes, in practice), sorted ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PtsSet {
+    items: Vec<NodeId>,
+}
+
+impl PtsSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a set from an iterator (sorted and deduplicated).
+    pub fn from_iter_unsorted(iter: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut items: Vec<NodeId> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        PtsSet { items }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.items.binary_search(&n).is_ok()
+    }
+
+    /// Insert one element; returns `true` if it was not already present.
+    pub fn insert(&mut self, n: NodeId) -> bool {
+        match self.items.binary_search(&n) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, n);
+                true
+            }
+        }
+    }
+
+    /// Remove one element; returns `true` if it was present.
+    pub fn remove(&mut self, n: NodeId) -> bool {
+        match self.items.binary_search(&n) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Union `other` into `self`, returning the elements that were new.
+    pub fn union_into(&mut self, other: &PtsSet) -> Vec<NodeId> {
+        self.union_slice(&other.items)
+    }
+
+    /// Union a sorted slice into `self`, returning the elements that were new.
+    pub fn union_slice(&mut self, other: &[NodeId]) -> Vec<NodeId> {
+        debug_assert!(other.windows(2).all(|w| w[0] < w[1]), "input must be sorted");
+        if other.is_empty() {
+            return Vec::new();
+        }
+        let mut added = Vec::new();
+        let mut merged = Vec::with_capacity(self.items.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.len() {
+            use std::cmp::Ordering::*;
+            match self.items[i].cmp(&other[j]) {
+                Less => {
+                    merged.push(self.items[i]);
+                    i += 1;
+                }
+                Greater => {
+                    merged.push(other[j]);
+                    added.push(other[j]);
+                    j += 1;
+                }
+                Equal => {
+                    merged.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.items[i..]);
+        for &n in &other[j..] {
+            merged.push(n);
+            added.push(n);
+        }
+        self.items = merged;
+        added
+    }
+
+    /// Elements of `self` that are not in `other` (set difference).
+    pub fn difference(&self, other: &PtsSet) -> Vec<NodeId> {
+        self.items
+            .iter()
+            .copied()
+            .filter(|n| !other.contains(*n))
+            .collect()
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &PtsSet) -> bool {
+        self.items.iter().all(|&n| other.contains(n))
+    }
+
+    /// Iterate over elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Borrow the underlying sorted slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.items
+    }
+
+    /// Retain only elements matching the predicate; returns removed elements.
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId) -> bool) -> Vec<NodeId> {
+        let mut removed = Vec::new();
+        self.items.retain(|&n| {
+            if keep(n) {
+                true
+            } else {
+                removed.push(n);
+                false
+            }
+        });
+        removed
+    }
+
+    /// Remove all elements, keeping allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl FromIterator<NodeId> for PtsSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        PtsSet::from_iter_unsorted(iter)
+    }
+}
+
+impl Extend<NodeId> for PtsSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+impl fmt::Display for PtsSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "n{}", n.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = PtsSet::new();
+        assert!(s.insert(n(5)));
+        assert!(s.insert(n(1)));
+        assert!(!s.insert(n(5)));
+        assert!(s.contains(n(1)));
+        assert!(!s.contains(n(2)));
+        assert_eq!(s.as_slice(), &[n(1), n(5)]);
+    }
+
+    #[test]
+    fn union_reports_exactly_new_elements() {
+        let mut a: PtsSet = [n(1), n(3), n(5)].into_iter().collect();
+        let b: PtsSet = [n(2), n(3), n(6)].into_iter().collect();
+        let added = a.union_into(&b);
+        assert_eq!(added, vec![n(2), n(6)]);
+        assert_eq!(a.as_slice(), &[n(1), n(2), n(3), n(5), n(6)]);
+        // Second union adds nothing.
+        assert!(a.union_into(&b).is_empty());
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let mut a: PtsSet = [n(1)].into_iter().collect();
+        assert!(a.union_into(&PtsSet::new()).is_empty());
+        let mut e = PtsSet::new();
+        assert_eq!(e.union_into(&a), vec![n(1)]);
+    }
+
+    #[test]
+    fn difference_and_subset() {
+        let a: PtsSet = [n(1), n(2), n(3)].into_iter().collect();
+        let b: PtsSet = [n(2)].into_iter().collect();
+        assert_eq!(a.difference(&b), vec![n(1), n(3)]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn retain_returns_removed() {
+        let mut a: PtsSet = [n(1), n(2), n(3), n(4)].into_iter().collect();
+        let removed = a.retain(|x| x.0 % 2 == 0);
+        assert_eq!(removed, vec![n(1), n(3)]);
+        assert_eq!(a.as_slice(), &[n(2), n(4)]);
+    }
+
+    #[test]
+    fn from_iter_dedups_and_sorts() {
+        let s = PtsSet::from_iter_unsorted(vec![n(4), n(1), n(4), n(2)]);
+        assert_eq!(s.as_slice(), &[n(1), n(2), n(4)]);
+        assert_eq!(s.to_string(), "{n1, n2, n4}");
+    }
+}

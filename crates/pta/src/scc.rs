@@ -1,0 +1,152 @@
+//! Iterative Tarjan strongly-connected-components.
+//!
+//! Used by the solver's cycle-collapse pass (Hardekopf & Lin style) and to
+//! detect positive weight cycles (Pearce et al.), which the paper's second
+//! likely invariant declares to be imprecision artifacts.
+
+/// Compute the strongly connected components of a directed graph given as
+/// an adjacency list. Returns the components in reverse topological order;
+/// every vertex appears in exactly one component.
+pub fn sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan with an explicit call stack of (vertex, child-iter).
+    enum Frame {
+        Enter(u32),
+        Resume(u32, usize),
+    }
+    let mut call: Vec<Frame> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        call.push(Frame::Enter(start));
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    call.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut child) => {
+                    let mut descended = false;
+                    while child < adj[v as usize].len() {
+                        let w = adj[v as usize][child];
+                        child += 1;
+                        if index[w as usize] == u32::MAX {
+                            call.push(Frame::Resume(v, child));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w as usize] {
+                            lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        components.push(comp);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(p, _)) = call.last() {
+                        let p = *p;
+                        lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Components of size > 1 (true cycles). Self-loops must be handled by the
+/// caller, which knows which edges are self-edges.
+pub fn nontrivial_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    sccs(adj).into_iter().filter(|c| c.len() > 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_no_edges() {
+        let comps = sccs(&[vec![]]);
+        assert_eq!(comps, vec![vec![0]]);
+        assert!(nontrivial_sccs(&[vec![]]).is_empty());
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        let adj = vec![vec![1], vec![0]];
+        let comps = nontrivial_sccs(&adj);
+        assert_eq!(comps, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn chain_has_no_cycles() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        assert!(nontrivial_sccs(&adj).is_empty());
+        // Reverse topological order: sinks first.
+        let comps = sccs(&adj);
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn two_separate_cycles_and_bridge() {
+        // 0 <-> 1 -> 2 <-> 3
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let mut comps = nontrivial_sccs(&adj);
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn big_cycle() {
+        let n = 1000usize;
+        let adj: Vec<Vec<u32>> = (0..n).map(|i| vec![((i + 1) % n) as u32]).collect();
+        let comps = nontrivial_sccs(&adj);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-node chain exercises the iterative implementation.
+        let n = 100_000usize;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| if i + 1 < n { vec![(i + 1) as u32] } else { vec![] })
+            .collect();
+        let comps = sccs(&adj);
+        assert_eq!(comps.len(), n);
+    }
+
+    #[test]
+    fn nested_cycles_merge() {
+        // 0 -> 1 -> 2 -> 0 and 1 -> 3 -> 1: all one SCC.
+        let adj = vec![vec![1], vec![2, 3], vec![0], vec![1]];
+        let comps = nontrivial_sccs(&adj);
+        assert_eq!(comps, vec![vec![0, 1, 2, 3]]);
+    }
+}

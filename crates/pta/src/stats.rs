@@ -1,0 +1,137 @@
+//! Points-to set statistics (the quantities of Table 3 and Figure 10).
+
+use kaleidoscope_ir::Module;
+
+use crate::analysis::Analysis;
+
+/// Distribution statistics over the points-to set sizes of all top-level
+/// pointers in a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtsStats {
+    /// Number of pointers measured (non-empty sets only).
+    pub count: usize,
+    /// Mean set size (Table 3, "Average Pts. Set Size").
+    pub avg: f64,
+    /// Maximum set size (Table 3, "Max Pts. Set Size").
+    pub max: usize,
+    /// Median set size.
+    pub median: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// The raw sizes, sorted ascending (Figure 10's box-plot input).
+    pub sizes: Vec<usize>,
+}
+
+impl PtsStats {
+    /// Collect statistics from a finished analysis.
+    pub fn collect(analysis: &Analysis, module: &Module) -> PtsStats {
+        let mut sizes: Vec<usize> = analysis
+            .top_level_pointer_sizes(module)
+            .into_iter()
+            .map(|(_, _, s)| s)
+            .collect();
+        sizes.sort_unstable();
+        Self::from_sizes(sizes)
+    }
+
+    /// Build statistics from a pre-sorted size vector.
+    pub fn from_sizes(sizes: Vec<usize>) -> PtsStats {
+        debug_assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        let count = sizes.len();
+        if count == 0 {
+            return PtsStats {
+                count: 0,
+                avg: 0.0,
+                max: 0,
+                median: 0.0,
+                q1: 0.0,
+                q3: 0.0,
+                sizes,
+            };
+        }
+        let total: usize = sizes.iter().sum();
+        let avg = total as f64 / count as f64;
+        let max = *sizes.last().expect("non-empty");
+        let median = percentile(&sizes, 0.5);
+        let q1 = percentile(&sizes, 0.25);
+        let q3 = percentile(&sizes, 0.75);
+        PtsStats {
+            count,
+            avg,
+            max,
+            median,
+            q1,
+            q3,
+            sizes,
+        }
+    }
+
+    /// Improvement factor of `self` (baseline) over `other` (optimistic) in
+    /// mean set size — the "Factor" column of Table 3.
+    pub fn factor_over(&self, other: &PtsStats) -> f64 {
+        if other.avg == 0.0 {
+            return 1.0;
+        }
+        self.avg / other.avg
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice (`p` in `[0, 1]`).
+pub fn percentile(sorted: &[usize], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = PtsStats::from_sizes(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg, 0.0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn basic_distribution() {
+        let s = PtsStats::from_sizes(vec![1, 2, 3, 4, 100]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.avg, 22.0);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![10, 20];
+        assert_eq!(percentile(&v, 0.5), 15.0);
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 20.0);
+        assert_eq!(percentile(&[7], 0.9), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn factor() {
+        let base = PtsStats::from_sizes(vec![10, 10]);
+        let opt = PtsStats::from_sizes(vec![1, 1]);
+        assert_eq!(base.factor_over(&opt), 10.0);
+        let empty = PtsStats::from_sizes(vec![]);
+        assert_eq!(base.factor_over(&empty), 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Model-based property tests: `PtsSet` must behave exactly like a
+//! `BTreeSet<u32>` under arbitrary operation sequences, and `union_into`
+//! must report exactly the new elements.
+
+use std::collections::BTreeSet;
+
+use kaleidoscope_pta::{NodeId, PtsSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    UnionWith(Vec<u32>),
+    RetainEven,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64).prop_map(Op::Insert),
+        (0u32..64).prop_map(Op::Remove),
+        proptest::collection::vec(0u32..64, 0..12).prop_map(Op::UnionWith),
+        Just(Op::RetainEven),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pts_set_matches_btreeset_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut sut = PtsSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let a = sut.insert(NodeId(v));
+                    let b = model.insert(v);
+                    prop_assert_eq!(a, b, "insert return mismatch for {}", v);
+                }
+                Op::Remove(v) => {
+                    let a = sut.remove(NodeId(v));
+                    let b = model.remove(&v);
+                    prop_assert_eq!(a, b, "remove return mismatch for {}", v);
+                }
+                Op::UnionWith(vs) => {
+                    let other: PtsSet = vs.iter().map(|&v| NodeId(v)).collect();
+                    let added = sut.union_into(&other);
+                    // Model: exactly the values not already present, sorted.
+                    let mut expect: Vec<u32> = vs
+                        .iter()
+                        .copied()
+                        .filter(|v| !model.contains(v))
+                        .collect();
+                    expect.sort_unstable();
+                    expect.dedup();
+                    let got: Vec<u32> = added.iter().map(|n| n.0).collect();
+                    prop_assert_eq!(got, expect, "union_into delta");
+                    model.extend(vs);
+                }
+                Op::RetainEven => {
+                    let removed = sut.retain(|n| n.0 % 2 == 0);
+                    let expect_removed: Vec<u32> =
+                        model.iter().copied().filter(|v| v % 2 != 0).collect();
+                    let got: Vec<u32> = removed.iter().map(|n| n.0).collect();
+                    prop_assert_eq!(got, expect_removed);
+                    model.retain(|v| v % 2 == 0);
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(sut.len(), model.len());
+            let sut_items: Vec<u32> = sut.iter().map(|n| n.0).collect();
+            let model_items: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(sut_items, model_items, "sorted content");
+        }
+    }
+
+    #[test]
+    fn union_is_idempotent_and_monotone(a in proptest::collection::vec(0u32..128, 0..30),
+                                        b in proptest::collection::vec(0u32..128, 0..30)) {
+        let sa: PtsSet = a.iter().map(|&v| NodeId(v)).collect();
+        let sb: PtsSet = b.iter().map(|&v| NodeId(v)).collect();
+        let mut u = sa.clone();
+        u.union_into(&sb);
+        prop_assert!(sa.is_subset(&u));
+        prop_assert!(sb.is_subset(&u));
+        // Second union adds nothing.
+        let mut u2 = u.clone();
+        prop_assert!(u2.union_into(&sb).is_empty());
+        prop_assert!(u2.union_into(&sa).is_empty());
+        // Difference + subset coherence.
+        for n in sa.difference(&sb) {
+            prop_assert!(sa.contains(n) && !sb.contains(n));
+        }
+    }
+}

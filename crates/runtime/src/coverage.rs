@@ -1,0 +1,201 @@
+//! Branch, monitor, and indirect-call coverage.
+//!
+//! Tables 4 and 5 of the paper report branch coverage and "runtime monitors
+//! executed" for the benchmark and fuzzing workloads; Figure 1 compares
+//! statically derived callsite targets with the targets actually observed
+//! at runtime. This module collects all three.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kaleidoscope_ir::{BlockId, FuncId, InstLoc, Module, Terminator};
+
+/// Coverage accumulator. Create once per module; feed from the executor
+/// across as many runs as desired.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    branch_total: usize,
+    branch_hits: BTreeSet<(FuncId, BlockId, bool)>,
+    monitor_total: usize,
+    monitor_hits: BTreeSet<InstLoc>,
+    icall_observed: BTreeMap<InstLoc, BTreeSet<FuncId>>,
+}
+
+impl Coverage {
+    /// Create a coverage tracker for a module. `monitor_total` is the
+    /// number of monitor instrumentation points installed (0 when running
+    /// unhardened).
+    pub fn for_module(module: &Module, monitor_total: usize) -> Self {
+        let mut branch_total = 0usize;
+        for (_, f) in module.iter_funcs() {
+            for b in &f.blocks {
+                if matches!(b.term, Terminator::Branch { .. }) {
+                    branch_total += 2; // both outcome edges
+                }
+            }
+        }
+        Coverage {
+            branch_total,
+            monitor_total,
+            ..Default::default()
+        }
+    }
+
+    /// Record a branch outcome.
+    pub fn record_branch(&mut self, func: FuncId, block: BlockId, taken: bool) {
+        self.branch_hits.insert((func, block, taken));
+    }
+
+    /// Record that a monitor at `loc` executed.
+    pub fn record_monitor(&mut self, loc: InstLoc) {
+        self.monitor_hits.insert(loc);
+    }
+
+    /// Record an observed indirect-call target.
+    pub fn record_icall(&mut self, site: InstLoc, target: FuncId) {
+        self.icall_observed.entry(site).or_default().insert(target);
+    }
+
+    /// Total branch edges in the module.
+    pub fn branch_total(&self) -> usize {
+        self.branch_total
+    }
+
+    /// Distinct branch edges executed.
+    pub fn branch_executed(&self) -> usize {
+        self.branch_hits.len()
+    }
+
+    /// Branch coverage in percent (0 when the module has no branches).
+    pub fn branch_pct(&self) -> f64 {
+        if self.branch_total == 0 {
+            0.0
+        } else {
+            100.0 * self.branch_executed() as f64 / self.branch_total as f64
+        }
+    }
+
+    /// Total monitor instrumentation points.
+    pub fn monitor_total(&self) -> usize {
+        self.monitor_total
+    }
+
+    /// Distinct monitor points executed.
+    pub fn monitor_executed(&self) -> usize {
+        self.monitor_hits.len()
+    }
+
+    /// Monitor coverage in percent.
+    pub fn monitor_pct(&self) -> f64 {
+        if self.monitor_total == 0 {
+            0.0
+        } else {
+            100.0 * self.monitor_executed() as f64 / self.monitor_total as f64
+        }
+    }
+
+    /// Observed targets per indirect callsite (Figure 1's "Runtime
+    /// Observed" series).
+    pub fn observed_targets(&self) -> impl Iterator<Item = (InstLoc, &BTreeSet<FuncId>)> {
+        self.icall_observed.iter().map(|(l, s)| (*l, s))
+    }
+
+    /// Observed target count for one site (0 if never executed).
+    pub fn observed_at(&self, site: InstLoc) -> usize {
+        self.icall_observed.get(&site).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Merge another tracker (e.g. per-fuzz-case trackers) into this one.
+    pub fn merge(&mut self, other: &Coverage) {
+        self.branch_hits.extend(other.branch_hits.iter().copied());
+        self.monitor_hits.extend(other.monitor_hits.iter().copied());
+        for (site, targets) in &other.icall_observed {
+            self.icall_observed
+                .entry(*site)
+                .or_default()
+                .extend(targets.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::{FunctionBuilder, Operand, Type};
+
+    fn branchy_module() -> Module {
+        let mut m = Module::new("branchy");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![("c", Type::Int)], Type::Void);
+        let c = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.output(Operand::ConstInt(1));
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn branch_totals_and_hits() {
+        let m = branchy_module();
+        let mut cov = Coverage::for_module(&m, 3);
+        assert_eq!(cov.branch_total(), 2);
+        assert_eq!(cov.branch_pct(), 0.0);
+        let f = m.func_by_name("main").unwrap();
+        cov.record_branch(f, BlockId(0), true);
+        cov.record_branch(f, BlockId(0), true); // duplicate
+        assert_eq!(cov.branch_executed(), 1);
+        assert_eq!(cov.branch_pct(), 50.0);
+        cov.record_branch(f, BlockId(0), false);
+        assert_eq!(cov.branch_pct(), 100.0);
+    }
+
+    #[test]
+    fn monitor_coverage() {
+        let m = branchy_module();
+        let mut cov = Coverage::for_module(&m, 2);
+        assert_eq!(cov.monitor_pct(), 0.0);
+        let loc = InstLoc::new(FuncId(0), BlockId(0), 0);
+        cov.record_monitor(loc);
+        cov.record_monitor(loc);
+        assert_eq!(cov.monitor_executed(), 1);
+        assert_eq!(cov.monitor_pct(), 50.0);
+    }
+
+    #[test]
+    fn icall_observation() {
+        let m = branchy_module();
+        let mut cov = Coverage::for_module(&m, 0);
+        let site = InstLoc::new(FuncId(0), BlockId(0), 1);
+        cov.record_icall(site, FuncId(3));
+        cov.record_icall(site, FuncId(3));
+        cov.record_icall(site, FuncId(4));
+        assert_eq!(cov.observed_at(site), 2);
+        assert_eq!(cov.observed_targets().count(), 1);
+    }
+
+    #[test]
+    fn merge_unions_everything() {
+        let m = branchy_module();
+        let f = m.func_by_name("main").unwrap();
+        let mut a = Coverage::for_module(&m, 4);
+        let mut b = Coverage::for_module(&m, 4);
+        a.record_branch(f, BlockId(0), true);
+        b.record_branch(f, BlockId(0), false);
+        b.record_monitor(InstLoc::new(f, BlockId(0), 0));
+        a.merge(&b);
+        assert_eq!(a.branch_executed(), 2);
+        assert_eq!(a.monitor_executed(), 1);
+    }
+
+    #[test]
+    fn zero_totals_do_not_divide_by_zero() {
+        let m = Module::new("empty");
+        let cov = Coverage::for_module(&m, 0);
+        assert_eq!(cov.branch_pct(), 0.0);
+        assert_eq!(cov.monitor_pct(), 0.0);
+    }
+}

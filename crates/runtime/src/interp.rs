@@ -1,0 +1,995 @@
+//! The IR interpreter with monitor, CFI, and memory-view hooks.
+//!
+//! One [`Executor`] holds the persistent program state (globals, heap,
+//! coverage, monitors, the view switcher) across any number of `run` calls
+//! — mirroring a long-running hardened server process handling requests.
+
+use std::fmt;
+
+use kaleidoscope_ir::{
+    BinOpKind, FuncId, Inst, InstLoc, Layout, Module, Operand, Terminator, Type,
+};
+use kaleidoscope_pta::ObjSite;
+
+use crate::coverage::Coverage;
+use crate::memory::{MemError, Memory, ObjHandle, RtValue};
+use crate::monitor::{CtxRecord, MonitorSet, Violation};
+use crate::switcher::{family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_CTX, FAMILY_PA, FAMILY_PWC};
+
+/// CFI hook: may an indirect call at `site` dispatch to `target` under the
+/// given memory view? Implemented by the CFI crate.
+pub trait IndirectCallGuard {
+    /// Return `true` to allow the call.
+    fn allowed(&self, site: InstLoc, target: FuncId, view: ViewKind) -> bool;
+
+    /// Graded variant (§8 extension): decide under a per-family
+    /// degradation mask. The default degrades to the binary view —
+    /// conservative (fallback) as soon as any family is disabled.
+    fn allowed_masked(&self, site: InstLoc, target: FuncId, disabled_mask: u8) -> bool {
+        let view = if disabled_mask == 0 {
+            ViewKind::Optimistic
+        } else {
+            ViewKind::Fallback
+        };
+        self.allowed(site, target, view)
+    }
+}
+
+/// Executor limits and the secure-gate secret.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Instruction budget per `run` call.
+    pub step_limit: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// The 64-bit stack secret legitimate switch callsites push (§5).
+    pub gate_secret: u64,
+    /// Graded fallback (§8 extension): a violation disables only the
+    /// violated invariant *family* instead of switching wholesale; the
+    /// other families' monitors and optimistic policies stay active.
+    pub graded: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            step_limit: 50_000_000,
+            max_call_depth: 256,
+            gate_secret: 0x4b61_6c65_6964_6f73, // "Kaleidos"
+            graded: false,
+        }
+    }
+}
+
+/// Runtime failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A memory access failed.
+    Mem {
+        /// The faulting instruction.
+        loc: InstLoc,
+        /// The underlying memory error.
+        err: MemError,
+    },
+    /// A CFI check rejected an indirect call.
+    CfiViolation {
+        /// The callsite.
+        site: InstLoc,
+        /// The rejected target.
+        target: FuncId,
+    },
+    /// An indirect call's operand was not a function of matching arity.
+    BadIndirectCall {
+        /// The callsite.
+        site: InstLoc,
+    },
+    /// The memory-view switch gate rejected the stack secret.
+    SecurityAlarm(SwitchError),
+    /// The per-run step budget was exhausted.
+    StepLimitExceeded,
+    /// Call depth exceeded the configured maximum.
+    CallDepthExceeded,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Mem { loc, err } => write!(f, "memory error at {loc}: {err}"),
+            ExecError::CfiViolation { site, target } => {
+                write!(f, "CFI violation at {site}: target @{}", target.0)
+            }
+            ExecError::BadIndirectCall { site } => {
+                write!(f, "indirect call at {site} through a non-function value")
+            }
+            ExecError::SecurityAlarm(e) => write!(f, "security alarm: {e}"),
+            ExecError::StepLimitExceeded => write!(f, "step limit exceeded"),
+            ExecError::CallDepthExceeded => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of one `run` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The entry function's return value.
+    pub ret: RtValue,
+    /// Instructions executed during this run.
+    pub steps: u64,
+    /// Violations observed during this run (also accumulated on the
+    /// executor).
+    pub violations: Vec<Violation>,
+}
+
+struct Frame {
+    func: FuncId,
+    locals: Vec<RtValue>,
+    stack_objs: Vec<ObjHandle>,
+    record: Option<CtxRecord>,
+}
+
+/// Precomputed per-instruction metadata.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstMeta {
+    /// Monitor-presence flags (see the `MON_*` constants).
+    flags: u8,
+    /// FieldAddr: slot delta; ElemAddr: element slot size; otherwise 0.
+    geom: u32,
+}
+
+const MON_PA: u8 = 1;
+const MON_PWC: u8 = 2;
+const MON_CTX_STORE: u8 = 4;
+const MON_CTX_CALLSITE: u8 = 8;
+
+/// The interpreter.
+pub struct Executor<'m> {
+    module: &'m Module,
+    /// Runtime memory (public for inspection in tests).
+    pub memory: Memory,
+    globals: Vec<ObjHandle>,
+    /// Coverage accumulated across runs.
+    pub coverage: Coverage,
+    /// Compiled monitors.
+    pub monitors: MonitorSet,
+    /// The memory-view switcher.
+    pub switcher: MvSwitcher,
+    guard: Option<Box<dyn IndirectCallGuard>>,
+    /// Per-instruction metadata ([func][block][inst]): monitor flags and
+    /// address geometry, precomputed so the hot loop never hashes.
+    meta: Vec<Vec<Vec<InstMeta>>>,
+    /// Whether a function has Ctx-ret monitors (indexed by function).
+    ctx_ret_funcs: Vec<bool>,
+    cfg: ExecConfig,
+    /// All violations observed since creation.
+    pub violations: Vec<Violation>,
+    /// Total instructions executed since creation.
+    pub steps_total: u64,
+    /// Loads + stores executed since creation.
+    pub mem_ops: u64,
+    input: Vec<u8>,
+    input_pos: usize,
+    /// Number of `output` instructions executed.
+    pub output_count: u64,
+    /// XOR-fold of all output values (cheap determinism check).
+    pub output_digest: u64,
+    steps_run: u64,
+    run_violations: Vec<Violation>,
+}
+
+impl<'m> fmt::Debug for Executor<'m> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("module", &self.module.name)
+            .field("view", &self.switcher.view())
+            .field("steps_total", &self.steps_total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m> Executor<'m> {
+    /// Create an executor. Globals are allocated immediately.
+    pub fn new(
+        module: &'m Module,
+        monitors: MonitorSet,
+        guard: Option<Box<dyn IndirectCallGuard>>,
+        cfg: ExecConfig,
+    ) -> Self {
+        let mut memory = Memory::new();
+        let mut globals = Vec::with_capacity(module.globals.len());
+        for (gid, g) in module.iter_globals() {
+            let slots = Layout::of(&g.ty, &module.types).slots;
+            globals.push(memory.alloc(ObjSite::Global(gid), slots));
+        }
+        // Precompute per-instruction metadata: address geometry plus which
+        // monitor kinds are installed at each location. The hot loop then
+        // indexes instead of hashing — only *monitored* executions pay the
+        // monitor-set lookup costs, matching how native instrumentation
+        // would only pay at instrumented instructions.
+        let mut meta: Vec<Vec<Vec<InstMeta>>> = module
+            .funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| vec![InstMeta::default(); b.insts.len()]).collect())
+            .collect();
+        let mut ctx_ret_funcs = vec![false; module.funcs.len()];
+        for (fid, _) in module.iter_funcs() {
+            ctx_ret_funcs[fid.index()] = monitors.is_ctx_func(fid);
+        }
+        for (loc, inst) in module.iter_locs() {
+            let m = &mut meta[loc.func.index()][loc.block.index()][loc.inst as usize];
+            match inst {
+                Inst::FieldAddr { base, field, .. } => {
+                    let ty = static_ty(module, loc.func, base);
+                    let delta = ty
+                        .as_ref()
+                        .and_then(|t| t.pointee().cloned())
+                        .and_then(|p| match p {
+                            Type::Struct(_) => {
+                                Layout::of(&p, &module.types).field_offset(*field)
+                            }
+                            Type::Array(elem, _) => match *elem {
+                                Type::Struct(_) => {
+                                    Layout::of(&elem, &module.types).field_offset(*field)
+                                }
+                                _ => None,
+                            },
+                            _ => None,
+                        })
+                        .unwrap_or(*field);
+                    m.geom = delta as u32;
+                    if monitors.has_pwc_monitor(loc) {
+                        m.flags |= MON_PWC;
+                    }
+                }
+                Inst::ElemAddr { base, .. } => {
+                    let ty = static_ty(module, loc.func, base);
+                    let size = ty
+                        .as_ref()
+                        .and_then(|t| t.pointee())
+                        .map(|p| match p {
+                            Type::Array(elem, _) => Layout::of(elem, &module.types).slots,
+                            other => Layout::of(other, &module.types).slots,
+                        })
+                        .unwrap_or(1)
+                        .max(1);
+                    m.geom = size as u32;
+                }
+                Inst::PtrArith { .. }
+                    if monitors.has_pa_monitor(loc) => {
+                        m.flags |= MON_PA;
+                    }
+                Inst::Store { .. }
+                    if monitors.has_ctx_store(loc) => {
+                        m.flags |= MON_CTX_STORE;
+                    }
+                Inst::Call { callee, .. }
+                    if monitors.is_ctx_func(*callee) && monitors.is_monitored_callsite(loc) => {
+                        m.flags |= MON_CTX_CALLSITE;
+                    }
+                _ => {}
+            }
+        }
+        let coverage = Coverage::for_module(module, monitors.total_points());
+        Executor {
+            module,
+            memory,
+            globals,
+            coverage,
+            monitors,
+            switcher: MvSwitcher::new(cfg.gate_secret),
+            guard,
+            meta,
+            ctx_ret_funcs,
+            cfg,
+            violations: Vec::new(),
+            steps_total: 0,
+            mem_ops: 0,
+            input: Vec::new(),
+            input_pos: 0,
+            output_count: 0,
+            output_digest: 0,
+            steps_run: 0,
+            run_violations: Vec::new(),
+        }
+    }
+
+    /// Convenience: executor without monitors or CFI.
+    pub fn unhardened(module: &'m Module) -> Self {
+        Executor::new(module, MonitorSet::empty(), None, ExecConfig::default())
+    }
+
+    /// Set the input bytes consumed by `input` instructions (resets the
+    /// read position).
+    pub fn set_input(&mut self, bytes: &[u8]) {
+        self.input = bytes.to_vec();
+        self.input_pos = 0;
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Monitor checks executed so far (instrumented points reached).
+    pub fn monitor_checks(&self) -> u64 {
+        self.monitors.checks
+    }
+
+    /// Run `entry` with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on CFI violations, memory faults, or budget
+    /// exhaustion. Likely-invariant violations are *not* errors: they
+    /// switch the memory view and execution continues (paper §3).
+    pub fn run(&mut self, entry: FuncId, args: Vec<RtValue>) -> Result<RunOutcome, ExecError> {
+        self.steps_run = 0;
+        self.run_violations.clear();
+        let ret = self.call(entry, args, 0, None)?;
+        Ok(RunOutcome {
+            ret,
+            steps: self.steps_run,
+            violations: self.run_violations.clone(),
+        })
+    }
+
+    fn handle_violation(&mut self, v: Violation) -> Result<(), ExecError> {
+        let family = family_bit(v.policy);
+        self.violations.push(v.clone());
+        self.run_violations.push(v);
+        // Legitimate switch callsite: push the real stack secret.
+        if self.cfg.graded {
+            self.switcher
+                .disable_family(family, self.cfg.gate_secret)
+                .map_err(ExecError::SecurityAlarm)?;
+        } else {
+            self.switcher
+                .switch_to_fallback(self.cfg.gate_secret)
+                .map_err(ExecError::SecurityAlarm)?;
+        }
+        Ok(())
+    }
+
+    fn eval(&self, frame: &Frame, op: Operand) -> RtValue {
+        match op {
+            Operand::Local(l) => frame.locals[l.index()],
+            Operand::Global(g) => RtValue::Ptr {
+                obj: self.globals[g.index()],
+                off: 0,
+            },
+            Operand::Func(f) => RtValue::Func(f),
+            Operand::ConstInt(v) => RtValue::Int(v),
+            Operand::Null => RtValue::Null,
+        }
+    }
+
+    fn call(
+        &mut self,
+        fid: FuncId,
+        args: Vec<RtValue>,
+        depth: usize,
+        record: Option<CtxRecord>,
+    ) -> Result<RtValue, ExecError> {
+        if depth >= self.cfg.max_call_depth {
+            return Err(ExecError::CallDepthExceeded);
+        }
+        let func = self.module.func(fid);
+        let mut frame = Frame {
+            func: fid,
+            locals: vec![RtValue::Int(0); func.locals.len()],
+            stack_objs: Vec::new(),
+            record,
+        };
+        for (i, a) in args.into_iter().take(func.param_count).enumerate() {
+            frame.locals[i] = a;
+        }
+
+        let mut block = 0usize;
+        let ret = 'outer: loop {
+            let blk = &self.module.func(fid).blocks[block];
+            for (i, inst) in blk.insts.iter().enumerate() {
+                let loc = InstLoc::new(fid, kaleidoscope_ir::BlockId(block as u32), i as u32);
+                self.steps_run += 1;
+                self.steps_total += 1;
+                if self.steps_run > self.cfg.step_limit {
+                    self.unwind(&mut frame);
+                    return Err(ExecError::StepLimitExceeded);
+                }
+                let im = self.meta[fid.index()][block][i];
+                if let Err(e) = self.step(inst, loc, im, &mut frame, depth) {
+                    self.unwind(&mut frame);
+                    return Err(e);
+                }
+            }
+            let term = self.module.func(fid).blocks[block].term.clone();
+            match term {
+                Terminator::Jump(b) => block = b.index(),
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let taken = self.eval(&frame, cond).truthy();
+                    self.coverage.record_branch(
+                        fid,
+                        kaleidoscope_ir::BlockId(block as u32),
+                        taken,
+                    );
+                    block = if taken { then_bb.index() } else { else_bb.index() };
+                }
+                Terminator::Ret(v) => {
+                    let val = v.map(|o| self.eval(&frame, o)).unwrap_or(RtValue::Int(0));
+                    break 'outer val;
+                }
+            }
+        };
+
+        // Ctx-ret monitor: check before the frame disappears.
+        if self.ctx_ret_funcs[fid.index()] && self.switcher.family_enabled(FAMILY_CTX) {
+            if let Some(v) =
+                self.monitors
+                    .check_ctx_ret(fid, ret, frame.record.as_ref(), &mut self.coverage)
+            {
+                self.handle_violation(v)?;
+            }
+        }
+        self.unwind(&mut frame);
+        Ok(ret)
+    }
+
+    fn unwind(&mut self, frame: &mut Frame) {
+        for h in frame.stack_objs.drain(..) {
+            self.memory.free(h);
+        }
+    }
+
+    fn step(
+        &mut self,
+        inst: &Inst,
+        loc: InstLoc,
+        im: InstMeta,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<(), ExecError> {
+        let mask = self.switcher.disabled_mask();
+        match inst {
+            Inst::Alloca { dst, ty } => {
+                let slots = Layout::of(ty, &self.module.types).slots;
+                let h = self.memory.alloc(ObjSite::Stack(loc), slots);
+                frame.stack_objs.push(h);
+                frame.locals[dst.index()] = RtValue::Ptr { obj: h, off: 0 };
+            }
+            Inst::HeapAlloc { dst, ty } => {
+                let slots = ty
+                    .as_ref()
+                    .map(|t| Layout::of(t, &self.module.types).slots)
+                    .unwrap_or(8);
+                let h = self.memory.alloc(ObjSite::Heap(loc), slots);
+                frame.locals[dst.index()] = RtValue::Ptr { obj: h, off: 0 };
+            }
+            Inst::Copy { dst, src } => {
+                frame.locals[dst.index()] = self.eval(frame, *src);
+            }
+            Inst::Load { dst, src } => {
+                self.mem_ops += 1;
+                let p = self.eval(frame, *src);
+                let v = self.memory.load(p).map_err(|err| ExecError::Mem { loc, err })?;
+                frame.locals[dst.index()] = v;
+            }
+            Inst::Store { dst, src } => {
+                self.mem_ops += 1;
+                // Ctx-store monitor fires before the store executes.
+                if im.flags & MON_CTX_STORE != 0 && mask & FAMILY_CTX == 0 {
+                    let params =
+                        &frame.locals[..self.module.func(frame.func).param_count.min(frame.locals.len())];
+                    let params = params.to_vec();
+                    if let Some(v) = self.monitors.check_ctx_store(
+                        loc,
+                        &params,
+                        frame.record.as_ref(),
+                        &mut self.coverage,
+                    ) {
+                        self.handle_violation(v)?;
+                    }
+                }
+                let p = self.eval(frame, *dst);
+                let v = self.eval(frame, *src);
+                self.memory
+                    .store(p, v)
+                    .map_err(|err| ExecError::Mem { loc, err })?;
+            }
+            Inst::FieldAddr { dst, base, .. } => {
+                let b = self.eval(frame, *base);
+                let delta = im.geom as usize;
+                let result = match b {
+                    RtValue::Ptr { obj, off } => RtValue::Ptr {
+                        obj,
+                        off: off.saturating_add(delta),
+                    },
+                    _ => RtValue::Null,
+                };
+                if im.flags & MON_PWC != 0 && mask & FAMILY_PWC == 0 {
+                    if let Some(v) =
+                        self.monitors
+                            .check_field_addr(loc, b, result, &mut self.coverage)
+                    {
+                        self.handle_violation(v)?;
+                    }
+                }
+                frame.locals[dst.index()] = result;
+            }
+            Inst::PtrArith { dst, base, offset } => {
+                let b = self.eval(frame, *base);
+                if im.flags & MON_PA != 0 && mask & FAMILY_PA == 0 {
+                    if let Some(v) =
+                        self.monitors
+                            .check_ptr_arith(loc, b, &self.memory, &mut self.coverage)
+                    {
+                        self.handle_violation(v)?;
+                    }
+                }
+                let delta = self.eval(frame, *offset).as_int();
+                frame.locals[dst.index()] = offset_ptr(b, delta);
+            }
+            Inst::ElemAddr { dst, base, index } => {
+                let b = self.eval(frame, *base);
+                let esize = (im.geom as usize).max(1);
+                let idx = self.eval(frame, *index).as_int();
+                frame.locals[dst.index()] = offset_ptr(b, idx.saturating_mul(esize as i64));
+            }
+            Inst::BinOp { dst, op, lhs, rhs } => {
+                let a = self.eval(frame, *lhs);
+                let b = self.eval(frame, *rhs);
+                frame.locals[dst.index()] = binop(*op, a, b);
+            }
+            Inst::Call { dst, callee, args } => {
+                let argv: Vec<RtValue> = args.iter().map(|a| self.eval(frame, *a)).collect();
+                let record = if im.flags & MON_CTX_CALLSITE != 0 {
+                    // The callsite instrumentation (recording the actuals)
+                    // is itself a monitor point — count it as executed.
+                    if mask & FAMILY_CTX == 0 {
+                        self.coverage.record_monitor(loc);
+                        self.monitors.checks += 1;
+                    }
+                    Some(CtxRecord {
+                        site: loc,
+                        args: argv.clone(),
+                    })
+                } else {
+                    None
+                };
+                let r = self.call(*callee, argv, depth + 1, record)?;
+                if let Some(d) = dst {
+                    frame.locals[d.index()] = r;
+                }
+            }
+            Inst::CallInd { dst, callee, args } => {
+                let target = self.eval(frame, *callee);
+                let RtValue::Func(target) = target else {
+                    return Err(ExecError::BadIndirectCall { site: loc });
+                };
+                if self.module.func(target).param_count != args.len() {
+                    return Err(ExecError::BadIndirectCall { site: loc });
+                }
+                self.coverage.record_icall(loc, target);
+                if let Some(g) = &self.guard {
+                    if !g.allowed_masked(loc, target, mask) {
+                        return Err(ExecError::CfiViolation { site: loc, target });
+                    }
+                }
+                let argv: Vec<RtValue> = args.iter().map(|a| self.eval(frame, *a)).collect();
+                let r = self.call(target, argv, depth + 1, None)?;
+                if let Some(d) = dst {
+                    frame.locals[d.index()] = r;
+                }
+            }
+            Inst::Input { dst } => {
+                let byte = self.input.get(self.input_pos).copied().unwrap_or(0);
+                if self.input_pos < self.input.len() {
+                    self.input_pos += 1;
+                }
+                frame.locals[dst.index()] = RtValue::Int(byte as i64);
+            }
+            Inst::Output { src } => {
+                let v = self.eval(frame, *src);
+                self.output_count += 1;
+                self.output_digest = self
+                    .output_digest
+                    .rotate_left(7)
+                    .wrapping_add(v.as_int() as u64);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn static_ty(module: &Module, func: FuncId, op: &Operand) -> Option<Type> {
+    match op {
+        Operand::Local(l) => Some(module.func(func).local_ty(*l).clone()),
+        Operand::Global(g) => Some(Type::ptr(module.global(*g).ty.clone())),
+        Operand::Func(f) => Some(Type::ptr(Type::Func(module.func(*f).sig()))),
+        _ => None,
+    }
+}
+
+fn offset_ptr(base: RtValue, delta: i64) -> RtValue {
+    match base {
+        RtValue::Ptr { obj, off } => {
+            let new = off as i64 + delta;
+            RtValue::Ptr {
+                obj,
+                // Negative offsets become guaranteed-out-of-bounds rather
+                // than wrapping into another slot.
+                off: if new < 0 { usize::MAX } else { new as usize },
+            }
+        }
+        other => other,
+    }
+}
+
+fn binop(op: BinOpKind, a: RtValue, b: RtValue) -> RtValue {
+    let (x, y) = (a.as_int(), b.as_int());
+    let v = match op {
+        BinOpKind::Add => x.wrapping_add(y),
+        BinOpKind::Sub => x.wrapping_sub(y),
+        BinOpKind::Mul => x.wrapping_mul(y),
+        BinOpKind::Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        BinOpKind::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        BinOpKind::Eq => (a == b) as i64,
+        BinOpKind::Lt => (x < y) as i64,
+        BinOpKind::And => x & y,
+        BinOpKind::Or => x | y,
+        BinOpKind::Xor => x ^ y,
+    };
+    RtValue::Int(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::{FunctionBuilder, Module};
+
+    fn run_main(m: &Module) -> (RtValue, u64) {
+        let mut ex = Executor::unhardened(m);
+        let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        (out.ret, out.steps)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut m = Module::new("arith");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let x = b.binop("x", BinOpKind::Add, 40i64, 2i64);
+        let y = b.binop("y", BinOpKind::Mul, x, 10i64);
+        b.ret(Some(y.into()));
+        b.finish();
+        let (ret, steps) = run_main(&m);
+        assert_eq!(ret, RtValue::Int(420));
+        assert_eq!(steps, 2);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut m = Module::new("div0");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let x = b.binop("x", BinOpKind::Div, 7i64, 0i64);
+        let y = b.binop("y", BinOpKind::Rem, 7i64, 0i64);
+        let z = b.binop("z", BinOpKind::Add, x, y);
+        b.ret(Some(z.into()));
+        b.finish();
+        assert_eq!(run_main(&m).0, RtValue::Int(0));
+    }
+
+    #[test]
+    fn memory_through_struct_fields() {
+        let mut m = Module::new("fields");
+        let s = m
+            .types
+            .declare("pair", vec![Type::Int, Type::Int])
+            .unwrap();
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let o = b.alloca("o", Type::Struct(s));
+        let f0 = b.field_addr("f0", o, 0);
+        let f1 = b.field_addr("f1", o, 1);
+        b.store(f0, 11i64);
+        b.store(f1, 31i64);
+        let a = b.load("a", f0);
+        let c = b.load("c", f1);
+        let r = b.binop("r", BinOpKind::Add, a, c);
+        b.ret(Some(r.into()));
+        b.finish();
+        assert_eq!(run_main(&m).0, RtValue::Int(42));
+    }
+
+    #[test]
+    fn array_elements_are_distinct() {
+        let mut m = Module::new("arr");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let arr = b.alloca("arr", Type::array(Type::Int, 4));
+        for i in 0..4 {
+            let e = b.elem_addr(&format!("e{i}"), arr, i as i64);
+            b.store(e, (i * i) as i64);
+        }
+        let e3 = b.elem_addr("e3b", arr, 3i64);
+        let v = b.load("v", e3);
+        b.ret(Some(v.into()));
+        b.finish();
+        assert_eq!(run_main(&m).0, RtValue::Int(9));
+    }
+
+    #[test]
+    fn branches_loops_and_coverage() {
+        // Sum 1..=5 with a loop.
+        let mut m = Module::new("loop");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let i = b.alloca("i", Type::Int);
+        let acc = b.alloca("acc", Type::Int);
+        b.store(i, 1i64);
+        b.store(acc, 0i64);
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        let iv = b.load("iv", i);
+        let cond = b.binop("cond", BinOpKind::Lt, iv, 6i64);
+        b.branch(cond, body, done);
+        b.switch_to(body);
+        let iv2 = b.load("iv2", i);
+        let av = b.load("av", acc);
+        let sum = b.binop("sum", BinOpKind::Add, av, iv2);
+        b.store(acc, sum);
+        let inc = b.binop("inc", BinOpKind::Add, iv2, 1i64);
+        b.store(i, inc);
+        b.jump(head);
+        b.switch_to(done);
+        let out = b.load("out", acc);
+        b.ret(Some(out.into()));
+        b.finish();
+
+        let mut ex = Executor::unhardened(&m);
+        let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(out.ret, RtValue::Int(15));
+        assert_eq!(ex.coverage.branch_total(), 2);
+        assert_eq!(ex.coverage.branch_executed(), 2, "both edges taken");
+    }
+
+    #[test]
+    fn calls_direct_and_indirect() {
+        let mut m = Module::new("calls");
+        let double = {
+            let mut b = FunctionBuilder::new(&mut m, "double", vec![("x", Type::Int)], Type::Int);
+            let x = b.param(0);
+            let r = b.binop("r", BinOpKind::Mul, x, 2i64);
+            b.ret(Some(r.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let d = b.call("d", double, vec![Operand::ConstInt(10)]).unwrap();
+        let fp = b.copy("fp", Operand::Func(double));
+        let e = b
+            .call_ind("e", fp, vec![d.into()], Type::Int)
+            .unwrap();
+        b.ret(Some(e.into()));
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(out.ret, RtValue::Int(40));
+        // Observed target recorded for Figure 1.
+        assert_eq!(ex.coverage.observed_targets().count(), 1);
+    }
+
+    #[test]
+    fn indirect_call_through_memory() {
+        let mut m = Module::new("fnptr_mem");
+        let s = m
+            .types
+            .declare("ctx", vec![Type::fn_ptr(vec![Type::Int], Type::Int)])
+            .unwrap();
+        let inc = {
+            let mut b = FunctionBuilder::new(&mut m, "inc", vec![("x", Type::Int)], Type::Int);
+            let x = b.param(0);
+            let r = b.binop("r", BinOpKind::Add, x, 1i64);
+            b.ret(Some(r.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let o = b.alloca("o", Type::Struct(s));
+        let slot = b.field_addr("slot", o, 0);
+        b.store(slot, Operand::Func(inc));
+        let f = b.load("f", slot);
+        let r = b.call_ind("r", f, vec![Operand::ConstInt(41)], Type::Int).unwrap();
+        b.ret(Some(r.into()));
+        b.finish();
+        assert_eq!(run_main(&m).0, RtValue::Int(42));
+    }
+
+    #[test]
+    fn input_and_output() {
+        let mut m = Module::new("io");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let a = b.input("a");
+        let c = b.input("c");
+        b.output(a);
+        b.output(c);
+        let r = b.binop("r", BinOpKind::Add, a, c);
+        b.ret(Some(r.into()));
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        ex.set_input(&[3, 4]);
+        let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(out.ret, RtValue::Int(7));
+        assert_eq!(ex.output_count, 2);
+        // Input exhausted → zeros.
+        let out2 = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(out2.ret, RtValue::Int(0));
+    }
+
+    #[test]
+    fn stack_objects_freed_on_return() {
+        let mut m = Module::new("frees");
+        let leaf = {
+            let mut b = FunctionBuilder::new(&mut m, "leaf", vec![], Type::Void);
+            let _o = b.alloca("o", Type::array(Type::Int, 64));
+            b.ret(None);
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        for _ in 0..5 {
+            b.call("r", leaf, vec![]);
+        }
+        b.ret(None);
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+        assert_eq!(ex.memory.live_count(), 0, "all stack objects freed");
+        assert_eq!(ex.memory.allocs, 5);
+    }
+
+    #[test]
+    fn dangling_stack_pointer_caught() {
+        let mut m = Module::new("dangle");
+        let escape = {
+            let mut b = FunctionBuilder::new(
+                &mut m,
+                "escape",
+                vec![],
+                Type::ptr(Type::Int),
+            );
+            let o = b.alloca("o", Type::Int);
+            b.ret(Some(o.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let p = b.call("p", escape, vec![]).unwrap();
+        let v = b.load("v", p);
+        b.ret(Some(v.into()));
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::Mem { err: MemError::Dangling, .. }));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut m = Module::new("infinite");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let head = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.output(Operand::ConstInt(1));
+        b.jump(head);
+        b.finish();
+        let mut ex = Executor::new(
+            &m,
+            MonitorSet::empty(),
+            None,
+            ExecConfig {
+                step_limit: 1000,
+                ..Default::default()
+            },
+        );
+        let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
+        assert_eq!(err, ExecError::StepLimitExceeded);
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let mut m = Module::new("deep");
+        let f = m.declare_func("f", vec![], Type::Void).unwrap();
+        let mut b = FunctionBuilder::for_declared(&mut m, f);
+        b.call("r", f, vec![]);
+        b.ret(None);
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        let err = ex.run(f, vec![]).unwrap_err();
+        assert_eq!(err, ExecError::CallDepthExceeded);
+    }
+
+    #[test]
+    fn cfi_guard_blocks_disallowed_target() {
+        struct DenyAll;
+        impl IndirectCallGuard for DenyAll {
+            fn allowed(&self, _site: InstLoc, _target: FuncId, _view: ViewKind) -> bool {
+                false
+            }
+        }
+        let mut m = Module::new("cfi");
+        let h = {
+            let b = FunctionBuilder::new(&mut m, "h", vec![], Type::Void);
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let fp = b.copy("fp", Operand::Func(h));
+        b.call_ind("r", fp, vec![], Type::Void);
+        b.ret(None);
+        b.finish();
+        let mut ex = Executor::new(&m, MonitorSet::empty(), Some(Box::new(DenyAll)), ExecConfig::default());
+        let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::CfiViolation { .. }));
+    }
+
+    #[test]
+    fn globals_shared_across_runs() {
+        let mut m = Module::new("counter");
+        m.add_global("count", Type::Int).unwrap();
+        let g = m.global_by_name("count").unwrap();
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let v = b.load("v", Operand::Global(g));
+        let v2 = b.binop("v2", BinOpKind::Add, v, 1i64);
+        b.store(Operand::Global(g), v2);
+        b.ret(Some(v2.into()));
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        let main = m.func_by_name("main").unwrap();
+        assert_eq!(ex.run(main, vec![]).unwrap().ret, RtValue::Int(1));
+        assert_eq!(ex.run(main, vec![]).unwrap().ret, RtValue::Int(2));
+        assert_eq!(ex.run(main, vec![]).unwrap().ret, RtValue::Int(3));
+    }
+
+    #[test]
+    fn ptr_arith_walks_slots() {
+        let mut m = Module::new("walk");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let arr = b.alloca("arr", Type::array(Type::Int, 4));
+        let e0 = b.elem_addr("e0", arr, 0i64);
+        b.store(e0, 5i64);
+        let e2 = b.ptr_arith("e2", e0, 2i64);
+        b.store(e2, 7i64);
+        let back = b.ptr_arith("back", e2, -2i64);
+        let v = b.load("v", back);
+        b.ret(Some(v.into()));
+        b.finish();
+        assert_eq!(run_main(&m).0, RtValue::Int(5));
+    }
+
+    #[test]
+    fn negative_ptr_arith_is_out_of_bounds() {
+        let mut m = Module::new("neg");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+        let o = b.alloca("o", Type::Int);
+        let bad = b.ptr_arith("bad", o, -3i64);
+        let v = b.load("v", bad);
+        b.ret(Some(v.into()));
+        b.finish();
+        let mut ex = Executor::unhardened(&m);
+        let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Mem { err: MemError::OutOfBounds, .. }
+        ));
+    }
+}

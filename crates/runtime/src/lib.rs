@@ -1,0 +1,30 @@
+//! Deterministic runtime for the Kaleidoscope IR: an interpreter with the
+//! paper's runtime machinery attached.
+//!
+//! This crate stands in for the instrumented native binaries of the paper's
+//! evaluation. It provides:
+//!
+//! * a slot-based [`memory::Memory`] tagging every object with its
+//!   allocation site (so monitors can ask "does this pointer refer to a
+//!   filtered object?");
+//! * [`monitor::MonitorSet`] — compiled runtime monitors for the three
+//!   likely-invariant kinds (§4.2–§4.4);
+//! * [`switcher::MvSwitcher`] — the one-way optimistic→fallback memory-view
+//!   switch behind a stack-secret secure gate (§5);
+//! * [`coverage::Coverage`] — branch and monitor coverage counters
+//!   (Tables 4 and 5) plus per-callsite observed indirect-call targets
+//!   (Figure 1);
+//! * [`interp::Executor`] — the interpreter tying it all together, with an
+//!   [`interp::IndirectCallGuard`] hook the CFI crate implements.
+
+pub mod coverage;
+pub mod interp;
+pub mod memory;
+pub mod monitor;
+pub mod switcher;
+
+pub use coverage::Coverage;
+pub use interp::{ExecConfig, ExecError, Executor, IndirectCallGuard, RunOutcome};
+pub use memory::{Memory, ObjHandle, RtObject, RtValue};
+pub use monitor::{MonitorSet, Violation};
+pub use switcher::{family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_ALL, FAMILY_CTX, FAMILY_PA, FAMILY_PWC};

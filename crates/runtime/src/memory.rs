@@ -1,0 +1,286 @@
+//! Slot-based runtime memory.
+//!
+//! Every object carries the [`ObjSite`] it was allocated at — the identity
+//! the runtime monitors compare against the abstract objects the analysis
+//! filtered. Stack objects are freed when their frame returns; handles are
+//! generation-tagged so stale pointers are caught instead of aliasing a
+//! recycled slot.
+
+use std::fmt;
+
+use kaleidoscope_ir::FuncId;
+use kaleidoscope_pta::ObjSite;
+
+/// A generation-tagged handle to a runtime object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjHandle {
+    /// Index into the object arena.
+    pub index: u32,
+    /// Generation at allocation time (guards against recycled slots).
+    pub gen: u32,
+}
+
+impl fmt::Display for ObjHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}g{}", self.index, self.gen)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtValue {
+    /// An integer.
+    Int(i64),
+    /// A pointer to slot `off` of an object.
+    Ptr {
+        /// The object.
+        obj: ObjHandle,
+        /// Slot offset within the object.
+        off: usize,
+    },
+    /// A function address.
+    Func(FuncId),
+    /// The null pointer.
+    Null,
+}
+
+impl RtValue {
+    /// Truthiness for branches: non-zero / non-null.
+    pub fn truthy(self) -> bool {
+        match self {
+            RtValue::Int(v) => v != 0,
+            RtValue::Ptr { .. } | RtValue::Func(_) => true,
+            RtValue::Null => false,
+        }
+    }
+
+    /// The integer payload, defaulting to 0 for non-integers.
+    pub fn as_int(self) -> i64 {
+        match self {
+            RtValue::Int(v) => v,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtValue::Int(v) => write!(f, "{v}"),
+            RtValue::Ptr { obj, off } => write!(f, "&{obj}+{off}"),
+            RtValue::Func(x) => write!(f, "@{}", x.0),
+            RtValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A live runtime object.
+#[derive(Debug, Clone)]
+pub struct RtObject {
+    /// The allocation site the object came from.
+    pub site: ObjSite,
+    /// Slot contents.
+    pub slots: Vec<RtValue>,
+    /// Current generation of this arena index.
+    pub gen: u32,
+    /// Whether the object is live.
+    pub live: bool,
+}
+
+/// The memory arena.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    objects: Vec<RtObject>,
+    free: Vec<u32>,
+    /// Total allocations performed (stat).
+    pub allocs: u64,
+}
+
+/// Error produced by an invalid memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The handle's generation is stale or the object was freed.
+    Dangling,
+    /// The offset is outside the object.
+    OutOfBounds,
+    /// The value dereferenced was not a pointer.
+    NotAPointer,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Dangling => write!(f, "dangling object handle"),
+            MemError::OutOfBounds => write!(f, "slot offset out of bounds"),
+            MemError::NotAPointer => write!(f, "dereference of a non-pointer value"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl Memory {
+    /// Create an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate an object of `slots` slots at `site` (slots start as 0).
+    pub fn alloc(&mut self, site: ObjSite, slots: usize) -> ObjHandle {
+        self.allocs += 1;
+        let slots = vec![RtValue::Int(0); slots.max(1)];
+        if let Some(idx) = self.free.pop() {
+            let o = &mut self.objects[idx as usize];
+            o.site = site;
+            o.slots = slots;
+            o.live = true;
+            return ObjHandle {
+                index: idx,
+                gen: o.gen,
+            };
+        }
+        let idx = self.objects.len() as u32;
+        self.objects.push(RtObject {
+            site,
+            slots,
+            gen: 0,
+            live: true,
+        });
+        ObjHandle { index: idx, gen: 0 }
+    }
+
+    /// Free an object (stack frames at return). Stale handles to it will be
+    /// rejected by later accesses.
+    pub fn free(&mut self, h: ObjHandle) {
+        if let Some(o) = self.objects.get_mut(h.index as usize) {
+            if o.live && o.gen == h.gen {
+                o.live = false;
+                o.gen = o.gen.wrapping_add(1);
+                o.slots = Vec::new();
+                self.free.push(h.index);
+            }
+        }
+    }
+
+    fn check(&self, h: ObjHandle) -> Result<&RtObject, MemError> {
+        let o = self.objects.get(h.index as usize).ok_or(MemError::Dangling)?;
+        if !o.live || o.gen != h.gen {
+            return Err(MemError::Dangling);
+        }
+        Ok(o)
+    }
+
+    /// The allocation site of a live object.
+    pub fn site_of(&self, h: ObjHandle) -> Result<ObjSite, MemError> {
+        Ok(self.check(h)?.site)
+    }
+
+    /// Read the slot a pointer refers to.
+    pub fn load(&self, ptr: RtValue) -> Result<RtValue, MemError> {
+        let RtValue::Ptr { obj, off } = ptr else {
+            return Err(MemError::NotAPointer);
+        };
+        let o = self.check(obj)?;
+        o.slots.get(off).copied().ok_or(MemError::OutOfBounds)
+    }
+
+    /// Write the slot a pointer refers to.
+    pub fn store(&mut self, ptr: RtValue, val: RtValue) -> Result<(), MemError> {
+        let RtValue::Ptr { obj, off } = ptr else {
+            return Err(MemError::NotAPointer);
+        };
+        let o = self
+            .objects
+            .get_mut(obj.index as usize)
+            .ok_or(MemError::Dangling)?;
+        if !o.live || o.gen != obj.gen {
+            return Err(MemError::Dangling);
+        }
+        let slot = o.slots.get_mut(off).ok_or(MemError::OutOfBounds)?;
+        *slot = val;
+        Ok(())
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.objects.iter().filter(|o| o.live).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::GlobalId;
+
+    fn site() -> ObjSite {
+        ObjSite::Global(GlobalId(0))
+    }
+
+    #[test]
+    fn alloc_load_store_roundtrip() {
+        let mut m = Memory::new();
+        let h = m.alloc(site(), 3);
+        let p = RtValue::Ptr { obj: h, off: 1 };
+        assert_eq!(m.load(p), Ok(RtValue::Int(0)));
+        m.store(p, RtValue::Int(42)).unwrap();
+        assert_eq!(m.load(p), Ok(RtValue::Int(42)));
+        assert_eq!(m.site_of(h), Ok(site()));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Memory::new();
+        let h = m.alloc(site(), 2);
+        let p = RtValue::Ptr { obj: h, off: 5 };
+        assert_eq!(m.load(p), Err(MemError::OutOfBounds));
+        assert_eq!(m.store(p, RtValue::Int(1)), Err(MemError::OutOfBounds));
+    }
+
+    #[test]
+    fn freed_objects_are_dangling_and_recycled() {
+        let mut m = Memory::new();
+        let h = m.alloc(site(), 2);
+        m.free(h);
+        let p = RtValue::Ptr { obj: h, off: 0 };
+        assert_eq!(m.load(p), Err(MemError::Dangling));
+        // Recycled slot gets a new generation; old handle still dangling.
+        let h2 = m.alloc(site(), 4);
+        assert_eq!(h2.index, h.index);
+        assert_ne!(h2.gen, h.gen);
+        assert_eq!(m.load(p), Err(MemError::Dangling));
+        assert_eq!(m.load(RtValue::Ptr { obj: h2, off: 3 }), Ok(RtValue::Int(0)));
+    }
+
+    #[test]
+    fn non_pointer_deref_rejected() {
+        let m = Memory::new();
+        assert_eq!(m.load(RtValue::Int(7)), Err(MemError::NotAPointer));
+        assert_eq!(m.load(RtValue::Null), Err(MemError::NotAPointer));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!RtValue::Int(0).truthy());
+        assert!(RtValue::Int(-3).truthy());
+        assert!(!RtValue::Null.truthy());
+        assert!(RtValue::Func(FuncId(0)).truthy());
+    }
+
+    #[test]
+    fn zero_slot_objects_get_one_slot() {
+        let mut m = Memory::new();
+        let h = m.alloc(site(), 0);
+        assert_eq!(m.load(RtValue::Ptr { obj: h, off: 0 }), Ok(RtValue::Int(0)));
+    }
+
+    #[test]
+    fn live_count_tracks_frees() {
+        let mut m = Memory::new();
+        let a = m.alloc(site(), 1);
+        let _b = m.alloc(site(), 1);
+        assert_eq!(m.live_count(), 2);
+        m.free(a);
+        assert_eq!(m.live_count(), 1);
+        assert_eq!(m.allocs, 2);
+    }
+}

@@ -1,0 +1,476 @@
+//! Compiled runtime monitors for likely invariants.
+//!
+//! The analysis hands over [`LikelyInvariant`] descriptors; this module
+//! compiles them into per-instruction checks the executor consults:
+//!
+//! * **PA** (§4.2, Figure 6): at a monitored `PtrArith`, the base pointer
+//!   must not refer to any filtered object.
+//! * **PWC** (§4.3, Figure 7): the monitored field accesses record every
+//!   field address they generate; reusing one as a *base* pointer means the
+//!   positive weight cycle actually formed.
+//! * **Ctx** (§4.4, Figure 8): callsites of a bypassed function record the
+//!   actual arguments; at the bypassed store (or the return) the parameter
+//!   values must still equal the recorded actuals.
+
+use std::collections::{HashMap, HashSet};
+
+use kaleidoscope::LikelyInvariant;
+use kaleidoscope_ir::{FuncId, InstLoc};
+use kaleidoscope_pta::ObjSite;
+
+use crate::coverage::Coverage;
+use crate::memory::{Memory, RtValue};
+
+/// A detected likely-invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated invariant in the originating result.
+    pub invariant: usize,
+    /// The instruction at which the violation was observed.
+    pub loc: InstLoc,
+    /// Policy tag (`"PA"`, `"PWC"`, `"Ctx"`).
+    pub policy: &'static str,
+}
+
+/// Actuals recorded at a monitored callsite (pushed with the frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtxRecord {
+    /// The callsite.
+    pub site: InstLoc,
+    /// The actual argument values at call time.
+    pub args: Vec<RtValue>,
+}
+
+#[derive(Debug, Clone)]
+struct PwcGroup {
+    invariant: usize,
+    generated: HashSet<(u32, u32, usize)>, // (obj index, obj gen, slot)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CtxStoreMon {
+    invariant: usize,
+    base_param: usize,
+    src_param: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CtxRetMon {
+    invariant: usize,
+    param: usize,
+}
+
+/// The compiled monitor set for one hardened program.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSet {
+    pa: HashMap<InstLoc, (usize, Vec<ObjSite>)>,
+    pwc_groups: Vec<PwcGroup>,
+    pwc_by_loc: HashMap<InstLoc, Vec<usize>>,
+    ctx_store: HashMap<InstLoc, CtxStoreMon>,
+    ctx_ret: HashMap<FuncId, Vec<CtxRetMon>>,
+    ctx_funcs: HashSet<FuncId>,
+    monitored_callsites: HashSet<InstLoc>,
+    total_points: usize,
+    /// Number of monitor checks actually executed (an instrumented point
+    /// was reached), across all kinds.
+    pub checks: u64,
+}
+
+impl MonitorSet {
+    /// An empty monitor set (unhardened execution).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Compile a monitor set from invariant descriptors.
+    pub fn compile(invariants: &[LikelyInvariant]) -> Self {
+        let mut set = MonitorSet::default();
+        for (idx, inv) in invariants.iter().enumerate() {
+            set.total_points += inv.monitored_locs().len();
+            match inv {
+                LikelyInvariant::PtrArith {
+                    loc,
+                    filtered_sites,
+                } => {
+                    set.pa
+                        .entry(*loc)
+                        .or_insert_with(|| (idx, Vec::new()))
+                        .1
+                        .extend(filtered_sites.iter().copied());
+                }
+                LikelyInvariant::Pwc { field_locs } => {
+                    let g = set.pwc_groups.len();
+                    set.pwc_groups.push(PwcGroup {
+                        invariant: idx,
+                        generated: HashSet::new(),
+                    });
+                    for loc in field_locs {
+                        set.pwc_by_loc.entry(*loc).or_default().push(g);
+                    }
+                }
+                LikelyInvariant::CtxStore {
+                    func,
+                    store_loc,
+                    base_param,
+                    src_param,
+                    callsites,
+                } => {
+                    set.ctx_store.insert(
+                        *store_loc,
+                        CtxStoreMon {
+                            invariant: idx,
+                            base_param: *base_param,
+                            src_param: *src_param,
+                        },
+                    );
+                    set.ctx_funcs.insert(*func);
+                    set.monitored_callsites.extend(callsites.iter().copied());
+                }
+                LikelyInvariant::CtxRet {
+                    func,
+                    param,
+                    callsites,
+                } => {
+                    set.ctx_ret.entry(*func).or_default().push(CtxRetMon {
+                        invariant: idx,
+                        param: *param,
+                    });
+                    set.ctx_funcs.insert(*func);
+                    set.monitored_callsites.extend(callsites.iter().copied());
+                }
+            }
+        }
+        set
+    }
+
+    /// Total monitor instrumentation points (for coverage denominators).
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// Whether the set has no monitors at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_points == 0
+    }
+
+    /// Whether calls to `func` must record their actuals.
+    pub fn is_ctx_func(&self, func: FuncId) -> bool {
+        self.ctx_funcs.contains(&func)
+    }
+
+    /// Whether `site` is a monitored callsite of a Ctx invariant.
+    pub fn is_monitored_callsite(&self, site: InstLoc) -> bool {
+        self.monitored_callsites.contains(&site)
+    }
+
+    /// Whether a Ctx-store monitor is installed at `loc` (lets the
+    /// executor skip building the parameter snapshot on unmonitored
+    /// stores).
+    pub fn has_ctx_store(&self, loc: InstLoc) -> bool {
+        self.ctx_store.contains_key(&loc)
+    }
+
+    /// Whether a PA monitor is installed at `loc`.
+    pub fn has_pa_monitor(&self, loc: InstLoc) -> bool {
+        self.pa.contains_key(&loc)
+    }
+
+    /// Whether a PWC monitor is installed at `loc`.
+    pub fn has_pwc_monitor(&self, loc: InstLoc) -> bool {
+        self.pwc_by_loc.contains_key(&loc)
+    }
+
+    /// PA check at a `PtrArith` instruction. `base` is the runtime base
+    /// pointer value.
+    pub fn check_ptr_arith(
+        &mut self,
+        loc: InstLoc,
+        base: RtValue,
+        mem: &Memory,
+        cov: &mut Coverage,
+    ) -> Option<Violation> {
+        let (invariant, filtered) = self.pa.get(&loc)?;
+        self.checks += 1;
+        cov.record_monitor(loc);
+        let RtValue::Ptr { obj, .. } = base else {
+            return None;
+        };
+        let Ok(site) = mem.site_of(obj) else {
+            return None;
+        };
+        if filtered.contains(&site) {
+            return Some(Violation {
+                invariant: *invariant,
+                loc,
+                policy: "PA",
+            });
+        }
+        None
+    }
+
+    /// PWC check at a monitored `FieldAddr`: detect a generated field
+    /// address being reused as a base, then record the new address.
+    pub fn check_field_addr(
+        &mut self,
+        loc: InstLoc,
+        base: RtValue,
+        result: RtValue,
+        cov: &mut Coverage,
+    ) -> Option<Violation> {
+        // Copy the (tiny) group-index list to a fixed buffer: no per-check
+        // allocation on the hot path.
+        let mut gbuf = [0usize; 8];
+        let glist = self.pwc_by_loc.get(&loc)?;
+        let n = glist.len().min(gbuf.len());
+        gbuf[..n].copy_from_slice(&glist[..n]);
+        self.checks += 1;
+        cov.record_monitor(loc);
+        let mut violation = None;
+        for &g in &gbuf[..n] {
+            let group = &mut self.pwc_groups[g];
+            if let RtValue::Ptr { obj, off } = base {
+                if group.generated.contains(&(obj.index, obj.gen, off)) {
+                    violation.get_or_insert(Violation {
+                        invariant: group.invariant,
+                        loc,
+                        policy: "PWC",
+                    });
+                }
+            }
+            if let RtValue::Ptr { obj, off } = result {
+                group.generated.insert((obj.index, obj.gen, off));
+            }
+        }
+        violation
+    }
+
+    /// Ctx-store check at the bypassed store instruction. `params` are the
+    /// callee's current parameter values; `record` the actuals recorded at
+    /// the callsite (if the activation came through a monitored callsite).
+    pub fn check_ctx_store(
+        &mut self,
+        loc: InstLoc,
+        params: &[RtValue],
+        record: Option<&CtxRecord>,
+        cov: &mut Coverage,
+    ) -> Option<Violation> {
+        let mon = *self.ctx_store.get(&loc)?;
+        self.checks += 1;
+        cov.record_monitor(loc);
+        let Some(record) = record else {
+            // Reached without a recorded callsite: the per-callsite wiring
+            // cannot vouch for this activation.
+            return Some(Violation {
+                invariant: mon.invariant,
+                loc,
+                policy: "Ctx",
+            });
+        };
+        let ok = params.get(mon.base_param) == record.args.get(mon.base_param)
+            && params.get(mon.src_param) == record.args.get(mon.src_param);
+        if ok {
+            None
+        } else {
+            Some(Violation {
+                invariant: mon.invariant,
+                loc,
+                policy: "Ctx",
+            })
+        }
+    }
+
+    /// Ctx-ret check when `func` returns `ret`.
+    pub fn check_ctx_ret(
+        &mut self,
+        func: FuncId,
+        ret: RtValue,
+        record: Option<&CtxRecord>,
+        cov: &mut Coverage,
+    ) -> Option<Violation> {
+        let mut mbuf = [CtxRetMon { invariant: 0, param: 0 }; 4];
+        let mlist = self.ctx_ret.get(&func)?;
+        let n = mlist.len().min(mbuf.len());
+        mbuf[..n].copy_from_slice(&mlist[..n]);
+        self.checks += 1;
+        let mut violation = None;
+        for &mon in &mbuf[..n] {
+            if let Some(record) = record {
+                cov.record_monitor(record.site);
+                if record.args.get(mon.param) != Some(&ret) {
+                    violation.get_or_insert(Violation {
+                        invariant: mon.invariant,
+                        loc: record.site,
+                        policy: "Ctx",
+                    });
+                }
+            } else {
+                violation.get_or_insert(Violation {
+                    invariant: mon.invariant,
+                    loc: InstLoc::new(func, kaleidoscope_ir::BlockId(0), 0),
+                    policy: "Ctx",
+                });
+            }
+        }
+        violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::{BlockId, GlobalId, Module};
+    use kaleidoscope_pta::ObjSite;
+
+    fn loc(i: u32) -> InstLoc {
+        InstLoc::new(FuncId(0), BlockId(0), i)
+    }
+
+    fn fresh_cov() -> Coverage {
+        Coverage::for_module(&Module::new("t"), 10)
+    }
+
+    #[test]
+    fn pa_monitor_flags_filtered_site() {
+        let filtered_site = ObjSite::Global(GlobalId(1));
+        let inv = LikelyInvariant::PtrArith {
+            loc: loc(0),
+            filtered_sites: vec![filtered_site],
+        };
+        let mut set = MonitorSet::compile(&[inv]);
+        assert_eq!(set.total_points(), 1);
+        let mut mem = Memory::new();
+        let ok_obj = mem.alloc(ObjSite::Global(GlobalId(0)), 2);
+        let bad_obj = mem.alloc(filtered_site, 2);
+        let mut cov = fresh_cov();
+        // Unfiltered object: fine.
+        assert!(set
+            .check_ptr_arith(loc(0), RtValue::Ptr { obj: ok_obj, off: 0 }, &mem, &mut cov)
+            .is_none());
+        // Filtered object: violation.
+        let v = set
+            .check_ptr_arith(loc(0), RtValue::Ptr { obj: bad_obj, off: 1 }, &mem, &mut cov)
+            .expect("violation");
+        assert_eq!(v.policy, "PA");
+        // Unmonitored location: no check, no coverage.
+        assert!(set
+            .check_ptr_arith(loc(9), RtValue::Ptr { obj: bad_obj, off: 0 }, &mem, &mut cov)
+            .is_none());
+        assert_eq!(cov.monitor_executed(), 1);
+    }
+
+    #[test]
+    fn pwc_monitor_detects_address_reuse() {
+        let inv = LikelyInvariant::Pwc {
+            field_locs: vec![loc(0), loc(1)],
+        };
+        let mut set = MonitorSet::compile(&[inv]);
+        assert_eq!(set.total_points(), 2);
+        let mut mem = Memory::new();
+        let o = mem.alloc(ObjSite::Global(GlobalId(0)), 4);
+        let base = RtValue::Ptr { obj: o, off: 0 };
+        let f2 = RtValue::Ptr { obj: o, off: 2 };
+        let mut cov = fresh_cov();
+        // First access: base fresh, result f2 recorded.
+        assert!(set.check_field_addr(loc(0), base, f2, &mut cov).is_none());
+        // Reuse of the generated address as a base: the PWC formed.
+        let v = set
+            .check_field_addr(loc(1), f2, RtValue::Ptr { obj: o, off: 3 }, &mut cov)
+            .expect("violation");
+        assert_eq!(v.policy, "PWC");
+    }
+
+    #[test]
+    fn pwc_ignores_unmonitored_and_fresh_bases() {
+        let inv = LikelyInvariant::Pwc {
+            field_locs: vec![loc(0)],
+        };
+        let mut set = MonitorSet::compile(&[inv]);
+        let mut mem = Memory::new();
+        let o = mem.alloc(ObjSite::Global(GlobalId(0)), 4);
+        let mut cov = fresh_cov();
+        // repeated fresh bases never violate
+        for off in 0..3 {
+            let base = RtValue::Ptr { obj: o, off };
+            let res = RtValue::Ptr { obj: o, off: off + 10 };
+            assert!(set.check_field_addr(loc(0), base, res, &mut cov).is_none());
+        }
+    }
+
+    #[test]
+    fn ctx_store_monitor_checks_recorded_actuals() {
+        let inv = LikelyInvariant::CtxStore {
+            func: FuncId(1),
+            store_loc: loc(5),
+            base_param: 0,
+            src_param: 1,
+            callsites: vec![loc(7)],
+        };
+        let mut set = MonitorSet::compile(&[inv]);
+        assert!(set.is_ctx_func(FuncId(1)));
+        assert!(set.is_monitored_callsite(loc(7)));
+        assert_eq!(set.total_points(), 2);
+        let mut mem = Memory::new();
+        let a = mem.alloc(ObjSite::Global(GlobalId(0)), 1);
+        let b = mem.alloc(ObjSite::Global(GlobalId(1)), 1);
+        let pa = RtValue::Ptr { obj: a, off: 0 };
+        let pb = RtValue::Ptr { obj: b, off: 0 };
+        let record = CtxRecord {
+            site: loc(7),
+            args: vec![pa, pb],
+        };
+        let mut cov = fresh_cov();
+        // Params unchanged: invariant holds.
+        assert!(set
+            .check_ctx_store(loc(5), &[pa, pb], Some(&record), &mut cov)
+            .is_none());
+        // Param repointed: violation.
+        let v = set
+            .check_ctx_store(loc(5), &[pb, pb], Some(&record), &mut cov)
+            .expect("violation");
+        assert_eq!(v.policy, "Ctx");
+        // No record: conservative violation.
+        assert!(set
+            .check_ctx_store(loc(5), &[pa, pb], None, &mut cov)
+            .is_some());
+    }
+
+    #[test]
+    fn ctx_ret_monitor_checks_returned_value() {
+        let inv = LikelyInvariant::CtxRet {
+            func: FuncId(1),
+            param: 0,
+            callsites: vec![loc(7), loc(9)],
+        };
+        let mut set = MonitorSet::compile(&[inv]);
+        let mut mem = Memory::new();
+        let a = mem.alloc(ObjSite::Global(GlobalId(0)), 1);
+        let b = mem.alloc(ObjSite::Global(GlobalId(1)), 1);
+        let pa = RtValue::Ptr { obj: a, off: 0 };
+        let pb = RtValue::Ptr { obj: b, off: 0 };
+        let record = CtxRecord {
+            site: loc(7),
+            args: vec![pa],
+        };
+        let mut cov = fresh_cov();
+        assert!(set
+            .check_ctx_ret(FuncId(1), pa, Some(&record), &mut cov)
+            .is_none());
+        let v = set
+            .check_ctx_ret(FuncId(1), pb, Some(&record), &mut cov)
+            .expect("violation");
+        assert_eq!(v.policy, "Ctx");
+        assert!(set.check_ctx_ret(FuncId(2), pa, None, &mut cov).is_none());
+    }
+
+    #[test]
+    fn empty_set_checks_nothing() {
+        let mut set = MonitorSet::empty();
+        assert!(set.is_empty());
+        let mem = Memory::new();
+        let mut cov = fresh_cov();
+        assert!(set
+            .check_ptr_arith(loc(0), RtValue::Null, &mem, &mut cov)
+            .is_none());
+        assert_eq!(cov.monitor_executed(), 0);
+    }
+}

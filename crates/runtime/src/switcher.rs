@@ -1,0 +1,233 @@
+//! The memory-view switcher with its secure gate (paper §5).
+//!
+//! The switch is one-way: once any likely invariant is violated, the
+//! program runs under the fallback view forever (the paper's implementation
+//! supports exactly two views). To prevent an attacker from jumping into
+//! the switcher and relaxing the CFI policy arbitrarily — the switcher
+//! *widening* target sets is exactly what an attacker would want — entry is
+//! guarded by a 64-bit stack secret pushed at the legitimate callsites and
+//! validated on entry (the ERIM-style gate the paper cites).
+
+use std::fmt;
+
+/// Which memory view is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewKind {
+    /// All likely invariants assumed to hold (precise policies).
+    Optimistic,
+    /// No likely invariants assumed (conservative policies).
+    Fallback,
+}
+
+impl fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewKind::Optimistic => write!(f, "optimistic"),
+            ViewKind::Fallback => write!(f, "fallback"),
+        }
+    }
+}
+
+/// Error raised by an illegitimate switch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The stack secret did not match: someone jumped into the switcher
+    /// from an unauthorized site.
+    BadSecret,
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::BadSecret => write!(f, "memory-view switch with invalid stack secret"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// Bit identifying the PA invariant family in a degradation mask.
+pub const FAMILY_PA: u8 = 0b001;
+/// Bit identifying the PWC invariant family in a degradation mask.
+pub const FAMILY_PWC: u8 = 0b010;
+/// Bit identifying the Ctx invariant family in a degradation mask.
+pub const FAMILY_CTX: u8 = 0b100;
+/// All families disabled — the plain fallback view.
+pub const FAMILY_ALL: u8 = 0b111;
+
+/// Map a policy tag (`"PA"`, `"PWC"`, `"Ctx"`) to its family bit.
+pub fn family_bit(policy: &str) -> u8 {
+    match policy {
+        "PA" => FAMILY_PA,
+        "PWC" => FAMILY_PWC,
+        "Ctx" => FAMILY_CTX,
+        _ => FAMILY_ALL,
+    }
+}
+
+/// The memory-view switcher.
+///
+/// The base system is the paper's two-view design: one secure, one-way
+/// switch from optimistic to fallback. The switcher additionally tracks a
+/// per-family *degradation mask* implementing §8's "finer grained fallback
+/// mechanisms" extension: each invariant family (PA/PWC/Ctx) can be
+/// disabled independently, and consumers that understand partial
+/// degradation (the graded CFI policy) read [`MvSwitcher::disabled_mask`]
+/// while binary consumers keep using [`MvSwitcher::view`], which reports
+/// `Fallback` as soon as *any* family is disabled (conservative, hence
+/// sound).
+#[derive(Debug, Clone)]
+pub struct MvSwitcher {
+    disabled: u8,
+    secret: u64,
+    switches: u32,
+    attempts_rejected: u32,
+}
+
+impl MvSwitcher {
+    /// Create a switcher in the optimistic view with the given gate secret.
+    ///
+    /// In the real system the secret is a random 64-bit value baked into
+    /// the hardened binary's legitimate callsites; here the runtime holds
+    /// it and passes it on monitor-triggered switches.
+    pub fn new(secret: u64) -> Self {
+        MvSwitcher {
+            disabled: 0,
+            secret,
+            switches: 0,
+            attempts_rejected: 0,
+        }
+    }
+
+    /// The currently active view for binary (two-view) consumers:
+    /// `Fallback` as soon as any family has been disabled.
+    pub fn view(&self) -> ViewKind {
+        if self.disabled == 0 {
+            ViewKind::Optimistic
+        } else {
+            ViewKind::Fallback
+        }
+    }
+
+    /// The per-family degradation mask (0 = fully optimistic,
+    /// [`FAMILY_ALL`] = plain fallback).
+    pub fn disabled_mask(&self) -> u8 {
+        self.disabled
+    }
+
+    /// Whether a family's invariants are still assumed (its monitors and
+    /// optimistic policies stay active).
+    pub fn family_enabled(&self, bit: u8) -> bool {
+        self.disabled & bit == 0
+    }
+
+    /// Disable one invariant family through the secure gate (§8's graded
+    /// fallback). Degradation is one-way per family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchError::BadSecret`] — leaving the mask unchanged —
+    /// when the stack secret does not match.
+    pub fn disable_family(&mut self, bit: u8, stack_secret: u64) -> Result<u8, SwitchError> {
+        if stack_secret != self.secret {
+            self.attempts_rejected += 1;
+            return Err(SwitchError::BadSecret);
+        }
+        if self.disabled & bit != bit {
+            self.disabled |= bit;
+            self.switches += 1;
+        }
+        Ok(self.disabled)
+    }
+
+    /// Number of successful switches performed (0 or 1).
+    pub fn switch_count(&self) -> u32 {
+        self.switches
+    }
+
+    /// Number of rejected (bad-secret) switch attempts.
+    pub fn rejected_count(&self) -> u32 {
+        self.attempts_rejected
+    }
+
+    /// Perform the optimistic → fallback switch through the secure gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchError::BadSecret`] — and leaves the view unchanged —
+    /// when the provided stack secret does not match the gate's.
+    pub fn switch_to_fallback(&mut self, stack_secret: u64) -> Result<ViewKind, SwitchError> {
+        if stack_secret != self.secret {
+            self.attempts_rejected += 1;
+            return Err(SwitchError::BadSecret);
+        }
+        if self.disabled != FAMILY_ALL {
+            self.disabled = FAMILY_ALL;
+            self.switches += 1;
+        }
+        Ok(self.view())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_optimistic() {
+        let s = MvSwitcher::new(0xdead_beef);
+        assert_eq!(s.view(), ViewKind::Optimistic);
+        assert_eq!(s.switch_count(), 0);
+    }
+
+    #[test]
+    fn legitimate_switch_is_one_way() {
+        let mut s = MvSwitcher::new(7);
+        assert_eq!(s.switch_to_fallback(7), Ok(ViewKind::Fallback));
+        assert_eq!(s.view(), ViewKind::Fallback);
+        // Idempotent; still exactly one switch.
+        assert_eq!(s.switch_to_fallback(7), Ok(ViewKind::Fallback));
+        assert_eq!(s.switch_count(), 1);
+    }
+
+    #[test]
+    fn bad_secret_rejected_and_view_unchanged() {
+        let mut s = MvSwitcher::new(7);
+        assert_eq!(s.switch_to_fallback(8), Err(SwitchError::BadSecret));
+        assert_eq!(s.view(), ViewKind::Optimistic);
+        assert_eq!(s.rejected_count(), 1);
+    }
+
+    #[test]
+    fn graded_degradation_is_per_family_and_one_way() {
+        let mut s = MvSwitcher::new(9);
+        assert!(s.family_enabled(FAMILY_PA));
+        assert_eq!(s.disable_family(FAMILY_PA, 9), Ok(FAMILY_PA));
+        assert!(!s.family_enabled(FAMILY_PA));
+        assert!(s.family_enabled(FAMILY_PWC));
+        // Binary consumers see fallback as soon as anything degrades.
+        assert_eq!(s.view(), ViewKind::Fallback);
+        // Idempotent per family.
+        assert_eq!(s.disable_family(FAMILY_PA, 9), Ok(FAMILY_PA));
+        assert_eq!(s.switch_count(), 1);
+        assert_eq!(s.disable_family(FAMILY_CTX, 9), Ok(FAMILY_PA | FAMILY_CTX));
+        // Bad secret rejected.
+        assert_eq!(s.disable_family(FAMILY_PWC, 1), Err(SwitchError::BadSecret));
+        assert_eq!(s.disabled_mask(), FAMILY_PA | FAMILY_CTX);
+    }
+
+    #[test]
+    fn family_bits() {
+        assert_eq!(family_bit("PA"), FAMILY_PA);
+        assert_eq!(family_bit("PWC"), FAMILY_PWC);
+        assert_eq!(family_bit("Ctx"), FAMILY_CTX);
+        assert_eq!(family_bit("??"), FAMILY_ALL);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ViewKind::Optimistic.to_string(), "optimistic");
+        assert_eq!(ViewKind::Fallback.to_string(), "fallback");
+        assert!(SwitchError::BadSecret.to_string().contains("secret"));
+    }
+}

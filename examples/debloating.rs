@@ -1,0 +1,48 @@
+//! The §8 software-debloating use case: compute per-view reachable
+//! function sets for an application model and enforce accessibility at
+//! runtime; debloated code is only *marked* inaccessible, so a fallback
+//! switch can restore it.
+//!
+//! ```sh
+//! cargo run --release --example debloating
+//! ```
+
+use kaleidoscope_suite::fuzz; // re-exported workspace crates
+use kaleidoscope_suite::kaleidoscope::PolicyConfig;
+use kaleidoscope_suite::runtime::ViewKind;
+
+fn main() {
+    let _ = &fuzz::FuzzConfig::default(); // touch the re-export (doc parity)
+    for name in ["Lighttpd", "MbedTLS", "TinyDTLS"] {
+        let model = kaleidoscope_suite::apps::model(name).expect("model");
+        let (plan, invariants) = kaleidoscope_debloat::debloat(
+            &model.module,
+            model.entry,
+            PolicyConfig::all(),
+        );
+        println!(
+            "{name}: {} functions; optimistic view keeps {} ({:.1}% debloated), \
+             fallback keeps {} ({:.1}% debloated)",
+            plan.total_funcs,
+            plan.optimistic.len(),
+            plan.debloated_pct(ViewKind::Optimistic),
+            plan.fallback.len(),
+            plan.debloated_pct(ViewKind::Fallback),
+        );
+        let extra = plan.extra_debloated();
+        println!("  functions only the optimistic view debloats: {}", extra.len());
+
+        // Serve requests under the accessibility guard.
+        let mut ex = kaleidoscope_debloat::executor(&model.module, plan, &invariants);
+        for i in 0..200usize {
+            let input = &model.bench_inputs[i % model.bench_inputs.len()];
+            ex.set_input(input);
+            ex.run(model.entry, vec![]).expect("benign request");
+        }
+        println!(
+            "  200 requests served; view={}, violations={}",
+            ex.switcher.view(),
+            ex.violations.len()
+        );
+    }
+}

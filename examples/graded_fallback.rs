@@ -1,0 +1,125 @@
+//! The §8 "finer grained fallback" extension: pre-generate a memory view
+//! per invariant-family subset; a violation degrades only the violated
+//! family, so the other families' tight policies survive.
+//!
+//! ```sh
+//! cargo run --release --example graded_fallback
+//! ```
+
+use kaleidoscope_suite::cfi::{harden, harden_graded};
+use kaleidoscope_suite::ir::{FunctionBuilder, Module, Operand, Type};
+use kaleidoscope_suite::kaleidoscope::PolicyConfig;
+use kaleidoscope_suite::runtime::{FAMILY_ALL, FAMILY_CTX, FAMILY_PA};
+
+fn build_module() -> Module {
+    // Independent PA and Ctx channels (see crates/cfi/src/graded.rs for
+    // the full walkthrough of this shape).
+    let mut m = Module::new("graded_demo");
+    let cb_ty = Type::fn_ptr(vec![Type::Int], Type::Int);
+    let sctx = m.types.declare("sctx", vec![Type::Int, cb_ty.clone()]).unwrap();
+    for name in ["pa_handler", "ctx_h1", "ctx_h2"] {
+        let mut b = FunctionBuilder::new(&mut m, name, vec![("x", Type::Int)], Type::Int);
+        let x = b.param(0);
+        b.ret(Some(x.into()));
+        b.finish();
+    }
+    let pa_h = m.func_by_name("pa_handler").unwrap();
+    let c1 = m.func_by_name("ctx_h1").unwrap();
+    let c2 = m.func_by_name("ctx_h2").unwrap();
+    m.add_global("pa_obj", Type::Struct(sctx)).unwrap();
+    m.add_global("ctx_a", Type::Struct(sctx)).unwrap();
+    m.add_global("ctx_b", Type::Struct(sctx)).unwrap();
+    m.add_global("buf", Type::array(Type::Int, 8)).unwrap();
+    m.add_global("cursor", Type::ptr(Type::Int)).unwrap();
+    let pa_obj = m.global_by_name("pa_obj").unwrap();
+    let ctx_a = m.global_by_name("ctx_a").unwrap();
+    let ctx_b = m.global_by_name("ctx_b").unwrap();
+    let buf = m.global_by_name("buf").unwrap();
+    let cursor = m.global_by_name("cursor").unwrap();
+    let set_cb = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "set_cb",
+            vec![("base", Type::ptr(Type::Struct(sctx))), ("cb", cb_ty.clone())],
+            Type::Void,
+        );
+        let base = b.param(0);
+        let cb = b.param(1);
+        let t = b.field_addr("t", base, 1);
+        b.store(t, cb);
+        b.ret(None);
+        b.finish()
+    };
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+    let s = b.field_addr("s", Operand::Global(pa_obj), 1);
+    b.store(s, Operand::Func(pa_h));
+    b.call("r1", set_cb, vec![Operand::Global(ctx_a), Operand::Func(c1)]);
+    b.call("r2", set_cb, vec![Operand::Global(ctx_b), Operand::Func(c2)]);
+    // PA channel with an input-controlled violation.
+    let pc = b.copy_typed("pc", Operand::Global(pa_obj), Type::ptr(Type::Int));
+    b.store(Operand::Global(cursor), pc);
+    let e = b.elem_addr("e", Operand::Global(buf), 0i64);
+    b.store(Operand::Global(cursor), e);
+    let evil = b.input("evil");
+    let t = b.new_block();
+    let j = b.new_block();
+    b.branch(evil, t, j);
+    b.switch_to(t);
+    let pc2 = b.copy_typed("pc2", Operand::Global(pa_obj), Type::ptr(Type::Int));
+    b.store(Operand::Global(cursor), pc2);
+    b.jump(j);
+    b.switch_to(j);
+    let sv = b.load("sv", Operand::Global(cursor));
+    let i = b.input("i");
+    let w = b.ptr_arith("w", sv, i);
+    let _sink = b.copy("sink", w);
+    // Protected calls through both channels.
+    let fpa = b.load("fpa", s);
+    b.call_ind("ra", fpa, vec![Operand::ConstInt(1)], Type::Int);
+    let cs = b.field_addr("cs", Operand::Global(ctx_a), 1);
+    let fc = b.load("fc", cs);
+    b.call_ind("rc", fc, vec![Operand::ConstInt(2)], Type::Int);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+fn main() {
+    let m = build_module();
+    let main_fn = m.func_by_name("main").unwrap();
+
+    let graded = harden_graded(&m);
+    println!("per-mask average CFI targets:");
+    for (mask, label) in [
+        (0u8, "fully optimistic"),
+        (FAMILY_PA, "PA degraded"),
+        (FAMILY_CTX, "Ctx degraded"),
+        (FAMILY_ALL, "plain fallback"),
+    ] {
+        println!("  mask={mask:03b} ({label}): {:.2}", graded.policy.avg_targets(mask));
+    }
+
+    // Violate the PA invariant: only the PA family degrades.
+    let mut ex = graded.executor(&m);
+    ex.set_input(&[1, 0]);
+    ex.run(main_fn, vec![]).expect("sound under graded fallback");
+    println!(
+        "after PA violation: mask={:03b}, Ctx family still enabled: {}",
+        ex.switcher.disabled_mask(),
+        ex.switcher.family_enabled(FAMILY_CTX)
+    );
+    assert_eq!(ex.switcher.disabled_mask(), FAMILY_PA);
+
+    // Compare with the base (binary) system: the same violation throws
+    // away *all* precision.
+    let binary = harden(&m, PolicyConfig::all());
+    let mut ex = binary.executor(&m);
+    ex.set_input(&[1, 0]);
+    ex.run(main_fn, vec![]).expect("sound under binary fallback");
+    println!(
+        "binary system after the same violation: mask={:03b} (everything degraded)",
+        ex.switcher.disabled_mask()
+    );
+    assert_eq!(ex.switcher.disabled_mask(), FAMILY_ALL);
+    println!("graded fallback kept the Ctx channel's tight CFI policy alive");
+}

@@ -1,0 +1,98 @@
+//! Demonstrates the fallback path (paper §3, Figure 5): a program whose
+//! likely invariant is *violated* at runtime — the monitor detects it, the
+//! secure gate switches the memory view, and execution continues soundly
+//! under the fallback CFI policy. Also shows the gate rejecting a forged
+//! switch attempt.
+//!
+//! ```sh
+//! cargo run --example invariant_violation
+//! ```
+
+use kaleidoscope_suite::cfi::harden;
+use kaleidoscope_suite::ir::{FunctionBuilder, Module, Operand, Type};
+use kaleidoscope_suite::kaleidoscope::PolicyConfig;
+use kaleidoscope_suite::runtime::{MvSwitcher, ViewKind};
+
+fn main() {
+    // A program where the pointer-arithmetic invariant is WRONG: depending
+    // on input, the arithmetic pointer really does point at a struct.
+    let mut m = Module::new("violator");
+    let s = m
+        .types
+        .declare("ctx", vec![Type::Int, Type::fn_ptr(vec![Type::Int], Type::Int)])
+        .expect("fresh struct");
+    let handler = {
+        let mut b = FunctionBuilder::new(&mut m, "handler", vec![("x", Type::Int)], Type::Int);
+        let x = b.param(0);
+        b.ret(Some(x.into()));
+        b.finish()
+    };
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
+    let ctx = b.alloca("ctx", Type::Struct(s));
+    let f1 = b.field_addr("f1", ctx, 1);
+    b.store(f1, Operand::Func(handler));
+    let buf = b.alloca("buf", Type::array(Type::Int, 8));
+    let slot = b.alloca("slot", Type::ptr(Type::Int));
+    let cc = b.copy_typed("cc", ctx, Type::ptr(Type::Int));
+    b.store(slot, cc);
+    let e = b.elem_addr("e", buf, 0i64);
+    b.store(slot, e);
+    // Input-dependent: cond != 0 re-stores the ctx pointer — making the
+    // "arithmetic never touches a struct" assumption false at runtime.
+    let cond = b.input("cond");
+    let tb = b.new_block();
+    let jb = b.new_block();
+    b.branch(cond, tb, jb);
+    b.switch_to(tb);
+    let cc2 = b.copy_typed("cc2", ctx, Type::ptr(Type::Int));
+    b.store(slot, cc2);
+    b.jump(jb);
+    b.switch_to(jb);
+    let sv = b.load("sv", slot);
+    let i = b.input("i");
+    let w = b.ptr_arith("w", sv, i);
+    let _sink = b.copy("sink", w);
+    // Protected call through the context.
+    let fp = b.load("fp", f1);
+    let r = b.call_ind("r", fp, vec![Operand::ConstInt(7)], Type::Int).expect("int");
+    b.ret(Some(r.into()));
+    b.finish();
+
+    let hardened = harden(&m, PolicyConfig::all());
+    println!("invariants: {}", hardened.result.invariants.len());
+
+    // Benign input: invariant holds, optimistic view stays active.
+    let mut ex = hardened.executor(&m);
+    ex.set_input(&[0, 0]);
+    ex.run(m.func_by_name("main").unwrap(), vec![]).expect("benign run");
+    println!(
+        "benign run:    view = {}, violations = {}",
+        ex.switcher.view(),
+        ex.violations.len()
+    );
+    assert_eq!(ex.switcher.view(), ViewKind::Optimistic);
+
+    // Violating input: the monitor catches the struct access, the gate
+    // switches to the fallback view, and the call STILL SUCCEEDS — this is
+    // the soundness-preserving fallback of paper §3.
+    let mut ex = hardened.executor(&m);
+    ex.set_input(&[1, 0]);
+    let out = ex.run(m.func_by_name("main").unwrap(), vec![]).expect("sound fallback");
+    println!(
+        "violating run: view = {}, violations = {:?}, result = {}",
+        ex.switcher.view(),
+        ex.violations.iter().map(|v| v.policy).collect::<Vec<_>>(),
+        out.ret
+    );
+    assert_eq!(ex.switcher.view(), ViewKind::Fallback);
+    assert!(!ex.violations.is_empty());
+
+    // An attacker forging a jump into the switcher is stopped by the
+    // 64-bit stack secret (§5, "Ensuring MV Switch Integrity").
+    let mut switcher = MvSwitcher::new(0x1234_5678_9abc_def0);
+    let attack = switcher.switch_to_fallback(0xdead_beef);
+    println!("forged switch attempt: {attack:?}");
+    assert!(attack.is_err());
+    assert_eq!(switcher.view(), ViewKind::Optimistic);
+    println!("secure gate held: view still optimistic after forged attempt");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Kaleidoscope reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The library surface simply
+//! re-exports the member crates so examples can use one import root.
+
+pub use kaleidoscope;
+pub use kaleidoscope_apps as apps;
+pub use kaleidoscope_cfi as cfi;
+pub use kaleidoscope_cfront as cfront;
+pub use kaleidoscope_debloat as debloat;
+pub use kaleidoscope_fuzz as fuzz;
+pub use kaleidoscope_ir as ir;
+pub use kaleidoscope_pta as pta;
+pub use kaleidoscope_runtime as runtime;

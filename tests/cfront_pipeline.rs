@@ -1,0 +1,161 @@
+//! End-to-end tests driving the *C frontend* through the full pipeline:
+//! compile C → analyze → harden → execute with monitors, including a
+//! C-source program whose likely invariant is violated at runtime.
+
+use kaleidoscope_suite::cfi::harden;
+use kaleidoscope_suite::cfront::compile;
+use kaleidoscope_suite::kaleidoscope::{analyze, LikelyInvariant, PolicyConfig};
+use kaleidoscope_suite::runtime::{RtValue, ViewKind};
+
+/// The Figure 8 (Libevent) example written in C: the Ctx invariant holds,
+/// the optimistic CFI policy is exact (one callback per site).
+#[test]
+fn figure8_in_c_end_to_end() {
+    let src = r#"
+        struct ev_base { int count; int (*cb)(int); };
+        struct ev_base global_base;
+        struct ev_base evdns_base;
+        int cb1(int x) { return x; }
+        int cb2(int x) { return x + 1; }
+        void ev_queue_insert(struct ev_base *b, int (*cb)(int)) {
+            b->cb = cb;
+        }
+        int main() {
+            int r;
+            ev_queue_insert(&global_base, cb1);
+            ev_queue_insert(&evdns_base, cb2);
+            r = global_base.cb(10) + evdns_base.cb(20);
+            output(r);
+            return r;
+        }
+    "#;
+    let m = compile(src, "fig8c").expect("compiles");
+    let result = analyze(&m, PolicyConfig::all());
+    assert!(
+        result
+            .invariants
+            .iter()
+            .any(|i| matches!(i, LikelyInvariant::CtxStore { .. })),
+        "{:?}",
+        result.invariants
+    );
+    let h = harden(&m, PolicyConfig::all());
+    assert_eq!(h.policy.avg_targets(ViewKind::Optimistic), 1.0);
+    assert_eq!(h.policy.avg_targets(ViewKind::Fallback), 2.0);
+    let mut ex = h.executor(&m);
+    let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+    assert_eq!(out.ret, RtValue::Int(31));
+    assert!(ex.violations.is_empty());
+}
+
+/// A C program whose PA invariant is wrong for some inputs: the monitor
+/// fires, the view switches, execution stays sound.
+#[test]
+fn c_program_with_runtime_violation_switches_views() {
+    let src = r#"
+        struct ctx { int tag; int (*cb)(int); };
+        struct ctx the_ctx;
+        int buff[8];
+        int *cursor;
+        int handler(int x) { return x * 2; }
+        int main() {
+            int evil;
+            int i;
+            int *s;
+            int r;
+            the_ctx.cb = handler;
+            cursor = (int*)&the_ctx;
+            cursor = &buff[0];
+            evil = input();
+            if (evil) { cursor = (int*)&the_ctx; }
+            s = cursor;
+            i = input();
+            *(s + i) = 1;
+            r = the_ctx.cb(21);
+            return r;
+        }
+    "#;
+    let m = compile(src, "violator").expect("compiles");
+    let h = harden(&m, PolicyConfig::all());
+
+    // Benign: optimistic view holds.
+    let mut ex = h.executor(&m);
+    ex.set_input(&[0, 3]);
+    let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+    assert_eq!(out.ret, RtValue::Int(42));
+    assert_eq!(ex.switcher.view(), ViewKind::Optimistic);
+
+    // Violating: PA monitor fires (writes land on the struct!), the view
+    // switches, and the indirect call still succeeds under the fallback.
+    let mut ex = h.executor(&m);
+    ex.set_input(&[1, 0]);
+    let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+    assert_eq!(out.ret, RtValue::Int(42));
+    assert!(ex.violations.iter().any(|v| v.policy == "PA"));
+    assert_eq!(ex.switcher.view(), ViewKind::Fallback);
+}
+
+/// Linked-list building in C: heap type metadata flows through `sizeof`,
+/// and the interpreter handles recursive heap structures.
+#[test]
+fn c_linked_list_builds_and_sums() {
+    let src = r#"
+        struct node { int v; struct node *next; };
+        int main() {
+            struct node *head;
+            struct node *n;
+            int i;
+            int sum;
+            head = NULL;
+            i = 1;
+            while (i <= 5) {
+                n = malloc(sizeof(struct node));
+                n->v = i;
+                n->next = head;
+                head = n;
+                i = i + 1;
+            }
+            sum = 0;
+            n = head;
+            while (n != NULL) {
+                sum = sum + n->v;
+                n = n->next;
+            }
+            return sum;
+        }
+    "#;
+    let m = compile(src, "list").expect("compiles");
+    let mut ex = kaleidoscope_suite::runtime::Executor::unhardened(&m);
+    let out = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap();
+    assert_eq!(out.ret, RtValue::Int(15));
+    // The analysis sees the typed heap site.
+    let result = analyze(&m, PolicyConfig::all());
+    let stats = kaleidoscope_suite::pta::PtsStats::collect(&result.optimistic, &m);
+    assert!(stats.count > 0);
+}
+
+/// The C frontend and the IR parser agree: compiling C, printing the IR,
+/// and re-parsing it yields the same module text.
+#[test]
+fn c_output_round_trips_through_ir_parser() {
+    let src = r#"
+        struct pair { int a; int *b; };
+        int get(struct pair *p) { return p->a; }
+        int main() {
+            struct pair x;
+            x.a = 9;
+            return get(&x);
+        }
+    "#;
+    let m = compile(src, "rt").expect("compiles");
+    let text = m.to_text();
+    let m2 = kaleidoscope_suite::ir::parse_module(&text).expect("parses");
+    assert_eq!(text, m2.to_text());
+    // And both run identically.
+    let run = |m: &kaleidoscope_suite::ir::Module| {
+        let mut ex = kaleidoscope_suite::runtime::Executor::unhardened(m);
+        ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap().ret
+    };
+    assert_eq!(run(&m), run(&m2));
+    assert_eq!(run(&m), RtValue::Int(9));
+}

@@ -1,0 +1,321 @@
+//! End-to-end reproductions of the paper's running examples: each figure's
+//! code fragment is built in the IR, analyzed, and (where relevant)
+//! executed, asserting the behaviour the paper describes.
+
+use kaleidoscope_suite::cfi::harden;
+use kaleidoscope_suite::ir::{FunctionBuilder, LocalId, Module, Operand, Type};
+use kaleidoscope_suite::kaleidoscope::{analyze, LikelyInvariant, PolicyConfig};
+use kaleidoscope_suite::pta::{Analysis, SolveOptions};
+use kaleidoscope_suite::runtime::ViewKind;
+
+/// Figure 2: `P1: p = &o; P2: q = &p; P3: r = *q` ⇒ `PTS(r) = {o}`.
+#[test]
+fn figure2_constraint_resolution() {
+    let mut m = Module::new("fig2");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+    let o = b.alloca("o", Type::Int); // P1's &o
+    let q = b.alloca("q", Type::ptr(Type::Int)); // q's storage
+    b.store(q, o); // P2 (via memory)
+    let r = b.load("r", q); // P3
+    let _ = r;
+    b.ret(None);
+    let main = b.finish();
+    let a = Analysis::run(&m, &SolveOptions::baseline());
+    let r_pts = a.pts_of_local(main, LocalId(2));
+    assert_eq!(r_pts.len(), 1, "PTS(r) = {{o}}");
+    let sites = a.sites_of(&r_pts);
+    assert!(matches!(
+        sites[0],
+        kaleidoscope_suite::pta::ObjSite::Stack(_)
+    ));
+}
+
+/// Figure 3: the MbedTLS compounding chain — arbitrary arithmetic turns the
+/// ssl object field-insensitive, so all three `f_*` function pointers
+/// (wrongly) share one points-to set; the optimistic analysis keeps them
+/// apart.
+#[test]
+fn figure3_imprecision_compounds_through_fn_ptrs() {
+    let mut m = Module::new("fig3");
+    let ssl_ctx = m
+        .types
+        .declare(
+            "mbedtls_ssl_context",
+            vec![
+                Type::fn_ptr(vec![Type::Int], Type::Int), // f_send
+                Type::fn_ptr(vec![Type::Int], Type::Int), // f_recv
+                Type::fn_ptr(vec![Type::Int], Type::Int), // f_recv_timeout
+            ],
+        )
+        .unwrap();
+    for name in ["net_send", "net_recv", "net_recv_timeout"] {
+        let mut b = FunctionBuilder::new(&mut m, name, vec![("c", Type::Int)], Type::Int);
+        let c = b.param(0);
+        b.ret(Some(c.into()));
+        b.finish();
+    }
+    let fs: Vec<_> = ["net_send", "net_recv", "net_recv_timeout"]
+        .iter()
+        .map(|n| m.func_by_name(n).unwrap())
+        .collect();
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+    let ssl = b.alloca("ssl", Type::Struct(ssl_ctx));
+    for (i, f) in fs.iter().enumerate() {
+        let slot = b.field_addr(&format!("s{i}"), ssl, i);
+        b.store(slot, Operand::Func(*f));
+    }
+    // char* s = ...; pts(s) = {ssl, ...}; *(s+i) = ...
+    let sc = b.copy_typed("sc", ssl, Type::ptr(Type::Int));
+    let i = b.input("i");
+    let _w = b.ptr_arith("w", sc, i);
+    // Read back each fn ptr (the callgraph-relevant loads).
+    let mut loads = Vec::new();
+    for k in 0..3 {
+        let slot = b.field_addr(&format!("r{k}"), ssl, k);
+        loads.push(b.load(&format!("fp{k}"), slot));
+    }
+    b.ret(None);
+    let main = b.finish();
+
+    let base = Analysis::run(&m, &SolveOptions::baseline());
+    let opt = Analysis::run(&m, &SolveOptions::optimistic(true, false));
+    for &l in &loads {
+        assert_eq!(
+            base.pts_of_local(main, l).len(),
+            3,
+            "baseline: field-insensitive ssl merges all three handlers"
+        );
+        assert_eq!(
+            opt.pts_of_local(main, l).len(),
+            1,
+            "optimistic: each f_* keeps exactly its own handler"
+        );
+    }
+}
+
+/// Figure 6: the Lighttpd `http_write_header` fragment — the PA invariant
+/// filters `mod_auth`/`mod_cgi`, a monitor is emitted for exactly those
+/// objects, and the runtime (which only ever touches `buff`) never trips it.
+#[test]
+fn figure6_pa_invariant_end_to_end() {
+    let mut m = Module::new("fig6");
+    let plugin = m
+        .types
+        .declare(
+            "plugin",
+            vec![
+                Type::ptr(Type::Int),
+                Type::fn_ptr(vec![], Type::Void),
+                Type::fn_ptr(vec![], Type::Void),
+            ],
+        )
+        .unwrap();
+    m.add_global("buff", Type::array(Type::Int, 16)).unwrap();
+    m.add_global("mod_auth", Type::Struct(plugin)).unwrap();
+    m.add_global("mod_cgi", Type::Struct(plugin)).unwrap();
+    m.add_global("cursor", Type::ptr(Type::Int)).unwrap();
+    let buff = m.global_by_name("buff").unwrap();
+    let auth = m.global_by_name("mod_auth").unwrap();
+    let cgi = m.global_by_name("mod_cgi").unwrap();
+    let cursor = m.global_by_name("cursor").unwrap();
+
+    let mut b = FunctionBuilder::new(&mut m, "http_write_header", vec![], Type::Void);
+    let a = b.copy_typed("a", Operand::Global(auth), Type::ptr(Type::Int));
+    b.store(Operand::Global(cursor), a);
+    let c = b.copy_typed("c", Operand::Global(cgi), Type::ptr(Type::Int));
+    b.store(Operand::Global(cursor), c);
+    let e = b.elem_addr("e", Operand::Global(buff), 0i64);
+    b.store(Operand::Global(cursor), e);
+    let s = b.load("s", Operand::Global(cursor));
+    let i = b.input("i");
+    let w = b.ptr_arith("w", s, i);
+    b.store(w, 1i64);
+    b.ret(None);
+    let entry = b.finish();
+
+    let result = analyze(&m, PolicyConfig::all());
+    // Exactly one PA invariant naming both plugin objects.
+    let pa: Vec<_> = result
+        .invariants
+        .iter()
+        .filter_map(|inv| match inv {
+            LikelyInvariant::PtrArith { filtered_sites, .. } => Some(filtered_sites),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(pa.len(), 1);
+    assert_eq!(pa[0].len(), 2, "mod_auth and mod_cgi are filtered");
+
+    // Runtime: the monitor observes only `buff`; the invariant holds.
+    let hardened = harden(&m, PolicyConfig::all());
+    let mut ex = hardened.executor(&m);
+    ex.set_input(&[3]);
+    ex.run(entry, vec![]).unwrap();
+    assert!(ex.violations.is_empty());
+    assert_eq!(ex.switcher.view(), ViewKind::Optimistic);
+    assert!(ex.monitor_checks() > 0, "the PA monitor executed");
+}
+
+/// Figure 7: the LibPNG positive weight cycle — baseline collapses the
+/// struct flowing through the cycle; the optimistic analysis defers and
+/// emits a PWC invariant whose monitor stays quiet at runtime (the two
+/// `png_malloc` calls yield distinct runtime objects).
+#[test]
+fn figure7_pwc_invariant_end_to_end() {
+    let mut m = Module::new("fig7");
+    let cs = m
+        .types
+        .declare(
+            "compression_state",
+            vec![Type::ptr(Type::Int), Type::ptr(Type::Int)],
+        )
+        .unwrap();
+    let png_malloc = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "png_malloc",
+            vec![],
+            Type::ptr(Type::Struct(cs)),
+        );
+        let h = b.heap_alloc("h", Type::Struct(cs));
+        b.ret(Some(h.into()));
+        b.finish()
+    };
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+    let s1 = b.call("s1", png_malloc, vec![]).unwrap();
+    let q_raw = b.call("qr", png_malloc, vec![]).unwrap();
+    let q = b.copy_typed("q", q_raw, Type::ptr(Type::ptr(Type::Int)));
+    let init = b.alloca("init", Type::Struct(cs));
+    let s1c = b.copy_typed("s1c", s1, Type::ptr(Type::ptr(Type::Struct(cs))));
+    b.store(s1c, init);
+    let s2 = b.load("s2", s1c);
+    let fb = b.field_addr("b", s2, 1);
+    b.store(q, fb);
+    b.ret(None);
+    let entry = b.finish();
+
+    let base = analyze(&m, PolicyConfig::none());
+    assert!(
+        !base.fallback.result.collapsed_objects.is_empty(),
+        "baseline collapse happened"
+    );
+    let opt = analyze(&m, PolicyConfig::all());
+    assert!(
+        opt.optimistic.result.collapsed_objects.is_empty(),
+        "optimistic deferred the collapse"
+    );
+    let pwcs: Vec<_> = opt
+        .invariants
+        .iter()
+        .filter(|i| matches!(i, LikelyInvariant::Pwc { .. }))
+        .collect();
+    assert!(!pwcs.is_empty(), "a PWC invariant was emitted");
+
+    // Runtime: no cycle forms, the monitor never fires.
+    let hardened = harden(&m, PolicyConfig::all());
+    let mut ex = hardened.executor(&m);
+    for _ in 0..10 {
+        ex.run(entry, vec![]).unwrap();
+    }
+    assert!(ex.violations.is_empty());
+    assert_eq!(ex.switcher.view(), ViewKind::Optimistic);
+}
+
+/// Figure 8: the Libevent context-sensitivity example — baseline merges
+/// both callbacks into both bases; the Ctx invariant keeps each base's
+/// callback separate, and the runtime monitor (recorded actuals) holds.
+#[test]
+fn figure8_ctx_invariant_end_to_end() {
+    let mut m = Module::new("fig8");
+    let cb_ty = Type::fn_ptr(vec![Type::Int], Type::Int);
+    let ev_base = m
+        .types
+        .declare("ev_base", vec![Type::Int, cb_ty.clone()])
+        .unwrap();
+    for name in ["cb1", "cb2"] {
+        let mut b = FunctionBuilder::new(&mut m, name, vec![("x", Type::Int)], Type::Int);
+        let x = b.param(0);
+        b.ret(Some(x.into()));
+        b.finish();
+    }
+    let cb1 = m.func_by_name("cb1").unwrap();
+    let cb2 = m.func_by_name("cb2").unwrap();
+    m.add_global("global_base", Type::Struct(ev_base)).unwrap();
+    m.add_global("evdns_base", Type::Struct(ev_base)).unwrap();
+    let g1 = m.global_by_name("global_base").unwrap();
+    let g2 = m.global_by_name("evdns_base").unwrap();
+    let insert = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "ev_queue_insert",
+            vec![("b", Type::ptr(Type::Struct(ev_base))), ("cb", cb_ty.clone())],
+            Type::Void,
+        );
+        let base = b.param(0);
+        let cb = b.param(1);
+        let slot = b.field_addr("slot", base, 1);
+        b.store(slot, cb); // P16
+        b.ret(None);
+        b.finish()
+    };
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+    b.call("r1", insert, vec![Operand::Global(g1), Operand::Func(cb1)]); // P8
+    b.call("r2", insert, vec![Operand::Global(g2), Operand::Func(cb2)]); // P9
+    // Witness loads on the specific bases.
+    let s1 = b.field_addr("s1", Operand::Global(g1), 1);
+    let w1 = b.load("w1", s1);
+    let s2 = b.field_addr("s2", Operand::Global(g2), 1);
+    let w2 = b.load("w2", s2);
+    let r1 = b.call_ind("c1", w1, vec![Operand::ConstInt(1)], Type::Int).unwrap();
+    b.output(r1);
+    let r2 = b.call_ind("c2", w2, vec![Operand::ConstInt(2)], Type::Int).unwrap();
+    b.output(r2);
+    b.ret(None);
+    let main = b.finish();
+
+    let base = analyze(&m, PolicyConfig::none());
+    let opt = analyze(&m, PolicyConfig::all());
+    // `insert` returns void, so the calls define no locals:
+    // s1=%0, w1=%1, s2=%2, w2=%3, c1=%4, c2=%5.
+    let (w1, w2) = (LocalId(1), LocalId(3));
+    assert_eq!(base.fallback.pts_of_local(main, w1).len(), 2, "merged");
+    assert_eq!(base.fallback.pts_of_local(main, w2).len(), 2, "merged");
+    assert_eq!(opt.optimistic.pts_of_local(main, w1).len(), 1, "separate");
+    assert_eq!(opt.optimistic.pts_of_local(main, w2).len(), 1, "separate");
+    assert!(opt
+        .invariants
+        .iter()
+        .any(|i| matches!(i, LikelyInvariant::CtxStore { .. })));
+
+    // Runtime: the recorded actuals always match; no violation, and the
+    // indirect calls pass the *tight* optimistic CFI policy.
+    let hardened = harden(&m, PolicyConfig::all());
+    assert_eq!(
+        hardened.policy.avg_targets(ViewKind::Optimistic),
+        1.0,
+        "one callback per callsite under the optimistic view"
+    );
+    assert_eq!(hardened.policy.avg_targets(ViewKind::Fallback), 2.0);
+    let mut ex = hardened.executor(&m);
+    ex.run(main, vec![]).unwrap();
+    assert!(ex.violations.is_empty());
+}
+
+/// Figure 9: the CFI memory views — starts optimistic (tight), and the
+/// policy for each view comes from the corresponding analysis.
+#[test]
+fn figure9_memory_views() {
+    let model = kaleidoscope_suite::apps::model("MbedTLS").unwrap();
+    let hardened = harden(&model.module, PolicyConfig::all());
+    let opt = hardened.policy.avg_targets(ViewKind::Optimistic);
+    let fall = hardened.policy.avg_targets(ViewKind::Fallback);
+    assert!(opt < fall, "optimistic view must be strictly tighter");
+    // Per-site: optimistic ⊆ fallback.
+    for site in hardened.policy.sites() {
+        let o = hardened.policy.targets(site, ViewKind::Optimistic);
+        let f = hardened.policy.targets(site, ViewKind::Fallback);
+        for t in o {
+            assert!(f.contains(t), "optimistic target outside fallback at {site}");
+        }
+    }
+}
