@@ -162,10 +162,7 @@ impl AppBuilder {
             for bi in 0..n_bufs {
                 per_obj.push(
                     self.module
-                        .add_global(
-                            format!("{prefix}_buf{oi}_{bi}"),
-                            Type::array(Type::Int, 8),
-                        )
+                        .add_global(format!("{prefix}_buf{oi}_{bi}"), Type::array(Type::Int, 8))
                         .expect("unique buffer"),
                 );
             }
@@ -286,14 +283,14 @@ impl AppBuilder {
             let arms: Vec<_> = (0..n_objs).map(|_| b.new_block()).collect();
             let done = b.new_block();
             let mut next = b.current_block();
-            for oi in 0..n_objs {
+            for (oi, &arm) in arms.iter().enumerate() {
                 b.switch_to(next);
                 let c = b.binop(&format!("c{oi}"), BinOpKind::Eq, idx, oi as i64);
                 if oi + 1 < n_objs {
                     next = b.new_block();
-                    b.branch(c, arms[oi], next);
+                    b.branch(c, arm, next);
                 } else {
-                    b.branch(c, arms[oi], done);
+                    b.branch(c, arm, done);
                 }
             }
             for (oi, arm) in arms.iter().enumerate() {
@@ -324,14 +321,14 @@ impl AppBuilder {
             let arms: Vec<_> = (0..n_objs).map(|_| b.new_block()).collect();
             let done = b.new_block();
             let mut next = b.current_block();
-            for oi in 0..n_objs {
+            for (oi, &arm) in arms.iter().enumerate() {
                 b.switch_to(next);
                 let c = b.binop(&format!("c{oi}"), BinOpKind::Eq, idx, oi as i64);
                 if oi + 1 < n_objs {
                     next = b.new_block();
-                    b.branch(c, arms[oi], next);
+                    b.branch(c, arm, next);
                 } else {
-                    b.branch(c, arms[oi], done);
+                    b.branch(c, arm, done);
                 }
             }
             for (oi, arm) in arms.iter().enumerate() {
@@ -447,8 +444,12 @@ impl AppBuilder {
         };
 
         let hook = {
-            let mut b =
-                FunctionBuilder::new(&mut self.module, &format!("{prefix}_io"), vec![], Type::Void);
+            let mut b = FunctionBuilder::new(
+                &mut self.module,
+                &format!("{prefix}_io"),
+                vec![],
+                Type::Void,
+            );
             b.call("_", pollute, vec![]);
             let s = b.load("s", Operand::Global(slot));
             let mode = b.input("mode");

@@ -6,8 +6,7 @@
 //! [`bench_mix`] cycles over a few hook commands with small payloads,
 //! [`fuzz_seed_mix`] seeds every hook with several payload shapes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kaleidoscope_prng::Rng;
 
 /// A deterministic benchmark request mix: `cycle` commands drawn from
 /// `cmds`, each with a small payload pattern.
@@ -27,7 +26,7 @@ pub fn bench_mix(cmds: &[u8], variants: usize) -> Vec<Vec<u8>> {
 /// Deterministic fuzz seeds: every command byte in `0..hooks`, with a few
 /// payload shapes each (all-zero, ramp, pseudo-random).
 pub fn fuzz_seed_mix(hooks: usize, seed: u64) -> Vec<Vec<u8>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::new();
     for cmd in 0..hooks.max(1) as u8 {
         out.push(vec![cmd, 0, 0, 0, 0, 0]);

@@ -1,0 +1,74 @@
+//! Benchmarks the `kaleidoscope-exec` matrix executor: the full
+//! 9 apps × 8 configs analysis matrix run serially (legacy path), in
+//! parallel with a cold artifact cache, and in parallel with a warm cache.
+//! Writes a `BENCH_executor.json` snapshot to the repository root so the
+//! performance trajectory is tracked across changes.
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_bench::jobs_from_args;
+use kaleidoscope_bench::timing::{bench, to_json};
+use kaleidoscope_exec::Executor;
+use kaleidoscope_pta::PtsStats;
+
+fn main() {
+    let models = kaleidoscope_apps::all_models();
+    let modules: Vec<_> = models.iter().map(|m| &m.module).collect();
+    let configs = PolicyConfig::table3_order();
+    // At least two workers even on a single-CPU host, so the pooled +
+    // cached path (not the legacy serial fallback) is what gets measured.
+    let jobs = match jobs_from_args() {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2),
+        n => n.max(2),
+    };
+    println!(
+        "executor matrix benchmarks ({} apps x {} configs, {jobs} workers)",
+        modules.len(),
+        configs.len()
+    );
+
+    // Reduce each cell to its stats inside the worker so the benchmark
+    // measures analysis + caching, not result cloning.
+    let run = |ex: &Executor| {
+        ex.run_matrix_map(&modules, &configs, |mi, _, r| {
+            PtsStats::collect(&r.optimistic, modules[mi]).avg
+        })
+    };
+
+    let mut samples = Vec::new();
+    samples.push(bench("executor/matrix_serial_legacy", 3, || {
+        let ex = Executor::serial();
+        let _ = run(&ex);
+    }));
+    samples.push(bench("executor/matrix_parallel_cold", 3, || {
+        let ex = Executor::with_jobs(jobs);
+        let _ = run(&ex);
+    }));
+    let warm = Executor::with_jobs(jobs);
+    let _ = run(&warm); // populate the artifact cache
+    samples.push(bench("executor/matrix_parallel_warm", 5, || {
+        let _ = run(&warm);
+    }));
+
+    let serial = samples[0].median_ms;
+    for s in &samples[1..] {
+        println!(
+            "speedup vs serial: {:<32} {:>6.2}x",
+            s.label,
+            serial / s.median_ms
+        );
+    }
+    let stats = warm.cache_stats();
+    println!(
+        "warm cache: {} lookups, {} misses, {} hits",
+        stats.lookups,
+        stats.misses,
+        stats.hits()
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_executor.json");
+    std::fs::write(path, to_json(&samples)).expect("write BENCH_executor.json");
+    println!("wrote {path}");
+}

@@ -1,47 +1,34 @@
-//! Criterion micro-benchmarks for runtime monitor overhead: requests per
-//! second with monitors armed vs CFI-only (the quantity behind Figure 13).
+//! Micro-benchmarks for runtime monitor overhead: requests per second with
+//! monitors armed vs CFI-only (the quantity behind Figure 13). Uses the
+//! in-repo harness in `kaleidoscope_bench::timing` (criterion is
+//! unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kaleidoscope::PolicyConfig;
+use kaleidoscope_bench::timing::bench;
 use kaleidoscope_cfi::harden;
 
-fn bench_monitors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitors");
-    group.sample_size(10);
+fn main() {
+    println!("monitor-overhead micro-benchmarks");
     for name in ["MbedTLS", "Memcached"] {
         let model = kaleidoscope_apps::model(name).expect("model");
         let hardened = harden(&model.module, PolicyConfig::all());
-        group.bench_with_input(
-            BenchmarkId::new("requests_monitored", name),
-            &model,
-            |b, m| {
-                let mut ex = hardened.executor(&m.module);
-                let mut i = 0usize;
-                b.iter(|| {
-                    let input = &m.bench_inputs[i % m.bench_inputs.len()];
-                    i += 1;
-                    ex.set_input(input);
-                    ex.run(m.entry, vec![]).expect("benign")
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("requests_cfi_only", name),
-            &model,
-            |b, m| {
-                let mut ex = hardened.executor_unmonitored(&m.module);
-                let mut i = 0usize;
-                b.iter(|| {
-                    let input = &m.bench_inputs[i % m.bench_inputs.len()];
-                    i += 1;
-                    ex.set_input(input);
-                    ex.run(m.entry, vec![]).expect("benign")
-                });
-            },
-        );
-    }
-    group.finish();
-}
 
-criterion_group!(benches, bench_monitors);
-criterion_main!(benches);
+        let mut ex = hardened.executor(&model.module);
+        let mut i = 0usize;
+        bench(&format!("monitors/requests_monitored/{name}"), 200, || {
+            let input = &model.bench_inputs[i % model.bench_inputs.len()];
+            i += 1;
+            ex.set_input(input);
+            ex.run(model.entry, vec![]).expect("benign");
+        });
+
+        let mut ex = hardened.executor_unmonitored(&model.module);
+        let mut i = 0usize;
+        bench(&format!("monitors/requests_cfi_only/{name}"), 200, || {
+            let input = &model.bench_inputs[i % model.bench_inputs.len()];
+            i += 1;
+            ex.set_input(input);
+            ex.run(model.entry, vec![]).expect("benign");
+        });
+    }
+}

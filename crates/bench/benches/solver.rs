@@ -1,32 +1,24 @@
-//! Criterion micro-benchmarks for the pointer-analysis solver: baseline
-//! Andersen's vs the optimistic configurations vs Steensgaard, on the two
-//! largest application models.
+//! Micro-benchmarks for the pointer-analysis solver: baseline Andersen's
+//! vs the optimistic configurations vs Steensgaard, on the two largest
+//! application models. Uses the in-repo harness in
+//! `kaleidoscope_bench::timing` (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kaleidoscope::{analyze, PolicyConfig};
+use kaleidoscope_bench::timing::bench;
 use kaleidoscope_pta::{steensgaard, Analysis, SolveOptions};
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
-    group.sample_size(10);
+fn main() {
+    println!("solver micro-benchmarks");
     for name in ["MbedTLS", "TinyDTLS"] {
         let model = kaleidoscope_apps::model(name).expect("model");
-        group.bench_with_input(
-            BenchmarkId::new("andersen_baseline", name),
-            &model,
-            |b, m| b.iter(|| Analysis::run(&m.module, &SolveOptions::baseline())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("kaleidoscope_full", name),
-            &model,
-            |b, m| b.iter(|| analyze(&m.module, PolicyConfig::all())),
-        );
-        group.bench_with_input(BenchmarkId::new("steensgaard", name), &model, |b, m| {
-            b.iter(|| steensgaard(&m.module))
+        bench(&format!("solver/andersen_baseline/{name}"), 10, || {
+            let _ = Analysis::run(&model.module, &SolveOptions::baseline());
+        });
+        bench(&format!("solver/kaleidoscope_full/{name}"), 10, || {
+            let _ = analyze(&model.module, PolicyConfig::all());
+        });
+        bench(&format!("solver/steensgaard/{name}"), 10, || {
+            let _ = steensgaard(&model.module);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);

@@ -7,13 +7,14 @@
 //! handful — the gap Kaleidoscope closes.
 
 use kaleidoscope::PolicyConfig;
-use kaleidoscope_bench::row;
-use kaleidoscope_cfi::harden;
+use kaleidoscope_bench::{executor_from_args, row};
+use kaleidoscope_cfi::Hardened;
 use kaleidoscope_runtime::ViewKind;
 
 fn main() {
     let model = kaleidoscope_apps::model("MbedTLS").expect("model exists");
-    let hardened = harden(&model.module, PolicyConfig::all());
+    let ex = executor_from_args();
+    let hardened = Hardened::from_result(ex.run_one(&model.module, PolicyConfig::all()));
 
     // Runtime observation: 1000 requests of the benchmark mix, unhardened
     // coverage run (what the paper's Figure 1 measured before CFI).

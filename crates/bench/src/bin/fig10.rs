@@ -1,22 +1,18 @@
 //! Regenerates **Figure 10**: the distribution (box plot) of points-to set
 //! sizes of all top-level pointers, per application and configuration.
 
-use kaleidoscope_bench::{ascii_box, five_num, run_all_configs};
+use kaleidoscope_bench::{ascii_box, executor_from_args, five_num, run_matrix};
 
 fn main() {
     println!("Figure 10 (reproduction): points-to set size distributions");
     println!("(#: median, ===: interquartile range, |---|: min..max)");
     let mut csv = String::from("app,config,min,q1,median,q3,max,count\n");
-    for model in kaleidoscope_apps::all_models() {
-        let runs = run_all_configs(&model);
-        let global_max = runs
-            .iter()
-            .map(|r| r.stats.max)
-            .max()
-            .unwrap_or(1)
-            .max(1) as f64;
+    let models = kaleidoscope_apps::all_models();
+    let all = run_matrix(&executor_from_args(), &models);
+    for (model, runs) in models.iter().zip(&all) {
+        let global_max = runs.iter().map(|r| r.stats.max).max().unwrap_or(1).max(1) as f64;
         println!("\n{}", model.name);
-        for r in &runs {
+        for r in runs {
             let f = five_num(&r.stats.sizes);
             println!(
                 "  {:<13} {} [{:>3.0} {:>6.2} {:>6.2} {:>6.2} {:>4.0}]",

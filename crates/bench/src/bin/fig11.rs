@@ -2,7 +2,7 @@
 //! per application and policy configuration.
 
 use kaleidoscope::PolicyConfig;
-use kaleidoscope_bench::{mean, row, run_all_configs};
+use kaleidoscope_bench::{executor_from_args, mean, row, run_matrix};
 
 fn main() {
     let configs = PolicyConfig::table3_order();
@@ -12,10 +12,11 @@ fn main() {
     println!("Figure 11 (reproduction): average CFI targets per indirect callsite");
     println!("{}", row(&header, &widths));
     let mut csv = String::from("app,config,avg_targets,sites\n");
-    for model in kaleidoscope_apps::all_models() {
-        let runs = run_all_configs(&model);
+    let models = kaleidoscope_apps::all_models();
+    let all = run_matrix(&executor_from_args(), &models);
+    for (model, runs) in models.iter().zip(&all) {
         let mut cells = vec![model.name.to_string()];
-        for r in &runs {
+        for r in runs {
             cells.push(format!("{:.2}", mean(&r.cfi_counts)));
             csv.push_str(&format!(
                 "{},{},{:.4},{}\n",

@@ -1,14 +1,15 @@
 //! Regenerates **Figure 12**: the distribution (box plot) of CFI target
 //! counts per indirect callsite, per application and configuration.
 
-use kaleidoscope_bench::{ascii_box, five_num, run_all_configs};
+use kaleidoscope_bench::{ascii_box, executor_from_args, five_num, run_matrix};
 
 fn main() {
     println!("Figure 12 (reproduction): CFI target count distributions");
     println!("(#: median, ===: interquartile range, |---|: min..max)");
     let mut csv = String::from("app,config,min,q1,median,q3,max,sites\n");
-    for model in kaleidoscope_apps::all_models() {
-        let runs = run_all_configs(&model);
+    let models = kaleidoscope_apps::all_models();
+    let all = run_matrix(&executor_from_args(), &models);
+    for (model, runs) in models.iter().zip(&all) {
         let global_max = runs
             .iter()
             .flat_map(|r| r.cfi_counts.iter().copied())
@@ -16,7 +17,7 @@ fn main() {
             .unwrap_or(1)
             .max(1) as f64;
         println!("\n{}", model.name);
-        for r in &runs {
+        for r in runs {
             let f = five_num(&r.cfi_counts);
             println!(
                 "  {:<13} {} [{:>3.0} {:>6.2} {:>6.2} {:>6.2} {:>4.0}]",

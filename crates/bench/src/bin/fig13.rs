@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use kaleidoscope::PolicyConfig;
 use kaleidoscope_apps::AppModel;
-use kaleidoscope_bench::row;
-use kaleidoscope_cfi::{harden, Hardened};
+use kaleidoscope_bench::{executor_from_args, row};
+use kaleidoscope_cfi::Hardened;
 use kaleidoscope_runtime::Executor;
 
 fn window() -> Duration {
@@ -80,30 +80,37 @@ fn main() {
     );
     let mut csv = String::from("app,config,reqs_per_sec\n");
     let mut overheads = Vec::new();
-    for model in kaleidoscope_apps::all_models() {
+    let models = kaleidoscope_apps::all_models();
+    // All 72 analyses up front through the batch executor; the measurement
+    // loops below are interpreter-bound and stay serial.
+    let batch = executor_from_args();
+    let modules: Vec<_> = models.iter().map(|m| &m.module).collect();
+    let hardened_all = batch.run_matrix_map(&modules, &configs, |_, _, r| {
+        Hardened::from_result(r.clone())
+    });
+    for (model, hardened_row) in models.iter().zip(&hardened_all) {
         // Per-config single-window rates for the CSV (the eight bars).
-        for config in configs {
-            let hardened = harden(&model.module, config);
-            let mut ex = executor_for(&hardened, &model, config);
+        for (config, hardened) in configs.iter().zip(hardened_row) {
+            let mut ex = executor_for(hardened, model, *config);
             for i in 0..500 {
-                run_one(&model, &mut ex, i);
+                run_one(model, &mut ex, i);
             }
-            let rps = measure(&model, &mut ex, win);
+            let rps = measure(model, &mut ex, win);
             csv.push_str(&format!("{},{},{:.0}\n", model.name, config.name(), rps));
         }
         // Overhead: alternate Baseline and full Kaleidoscope, best-of-3.
-        let hardened = harden(&model.module, PolicyConfig::all());
+        let hardened = &hardened_row[7];
         let mut base_ex = hardened.executor_unmonitored(&model.module);
         let mut kd_ex = hardened.executor(&model.module);
         for i in 0..500 {
-            run_one(&model, &mut base_ex, i);
-            run_one(&model, &mut kd_ex, i);
+            run_one(model, &mut base_ex, i);
+            run_one(model, &mut kd_ex, i);
         }
         let mut base_best = 0.0f64;
         let mut kd_best = 0.0f64;
         for _ in 0..3 {
-            base_best = base_best.max(measure(&model, &mut base_ex, win));
-            kd_best = kd_best.max(measure(&model, &mut kd_ex, win));
+            base_best = base_best.max(measure(model, &mut base_ex, win));
+            kd_best = kd_best.max(measure(model, &mut kd_ex, win));
         }
         let overhead = (base_best / kd_best - 1.0) * 100.0;
         overheads.push(overhead);

@@ -7,9 +7,12 @@
 //! # → target/kaleidoscope-report.html
 //! ```
 
+use std::time::Instant;
+
 use kaleidoscope::PolicyConfig;
 use kaleidoscope_bench::html::Report;
-use kaleidoscope_bench::{five_num, mean, run_all_configs};
+use kaleidoscope_bench::{executor_from_args, five_num, mean, run_matrix, ConfigRun};
+use kaleidoscope_exec::Executor;
 
 fn main() {
     let mut report = Report::new("Kaleidoscope reproduction — evaluation dashboard");
@@ -44,10 +47,15 @@ fn main() {
             .collect(),
     );
 
-    // Analyze everything once.
-    let all: Vec<(String, Vec<kaleidoscope_bench::ConfigRun>)> = models
+    // Analyze everything once, through the batch executor, measuring the
+    // wall-clock speedup over the legacy serial path while at it.
+    let t = Instant::now();
+    let runs = run_matrix(&executor_from_args(), &models);
+    let body_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let all: Vec<(String, Vec<ConfigRun>)> = models
         .iter()
-        .map(|m| (m.name.to_string(), run_all_configs(m)))
+        .map(|m| m.name.to_string())
+        .zip(runs)
         .collect();
     let config_names: Vec<String> = PolicyConfig::table3_order()
         .iter()
@@ -66,10 +74,7 @@ fn main() {
             .map(|(name, runs)| {
                 let mut row = vec![name.clone()];
                 row.extend(runs.iter().map(|r| format!("{:.2}", r.stats.avg)));
-                row.push(format!(
-                    "{:.2}",
-                    runs[0].stats.factor_over(&runs[7].stats)
-                ));
+                row.push(format!("{:.2}", runs[0].stats.factor_over(&runs[7].stats)));
                 row
             })
             .collect(),
@@ -126,6 +131,68 @@ fn main() {
                 .collect(),
         );
     }
+
+    // Executor speedup: the legacy serial path vs the pooled + cached
+    // executor, cold and warm. On a single-CPU host the parallel gain is
+    // nil by construction, but the artifact cache still collapses the 72
+    // pipeline runs to ~25 distinct solves, so the warm run is the
+    // headline number.
+    report.heading("Parallel execution — kaleidoscope-exec");
+    let time = |f: &dyn Fn()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_secs_f64() * 1000.0
+    };
+    let serial_ms = time(&|| {
+        let ex = Executor::serial();
+        let _ = run_matrix(&ex, &models);
+    });
+    let pool = Executor::with_jobs(executor_from_args().jobs().max(2));
+    let cold_ms = time(&|| {
+        let _ = run_matrix(&pool, &models);
+    });
+    let warm_ms = time(&|| {
+        let _ = run_matrix(&pool, &models);
+    });
+    let stats = pool.cache_stats();
+    let speedup_rows: Vec<Vec<String>> = [
+        ("serial legacy (--jobs 1)", serial_ms),
+        ("executor, cold cache", cold_ms),
+        ("executor, warm cache", warm_ms),
+    ]
+    .iter()
+    .map(|(label, ms)| {
+        vec![
+            label.to_string(),
+            format!("{ms:.1}"),
+            format!("{:.2}x", serial_ms / ms),
+        ]
+    })
+    .collect();
+    report.table(
+        &format!(
+            "Full 9x8 analysis matrix wall clock ({} workers; warm cache: {} lookups, {} misses, {} hits)",
+            pool.jobs(),
+            stats.lookups,
+            stats.misses,
+            stats.hits()
+        ),
+        vec!["Path".into(), "Wall ms".into(), "Speedup".into()],
+        speedup_rows,
+    );
+    println!("report body matrix: {body_ms:.1} ms");
+    println!(
+        "executor speedup over serial legacy ({} workers): cold {:.2}x ({cold_ms:.1} ms), warm {:.2}x ({warm_ms:.1} ms vs {serial_ms:.1} ms serial)",
+        pool.jobs(),
+        serial_ms / cold_ms,
+        serial_ms / warm_ms
+    );
+    println!(
+        "warm cache traffic: {} lookups, {} misses, {} hits",
+        stats.lookups,
+        stats.misses,
+        stats.hits()
+    );
 
     let html = report.render();
     let path = std::path::Path::new("target").join("kaleidoscope-report.html");

@@ -3,7 +3,7 @@
 //! the improvement factor of full Kaleidoscope over the baseline.
 
 use kaleidoscope::PolicyConfig;
-use kaleidoscope_bench::{row, run_all_configs};
+use kaleidoscope_bench::{executor_from_args, row, run_matrix};
 
 fn main() {
     let configs = PolicyConfig::table3_order();
@@ -11,16 +11,16 @@ fn main() {
     let widths = [11usize, 9, 9, 9, 9, 9, 9, 9, 12, 7];
 
     let models = kaleidoscope_apps::all_models();
+    let all = run_matrix(&executor_from_args(), &models);
     let mut rows_avg = Vec::new();
     let mut rows_max = Vec::new();
     let mut csv = String::from("app,config,avg,max,count,invariants\n");
-    for model in &models {
-        let runs = run_all_configs(model);
+    for (model, runs) in models.iter().zip(&all) {
         let base = &runs[0].stats;
         let full = &runs[7].stats;
         let mut avg_cells = vec![model.name.to_string()];
         let mut max_cells = vec![model.name.to_string()];
-        for r in &runs {
+        for r in runs {
             avg_cells.push(format!("{:.2}", r.stats.avg));
             max_cells.push(format!("{}", r.stats.max));
             csv.push_str(&format!(

@@ -7,8 +7,8 @@
 //! is mirrored by the models' restricted `bench_inputs` mixes.
 
 use kaleidoscope::PolicyConfig;
-use kaleidoscope_bench::row;
-use kaleidoscope_cfi::harden;
+use kaleidoscope_bench::{executor_from_args, row};
+use kaleidoscope_cfi::Hardened;
 
 fn main() {
     let reqs: usize = std::env::var("TABLE4_REQUESTS")
@@ -32,11 +32,18 @@ fn main() {
             &widths
         )
     );
-    let mut csv = String::from("app,branch_total,branch_exec,branch_pct,mon_total,mon_exec,mon_pct\n");
+    let mut csv =
+        String::from("app,branch_total,branch_exec,branch_pct,mon_total,mon_exec,mon_pct\n");
     let mut bpcts = Vec::new();
     let mut mpcts = Vec::new();
-    for model in kaleidoscope_apps::all_models() {
-        let hardened = harden(&model.module, PolicyConfig::all());
+    let models = kaleidoscope_apps::all_models();
+    let batch = executor_from_args();
+    let modules: Vec<_> = models.iter().map(|m| &m.module).collect();
+    let hardened_all = batch.run_matrix_map(&modules, &[PolicyConfig::all()], |_, _, r| {
+        Hardened::from_result(r.clone())
+    });
+    for (model, hardened_row) in models.iter().zip(&hardened_all) {
+        let hardened = &hardened_row[0];
         let mut ex = hardened.executor(&model.module);
         for i in 0..reqs {
             let input = &model.bench_inputs[i % model.bench_inputs.len()];

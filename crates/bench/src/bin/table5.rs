@@ -7,8 +7,9 @@
 //! mirroring Table 4 → Table 5's increase.
 
 use kaleidoscope::PolicyConfig;
-use kaleidoscope_bench::row;
-use kaleidoscope_fuzz::{fuzz_app, FuzzConfig};
+use kaleidoscope_bench::{executor_from_args, row};
+use kaleidoscope_cfi::Hardened;
+use kaleidoscope_fuzz::{fuzz_hardened, FuzzConfig};
 
 fn main() {
     let iters: usize = std::env::var("TABLE5_ITERS")
@@ -39,10 +40,16 @@ fn main() {
     let mut bpcts = Vec::new();
     let mut mpcts = Vec::new();
     let mut total_violations = 0usize;
-    for model in kaleidoscope_apps::all_models() {
-        let r = fuzz_app(
-            &model,
-            PolicyConfig::all(),
+    let models = kaleidoscope_apps::all_models();
+    let batch = executor_from_args();
+    let modules: Vec<_> = models.iter().map(|m| &m.module).collect();
+    let hardened_all = batch.run_matrix_map(&modules, &[PolicyConfig::all()], |_, _, r| {
+        Hardened::from_result(r.clone())
+    });
+    for (model, hardened_row) in models.iter().zip(&hardened_all) {
+        let r = fuzz_hardened(
+            model,
+            &hardened_row[0],
             &FuzzConfig {
                 iterations: iters,
                 seed: 0xa11,

@@ -7,6 +7,9 @@
 
 use std::fmt::Write as _;
 
+/// Five-number summary (min, q1, median, q3, max) for a box plot row.
+pub type FiveNum = (f64, f64, f64, f64, f64);
+
 /// Escape text for HTML.
 pub fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
@@ -33,7 +36,7 @@ enum Section {
     BoxPlots {
         caption: String,
         /// Row label → five-number summary.
-        rows: Vec<(String, (f64, f64, f64, f64, f64))>,
+        rows: Vec<(String, FiveNum)>,
     },
 }
 
@@ -66,7 +69,12 @@ impl Report {
     }
 
     /// Add a table.
-    pub fn table(&mut self, caption: &str, header: Vec<String>, rows: Vec<Vec<String>>) -> &mut Self {
+    pub fn table(
+        &mut self,
+        caption: &str,
+        header: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> &mut Self {
         self.sections.push(Section::Table {
             caption: caption.to_string(),
             header,
@@ -89,11 +97,7 @@ impl Report {
     }
 
     /// Add horizontal box plots (min, q1, median, q3, max per row).
-    pub fn box_plots(
-        &mut self,
-        caption: &str,
-        rows: Vec<(String, (f64, f64, f64, f64, f64))>,
-    ) -> &mut Self {
+    pub fn box_plots(&mut self, caption: &str, rows: Vec<(String, FiveNum)>) -> &mut Self {
         self.sections.push(Section::BoxPlots {
             caption: caption.to_string(),
             rows,
@@ -233,11 +237,7 @@ fn render_grouped_bars(out: &mut String, caption: &str, groups: &[(String, Vec<(
     out.push_str("</svg></figure>");
 }
 
-fn render_box_plots(
-    out: &mut String,
-    caption: &str,
-    rows: &[(String, (f64, f64, f64, f64, f64))],
-) {
+fn render_box_plots(out: &mut String, caption: &str, rows: &[(String, FiveNum)]) {
     let maxv = rows
         .iter()
         .map(|(_, f)| f.4)

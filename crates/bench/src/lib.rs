@@ -18,10 +18,12 @@
 //! machine-readable block, and are deterministic.
 
 pub mod html;
+pub mod timing;
 
 use kaleidoscope::{analyze, KaleidoscopeResult, PolicyConfig};
 use kaleidoscope_apps::AppModel;
 use kaleidoscope_cfi::CfiPolicy;
+use kaleidoscope_exec::Executor;
 use kaleidoscope_pta::PtsStats;
 use kaleidoscope_runtime::ViewKind;
 
@@ -38,28 +40,72 @@ pub struct ConfigRun {
     pub invariants: usize,
 }
 
-/// Analyze one app under one configuration.
-pub fn run_config(model: &AppModel, config: PolicyConfig) -> (KaleidoscopeResult, ConfigRun) {
-    let result = analyze(&model.module, config);
+/// Reduce one finished analysis to the statistics the tables print.
+pub fn config_run(model: &AppModel, result: &KaleidoscopeResult) -> ConfigRun {
     let stats = PtsStats::collect(&result.optimistic, &model.module);
-    let policy = CfiPolicy::from_result(&result);
+    let policy = CfiPolicy::from_result(result);
     let mut cfi_counts = policy.target_counts(ViewKind::Optimistic);
     cfi_counts.sort_unstable();
-    let run = ConfigRun {
-        config,
+    ConfigRun {
+        config: result.config,
         stats,
         cfi_counts,
         invariants: result.invariants.len(),
-    };
+    }
+}
+
+/// Analyze one app under one configuration (legacy serial path).
+pub fn run_config(model: &AppModel, config: PolicyConfig) -> (KaleidoscopeResult, ConfigRun) {
+    let result = analyze(&model.module, config);
+    let run = config_run(model, &result);
     (result, run)
 }
 
-/// Analyze one app under all eight Table 3 configurations.
+/// Analyze one app under all eight Table 3 configurations (legacy serial
+/// path; the binaries go through [`run_matrix`]).
 pub fn run_all_configs(model: &AppModel) -> Vec<ConfigRun> {
     PolicyConfig::table3_order()
         .iter()
         .map(|c| run_config(model, *c).1)
         .collect()
+}
+
+/// Analyze every model under all eight Table 3 configurations through the
+/// batch executor: `out[m][c]` for `models[m]` under config `c`. Results
+/// are identical to [`run_all_configs`] per model regardless of the
+/// executor's worker count.
+pub fn run_matrix(ex: &Executor, models: &[AppModel]) -> Vec<Vec<ConfigRun>> {
+    let modules: Vec<_> = models.iter().map(|m| &m.module).collect();
+    ex.run_matrix_map(&modules, &PolicyConfig::table3_order(), |mi, _, r| {
+        config_run(&models[mi], r)
+    })
+}
+
+/// Parse `--jobs N` / `--jobs=N` from the process arguments. Returns `0`
+/// (executor default: available parallelism) when absent; exits with a
+/// usage message on a malformed value.
+pub fn jobs_from_args() -> usize {
+    let mut argv = std::env::args().skip(1);
+    let bad = |v: &str| -> ! {
+        eprintln!("--jobs needs a positive integer, got `{v}`");
+        std::process::exit(2);
+    };
+    while let Some(a) = argv.next() {
+        if a == "--jobs" {
+            let v = argv.next().unwrap_or_else(|| bad("nothing"));
+            return v.parse().unwrap_or_else(|_| bad(&v));
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().unwrap_or_else(|_| bad(v));
+        }
+    }
+    0
+}
+
+/// The executor every bench binary schedules onto, honouring `--jobs N`
+/// (`--jobs 1` forces the legacy serial path for A/B comparison).
+pub fn executor_from_args() -> Executor {
+    Executor::with_jobs(jobs_from_args())
 }
 
 /// Mean of a count vector (0 for empty).

@@ -155,7 +155,10 @@ mod tests {
             let mut b = FunctionBuilder::new(
                 &mut m,
                 "set_cb",
-                vec![("base", Type::ptr(Type::Struct(sctx))), ("cb", cb_ty.clone())],
+                vec![
+                    ("base", Type::ptr(Type::Struct(sctx))),
+                    ("cb", cb_ty.clone()),
+                ],
                 Type::Void,
             );
             let base = b.param(0);

@@ -90,6 +90,14 @@ pub struct Hardened {
 }
 
 impl Hardened {
+    /// Build a hardened module from an already-computed analysis result —
+    /// the entry point for callers that obtain results through the batch
+    /// executor (`kaleidoscope-exec`) instead of analyzing inline.
+    pub fn from_result(result: KaleidoscopeResult) -> Hardened {
+        let policy = CfiPolicy::from_result(&result);
+        Hardened { result, policy }
+    }
+
     /// Build an executor enforcing this policy with all monitors armed.
     pub fn executor<'m>(&self, module: &'m Module) -> Executor<'m> {
         self.executor_with(module, ExecConfig::default())
@@ -119,9 +127,7 @@ impl Hardened {
 
 /// Run the IGO pipeline and derive the CFI policy in one step.
 pub fn harden(module: &Module, config: PolicyConfig) -> Hardened {
-    let result = analyze(module, config);
-    let policy = CfiPolicy::from_result(&result);
-    Hardened { result, policy }
+    Hardened::from_result(analyze(module, config))
 }
 
 #[cfg(test)]
@@ -177,7 +183,9 @@ mod tests {
         let _sink = b.copy("sink", w);
         // The protected indirect call: ctx->f_entropy(1).
         let fp = b.load("fp", f0);
-        let r = b.call_ind("r", fp, vec![Operand::ConstInt(1)], Type::Int).unwrap();
+        let r = b
+            .call_ind("r", fp, vec![Operand::ConstInt(1)], Type::Int)
+            .unwrap();
         b.ret(Some(r.into()));
         b.finish();
         m

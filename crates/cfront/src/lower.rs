@@ -83,8 +83,7 @@ pub fn lower(prog: &Program, module_name: &str) -> Result<Module, CError> {
             .types
             .declare(s.name.clone(), Vec::new())
             .ok_or_else(|| err(s.line, format!("duplicate struct `{}`", s.name)))?;
-        cx.structs
-            .insert(s.name.clone(), (id, s.fields.clone()));
+        cx.structs.insert(s.name.clone(), (id, s.fields.clone()));
     }
     for s in &prog.structs {
         let fields = s
@@ -316,10 +315,7 @@ fn rvalue_or_void(fx: &mut Fx<'_, '_>, e: &Expr) -> Result<Option<(Operand, CTyp
                 return some(d.into(), ty);
             }
             if let Some((fid, params, ret)) = fx.cx.funcs.get(name).cloned() {
-                return some(
-                    Operand::Func(fid),
-                    CType::FnPtr(params, Box::new(ret)),
-                );
+                return some(Operand::Func(fid), CType::FnPtr(params, Box::new(ret)));
             }
             Err(err(line, format!("unknown identifier `{name}`")))
         }
@@ -353,8 +349,7 @@ fn rvalue_or_void(fx: &mut Fx<'_, '_>, e: &Expr) -> Result<Option<(Operand, CTyp
             if matches!(op, BinOp::Add | BinOp::Sub) {
                 if lt.is_ptr() && rt == CType::Int {
                     let off = if *op == BinOp::Sub {
-                        fx.b.binop("negoff", BinOpKind::Sub, 0i64, rv)
-                            .into()
+                        fx.b.binop("negoff", BinOpKind::Sub, 0i64, rv).into()
                     } else {
                         rv
                     };
@@ -533,10 +528,8 @@ mod tests {
 
     #[test]
     fn unknown_struct_field_reported() {
-        let e = lower_src(
-            "struct s { int a; };\nint main() { struct s x; x.b = 1; return 0; }",
-        )
-        .unwrap_err();
+        let e = lower_src("struct s { int a; };\nint main() { struct s x; x.b = 1; return 0; }")
+            .unwrap_err();
         assert!(e.msg.contains("no field `b`"), "{e}");
     }
 
@@ -548,8 +541,7 @@ mod tests {
 
     #[test]
     fn call_arity_checked() {
-        let e = lower_src("int f(int a) { return a; }\nint main() { return f(); }")
-            .unwrap_err();
+        let e = lower_src("int f(int a) { return a; }\nint main() { return f(); }").unwrap_err();
         assert!(e.msg.contains("expects 1"), "{e}");
     }
 

@@ -96,8 +96,7 @@ pub fn parse(toks: &[(Token, usize)]) -> Result<Program, CError> {
         let base = parse_base_type(&mut p)?;
         let (name, ty, is_func) = parse_declarator(&mut p, base)?;
         if is_func || p.peek() == Some(&Token::Punct("(")) {
-            prog.funcs
-                .push(parse_func_def(&mut p, name, ty, line)?);
+            prog.funcs.push(parse_func_def(&mut p, name, ty, line)?);
         } else {
             p.expect_punct(";")?;
             if prog.globals.iter().any(|g| g.name == name) {
@@ -143,12 +142,7 @@ fn parse_struct(p: &mut P<'_>, prog: &Program) -> Result<StructDef, CError> {
     Ok(StructDef { name, fields, line })
 }
 
-fn parse_func_def(
-    p: &mut P<'_>,
-    name: String,
-    ret: CType,
-    line: usize,
-) -> Result<FuncDef, CError> {
+fn parse_func_def(p: &mut P<'_>, name: String, ret: CType, line: usize) -> Result<FuncDef, CError> {
     p.expect_punct("(")?;
     let mut params = Vec::new();
     if !p.eat_punct(")") {
@@ -430,10 +424,7 @@ fn is_cast(p: &P<'_>) -> bool {
     if p.peek() != Some(&Token::Punct("(")) {
         return false;
     }
-    match p.peek2() {
-        Some(Token::Ident(s)) if s == "int" || s == "void" || s == "struct" => true,
-        _ => false,
-    }
+    matches!(p.peek2(), Some(Token::Ident(s)) if s == "int" || s == "void" || s == "struct")
 }
 
 fn parse_unary(p: &mut P<'_>) -> Result<Expr, CError> {
@@ -585,9 +576,8 @@ mod tests {
 
     #[test]
     fn struct_global_function() {
-        let prog = parse_src(
-            "struct s { int a; int *b; };\nstruct s g;\nint f(int x) { return x; }",
-        );
+        let prog =
+            parse_src("struct s { int a; int *b; };\nstruct s g;\nint f(int x) { return x; }");
         assert_eq!(prog.structs.len(), 1);
         assert_eq!(prog.structs[0].fields.len(), 2);
         assert_eq!(prog.globals.len(), 1);

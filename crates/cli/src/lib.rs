@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use kaleidoscope::{analyze, IntrospectionConfig, Introspector, PolicyConfig};
 use kaleidoscope_cfi::harden;
 use kaleidoscope_debloat::DebloatPlan;
+use kaleidoscope_exec::Executor;
 use kaleidoscope_ir::{parse_module, verify_module, Module};
 use kaleidoscope_pta::{Analysis, PtsStats, SolveOptions};
 use kaleidoscope_runtime::ViewKind;
@@ -106,7 +107,12 @@ pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
 
 /// `kaleidoscope analyze` — run the IGO pipeline, print invariants and
 /// points-to statistics for one configuration (or all eight).
-pub fn cmd_analyze(source: &Source, config: Option<&str>) -> Result<String, CliError> {
+///
+/// `jobs` sets the executor's worker count (`0` = available parallelism);
+/// `1` forces the legacy serial path. The printed report is identical
+/// either way — configurations of one module share the baseline solve and
+/// context plan through the executor's artifact cache.
+pub fn cmd_analyze(source: &Source, config: Option<&str>, jobs: usize) -> Result<String, CliError> {
     let module = load(source)?;
     let mut out = String::new();
     let configs: Vec<PolicyConfig> = match config {
@@ -125,8 +131,10 @@ pub fn cmd_analyze(source: &Source, config: Option<&str>) -> Result<String, CliE
         "{:<13} {:>8} {:>8} {:>8} {:>11}",
         "config", "avg-pts", "max-pts", "pointers", "invariants"
     );
-    for c in configs {
-        let r = analyze(&module, c);
+    let ex = Executor::with_jobs(jobs);
+    let results = ex.run_matrix(&[&module], &configs);
+    for r in &results[0] {
+        let c = r.config;
         let stats = PtsStats::collect(&r.optimistic, &module);
         let _ = writeln!(
             out,
@@ -147,7 +155,10 @@ pub fn cmd_analyze(source: &Source, config: Option<&str>) -> Result<String, CliE
 /// `kaleidoscope cfi` — print the per-callsite target sets of both views.
 pub fn cmd_cfi(source: &Source, config: Option<&str>) -> Result<String, CliError> {
     let module = load(source)?;
-    let c = config.map(parse_config).transpose()?.unwrap_or(PolicyConfig::all());
+    let c = config
+        .map(parse_config)
+        .transpose()?
+        .unwrap_or(PolicyConfig::all());
     let h = harden(&module, c);
     let mut out = String::new();
     let _ = writeln!(
@@ -301,6 +312,7 @@ OPTIONS:
     --harden           run with CFI + monitors armed
     --growth <n>       introspection growth threshold
     --types <n>        introspection type-diversity threshold
+    --jobs <n>         analyze: worker threads (0 = auto, 1 = serial)
 ";
 
 #[cfg(test)]
@@ -308,10 +320,7 @@ mod tests {
     use super::*;
 
     fn sample(name: &str) -> Source {
-        Source::File(format!(
-            "{}/samples/{name}",
-            env!("CARGO_MANIFEST_DIR")
-        ))
+        Source::File(format!("{}/samples/{name}", env!("CARGO_MANIFEST_DIR")))
     }
 
     #[test]
@@ -325,8 +334,16 @@ mod tests {
     }
 
     #[test]
+    fn analyze_output_independent_of_jobs() {
+        let src = Source::Model("TinyDTLS".into());
+        let serial = cmd_analyze(&src, None, 1).unwrap();
+        let parallel = cmd_analyze(&src, None, 4).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn analyze_sample_file() {
-        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None).unwrap();
+        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1).unwrap();
         assert!(out.contains("Baseline"));
         assert!(out.contains("Kaleidoscope"));
         assert!(out.contains("PA@"), "PA invariant listed:\n{out}");
@@ -334,7 +351,7 @@ mod tests {
 
     #[test]
     fn analyze_model() {
-        let out = cmd_analyze(&Source::Model("TinyDTLS".into()), Some("all")).unwrap();
+        let out = cmd_analyze(&Source::Model("TinyDTLS".into()), Some("all"), 1).unwrap();
         assert!(out.contains("Kaleidoscope"));
     }
 
@@ -393,7 +410,7 @@ mod c_tests {
 
     #[test]
     fn analyze_c_source_end_to_end() {
-        let out = cmd_analyze(&sample_c("fig6.c"), None).unwrap();
+        let out = cmd_analyze(&sample_c("fig6.c"), None, 1).unwrap();
         assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
     }
 
@@ -405,7 +422,7 @@ mod c_tests {
 
     #[test]
     fn fig7_c_emits_pwc_invariant() {
-        let out = cmd_analyze(&sample_c("fig7.c"), Some("all")).unwrap();
+        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1).unwrap();
         assert!(out.contains("PWC"), "{out}");
     }
 

@@ -15,6 +15,7 @@ struct Args {
     harden: bool,
     growth: Option<usize>,
     types: Option<usize>,
+    jobs: usize,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
@@ -29,6 +30,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         harden: false,
         growth: None,
         types: None,
+        jobs: 0,
     };
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
@@ -66,6 +68,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                         .map_err(|_| CliError("--types needs a number".into()))?,
                 )
             }
+            "--jobs" => {
+                args.jobs = need(&mut argv, "--jobs")?
+                    .parse()
+                    .map_err(|_| CliError("--jobs needs a number".into()))?
+            }
             other if !other.starts_with('-') && args.source.is_none() => {
                 args.source = Some(Source::File(other.to_string()));
             }
@@ -81,7 +88,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
         .as_ref()
         .ok_or_else(|| CliError("no input: give a .kir file or --model <Name>".into()))?;
     match cmd {
-        "analyze" => cmd_analyze(source, args.config.as_deref()),
+        "analyze" => cmd_analyze(source, args.config.as_deref(), args.jobs),
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),
         "run" => cmd_run(source, &args.entry, &args.input, args.harden),

@@ -19,8 +19,8 @@ use std::fmt;
 use kaleidoscope_ir::{InstLoc, Module, Type};
 use kaleidoscope_pta::gen::CopyProvenance;
 use kaleidoscope_pta::gen::Origin;
-use kaleidoscope_pta::{NodeId, NodeTable, ObjId, SolverObserver};
 use kaleidoscope_pta::observer::CollapseReason;
+use kaleidoscope_pta::{NodeId, NodeTable, ObjId, SolverObserver};
 
 /// Maximum origin paths retained per derived edge (paper: "we retain the
 /// five most recent paths").
@@ -254,9 +254,9 @@ impl Introspector {
 fn origin_loc(o: &Origin) -> Option<InstLoc> {
     match o {
         Origin::Inst(l) => Some(*l),
-        Origin::CallArg { site, .. }
-        | Origin::CallRet { site }
-        | Origin::CtxBypass { site } => Some(*site),
+        Origin::CallArg { site, .. } | Origin::CallRet { site } | Origin::CtxBypass { site } => {
+            Some(*site)
+        }
         Origin::Init => None,
     }
 }

@@ -40,5 +40,8 @@ pub mod policy;
 pub use heaptype::{infer_heap_types, HeapTypeReport};
 pub use introspect::{Alert, AlertReason, IntrospectionConfig, IntrospectionReport, Introspector};
 pub use invariant::{InvariantId, LikelyInvariant};
-pub use pipeline::{analyze, KaleidoscopeResult, PolicyConfig};
+pub use pipeline::{
+    analyze, assemble_result, ctx_plan_for, fallback_analysis, optimistic_analysis,
+    KaleidoscopeResult, PolicyConfig,
+};
 pub use policy::detect_ctx_plan;

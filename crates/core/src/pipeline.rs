@@ -118,25 +118,63 @@ impl KaleidoscopeResult {
 ///
 /// With [`PolicyConfig::none`], both views are the same baseline analysis
 /// and no invariants are produced.
+///
+/// This is a composition of the cacheable stages below; the parallel
+/// executor (`kaleidoscope-exec`) runs the same stages but memoizes
+/// [`fallback_analysis`], [`ctx_plan_for`], and [`optimistic_analysis`]
+/// per module in its content-addressed artifact cache. Keeping both paths
+/// on one set of stage functions is what makes their outputs
+/// byte-identical.
 pub fn analyze(module: &Module, config: PolicyConfig) -> KaleidoscopeResult {
-    // ❶ Fallback view: the standard (conservative) analysis.
-    let fallback = Analysis::run(module, &SolveOptions::baseline());
+    let fallback = fallback_analysis(module);
+    let ctx_plan = ctx_plan_for(module, config);
+    let optimistic = optimistic_analysis(module, config, &ctx_plan);
+    assemble_result(module, config, fallback, optimistic, ctx_plan)
+}
 
-    // ❷ Optimistic view.
-    let ctx_plan = if config.ctx {
+/// ❶ Stage: the standard (conservative) analysis — the fallback view.
+///
+/// Independent of `config`, so every configuration of one module shares a
+/// single fallback solve.
+pub fn fallback_analysis(module: &Module) -> Analysis {
+    Analysis::run(module, &SolveOptions::baseline())
+}
+
+/// Stage: the context plan feeding constraint generation (empty when the
+/// ctx policy is off).
+pub fn ctx_plan_for(module: &Module, config: PolicyConfig) -> CtxPlan {
+    if config.ctx {
         detect_ctx_plan(module)
     } else {
         CtxPlan::new()
-    };
+    }
+}
+
+/// ❷ Stage: the optimistic analysis under `config`'s policies.
+///
+/// Depends on the module content, the `(pa, pwc)` solve options, and —
+/// when `config.ctx` is on — the context plan.
+pub fn optimistic_analysis(module: &Module, config: PolicyConfig, ctx_plan: &CtxPlan) -> Analysis {
     let opts = SolveOptions::optimistic(config.pa, config.pwc);
-    let optimistic = Analysis::run_full(
+    Analysis::run_full(
         module,
         &opts,
-        if config.ctx { Some(&ctx_plan) } else { None },
+        if config.ctx { Some(ctx_plan) } else { None },
         &mut kaleidoscope_pta::NullObserver,
-    );
+    )
+}
 
-    // ❸ Invariant descriptors.
+/// ❸ Stage: derive the likely-invariant descriptors and package the
+/// result. Pure over its inputs — given the same views it always produces
+/// the same invariants, so cached and freshly solved views assemble to
+/// identical results.
+pub fn assemble_result(
+    module: &Module,
+    config: PolicyConfig,
+    fallback: Analysis,
+    optimistic: Analysis,
+    ctx_plan: CtxPlan,
+) -> KaleidoscopeResult {
     let mut invariants = Vec::new();
 
     // PA: group filter events by instruction.

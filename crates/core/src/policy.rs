@@ -15,8 +15,8 @@
 use std::collections::HashMap;
 
 use kaleidoscope_ir::{FuncId, Inst, InstLoc, LocalId, Module, Operand, Terminator};
-use kaleidoscope_pta::{ChainStep, CriticalFlow, CtxPlan};
 use kaleidoscope_pta::ctxplan::FuncCtxPlan;
+use kaleidoscope_pta::{ChainStep, CriticalFlow, CtxPlan};
 
 /// Maximum address-chain length chased from a store destination back to a
 /// base parameter.
@@ -68,8 +68,8 @@ pub fn detect_ctx_plan(module: &Module) -> CtxPlan {
 
         // Single-definition map (flow-insensitive; reassignment = ambiguous).
         let mut defs: Vec<Option<Def>> = vec![None; func.locals.len()];
-        for i in 0..func.param_count {
-            defs[i] = Some(Def::Param(i));
+        for (i, def) in defs.iter_mut().enumerate().take(func.param_count) {
+            *def = Some(Def::Param(i));
         }
         for (_, block) in func.iter_blocks() {
             for inst in &block.insts {
@@ -101,8 +101,7 @@ pub fn detect_ctx_plan(module: &Module) -> CtxPlan {
             }
         }
 
-        let is_ptr_param =
-            |i: usize| i < func.param_count && func.locals[i].ty.is_ptr();
+        let is_ptr_param = |i: usize| i < func.param_count && func.locals[i].ty.is_ptr();
 
         // Chase a value through copies only, back to a parameter.
         let chase_param = |mut l: LocalId| -> Option<usize> {
@@ -217,13 +216,19 @@ mod tests {
         let cb_ty = Type::ptr(Type::Int);
         let base_s = m
             .types
-            .declare("ev_base", vec![Type::Int, Type::ptr(Type::array(cb_ty.clone(), 4))])
+            .declare(
+                "ev_base",
+                vec![Type::Int, Type::ptr(Type::array(cb_ty.clone(), 4))],
+            )
             .unwrap();
         let insert = {
             let mut b = FunctionBuilder::new(
                 &mut m,
                 "ev_queue_insert",
-                vec![("b", Type::ptr(Type::Struct(base_s))), ("cb", cb_ty.clone())],
+                vec![
+                    ("b", Type::ptr(Type::Struct(base_s))),
+                    ("cb", cb_ty.clone()),
+                ],
                 Type::Void,
             );
             let base = b.param(0);

@@ -124,13 +124,19 @@ fn elem_step_in_chain_detected() {
     let mut m = Module::new("elemchain");
     let s = m
         .types
-        .declare("tbl", vec![Type::Int, Type::ptr(Type::array(Type::ptr(Type::Int), 4))])
+        .declare(
+            "tbl",
+            vec![Type::Int, Type::ptr(Type::array(Type::ptr(Type::Int), 4))],
+        )
         .unwrap();
     let f = {
         let mut b = FunctionBuilder::new(
             &mut m,
             "f",
-            vec![("t", Type::ptr(Type::Struct(s))), ("v", Type::ptr(Type::Int))],
+            vec![
+                ("t", Type::ptr(Type::Struct(s))),
+                ("v", Type::ptr(Type::Int)),
+            ],
             Type::Void,
         );
         let t = b.param(0);
@@ -171,8 +177,16 @@ fn pairwise_configs_compose_monotonically() {
         kaleidoscope_pta::PtsStats::collect(&r.optimistic, &model.module).avg
     };
     let base = avg(PolicyConfig::none());
-    let ctx = avg(PolicyConfig { ctx: true, pa: false, pwc: false });
-    let ctx_pa = avg(PolicyConfig { ctx: true, pa: true, pwc: false });
+    let ctx = avg(PolicyConfig {
+        ctx: true,
+        pa: false,
+        pwc: false,
+    });
+    let ctx_pa = avg(PolicyConfig {
+        ctx: true,
+        pa: true,
+        pwc: false,
+    });
     let full = avg(PolicyConfig::all());
     assert!(ctx <= base + 1e-9);
     assert!(ctx_pa <= ctx + 1e-9);
@@ -195,9 +209,9 @@ fn invariant_counts_match_config() {
             assert_eq!(counts.get("Ctx"), None, "{}", config.name());
         }
         if config == PolicyConfig::all() {
-            assert!(counts.get("PA").is_some());
-            assert!(counts.get("PWC").is_some());
-            assert!(counts.get("Ctx").is_some());
+            assert!(counts.contains_key("PA"));
+            assert!(counts.contains_key("PWC"));
+            assert!(counts.contains_key("Ctx"));
         }
     }
 }

@@ -161,7 +161,11 @@ impl IndirectCallGuard for DebloatGuard {
 /// Harden a module for dynamic debloating: the optimistic plan is enforced
 /// with all monitors armed; an invariant violation restores the fallback
 /// accessibility set.
-pub fn debloat(module: &Module, entry: FuncId, config: PolicyConfig) -> (DebloatPlan, Vec<kaleidoscope::LikelyInvariant>) {
+pub fn debloat(
+    module: &Module,
+    entry: FuncId,
+    config: PolicyConfig,
+) -> (DebloatPlan, Vec<kaleidoscope::LikelyInvariant>) {
     let result = analyze(module, config);
     let plan = DebloatPlan::from_result(module, &result, entry);
     (plan, result.invariants)
@@ -193,7 +197,10 @@ mod tests {
         let mut m = Module::new("bloaty");
         let s = m
             .types
-            .declare("ctx", vec![Type::Int, Type::fn_ptr(vec![Type::Int], Type::Int)])
+            .declare(
+                "ctx",
+                vec![Type::Int, Type::fn_ptr(vec![Type::Int], Type::Int)],
+            )
             .unwrap();
         for name in ["used", "bloat", "dead"] {
             let mut b = FunctionBuilder::new(&mut m, name, vec![("x", Type::Int)], Type::Int);
@@ -233,7 +240,11 @@ mod tests {
         let join = b.new_block();
         b.branch(rare, rare_bb, join);
         b.switch_to(rare_bb);
-        let wfp = b.copy_typed("wfp", w, Type::ptr(Type::fn_ptr(vec![Type::Int], Type::Int)));
+        let wfp = b.copy_typed(
+            "wfp",
+            w,
+            Type::ptr(Type::fn_ptr(vec![Type::Int], Type::Int)),
+        );
         let fpv = b.load("fpv", wfp);
         b.call_ind("rr", fpv, vec![Operand::ConstInt(2)], Type::Int);
         b.jump(join);
@@ -268,7 +279,8 @@ mod tests {
         let (plan, invs) = debloat(&m, main, PolicyConfig::all());
         let mut ex = executor(&m, plan, &invs);
         ex.set_input(&[0, 0]);
-        ex.run(main, vec![]).expect("benign run under debloat guard");
+        ex.run(main, vec![])
+            .expect("benign run under debloat guard");
         assert!(ex.violations.is_empty());
     }
 
@@ -303,8 +315,7 @@ mod tests {
                 "{name}: dead filler functions must be debloated"
             );
             assert!(
-                plan.debloated_pct(ViewKind::Optimistic)
-                    >= plan.debloated_pct(ViewKind::Fallback),
+                plan.debloated_pct(ViewKind::Optimistic) >= plan.debloated_pct(ViewKind::Fallback),
                 "{name}"
             );
         }

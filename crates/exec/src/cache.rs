@@ -1,0 +1,184 @@
+//! Content-addressed artifact cache for analysis stages.
+//!
+//! Artifacts are keyed by the *content* of their inputs — the module's
+//! [`fingerprint`](kaleidoscope_ir::Module::fingerprint) plus the
+//! [`SolveOptions::cache_key`] of the solve — never by identity or
+//! insertion order. Two modules that print identically share artifacts;
+//! any content change misses. The paper frames fallback and optimistic as
+//! two solves over one constraint program (§3, Figure 4); here that shows
+//! up as the eight `PolicyConfig`s of one module sharing a single baseline
+//! solve and a single context plan.
+//!
+//! Concurrency: each key maps to an [`OnceLock`] slot, so when several
+//! workers want the same artifact at once exactly one computes it and the
+//! rest block on the slot instead of duplicating the solve.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use kaleidoscope_pta::{Analysis, CtxPlan, SolveOptions};
+
+/// Which stage artifact a key addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Stage {
+    /// The context plan (§4.4 detection over the module).
+    CtxPlan,
+    /// A solved analysis: options key plus whether a context plan fed
+    /// constraint generation.
+    Solve { opts_key: u64, with_ctx: bool },
+}
+
+/// Full cache key: module content fingerprint + stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    fingerprint: u64,
+    stage: Stage,
+}
+
+/// A cached artifact.
+#[derive(Debug, Clone)]
+enum Slot {
+    Analysis(Arc<Analysis>),
+    Plan(Arc<CtxPlan>),
+}
+
+/// Cache traffic counters (monotonic; totals are deterministic for a given
+/// job matrix even though interleaving is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifact lookups performed.
+    pub lookups: u64,
+    /// Lookups that had to compute the artifact.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.lookups - self.misses
+    }
+}
+
+/// The content-addressed artifact cache.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<Key, Arc<OnceLock<Slot>>>>,
+    lookups: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Fresh, empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct artifacts held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no artifacts yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot(&self, key: Key, compute: impl FnOnce() -> Slot) -> Slot {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut slots = self.slots.lock().expect("cache lock");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        cell.get_or_init(|| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            compute()
+        })
+        .clone()
+    }
+
+    /// The solved analysis for `(fingerprint, opts, with_ctx)`, computing
+    /// it with `compute` on a miss.
+    pub fn analysis(
+        &self,
+        fingerprint: u64,
+        opts: &SolveOptions,
+        with_ctx: bool,
+        compute: impl FnOnce() -> Analysis,
+    ) -> Arc<Analysis> {
+        let key = Key {
+            fingerprint,
+            stage: Stage::Solve {
+                opts_key: opts.cache_key(),
+                with_ctx,
+            },
+        };
+        match self.slot(key, || Slot::Analysis(Arc::new(compute()))) {
+            Slot::Analysis(a) => a,
+            Slot::Plan(_) => unreachable!("solve key holds an analysis"),
+        }
+    }
+
+    /// The context plan for `fingerprint`, computing it on a miss.
+    pub fn ctx_plan(&self, fingerprint: u64, compute: impl FnOnce() -> CtxPlan) -> Arc<CtxPlan> {
+        let key = Key {
+            fingerprint,
+            stage: Stage::CtxPlan,
+        };
+        match self.slot(key, || Slot::Plan(Arc::new(compute()))) {
+            Slot::Plan(p) => p,
+            Slot::Analysis(_) => unreachable!("ctx-plan key holds a plan"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = ArtifactCache::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let p = cache.ctx_plan(7, || {
+                computes += 1;
+                CtxPlan::new()
+            });
+            assert!(p.is_empty());
+        }
+        assert_eq!(computes, 1, "one compute, two hits");
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.misses, s.hits()), (3, 1, 2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_separate_by_content_options_and_ctx() {
+        let cache = ArtifactCache::new();
+        let mk = || {
+            Analysis::run(
+                &kaleidoscope_ir::Module::new("empty"),
+                &SolveOptions::baseline(),
+            )
+        };
+        let base = SolveOptions::baseline();
+        let opt = SolveOptions::optimistic(true, false);
+        cache.analysis(1, &base, false, mk);
+        cache.analysis(1, &base, false, mk); // hit
+        cache.analysis(2, &base, false, mk); // new fingerprint
+        cache.analysis(1, &opt, false, mk); // new options
+        cache.analysis(1, &base, true, mk); // ctx plan fed generation
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! `kaleidoscope-exec` — the batch analysis executor.
+//!
+//! Every evaluation artifact (Table 3, Figures 10–13, the ablation, the
+//! HTML report) and the CLI runs the same job shape: the IGO pipeline over
+//! a *matrix* of `(module, PolicyConfig)` cells — nine app models × the
+//! eight configurations of Table 3. Run naively that is 72 independent
+//! pipeline runs, even though within one module every configuration shares
+//! the same constraint generation, the same baseline (fallback) solve, and
+//! the same context plan.
+//!
+//! [`Executor`] exploits that structure:
+//!
+//! * **Parallelism** — cells are scheduled over a fixed pool of
+//!   `std::thread` workers (`--jobs N` from the CLI and bench binaries).
+//!   Results are collected by cell index, so output order — and therefore
+//!   every printed table and figure — is byte-identical to the serial
+//!   path regardless of worker count or interleaving.
+//! * **Memoization** — per-module work is stored in a content-addressed
+//!   [`ArtifactCache`] keyed by module fingerprint + solve options: the
+//!   baseline solve and the context plan happen once per module, and the
+//!   seven optimistic configurations reuse them.
+//! * **A/B checking** — one worker ([`Executor::serial`], `--jobs 1`)
+//!   bypasses both the pool and the cache and runs the legacy
+//!   [`kaleidoscope::analyze`] per cell, as the reference for the
+//!   determinism guarantee.
+//!
+//! Both paths compose the same stage functions from `core::pipeline`
+//! (`fallback_analysis` / `ctx_plan_for` / `optimistic_analysis` /
+//! `assemble_result`), which is what makes their outputs identical.
+
+mod cache;
+
+pub use cache::{ArtifactCache, CacheStats};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use kaleidoscope::{
+    analyze, assemble_result, ctx_plan_for, fallback_analysis, optimistic_analysis,
+    KaleidoscopeResult, PolicyConfig,
+};
+use kaleidoscope_ir::Module;
+use kaleidoscope_pta::{CtxPlan, SolveOptions};
+
+/// The batch analysis executor. See the crate docs for the design.
+#[derive(Debug)]
+pub struct Executor {
+    jobs: usize,
+    cache: ArtifactCache,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// Executor with one worker per available hardware thread.
+    pub fn new() -> Executor {
+        Executor::with_jobs(0)
+    }
+
+    /// Executor with a fixed worker count; `0` means available
+    /// parallelism, `1` is the legacy serial path (no pool, no cache).
+    pub fn with_jobs(jobs: usize) -> Executor {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Executor {
+            jobs,
+            cache: ArtifactCache::new(),
+        }
+    }
+
+    /// The legacy serial executor (`--jobs 1`).
+    pub fn serial() -> Executor {
+        Executor::with_jobs(1)
+    }
+
+    /// The worker count this executor schedules onto.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Traffic counters of the artifact cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Run the IGO pipeline for one cell through the artifact cache:
+    /// constraint generation + baseline solve + context plan are fetched
+    /// (or computed once) per module, the optimistic solve per
+    /// `(module, config)` equivalence class.
+    pub fn run_one(&self, module: &Module, config: PolicyConfig) -> KaleidoscopeResult {
+        let fp = module.fingerprint();
+        let fallback = self
+            .cache
+            .analysis(fp, &SolveOptions::baseline(), false, || {
+                fallback_analysis(module)
+            });
+        let ctx_plan = if config.ctx {
+            self.cache.ctx_plan(fp, || ctx_plan_for(module, config))
+        } else {
+            std::sync::Arc::new(CtxPlan::new())
+        };
+        let opts = SolveOptions::optimistic(config.pa, config.pwc);
+        let optimistic = self.cache.analysis(fp, &opts, config.ctx, || {
+            optimistic_analysis(module, config, &ctx_plan)
+        });
+        assemble_result(
+            module,
+            config,
+            (*fallback).clone(),
+            (*optimistic).clone(),
+            (*ctx_plan).clone(),
+        )
+    }
+
+    /// Run the full `modules × configs` matrix and return results in
+    /// matrix order (`out[m][c]` for `modules[m]` under `configs[c]`),
+    /// independent of worker count.
+    pub fn run_matrix(
+        &self,
+        modules: &[&Module],
+        configs: &[PolicyConfig],
+    ) -> Vec<Vec<KaleidoscopeResult>> {
+        self.run_matrix_map(modules, configs, |_, _, r| r.clone())
+    }
+
+    /// [`run_matrix`](Executor::run_matrix), but each cell's result is
+    /// reduced to `f(module_idx, config_idx, &result)` inside the worker —
+    /// use this when the full `KaleidoscopeResult` per cell is not needed
+    /// (e.g. the bench harness keeps only statistics).
+    pub fn run_matrix_map<T, F>(
+        &self,
+        modules: &[&Module],
+        configs: &[PolicyConfig],
+        f: F,
+    ) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, usize, &KaleidoscopeResult) -> T + Sync,
+    {
+        let n_cells = modules.len() * configs.len();
+        if n_cells == 0 {
+            return modules.iter().map(|_| Vec::new()).collect();
+        }
+
+        let results: Vec<T> = if self.jobs <= 1 {
+            // Legacy serial path: the original per-cell pipeline, no pool,
+            // no cache — the A/B reference for byte-identical output.
+            let mut out = Vec::with_capacity(n_cells);
+            for (mi, module) in modules.iter().enumerate() {
+                for (ci, config) in configs.iter().enumerate() {
+                    out.push(f(mi, ci, &analyze(module, *config)));
+                }
+            }
+            out
+        } else {
+            // Cells are claimed config-major (all modules under config 0
+            // first), so early on the workers solve *different* modules'
+            // baselines in parallel instead of blocking on one module's
+            // shared artifacts.
+            let cells: Vec<(usize, usize)> = (0..configs.len())
+                .flat_map(|ci| (0..modules.len()).map(move |mi| (mi, ci)))
+                .collect();
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<T>>> = (0..n_cells).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..self.jobs.min(n_cells) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(mi, ci)) = cells.get(i) else { break };
+                        let result = self.run_one(modules[mi], configs[ci]);
+                        let t = f(mi, ci, &result);
+                        *slots[mi * configs.len() + ci].lock().expect("result slot") = Some(t);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("result slot")
+                        .expect("every cell computed")
+                })
+                .collect()
+        };
+
+        // Reassemble the flat, cell-indexed vector into matrix shape.
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(modules.len());
+        let mut it = results.into_iter();
+        for _ in 0..modules.len() {
+            out.push(it.by_ref().take(configs.len()).collect());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaleidoscope_ir::{FunctionBuilder, Type};
+    use kaleidoscope_pta::PtsStats;
+
+    fn small_module(name: &str) -> Module {
+        let mut m = Module::new(name);
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let o = b.alloca("o", Type::Int);
+        let p = b.alloca("p", Type::ptr(Type::Int));
+        b.store(p, o);
+        let v = b.load("v", p);
+        let i = b.input("i");
+        let w = b.ptr_arith("w", v, i);
+        b.store(w, 0i64);
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn jobs_zero_means_available_parallelism() {
+        assert!(Executor::new().jobs() >= 1);
+        assert_eq!(Executor::with_jobs(3).jobs(), 3);
+        assert_eq!(Executor::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn matrix_shape_and_order() {
+        let m1 = small_module("a");
+        let m2 = small_module("b");
+        let configs = PolicyConfig::table3_order();
+        let ex = Executor::with_jobs(4);
+        let out = ex.run_matrix_map(&[&m1, &m2], &configs, |mi, ci, r| {
+            assert_eq!(r.config, configs[ci]);
+            (mi, ci, r.config.name())
+        });
+        assert_eq!(out.len(), 2);
+        for (mi, row) in out.iter().enumerate() {
+            assert_eq!(row.len(), 8);
+            for (ci, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, (mi, ci, configs[ci].name()));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_shares_baseline_across_configs() {
+        let m = small_module("shared");
+        let ex = Executor::with_jobs(2);
+        let configs = PolicyConfig::table3_order();
+        ex.run_matrix(&[&m], &configs);
+        let stats = ex.cache_stats();
+        // Artifacts actually solved: 1 baseline (shared by the fallback of
+        // all 8 configs and the Baseline optimistic view), 1 ctx plan, and
+        // ≤ 7 optimistic solves — never 8 × 2 separate pipeline runs.
+        assert!(
+            stats.misses <= 9,
+            "misses {} exceed distinct artifacts",
+            stats.misses
+        );
+        assert!(stats.hits() >= 8, "hits {} too low", stats.hits());
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_small_module() {
+        let m = small_module("ab");
+        let configs = PolicyConfig::table3_order();
+        let serial = Executor::serial().run_matrix(&[&m], &configs);
+        let parallel = Executor::with_jobs(4).run_matrix(&[&m], &configs);
+        for (s, p) in serial[0].iter().zip(&parallel[0]) {
+            let ss = PtsStats::collect(&s.optimistic, &m);
+            let ps = PtsStats::collect(&p.optimistic, &m);
+            assert_eq!(ss.sizes, ps.sizes);
+            assert_eq!(format!("{:?}", s.invariants), format!("{:?}", p.invariants));
+        }
+    }
+
+    #[test]
+    fn identical_content_shares_artifacts_across_modules() {
+        // Two separately built but identical modules: content addressing
+        // means the second contributes zero additional misses.
+        let m1 = small_module("twin");
+        let m2 = small_module("twin");
+        let ex = Executor::with_jobs(2);
+        ex.run_matrix(&[&m1], &PolicyConfig::table3_order());
+        let misses_before = ex.cache_stats().misses;
+        ex.run_matrix(&[&m2], &PolicyConfig::table3_order());
+        assert_eq!(ex.cache_stats().misses, misses_before);
+    }
+}

@@ -11,10 +11,9 @@ pub mod mutate;
 
 use kaleidoscope::PolicyConfig;
 use kaleidoscope_apps::AppModel;
-use kaleidoscope_cfi::harden;
+use kaleidoscope_cfi::{harden, Hardened};
+use kaleidoscope_prng::Rng;
 use kaleidoscope_runtime::{ExecError, Executor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Fuzzing campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -88,9 +87,15 @@ impl FuzzReport {
 /// The executor persists across runs (server model): globals and coverage
 /// accumulate, exactly like the paper's long-running fuzz targets.
 pub fn fuzz_app(model: &AppModel, config: PolicyConfig, fcfg: &FuzzConfig) -> FuzzReport {
-    let hardened = harden(&model.module, config);
+    fuzz_hardened(model, &harden(&model.module, config), fcfg)
+}
+
+/// [`fuzz_app`], but over an already-hardened module — for callers that
+/// obtain analyses through the batch executor (`kaleidoscope-exec`)
+/// instead of hardening inline.
+pub fn fuzz_hardened(model: &AppModel, hardened: &Hardened, fcfg: &FuzzConfig) -> FuzzReport {
     let mut ex = hardened.executor(&model.module);
-    let mut rng = StdRng::seed_from_u64(fcfg.seed);
+    let mut rng = Rng::seed_from_u64(fcfg.seed);
 
     let mut corpus: Vec<Vec<u8>> = model.fuzz_seeds.clone();
     if corpus.is_empty() {
@@ -110,9 +115,8 @@ pub fn fuzz_app(model: &AppModel, config: PolicyConfig, fcfg: &FuzzConfig) -> Fu
     };
 
     // Seed pass: run every corpus entry once.
-    for i in 0..corpus.len() {
-        let input = corpus[i].clone();
-        run_one(&mut ex, model, &input, &mut report);
+    for input in &corpus {
+        run_one(&mut ex, model, input, &mut report);
     }
 
     // Mutation passes.

@@ -1,14 +1,13 @@
 //! Input mutation operators (AFL-style havoc-lite).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use kaleidoscope_prng::Rng;
 
 /// Produce a mutated copy of `base`, at most `max_len` bytes long.
 ///
 /// Operators: byte flip, byte randomize, insert, delete, duplicate-extend,
 /// and truncation — a small havoc set sufficient to explore the models'
 /// command/payload input space.
-pub fn mutate(base: &[u8], rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+pub fn mutate(base: &[u8], rng: &mut Rng, max_len: usize) -> Vec<u8> {
     let mut out: Vec<u8> = base.to_vec();
     if out.is_empty() {
         out.push(rng.gen_range(0..32));
@@ -19,7 +18,7 @@ pub fn mutate(base: &[u8], rng: &mut StdRng, max_len: usize) -> Vec<u8> {
             0 => {
                 // Flip one bit.
                 let i = rng.gen_range(0..out.len());
-                let bit = rng.gen_range(0..8);
+                let bit = rng.gen_range(0..8u32);
                 out[i] ^= 1 << bit;
             }
             1 => {
@@ -68,11 +67,10 @@ pub fn mutate(base: &[u8], rng: &mut StdRng, max_len: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn respects_max_len() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..200 {
             let m = mutate(&[1, 2, 3, 4, 5, 6, 7, 8], &mut rng, 10);
             assert!(m.len() <= 10);
@@ -82,23 +80,26 @@ mod tests {
 
     #[test]
     fn empty_input_becomes_nonempty() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let m = mutate(&[], &mut rng, 8);
         assert!(!m.is_empty());
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let mut a = StdRng::seed_from_u64(3);
-        let mut b = StdRng::seed_from_u64(3);
+        let mut a = Rng::seed_from_u64(3);
+        let mut b = Rng::seed_from_u64(3);
         for _ in 0..50 {
-            assert_eq!(mutate(&[9, 9, 9], &mut a, 16), mutate(&[9, 9, 9], &mut b, 16));
+            assert_eq!(
+                mutate(&[9, 9, 9], &mut a, 16),
+                mutate(&[9, 9, 9], &mut b, 16)
+            );
         }
     }
 
     #[test]
     fn eventually_changes_input() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let base = vec![5u8; 6];
         let changed = (0..50).any(|_| mutate(&base, &mut rng, 16) != base);
         assert!(changed);

@@ -4,11 +4,11 @@
 //! from operand types where possible, and installs the finished function
 //! into the module on [`FunctionBuilder::finish`].
 
+use crate::module::BlockId;
 use crate::module::{
     BinOpKind, Block, FuncId, Function, GlobalId, Inst, LocalDecl, LocalId, Module, Operand,
     Terminator,
 };
-use crate::module::BlockId;
 use crate::types::Type;
 
 /// Incrementally builds one [`Function`] inside a [`Module`].
@@ -166,18 +166,17 @@ impl<'m> FunctionBuilder<'m> {
     /// `dst = src` with an explicit destination type (bitcast).
     pub fn copy_typed(&mut self, name: &str, src: impl Into<Operand>, ty: Type) -> LocalId {
         let dst = self.local(name, ty);
-        self.push(Inst::Copy { dst, src: src.into() });
+        self.push(Inst::Copy {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// `dst = *src`.
     pub fn load(&mut self, name: &str, src: impl Into<Operand>) -> LocalId {
         let src = src.into();
-        let ty = self
-            .operand_ty(src)
-            .pointee()
-            .cloned()
-            .unwrap_or(Type::Int);
+        let ty = self.operand_ty(src).pointee().cloned().unwrap_or(Type::Int);
         let dst = self.local(name, ty);
         self.push(Inst::Load { dst, src });
         dst
@@ -219,7 +218,11 @@ impl<'m> FunctionBuilder<'m> {
     ) -> LocalId {
         let base = base.into();
         let ty = self.operand_ty(base);
-        let ty = if ty.is_ptr() { ty } else { Type::ptr(Type::Int) };
+        let ty = if ty.is_ptr() {
+            ty
+        } else {
+            Type::ptr(Type::Int)
+        };
         let dst = self.local(name, ty);
         self.push(Inst::PtrArith {
             dst,

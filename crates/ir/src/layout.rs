@@ -82,7 +82,7 @@ fn size_of(ty: &Type, reg: &TypeRegistry, visiting: &mut Vec<StructId>) -> usize
                 .map(|f| size_of(f, reg, visiting))
                 .sum();
             visiting.pop();
-            total.min(MAX_SLOTS).max(1)
+            total.clamp(1, MAX_SLOTS)
         }
     }
 }

@@ -553,7 +553,8 @@ impl Module {
     /// declared name.
     pub fn replace_func(&mut self, id: FuncId, func: Function) {
         assert_eq!(
-            self.funcs[id.index()].name, func.name,
+            self.funcs[id.index()].name,
+            func.name,
             "replace_func must keep the declared name"
         );
         self.funcs[id.index()] = func;
@@ -660,6 +661,23 @@ impl Module {
     pub fn loc(&self) -> usize {
         self.to_text().lines().count()
     }
+
+    /// Stable content fingerprint: FNV-1a over the canonical textual form.
+    ///
+    /// Two modules with the same printed IR (names, types, instructions)
+    /// fingerprint identically, across processes and runs — this keys the
+    /// executor's content-addressed artifact cache, so it must not depend
+    /// on allocation order, hash-map iteration, or anything non-canonical.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        for b in self.to_text().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -724,9 +742,7 @@ mod tests {
         assert_eq!(locs.len(), 2);
         let (loc, inst) = locs[0];
         assert_eq!(m.inst_at(loc), Some(inst));
-        assert!(m
-            .inst_at(InstLoc::new(FuncId(9), BlockId(0), 0))
-            .is_none());
+        assert!(m.inst_at(InstLoc::new(FuncId(9), BlockId(0), 0)).is_none());
     }
 
     #[test]
@@ -793,5 +809,15 @@ mod tests {
         let sig = m.func(FuncId(0)).sig();
         assert_eq!(sig.params, vec![Type::ptr(Type::Int)]);
         assert_eq!(*sig.ret, Type::Void);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_addressed() {
+        let a = mini_module();
+        let b = mini_module();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same key");
+        let mut c = mini_module();
+        c.add_global("extra", Type::Int).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "content change, new key");
     }
 }

@@ -569,7 +569,8 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
                 sp.expect(Tok::Comma)?;
             }
         }
-        m.types.define_fields(crate::types::StructId(i as u32), fields);
+        m.types
+            .define_fields(crate::types::StructId(i as u32), fields);
     }
 
     // Pass 2b: function bodies.
@@ -812,9 +813,7 @@ fn parse_block(p: &mut Parser<'_>, m: &Module) -> Result<(Vec<Inst>, Terminator)
                     // `ret` may be followed by a value or by the next block
                     // label / closing brace.
                     let val = match p.peek() {
-                        Some(Tok::Local(_))
-                        | Some(Tok::Dollar(_))
-                        | Some(Tok::At(_))
+                        Some(Tok::Local(_)) | Some(Tok::Dollar(_)) | Some(Tok::At(_))
                         | Some(Tok::Int(_)) => Some(p.parse_operand(m)?),
                         Some(Tok::Ident(s)) if s == "null" => Some(p.parse_operand(m)?),
                         _ => None,
@@ -914,12 +913,14 @@ struct b { a*, int }
         let mut m = Module::new("rt");
         let s = m
             .types
-            .declare("ctx", vec![Type::fn_ptr(vec![Type::Int], Type::Int), Type::Int])
+            .declare(
+                "ctx",
+                vec![Type::fn_ptr(vec![Type::Int], Type::Int), Type::Int],
+            )
             .unwrap();
         m.add_global("gctx", Type::Struct(s)).unwrap();
         let handler = {
-            let mut b =
-                FunctionBuilder::new(&mut m, "handler", vec![("x", Type::Int)], Type::Int);
+            let mut b = FunctionBuilder::new(&mut m, "handler", vec![("x", Type::Int)], Type::Int);
             let x = b.param(0);
             let r = b.binop("r", BinOpKind::Mul, x, 2i64);
             b.ret(Some(r.into()));

@@ -208,10 +208,10 @@ mod tests {
         assert_eq!(stats.promoted, 1);
         assert!(verify_module(&m).is_empty());
         let f = m.func(m.func_by_name("f").unwrap());
-        assert!(!f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Alloca { .. } | Inst::Load { .. } | Inst::Store { .. })));
+        assert!(!f.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::Alloca { .. } | Inst::Load { .. } | Inst::Store { .. }
+        )));
     }
 
     #[test]

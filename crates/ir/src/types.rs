@@ -307,7 +307,9 @@ mod tests {
     #[test]
     fn declare_and_lookup_struct() {
         let mut reg = TypeRegistry::new();
-        let s = reg.declare("plugin", vec![Type::ptr(Type::Int), Type::Int]).unwrap();
+        let s = reg
+            .declare("plugin", vec![Type::ptr(Type::Int), Type::Int])
+            .unwrap();
         assert_eq!(reg.by_name("plugin"), Some(s));
         assert_eq!(reg.def(s).name, "plugin");
         assert_eq!(reg.def(s).field_count(), 2);

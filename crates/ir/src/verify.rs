@@ -164,18 +164,20 @@ fn verify_func(f: &Function, m: &Module, errs: &mut Vec<VerifyError>) {
                         err(format!("{at}: store to integer constant"));
                     }
                 }
-                Inst::FieldAddr { base, field, .. } => {
+                Inst::FieldAddr {
+                    base: Operand::Local(l),
+                    field,
+                    ..
+                } => {
                     // When the base type is statically known to be a struct
                     // pointer, the field index must be in range.
-                    if let Operand::Local(l) = base {
-                        if let Some(Type::Struct(s)) = f.locals[l.index()].ty.pointee() {
-                            if let Some(def) = m.types.get(*s) {
-                                if *field >= def.field_count() && def.field_count() > 0 {
-                                    err(format!(
-                                        "{at}: field index {} out of range for struct `{}`",
-                                        field, def.name
-                                    ));
-                                }
+                    if let Some(Type::Struct(s)) = f.locals[l.index()].ty.pointee() {
+                        if let Some(def) = m.types.get(*s) {
+                            if *field >= def.field_count() && def.field_count() > 0 {
+                                err(format!(
+                                    "{at}: field index {} out of range for struct `{}`",
+                                    field, def.name
+                                ));
                             }
                         }
                     }
@@ -291,7 +293,9 @@ mod tests {
     #[test]
     fn call_arity_mismatch_detected() {
         let mut m = Module::new("bad");
-        let callee = m.declare_func("callee", vec![Type::Int], Type::Void).unwrap();
+        let callee = m
+            .declare_func("callee", vec![Type::Int], Type::Void)
+            .unwrap();
         let f = Function {
             name: "f".into(),
             param_count: 0,

@@ -1,0 +1,211 @@
+//! Deterministic pseudo-randomness for workloads, fuzzing, and tests.
+//!
+//! The workspace builds in sandboxes without registry access, so instead of
+//! the `rand`/`proptest` crates this module provides the small slice of
+//! their functionality the repository actually needs:
+//!
+//! * [`Rng`] — a seeded [xoshiro256**] generator with `gen_range`,
+//!   `gen_bool`, `shuffle`, and `choose`;
+//! * [`check`] — a minimal property-test driver: run a closure over many
+//!   independently seeded generators and report the failing seed.
+//!
+//! Everything here is deterministic given the seed, which CONTRIBUTING.md
+//! requires of all analysis inputs anyway.
+//!
+//! [xoshiro256**]: https://prng.di.unimi.it/
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Expand a 64-bit seed into a full state with SplitMix64 (the
+    /// initialization the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in a range (empty ranges panic, like `rand`).
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fill a byte slice.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element (`None` for an empty slice).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add(rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                (lo as u128).wrapping_add(rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Run `f` over `cases` independently seeded generators; panics carry the
+/// case number and seed so a failure reproduces with `check(1, seed, f)`.
+pub fn check<F>(cases: usize, seed: u64, mut f: F)
+where
+    F: FnMut(&mut Rng),
+{
+    for case in 0..cases {
+        let case_seed = seed.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(case as u64));
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property failed at case {case} (seed {case_seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u8 = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w: usize = rng.gen_range(0..=4);
+            assert!(w <= 4);
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_values() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "20 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_and_fill() {
+        let mut rng = Rng::seed_from_u64(9);
+        assert!(rng.choose::<u8>(&[]).is_none());
+        assert!([1, 2, 3].contains(rng.choose(&[1, 2, 3]).unwrap()));
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut n = 0;
+        check(10, 0xabc, |_| n += 1);
+        assert_eq!(n, 10);
+    }
+}

@@ -21,6 +21,19 @@ pub struct Analysis {
     pub result: SolveResult,
 }
 
+/// The parallel executor shares modules and finished analyses across worker
+/// threads; these types must stay `Send + Sync` (plain owned data, no
+/// interior mutability).
+#[allow(dead_code)]
+fn _assert_shareable() {
+    fn send_sync<T: Send + Sync>() {}
+    send_sync::<Module>();
+    send_sync::<Analysis>();
+    send_sync::<SolveResult>();
+    send_sync::<SolveOptions>();
+    send_sync::<CtxPlan>();
+}
+
 impl Analysis {
     /// Generate constraints and solve, without a context plan or observer.
     pub fn run(module: &Module, opts: &SolveOptions) -> Analysis {

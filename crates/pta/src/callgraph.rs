@@ -51,7 +51,10 @@ impl CallGraph {
 
     /// Targets of an indirect callsite (empty slice if unresolved).
     pub fn indirect_targets(&self, site: InstLoc) -> &[FuncId] {
-        self.indirect.get(&site).map(|v| v.as_slice()).unwrap_or(&[])
+        self.indirect
+            .get(&site)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// All indirect callsites, in deterministic order.

@@ -9,9 +9,7 @@
 //! policy), the critical store/return statements it names are *skipped*
 //! here and replicated per direct callsite through fresh dummy nodes.
 
-use kaleidoscope_ir::{
-    FuncId, Inst, InstLoc, LocalId, Module, Operand, Terminator, Type,
-};
+use kaleidoscope_ir::{FuncId, Inst, InstLoc, LocalId, Module, Operand, Terminator, Type};
 
 use crate::ctxplan::{ChainStep, CriticalFlow, CtxPlan};
 use crate::node::{NodeId, NodeTable, ObjId, ObjSite};
@@ -319,8 +317,7 @@ impl<'m> Gen<'m> {
                 if bypassed.contains(&loc) {
                     return;
                 }
-                if let (Some(addr), Some(src)) =
-                    (self.op_node(fid, *dst), self.op_node(fid, *src))
+                if let (Some(addr), Some(src)) = (self.op_node(fid, *dst), self.op_node(fid, *src))
                 {
                     self.constraints.push(Constraint {
                         kind: ConstraintKind::Store { addr, src },
@@ -405,8 +402,7 @@ impl<'m> Gen<'m> {
             if bypass_ret {
                 for flow in plan.as_ref().map(|p| p.flows.as_slice()).unwrap_or(&[]) {
                     if let CriticalFlow::Ret { param } = flow {
-                        if let Some(actual) = args.get(*param).and_then(|a| self.op_node(fid, *a))
-                        {
+                        if let Some(actual) = args.get(*param).and_then(|a| self.op_node(fid, *a)) {
                             self.constraints.push(Constraint {
                                 kind: ConstraintKind::Copy {
                                     dst: dst_node,
@@ -440,9 +436,7 @@ impl<'m> Gen<'m> {
                     ..
                 } = flow
                 {
-                    let base = args
-                        .get(*base_param)
-                        .and_then(|a| self.op_node(fid, *a));
+                    let base = args.get(*base_param).and_then(|a| self.op_node(fid, *a));
                     let src = args.get(*src_param).and_then(|a| self.op_node(fid, *a));
                     let (Some(base), Some(src)) = (base, src) else {
                         continue;
@@ -498,9 +492,18 @@ mod tests {
         b.ret(None);
         b.finish();
         let p = generate(&m, None);
-        assert_eq!(count_kind(&p, |k| matches!(k, ConstraintKind::AddrOf { .. })), 2);
-        assert_eq!(count_kind(&p, |k| matches!(k, ConstraintKind::Store { .. })), 1);
-        assert_eq!(count_kind(&p, |k| matches!(k, ConstraintKind::Load { .. })), 1);
+        assert_eq!(
+            count_kind(&p, |k| matches!(k, ConstraintKind::AddrOf { .. })),
+            2
+        );
+        assert_eq!(
+            count_kind(&p, |k| matches!(k, ConstraintKind::Store { .. })),
+            1
+        );
+        assert_eq!(
+            count_kind(&p, |k| matches!(k, ConstraintKind::Load { .. })),
+            1
+        );
         assert!(p.icalls.is_empty());
     }
 
@@ -567,7 +570,10 @@ mod tests {
             let mut b = FunctionBuilder::new(
                 &mut m,
                 "ev_queue_insert",
-                vec![("b", Type::ptr(Type::Struct(s))), ("cb", Type::ptr(Type::Int))],
+                vec![
+                    ("b", Type::ptr(Type::Struct(s))),
+                    ("cb", Type::ptr(Type::Int)),
+                ],
                 Type::Void,
             );
             let base = b.param(0);
@@ -629,7 +635,10 @@ mod tests {
         b.finish();
         let p = generate(&m, None);
         // One AddrOf for the address constant of `g`.
-        assert_eq!(count_kind(&p, |k| matches!(k, ConstraintKind::AddrOf { .. })), 1);
+        assert_eq!(
+            count_kind(&p, |k| matches!(k, ConstraintKind::AddrOf { .. })),
+            1
+        );
     }
 
     fn m_op(b: &FunctionBuilder<'_>) -> Operand {

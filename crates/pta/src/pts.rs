@@ -72,7 +72,10 @@ impl PtsSet {
 
     /// Union a sorted slice into `self`, returning the elements that were new.
     pub fn union_slice(&mut self, other: &[NodeId]) -> Vec<NodeId> {
-        debug_assert!(other.windows(2).all(|w| w[0] < w[1]), "input must be sorted");
+        debug_assert!(
+            other.windows(2).all(|w| w[0] < w[1]),
+            "input must be sorted"
+        );
         if other.is_empty() {
             return Vec::new();
         }

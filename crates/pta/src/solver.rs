@@ -63,6 +63,16 @@ impl SolveOptions {
             ..Self::baseline()
         }
     }
+
+    /// Stable key distinguishing solve configurations, for content-addressed
+    /// artifact caches: equal options ⇔ equal key. Packs the flags into the
+    /// low bits and `max_passes` above them.
+    pub fn cache_key(&self) -> u64 {
+        (self.pa_filter as u64)
+            | (self.pwc_defer as u64) << 1
+            | (self.collapse_cycles as u64) << 2
+            | (self.max_passes as u64) << 8
+    }
 }
 
 impl Default for SolveOptions {
@@ -436,8 +446,7 @@ impl<'m> Solver<'m> {
             }
 
             // Copy propagation along out-edges.
-            let mut delta_sorted: Vec<NodeId> =
-                delta.iter().map(|&o| self.nodes.find(o)).collect();
+            let mut delta_sorted: Vec<NodeId> = delta.iter().map(|&o| self.nodes.find(o)).collect();
             delta_sorted.sort_unstable();
             delta_sorted.dedup();
             let outs = self.copy_out[n.index()].clone();
@@ -552,7 +561,9 @@ impl<'m> Solver<'m> {
         self.callgraph.add_indirect(call.site, callee);
         for (idx, arg) in call.args.iter().enumerate() {
             if let Some(a) = arg {
-                let param = self.nodes.local_node(callee, kaleidoscope_ir::LocalId(idx as u32));
+                let param = self
+                    .nodes
+                    .local_node(callee, kaleidoscope_ir::LocalId(idx as u32));
                 self.ensure_capacity();
                 self.add_copy(
                     *a,
@@ -583,12 +594,7 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn collapse_object(
-        &mut self,
-        obj: ObjId,
-        why: CollapseReason,
-        obs: &mut dyn SolverObserver,
-    ) {
+    fn collapse_object(&mut self, obj: ObjId, why: CollapseReason, obs: &mut dyn SolverObserver) {
         if self.nodes.obj_info(obj).collapsed {
             return;
         }
@@ -663,6 +669,14 @@ impl<'m> Solver<'m> {
                 field_edges.push((b, d, cid));
             }
         }
+        // `copy_set` iterates in hash order, which varies per solver
+        // instance; DFS order (and therefore SCC/PWC enumeration order)
+        // must not, or repeated solves of one module disagree on the
+        // order of emitted invariants.
+        for out in &mut adj {
+            out.sort_unstable();
+            out.dedup();
+        }
         let comps = scc::nontrivial_sccs(&adj);
         // Self-loop field edges count as (degenerate) PWCs.
         let mut pwc_selfloops: Vec<(NodeId, u32)> = field_edges
@@ -677,7 +691,9 @@ impl<'m> Solver<'m> {
             let members: Vec<NodeId> = comp.iter().map(|&v| NodeId(v)).collect();
             let inside: Vec<u32> = field_edges
                 .iter()
-                .filter(|(b, d, _)| comp.binary_search(&b.0).is_ok() && comp.binary_search(&d.0).is_ok())
+                .filter(|(b, d, _)| {
+                    comp.binary_search(&b.0).is_ok() && comp.binary_search(&d.0).is_ok()
+                })
                 .map(|(_, _, cid)| *cid)
                 .collect();
             let is_pwc = !inside.is_empty();
@@ -954,13 +970,19 @@ mod tests {
     fn ptr_arith_on_array_is_not_filtered() {
         let mut m = Module::new("arr");
         let mut b = FunctionBuilder::new(&mut m, "main", vec![], kaleidoscope_ir::Type::Void);
-        let arr = b.alloca("arr", kaleidoscope_ir::Type::array(kaleidoscope_ir::Type::Int, 8));
+        let arr = b.alloca(
+            "arr",
+            kaleidoscope_ir::Type::array(kaleidoscope_ir::Type::Int, 8),
+        );
         let i = b.input("i");
         let pa = b.ptr_arith("pa", arr, i);
         let _v = b.load("v", pa);
         b.ret(None);
         b.finish();
-        for opts in [SolveOptions::baseline(), SolveOptions::optimistic(true, true)] {
+        for opts in [
+            SolveOptions::baseline(),
+            SolveOptions::optimistic(true, true),
+        ] {
             let res = solve(&m, opts);
             assert!(res.pa_filters.is_empty());
             assert!(res.collapsed_objects.is_empty());
@@ -980,7 +1002,10 @@ mod tests {
         b.ret(None);
         b.finish();
         let res = solve(&m, SolveOptions::optimistic(true, false));
-        assert!(res.pa_filters.is_empty(), "no type metadata => never filter");
+        assert!(
+            res.pa_filters.is_empty(),
+            "no type metadata => never filter"
+        );
         let pa_pts = local_pts(&m, &res, "main", 2);
         assert_eq!(pa_pts.len(), 1);
     }
@@ -1019,14 +1044,22 @@ mod tests {
             let b = FunctionBuilder::new(
                 &mut m,
                 "h",
-                vec![("a", kaleidoscope_ir::Type::Int), ("b", kaleidoscope_ir::Type::Int)],
+                vec![
+                    ("a", kaleidoscope_ir::Type::Int),
+                    ("b", kaleidoscope_ir::Type::Int),
+                ],
                 kaleidoscope_ir::Type::Void,
             );
             b.finish()
         };
         let mut b = FunctionBuilder::new(&mut m, "main", vec![], kaleidoscope_ir::Type::Void);
         let fp = b.copy("fp", Operand::Func(h));
-        b.call_ind("r", fp, vec![Operand::ConstInt(1)], kaleidoscope_ir::Type::Void);
+        b.call_ind(
+            "r",
+            fp,
+            vec![Operand::ConstInt(1)],
+            kaleidoscope_ir::Type::Void,
+        );
         b.ret(None);
         b.finish();
         let res = solve(&m, SolveOptions::baseline());
@@ -1152,9 +1185,8 @@ mod tests {
             let bp = base.pts_of(nb);
             let op = opt.pts_of(no);
             // Compare by object identity via sites.
-            let site_of = |r: &SolveResult, n: NodeId| {
-                r.nodes.node_obj(n).map(|o| r.nodes.obj_info(o).site)
-            };
+            let site_of =
+                |r: &SolveResult, n: NodeId| r.nodes.node_obj(n).map(|o| r.nodes.obj_info(o).site);
             let bsites: Vec<_> = bp.iter().filter_map(|n| site_of(&base, n)).collect();
             for n in op.iter() {
                 if let Some(s) = site_of(&opt, n) {
@@ -1182,4 +1214,3 @@ mod tests {
         assert_eq!(res.stats.obj_count, 2); // the alloca + main's func object
     }
 }
-

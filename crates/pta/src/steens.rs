@@ -130,12 +130,8 @@ pub fn steensgaard(module: &Module) -> SteensResult {
             }
             ConstraintKind::Copy { dst, src }
             | ConstraintKind::Elem { dst, base: src }
-            | ConstraintKind::PtrArith {
-                dst, base: src, ..
-            }
-            | ConstraintKind::Field {
-                dst, base: src, ..
-            } => {
+            | ConstraintKind::PtrArith { dst, base: src, .. }
+            | ConstraintKind::Field { dst, base: src, .. } => {
                 s.join_pointees(dst.0, src.0, &mut fresh);
             }
             ConstraintKind::Load { dst, addr } => {
@@ -159,10 +155,7 @@ pub fn steensgaard(module: &Module) -> SteensResult {
                 continue;
             }
             for (idx, arg) in ic.args.iter().enumerate() {
-                if let (Some(a), Some(p)) = (
-                    arg,
-                    nodes.local_node_opt(fid, LocalId(idx as u32)),
-                ) {
+                if let (Some(a), Some(p)) = (arg, nodes.local_node_opt(fid, LocalId(idx as u32))) {
                     s.join_pointees(a.0, p.0, &mut fresh);
                 }
             }

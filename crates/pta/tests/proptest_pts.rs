@@ -1,11 +1,14 @@
 //! Model-based property tests: `PtsSet` must behave exactly like a
 //! `BTreeSet<u32>` under arbitrary operation sequences, and `union_into`
 //! must report exactly the new elements.
+//!
+//! Driven by the in-repo [`kaleidoscope_prng::check`] harness (the sandbox
+//! has no registry access for proptest); failing cases print their seed.
 
 use std::collections::BTreeSet;
 
+use kaleidoscope_prng::{check, Rng};
 use kaleidoscope_pta::{NodeId, PtsSet};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,20 +18,23 @@ enum Op {
     RetainEven,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..64).prop_map(Op::Insert),
-        (0u32..64).prop_map(Op::Remove),
-        proptest::collection::vec(0u32..64, 0..12).prop_map(Op::UnionWith),
-        Just(Op::RetainEven),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0..4u32) {
+        0 => Op::Insert(rng.gen_range(0..64u32)),
+        1 => Op::Remove(rng.gen_range(0..64u32)),
+        2 => {
+            let n = rng.gen_range(0..12usize);
+            Op::UnionWith((0..n).map(|_| rng.gen_range(0..64u32)).collect())
+        }
+        _ => Op::RetainEven,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn pts_set_matches_btreeset_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+#[test]
+fn pts_set_matches_btreeset_model() {
+    check(256, 0x9075, |rng| {
+        let n_ops = rng.gen_range(0..60usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(rng)).collect();
         let mut sut = PtsSet::new();
         let mut model: BTreeSet<u32> = BTreeSet::new();
         for op in ops {
@@ -36,26 +42,23 @@ proptest! {
                 Op::Insert(v) => {
                     let a = sut.insert(NodeId(v));
                     let b = model.insert(v);
-                    prop_assert_eq!(a, b, "insert return mismatch for {}", v);
+                    assert_eq!(a, b, "insert return mismatch for {v}");
                 }
                 Op::Remove(v) => {
                     let a = sut.remove(NodeId(v));
                     let b = model.remove(&v);
-                    prop_assert_eq!(a, b, "remove return mismatch for {}", v);
+                    assert_eq!(a, b, "remove return mismatch for {v}");
                 }
                 Op::UnionWith(vs) => {
                     let other: PtsSet = vs.iter().map(|&v| NodeId(v)).collect();
                     let added = sut.union_into(&other);
                     // Model: exactly the values not already present, sorted.
-                    let mut expect: Vec<u32> = vs
-                        .iter()
-                        .copied()
-                        .filter(|v| !model.contains(v))
-                        .collect();
+                    let mut expect: Vec<u32> =
+                        vs.iter().copied().filter(|v| !model.contains(v)).collect();
                     expect.sort_unstable();
                     expect.dedup();
                     let got: Vec<u32> = added.iter().map(|n| n.0).collect();
-                    prop_assert_eq!(got, expect, "union_into delta");
+                    assert_eq!(got, expect, "union_into delta");
                     model.extend(vs);
                 }
                 Op::RetainEven => {
@@ -63,34 +66,41 @@ proptest! {
                     let expect_removed: Vec<u32> =
                         model.iter().copied().filter(|v| v % 2 != 0).collect();
                     let got: Vec<u32> = removed.iter().map(|n| n.0).collect();
-                    prop_assert_eq!(got, expect_removed);
+                    assert_eq!(got, expect_removed);
                     model.retain(|v| v % 2 == 0);
                 }
             }
             // Invariants after every step.
-            prop_assert_eq!(sut.len(), model.len());
+            assert_eq!(sut.len(), model.len());
             let sut_items: Vec<u32> = sut.iter().map(|n| n.0).collect();
             let model_items: Vec<u32> = model.iter().copied().collect();
-            prop_assert_eq!(sut_items, model_items, "sorted content");
+            assert_eq!(sut_items, model_items, "sorted content");
         }
-    }
+    });
+}
 
-    #[test]
-    fn union_is_idempotent_and_monotone(a in proptest::collection::vec(0u32..128, 0..30),
-                                        b in proptest::collection::vec(0u32..128, 0..30)) {
+#[test]
+fn union_is_idempotent_and_monotone() {
+    check(256, 0xa11e, |rng| {
+        let rand_vec = |rng: &mut Rng| {
+            let n = rng.gen_range(0..30usize);
+            (0..n).map(|_| rng.gen_range(0..128u32)).collect::<Vec<_>>()
+        };
+        let a = rand_vec(rng);
+        let b = rand_vec(rng);
         let sa: PtsSet = a.iter().map(|&v| NodeId(v)).collect();
         let sb: PtsSet = b.iter().map(|&v| NodeId(v)).collect();
         let mut u = sa.clone();
         u.union_into(&sb);
-        prop_assert!(sa.is_subset(&u));
-        prop_assert!(sb.is_subset(&u));
+        assert!(sa.is_subset(&u));
+        assert!(sb.is_subset(&u));
         // Second union adds nothing.
         let mut u2 = u.clone();
-        prop_assert!(u2.union_into(&sb).is_empty());
-        prop_assert!(u2.union_into(&sa).is_empty());
+        assert!(u2.union_into(&sb).is_empty());
+        assert!(u2.union_into(&sa).is_empty());
         // Difference + subset coherence.
         for n in sa.difference(&sb) {
-            prop_assert!(sa.contains(n) && !sb.contains(n));
+            assert!(sa.contains(n) && !sb.contains(n));
         }
-    }
+    });
 }

@@ -5,7 +5,8 @@ use kaleidoscope_ir::{FunctionBuilder, LocalId, Module, Operand, Type};
 use kaleidoscope_pta::{Analysis, ObjSite, SolveOptions};
 
 fn pts_len(a: &Analysis, m: &Module, func: &str, local: u32) -> usize {
-    a.pts_of_local(m.func_by_name(func).unwrap(), LocalId(local)).len()
+    a.pts_of_local(m.func_by_name(func).unwrap(), LocalId(local))
+        .len()
 }
 
 #[test]
@@ -67,8 +68,12 @@ fn recursive_functions_converge() {
 #[test]
 fn mutual_recursion_converges() {
     let mut m = Module::new("mutual");
-    let f = m.declare_func("f", vec![Type::ptr(Type::Int)], Type::Void).unwrap();
-    let g = m.declare_func("g", vec![Type::ptr(Type::Int)], Type::Void).unwrap();
+    let f = m
+        .declare_func("f", vec![Type::ptr(Type::Int)], Type::Void)
+        .unwrap();
+    let g = m
+        .declare_func("g", vec![Type::ptr(Type::Int)], Type::Void)
+        .unwrap();
     {
         let mut b = FunctionBuilder::for_declared(&mut m, f);
         let p = b.param(0);
@@ -147,7 +152,8 @@ fn out_of_range_field_falls_back_to_base() {
 fn indirect_call_return_value_flows() {
     let mut m = Module::new("iret");
     let mk = {
-        let mut b = FunctionBuilder::new(&mut m, "mk", vec![("x", Type::Int)], Type::ptr(Type::Int));
+        let mut b =
+            FunctionBuilder::new(&mut m, "mk", vec![("x", Type::Int)], Type::ptr(Type::Int));
         let h = b.heap_alloc("h", Type::Int);
         b.ret(Some(h.into()));
         b.finish()
@@ -210,12 +216,7 @@ fn collapse_cycles_off_reaches_same_fixpoint() {
         for l in 0..f.locals.len() as u32 {
             let a = with.pts_of_local(fid, LocalId(l));
             let b = without.pts_of_local(fid, LocalId(l));
-            assert_eq!(
-                with.sites_of(&a),
-                without.sites_of(&b),
-                "{}::%{l}",
-                f.name
-            );
+            assert_eq!(with.sites_of(&a), without.sites_of(&b), "{}::%{l}", f.name);
         }
     }
 }

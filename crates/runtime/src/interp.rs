@@ -14,7 +14,9 @@ use kaleidoscope_pta::ObjSite;
 use crate::coverage::Coverage;
 use crate::memory::{MemError, Memory, ObjHandle, RtValue};
 use crate::monitor::{CtxRecord, MonitorSet, Violation};
-use crate::switcher::{family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_CTX, FAMILY_PA, FAMILY_PWC};
+use crate::switcher::{
+    family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_CTX, FAMILY_PA, FAMILY_PWC,
+};
 
 /// CFI hook: may an indirect call at `site` dispatch to `target` under the
 /// given memory view? Implemented by the CFI crate.
@@ -210,7 +212,12 @@ impl<'m> Executor<'m> {
         let mut meta: Vec<Vec<Vec<InstMeta>>> = module
             .funcs
             .iter()
-            .map(|f| f.blocks.iter().map(|b| vec![InstMeta::default(); b.insts.len()]).collect())
+            .map(|f| {
+                f.blocks
+                    .iter()
+                    .map(|b| vec![InstMeta::default(); b.insts.len()])
+                    .collect()
+            })
             .collect();
         let mut ctx_ret_funcs = vec![false; module.funcs.len()];
         for (fid, _) in module.iter_funcs() {
@@ -225,9 +232,7 @@ impl<'m> Executor<'m> {
                         .as_ref()
                         .and_then(|t| t.pointee().cloned())
                         .and_then(|p| match p {
-                            Type::Struct(_) => {
-                                Layout::of(&p, &module.types).field_offset(*field)
-                            }
+                            Type::Struct(_) => Layout::of(&p, &module.types).field_offset(*field),
                             Type::Array(elem, _) => match *elem {
                                 Type::Struct(_) => {
                                     Layout::of(&elem, &module.types).field_offset(*field)
@@ -255,18 +260,17 @@ impl<'m> Executor<'m> {
                         .max(1);
                     m.geom = size as u32;
                 }
-                Inst::PtrArith { .. }
-                    if monitors.has_pa_monitor(loc) => {
-                        m.flags |= MON_PA;
-                    }
-                Inst::Store { .. }
-                    if monitors.has_ctx_store(loc) => {
-                        m.flags |= MON_CTX_STORE;
-                    }
+                Inst::PtrArith { .. } if monitors.has_pa_monitor(loc) => {
+                    m.flags |= MON_PA;
+                }
+                Inst::Store { .. } if monitors.has_ctx_store(loc) => {
+                    m.flags |= MON_CTX_STORE;
+                }
                 Inst::Call { callee, .. }
-                    if monitors.is_ctx_func(*callee) && monitors.is_monitored_callsite(loc) => {
-                        m.flags |= MON_CTX_CALLSITE;
-                    }
+                    if monitors.is_ctx_func(*callee) && monitors.is_monitored_callsite(loc) =>
+                {
+                    m.flags |= MON_CTX_CALLSITE;
+                }
                 _ => {}
             }
         }
@@ -411,12 +415,13 @@ impl<'m> Executor<'m> {
                     else_bb,
                 } => {
                     let taken = self.eval(&frame, cond).truthy();
-                    self.coverage.record_branch(
-                        fid,
-                        kaleidoscope_ir::BlockId(block as u32),
-                        taken,
-                    );
-                    block = if taken { then_bb.index() } else { else_bb.index() };
+                    self.coverage
+                        .record_branch(fid, kaleidoscope_ir::BlockId(block as u32), taken);
+                    block = if taken {
+                        then_bb.index()
+                    } else {
+                        else_bb.index()
+                    };
                 }
                 Terminator::Ret(v) => {
                     let val = v.map(|o| self.eval(&frame, o)).unwrap_or(RtValue::Int(0));
@@ -474,15 +479,21 @@ impl<'m> Executor<'m> {
             Inst::Load { dst, src } => {
                 self.mem_ops += 1;
                 let p = self.eval(frame, *src);
-                let v = self.memory.load(p).map_err(|err| ExecError::Mem { loc, err })?;
+                let v = self
+                    .memory
+                    .load(p)
+                    .map_err(|err| ExecError::Mem { loc, err })?;
                 frame.locals[dst.index()] = v;
             }
             Inst::Store { dst, src } => {
                 self.mem_ops += 1;
                 // Ctx-store monitor fires before the store executes.
                 if im.flags & MON_CTX_STORE != 0 && mask & FAMILY_CTX == 0 {
-                    let params =
-                        &frame.locals[..self.module.func(frame.func).param_count.min(frame.locals.len())];
+                    let params = &frame.locals[..self
+                        .module
+                        .func(frame.func)
+                        .param_count
+                        .min(frame.locals.len())];
                     let params = params.to_vec();
                     if let Some(v) = self.monitors.check_ctx_store(
                         loc,
@@ -696,10 +707,7 @@ mod tests {
     #[test]
     fn memory_through_struct_fields() {
         let mut m = Module::new("fields");
-        let s = m
-            .types
-            .declare("pair", vec![Type::Int, Type::Int])
-            .unwrap();
+        let s = m.types.declare("pair", vec![Type::Int, Type::Int]).unwrap();
         let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
         let o = b.alloca("o", Type::Struct(s));
         let f0 = b.field_addr("f0", o, 0);
@@ -780,9 +788,7 @@ mod tests {
         let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
         let d = b.call("d", double, vec![Operand::ConstInt(10)]).unwrap();
         let fp = b.copy("fp", Operand::Func(double));
-        let e = b
-            .call_ind("e", fp, vec![d.into()], Type::Int)
-            .unwrap();
+        let e = b.call_ind("e", fp, vec![d.into()], Type::Int).unwrap();
         b.ret(Some(e.into()));
         b.finish();
         let mut ex = Executor::unhardened(&m);
@@ -811,7 +817,9 @@ mod tests {
         let slot = b.field_addr("slot", o, 0);
         b.store(slot, Operand::Func(inc));
         let f = b.load("f", slot);
-        let r = b.call_ind("r", f, vec![Operand::ConstInt(41)], Type::Int).unwrap();
+        let r = b
+            .call_ind("r", f, vec![Operand::ConstInt(41)], Type::Int)
+            .unwrap();
         b.ret(Some(r.into()));
         b.finish();
         assert_eq!(run_main(&m).0, RtValue::Int(42));
@@ -863,12 +871,7 @@ mod tests {
     fn dangling_stack_pointer_caught() {
         let mut m = Module::new("dangle");
         let escape = {
-            let mut b = FunctionBuilder::new(
-                &mut m,
-                "escape",
-                vec![],
-                Type::ptr(Type::Int),
-            );
+            let mut b = FunctionBuilder::new(&mut m, "escape", vec![], Type::ptr(Type::Int));
             let o = b.alloca("o", Type::Int);
             b.ret(Some(o.into()));
             b.finish()
@@ -880,7 +883,13 @@ mod tests {
         b.finish();
         let mut ex = Executor::unhardened(&m);
         let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
-        assert!(matches!(err, ExecError::Mem { err: MemError::Dangling, .. }));
+        assert!(matches!(
+            err,
+            ExecError::Mem {
+                err: MemError::Dangling,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -937,7 +946,12 @@ mod tests {
         b.call_ind("r", fp, vec![], Type::Void);
         b.ret(None);
         b.finish();
-        let mut ex = Executor::new(&m, MonitorSet::empty(), Some(Box::new(DenyAll)), ExecConfig::default());
+        let mut ex = Executor::new(
+            &m,
+            MonitorSet::empty(),
+            Some(Box::new(DenyAll)),
+            ExecConfig::default(),
+        );
         let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
         assert!(matches!(err, ExecError::CfiViolation { .. }));
     }
@@ -989,7 +1003,10 @@ mod tests {
         let err = ex.run(m.func_by_name("main").unwrap(), vec![]).unwrap_err();
         assert!(matches!(
             err,
-            ExecError::Mem { err: MemError::OutOfBounds, .. }
+            ExecError::Mem {
+                err: MemError::OutOfBounds,
+                ..
+            }
         ));
     }
 }

@@ -27,4 +27,6 @@ pub use coverage::Coverage;
 pub use interp::{ExecConfig, ExecError, Executor, IndirectCallGuard, RunOutcome};
 pub use memory::{Memory, ObjHandle, RtObject, RtValue};
 pub use monitor::{MonitorSet, Violation};
-pub use switcher::{family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_ALL, FAMILY_CTX, FAMILY_PA, FAMILY_PWC};
+pub use switcher::{
+    family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_ALL, FAMILY_CTX, FAMILY_PA, FAMILY_PWC,
+};

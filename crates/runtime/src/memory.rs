@@ -163,7 +163,10 @@ impl Memory {
     }
 
     fn check(&self, h: ObjHandle) -> Result<&RtObject, MemError> {
-        let o = self.objects.get(h.index as usize).ok_or(MemError::Dangling)?;
+        let o = self
+            .objects
+            .get(h.index as usize)
+            .ok_or(MemError::Dangling)?;
         if !o.live || o.gen != h.gen {
             return Err(MemError::Dangling);
         }
@@ -248,7 +251,10 @@ mod tests {
         assert_eq!(h2.index, h.index);
         assert_ne!(h2.gen, h.gen);
         assert_eq!(m.load(p), Err(MemError::Dangling));
-        assert_eq!(m.load(RtValue::Ptr { obj: h2, off: 3 }), Ok(RtValue::Int(0)));
+        assert_eq!(
+            m.load(RtValue::Ptr { obj: h2, off: 3 }),
+            Ok(RtValue::Int(0))
+        );
     }
 
     #[test]

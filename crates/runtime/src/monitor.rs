@@ -287,7 +287,10 @@ impl MonitorSet {
         record: Option<&CtxRecord>,
         cov: &mut Coverage,
     ) -> Option<Violation> {
-        let mut mbuf = [CtxRetMon { invariant: 0, param: 0 }; 4];
+        let mut mbuf = [CtxRetMon {
+            invariant: 0,
+            param: 0,
+        }; 4];
         let mlist = self.ctx_ret.get(&func)?;
         let n = mlist.len().min(mbuf.len());
         mbuf[..n].copy_from_slice(&mlist[..n]);
@@ -344,16 +347,40 @@ mod tests {
         let mut cov = fresh_cov();
         // Unfiltered object: fine.
         assert!(set
-            .check_ptr_arith(loc(0), RtValue::Ptr { obj: ok_obj, off: 0 }, &mem, &mut cov)
+            .check_ptr_arith(
+                loc(0),
+                RtValue::Ptr {
+                    obj: ok_obj,
+                    off: 0
+                },
+                &mem,
+                &mut cov
+            )
             .is_none());
         // Filtered object: violation.
         let v = set
-            .check_ptr_arith(loc(0), RtValue::Ptr { obj: bad_obj, off: 1 }, &mem, &mut cov)
+            .check_ptr_arith(
+                loc(0),
+                RtValue::Ptr {
+                    obj: bad_obj,
+                    off: 1,
+                },
+                &mem,
+                &mut cov,
+            )
             .expect("violation");
         assert_eq!(v.policy, "PA");
         // Unmonitored location: no check, no coverage.
         assert!(set
-            .check_ptr_arith(loc(9), RtValue::Ptr { obj: bad_obj, off: 0 }, &mem, &mut cov)
+            .check_ptr_arith(
+                loc(9),
+                RtValue::Ptr {
+                    obj: bad_obj,
+                    off: 0
+                },
+                &mem,
+                &mut cov
+            )
             .is_none());
         assert_eq!(cov.monitor_executed(), 1);
     }
@@ -391,7 +418,10 @@ mod tests {
         // repeated fresh bases never violate
         for off in 0..3 {
             let base = RtValue::Ptr { obj: o, off };
-            let res = RtValue::Ptr { obj: o, off: off + 10 };
+            let res = RtValue::Ptr {
+                obj: o,
+                off: off + 10,
+            };
             assert!(set.check_field_addr(loc(0), base, res, &mut cov).is_none());
         }
     }

@@ -10,8 +10,12 @@ fn pointers_cross_call_boundaries() {
     // callee writes through a pointer parameter; caller observes it.
     let mut m = Module::new("cross");
     let write42 = {
-        let mut b =
-            FunctionBuilder::new(&mut m, "write42", vec![("p", Type::ptr(Type::Int))], Type::Void);
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "write42",
+            vec![("p", Type::ptr(Type::Int))],
+            Type::Void,
+        );
         let p = b.param(0);
         b.store(p, 42i64);
         b.ret(None);
@@ -59,10 +63,18 @@ fn function_pointers_as_arguments() {
     };
     let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Int);
     let a = b
-        .call("a", apply, vec![Operand::Func(double), Operand::ConstInt(10)])
+        .call(
+            "a",
+            apply,
+            vec![Operand::Func(double), Operand::ConstInt(10)],
+        )
         .unwrap();
     let c = b
-        .call("c", apply, vec![Operand::Func(triple), Operand::ConstInt(10)])
+        .call(
+            "c",
+            apply,
+            vec![Operand::Func(triple), Operand::ConstInt(10)],
+        )
         .unwrap();
     let s = b.binop("s", BinOpKind::Add, a, c);
     b.ret(Some(s.into()));
@@ -87,7 +99,7 @@ fn output_digest_is_order_sensitive() {
         b.finish();
         let mut ex = Executor::unhardened(&m);
         // Module is moved into this closure's scope; run before dropping.
-        
+
         {
             let main = m.func_by_name("main").unwrap();
             ex.run(main, vec![]).unwrap();

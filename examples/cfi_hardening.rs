@@ -43,7 +43,8 @@ fn main() {
     for i in 0..1000usize {
         let input = &model.bench_inputs[i % model.bench_inputs.len()];
         ex.set_input(input);
-        ex.run(model.entry, vec![]).expect("benign request passes CFI");
+        ex.run(model.entry, vec![])
+            .expect("benign request passes CFI");
     }
     println!(
         "served 1000 requests: view = {}, violations = {}, monitor checks = {}",

@@ -15,11 +15,8 @@ fn main() {
     let _ = &fuzz::FuzzConfig::default(); // touch the re-export (doc parity)
     for name in ["Lighttpd", "MbedTLS", "TinyDTLS"] {
         let model = kaleidoscope_suite::apps::model(name).expect("model");
-        let (plan, invariants) = kaleidoscope_debloat::debloat(
-            &model.module,
-            model.entry,
-            PolicyConfig::all(),
-        );
+        let (plan, invariants) =
+            kaleidoscope_debloat::debloat(&model.module, model.entry, PolicyConfig::all());
         println!(
             "{name}: {} functions; optimistic view keeps {} ({:.1}% debloated), \
              fallback keeps {} ({:.1}% debloated)",
@@ -30,7 +27,10 @@ fn main() {
             plan.debloated_pct(ViewKind::Fallback),
         );
         let extra = plan.extra_debloated();
-        println!("  functions only the optimistic view debloats: {}", extra.len());
+        println!(
+            "  functions only the optimistic view debloats: {}",
+            extra.len()
+        );
 
         // Serve requests under the accessibility guard.
         let mut ex = kaleidoscope_debloat::executor(&model.module, plan, &invariants);

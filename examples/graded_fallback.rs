@@ -16,7 +16,10 @@ fn build_module() -> Module {
     // the full walkthrough of this shape).
     let mut m = Module::new("graded_demo");
     let cb_ty = Type::fn_ptr(vec![Type::Int], Type::Int);
-    let sctx = m.types.declare("sctx", vec![Type::Int, cb_ty.clone()]).unwrap();
+    let sctx = m
+        .types
+        .declare("sctx", vec![Type::Int, cb_ty.clone()])
+        .unwrap();
     for name in ["pa_handler", "ctx_h1", "ctx_h2"] {
         let mut b = FunctionBuilder::new(&mut m, name, vec![("x", Type::Int)], Type::Int);
         let x = b.param(0);
@@ -40,7 +43,10 @@ fn build_module() -> Module {
         let mut b = FunctionBuilder::new(
             &mut m,
             "set_cb",
-            vec![("base", Type::ptr(Type::Struct(sctx))), ("cb", cb_ty.clone())],
+            vec![
+                ("base", Type::ptr(Type::Struct(sctx))),
+                ("cb", cb_ty.clone()),
+            ],
             Type::Void,
         );
         let base = b.param(0);
@@ -53,8 +59,16 @@ fn build_module() -> Module {
     let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
     let s = b.field_addr("s", Operand::Global(pa_obj), 1);
     b.store(s, Operand::Func(pa_h));
-    b.call("r1", set_cb, vec![Operand::Global(ctx_a), Operand::Func(c1)]);
-    b.call("r2", set_cb, vec![Operand::Global(ctx_b), Operand::Func(c2)]);
+    b.call(
+        "r1",
+        set_cb,
+        vec![Operand::Global(ctx_a), Operand::Func(c1)],
+    );
+    b.call(
+        "r2",
+        set_cb,
+        vec![Operand::Global(ctx_b), Operand::Func(c2)],
+    );
     // PA channel with an input-controlled violation.
     let pc = b.copy_typed("pc", Operand::Global(pa_obj), Type::ptr(Type::Int));
     b.store(Operand::Global(cursor), pc);
@@ -96,13 +110,17 @@ fn main() {
         (FAMILY_CTX, "Ctx degraded"),
         (FAMILY_ALL, "plain fallback"),
     ] {
-        println!("  mask={mask:03b} ({label}): {:.2}", graded.policy.avg_targets(mask));
+        println!(
+            "  mask={mask:03b} ({label}): {:.2}",
+            graded.policy.avg_targets(mask)
+        );
     }
 
     // Violate the PA invariant: only the PA family degrades.
     let mut ex = graded.executor(&m);
     ex.set_input(&[1, 0]);
-    ex.run(main_fn, vec![]).expect("sound under graded fallback");
+    ex.run(main_fn, vec![])
+        .expect("sound under graded fallback");
     println!(
         "after PA violation: mask={:03b}, Ctx family still enabled: {}",
         ex.switcher.disabled_mask(),
@@ -115,7 +133,8 @@ fn main() {
     let binary = harden(&m, PolicyConfig::all());
     let mut ex = binary.executor(&m);
     ex.set_input(&[1, 0]);
-    ex.run(main_fn, vec![]).expect("sound under binary fallback");
+    ex.run(main_fn, vec![])
+        .expect("sound under binary fallback");
     println!(
         "binary system after the same violation: mask={:03b} (everything degraded)",
         ex.switcher.disabled_mask()

@@ -26,12 +26,7 @@ fn main() {
         growth_threshold: 8,
         type_threshold: 4,
     });
-    let analysis = Analysis::run_full(
-        &model.module,
-        &SolveOptions::baseline(),
-        None,
-        &mut intro,
-    );
+    let analysis = Analysis::run_full(&model.module, &SolveOptions::baseline(), None, &mut intro);
     let report = intro.into_report();
     println!("{}", report.render(&model.module, &analysis.result.nodes));
 

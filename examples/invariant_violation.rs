@@ -19,7 +19,10 @@ fn main() {
     let mut m = Module::new("violator");
     let s = m
         .types
-        .declare("ctx", vec![Type::Int, Type::fn_ptr(vec![Type::Int], Type::Int)])
+        .declare(
+            "ctx",
+            vec![Type::Int, Type::fn_ptr(vec![Type::Int], Type::Int)],
+        )
         .expect("fresh struct");
     let handler = {
         let mut b = FunctionBuilder::new(&mut m, "handler", vec![("x", Type::Int)], Type::Int);
@@ -54,7 +57,9 @@ fn main() {
     let _sink = b.copy("sink", w);
     // Protected call through the context.
     let fp = b.load("fp", f1);
-    let r = b.call_ind("r", fp, vec![Operand::ConstInt(7)], Type::Int).expect("int");
+    let r = b
+        .call_ind("r", fp, vec![Operand::ConstInt(7)], Type::Int)
+        .expect("int");
     b.ret(Some(r.into()));
     b.finish();
 
@@ -64,7 +69,8 @@ fn main() {
     // Benign input: invariant holds, optimistic view stays active.
     let mut ex = hardened.executor(&m);
     ex.set_input(&[0, 0]);
-    ex.run(m.func_by_name("main").unwrap(), vec![]).expect("benign run");
+    ex.run(m.func_by_name("main").unwrap(), vec![])
+        .expect("benign run");
     println!(
         "benign run:    view = {}, violations = {}",
         ex.switcher.view(),
@@ -77,7 +83,9 @@ fn main() {
     // the soundness-preserving fallback of paper §3.
     let mut ex = hardened.executor(&m);
     ex.set_input(&[1, 0]);
-    let out = ex.run(m.func_by_name("main").unwrap(), vec![]).expect("sound fallback");
+    let out = ex
+        .run(m.func_by_name("main").unwrap(), vec![])
+        .expect("sound fallback");
     println!(
         "violating run: view = {}, violations = {:?}, result = {}",
         ex.switcher.view(),

@@ -17,7 +17,7 @@ fn main() {
         .declare(
             "plugin",
             vec![
-                Type::ptr(Type::Int),            // void* data
+                Type::ptr(Type::Int),             // void* data
                 Type::fn_ptr(vec![], Type::Void), // handle_uri_raw
                 Type::fn_ptr(vec![], Type::Void), // handle_request
             ],

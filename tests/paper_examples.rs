@@ -171,12 +171,7 @@ fn figure7_pwc_invariant_end_to_end() {
         )
         .unwrap();
     let png_malloc = {
-        let mut b = FunctionBuilder::new(
-            &mut m,
-            "png_malloc",
-            vec![],
-            Type::ptr(Type::Struct(cs)),
-        );
+        let mut b = FunctionBuilder::new(&mut m, "png_malloc", vec![], Type::ptr(Type::Struct(cs)));
         let h = b.heap_alloc("h", Type::Struct(cs));
         b.ret(Some(h.into()));
         b.finish()
@@ -248,7 +243,10 @@ fn figure8_ctx_invariant_end_to_end() {
         let mut b = FunctionBuilder::new(
             &mut m,
             "ev_queue_insert",
-            vec![("b", Type::ptr(Type::Struct(ev_base))), ("cb", cb_ty.clone())],
+            vec![
+                ("b", Type::ptr(Type::Struct(ev_base))),
+                ("cb", cb_ty.clone()),
+            ],
             Type::Void,
         );
         let base = b.param(0);
@@ -261,14 +259,18 @@ fn figure8_ctx_invariant_end_to_end() {
     let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
     b.call("r1", insert, vec![Operand::Global(g1), Operand::Func(cb1)]); // P8
     b.call("r2", insert, vec![Operand::Global(g2), Operand::Func(cb2)]); // P9
-    // Witness loads on the specific bases.
+                                                                         // Witness loads on the specific bases.
     let s1 = b.field_addr("s1", Operand::Global(g1), 1);
     let w1 = b.load("w1", s1);
     let s2 = b.field_addr("s2", Operand::Global(g2), 1);
     let w2 = b.load("w2", s2);
-    let r1 = b.call_ind("c1", w1, vec![Operand::ConstInt(1)], Type::Int).unwrap();
+    let r1 = b
+        .call_ind("c1", w1, vec![Operand::ConstInt(1)], Type::Int)
+        .unwrap();
     b.output(r1);
-    let r2 = b.call_ind("c2", w2, vec![Operand::ConstInt(2)], Type::Int).unwrap();
+    let r2 = b
+        .call_ind("c2", w2, vec![Operand::ConstInt(2)], Type::Int)
+        .unwrap();
     b.output(r2);
     b.ret(None);
     let main = b.finish();
@@ -315,7 +317,10 @@ fn figure9_memory_views() {
         let o = hardened.policy.targets(site, ViewKind::Optimistic);
         let f = hardened.policy.targets(site, ViewKind::Fallback);
         for t in o {
-            assert!(f.contains(t), "optimistic target outside fallback at {site}");
+            assert!(
+                f.contains(t),
+                "optimistic target outside fallback at {site}"
+            );
         }
     }
 }

@@ -10,8 +10,7 @@
 //! * invariant violations, if the random program produces any, switch the
 //!   memory view exactly once and execution still completes.
 
-use proptest::prelude::*;
-
+use kaleidoscope_prng::{check, Rng};
 use kaleidoscope_suite::cfi::harden;
 use kaleidoscope_suite::ir::{
     parse_module, verify_module, FunctionBuilder, LocalId, Module, Operand, Type,
@@ -36,20 +35,38 @@ enum Op {
     CallFn { fnslot: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::AllocInt),
-        Just(Op::AllocSlot),
-        Just(Op::AllocStruct),
-        (any::<u8>(), any::<u8>()).prop_map(|(slot, ptr)| Op::StorePtr { slot, ptr }),
-        any::<u8>().prop_map(|slot| Op::LoadPtr { slot }),
-        any::<u8>().prop_map(|ptr| Op::CopyPtr { ptr }),
-        (any::<u8>(), any::<i8>()).prop_map(|(ptr, val)| Op::StoreVal { ptr, val }),
-        any::<u8>().prop_map(|ptr| Op::ArithZero { ptr }),
-        (any::<u8>(), any::<u8>()).prop_map(|(st, field)| Op::FieldSlot { st, field }),
-        (any::<u8>(), any::<u8>()).prop_map(|(fnslot, handler)| Op::StoreFn { fnslot, handler }),
-        any::<u8>().prop_map(|fnslot| Op::CallFn { fnslot }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    let byte = |rng: &mut Rng| rng.gen_range(0..=255u8);
+    match rng.gen_range(0..11u32) {
+        0 => Op::AllocInt,
+        1 => Op::AllocSlot,
+        2 => Op::AllocStruct,
+        3 => Op::StorePtr {
+            slot: byte(rng),
+            ptr: byte(rng),
+        },
+        4 => Op::LoadPtr { slot: byte(rng) },
+        5 => Op::CopyPtr { ptr: byte(rng) },
+        6 => Op::StoreVal {
+            ptr: byte(rng),
+            val: byte(rng) as i8,
+        },
+        7 => Op::ArithZero { ptr: byte(rng) },
+        8 => Op::FieldSlot {
+            st: byte(rng),
+            field: byte(rng),
+        },
+        9 => Op::StoreFn {
+            fnslot: byte(rng),
+            handler: byte(rng),
+        },
+        _ => Op::CallFn { fnslot: byte(rng) },
+    }
+}
+
+fn random_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.gen_range(0..40usize);
+    (0..n).map(|_| random_op(rng)).collect()
 }
 
 /// Materialize an op sequence into a module whose `main` is memory-safe:
@@ -166,7 +183,12 @@ fn build_program(ops: &[Op]) -> Module {
                 if init {
                     let fp = b.load(&name("fp", &mut seq), s);
                     let r = b
-                        .call_ind(&name("r", &mut seq), fp, vec![Operand::ConstInt(1)], Type::Int)
+                        .call_ind(
+                            &name("r", &mut seq),
+                            fp,
+                            vec![Operand::ConstInt(1)],
+                            Type::Int,
+                        )
                         .unwrap();
                     b.output(r);
                 }
@@ -178,21 +200,23 @@ fn build_program(ops: &[Op]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_programs_verify_and_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+#[test]
+fn generated_programs_verify_and_roundtrip() {
+    check(48, 0x51de, |rng| {
+        let ops = random_ops(rng);
         let m = build_program(&ops);
         let errs = verify_module(&m);
-        prop_assert!(errs.is_empty(), "verify: {errs:?}");
+        assert!(errs.is_empty(), "verify: {errs:?}");
         let text = m.to_text();
         let m2 = parse_module(&text).expect("roundtrip parse");
-        prop_assert_eq!(text, m2.to_text());
-    }
+        assert_eq!(text, m2.to_text());
+    });
+}
 
-    #[test]
-    fn optimistic_subset_and_runtime_soundness(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+#[test]
+fn optimistic_subset_and_runtime_soundness() {
+    check(48, 0x50fd, |rng| {
+        let ops = random_ops(rng);
         let m = build_program(&ops);
         let r = analyze(&m, PolicyConfig::all());
         let main = m.func_by_name("main").unwrap();
@@ -201,12 +225,17 @@ proptest! {
         for l in 0..m.func(main).locals.len() as u32 {
             let lid = LocalId(l);
             let o = r.optimistic.pts_of_local(main, lid);
-            if o.is_empty() { continue; }
+            if o.is_empty() {
+                continue;
+            }
             let f = r.fallback.pts_of_local(main, lid);
             let os = r.optimistic.sites_of(&o);
             let fs = r.fallback.sites_of(&f);
             for s in os {
-                prop_assert!(fs.contains(&s), "local %{l}: optimistic {s} not in fallback");
+                assert!(
+                    fs.contains(&s),
+                    "local %{l}: optimistic {s} not in fallback"
+                );
             }
         }
 
@@ -219,18 +248,26 @@ proptest! {
         for (site, targets) in ex.coverage.observed_targets() {
             let fall = h.policy.targets(site, ViewKind::Fallback);
             for t in targets {
-                prop_assert!(fall.contains(t), "target @{} outside fallback at {site}", t.0);
+                assert!(
+                    fall.contains(t),
+                    "target @{} outside fallback at {site}",
+                    t.0
+                );
             }
             if !violated {
                 let opt = h.policy.targets(site, ViewKind::Optimistic);
                 for t in targets {
-                    prop_assert!(opt.contains(t), "no violation but @{} outside optimistic at {site}", t.0);
+                    assert!(
+                        opt.contains(t),
+                        "no violation but @{} outside optimistic at {site}",
+                        t.0
+                    );
                 }
             }
         }
         if violated {
-            prop_assert_eq!(ex.switcher.view(), ViewKind::Fallback);
-            prop_assert_eq!(ex.switcher.switch_count(), 1, "one-way switch");
+            assert_eq!(ex.switcher.view(), ViewKind::Fallback);
+            assert_eq!(ex.switcher.switch_count(), 1, "one-way switch");
         }
-    }
+    });
 }

@@ -55,7 +55,8 @@ fn pwc_monitor_fires_when_cycle_materializes() {
     );
     let h = harden(&m, PolicyConfig::all());
     let mut ex = h.executor(&m);
-    ex.run(main, vec![]).expect("execution survives the violation");
+    ex.run(main, vec![])
+        .expect("execution survives the violation");
     assert!(
         ex.violations.iter().any(|v| v.policy == "PWC"),
         "PWC monitor fired: {:?}",
@@ -141,7 +142,10 @@ fn ctx_ret_monitor_fires_when_function_returns_other_object() {
 fn ctx_store_monitor_fires_when_param_is_repointed() {
     let mut m = Module::new("ctx_store_violation");
     let cb_ty = Type::fn_ptr(vec![Type::Int], Type::Int);
-    let s = m.types.declare("ctx", vec![Type::Int, cb_ty.clone()]).unwrap();
+    let s = m
+        .types
+        .declare("ctx", vec![Type::Int, cb_ty.clone()])
+        .unwrap();
     m.add_global("sneaky", Type::Struct(s)).unwrap();
     let sneaky = m.global_by_name("sneaky").unwrap();
     for name in ["h1", "h2"] {
