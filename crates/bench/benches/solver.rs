@@ -1,24 +1,151 @@
-//! Micro-benchmarks for the pointer-analysis solver: baseline Andersen's
-//! vs the optimistic configurations vs Steensgaard, on the two largest
-//! application models. Uses the in-repo harness in
-//! `kaleidoscope_bench::timing` (criterion is unavailable offline).
+//! Micro-benchmarks for the pointer-analysis solver hot path: one baseline
+//! and one fully-optimistic Andersen solve per application model, plus
+//! Steensgaard on the two largest models as the fast/imprecise reference.
+//!
+//! Uses the in-repo harness in `kaleidoscope_bench::timing` (criterion is
+//! unavailable offline). A counting global allocator measures the heap
+//! traffic of the propagation loop — the quantity the hybrid-bitset /
+//! delta-buffer work drives down — and the solver's own `SolveStats`
+//! counters (worklist pops, union words) are reported next to wall clock.
+//!
+//! Writes `BENCH_solver.json` (workspace root when run via `cargo bench`,
+//! else cwd). `--smoke` runs one iteration per case so CI can keep the
+//! binary from bit-rotting without paying for a full measurement.
 
-use kaleidoscope::{analyze, PolicyConfig};
-use kaleidoscope_bench::timing::bench;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kaleidoscope_bench::timing::{bench, Sample};
 use kaleidoscope_pta::{steensgaard, Analysis, SolveOptions};
 
+/// System allocator wrapped with monotonic allocation counters, so a bench
+/// case can report "bytes allocated per solve" — a direct, variance-free
+/// proxy for the `Vec` churn in the propagation loop.
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            ALLOC_BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation traffic of one closure run.
+fn alloc_traffic(f: impl FnOnce()) -> (u64, u64) {
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let c0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    (
+        ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+        ALLOC_CALLS.load(Ordering::Relaxed) - c0,
+    )
+}
+
+struct Case {
+    sample: Sample,
+    alloc_bytes: u64,
+    alloc_calls: u64,
+    pops: usize,
+    union_words: u64,
+    peak_pts_bytes: usize,
+}
+
+fn json(cases: &[Case]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"solver\",\n  \"samples\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"min_ms\": {:.4}, \"median_ms\": {:.4}, \"mean_ms\": {:.4}, \
+             \"iters\": {}, \"alloc_bytes\": {}, \"alloc_calls\": {}, \"pops\": {}, \
+             \"union_words\": {}, \"peak_pts_bytes\": {}}}{}\n",
+            c.sample.label,
+            c.sample.min_ms,
+            c.sample.median_ms,
+            c.sample.mean_ms,
+            c.sample.iters,
+            c.alloc_bytes,
+            c.alloc_calls,
+            c.pops,
+            c.union_words,
+            c.peak_pts_bytes,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
-    println!("solver micro-benchmarks");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 20 };
+    println!(
+        "solver micro-benchmarks ({} iters/case{})",
+        iters,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let mut cases = Vec::new();
+    let models = kaleidoscope_apps::all_models();
+    for (config_name, opts) in [
+        ("baseline", SolveOptions::baseline()),
+        ("optimistic", SolveOptions::optimistic(true, true)),
+    ] {
+        for m in &models {
+            let label = format!("solver/{config_name}/{}", m.name);
+            let sample = bench(&label, iters, || {
+                let _ = Analysis::run(&m.module, &opts);
+            });
+            let mut stats = None;
+            let (alloc_bytes, alloc_calls) = alloc_traffic(|| {
+                stats = Some(Analysis::run(&m.module, &opts).result.stats);
+            });
+            let stats = stats.expect("solve ran");
+            cases.push(Case {
+                sample,
+                alloc_bytes,
+                alloc_calls,
+                pops: stats.iterations,
+                union_words: stats.union_words,
+                peak_pts_bytes: stats.peak_pts_bytes,
+            });
+        }
+    }
     for name in ["MbedTLS", "TinyDTLS"] {
         let model = kaleidoscope_apps::model(name).expect("model");
-        bench(&format!("solver/andersen_baseline/{name}"), 10, || {
-            let _ = Analysis::run(&model.module, &SolveOptions::baseline());
-        });
-        bench(&format!("solver/kaleidoscope_full/{name}"), 10, || {
-            let _ = analyze(&model.module, PolicyConfig::all());
-        });
-        bench(&format!("solver/steensgaard/{name}"), 10, || {
+        bench(&format!("solver/steensgaard/{name}"), iters, || {
             let _ = steensgaard(&model.module);
         });
+    }
+
+    let total_median: f64 = cases.iter().map(|c| c.sample.median_ms).sum();
+    let total_bytes: u64 = cases.iter().map(|c| c.alloc_bytes).sum();
+    println!(
+        "total: {total_median:.1} ms median across {} solves, {:.1} MiB allocated",
+        cases.len(),
+        total_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+        std::fs::write(path, json(&cases)).expect("write BENCH_solver.json");
+        println!("wrote BENCH_solver.json");
     }
 }

@@ -13,6 +13,7 @@ use kaleidoscope::PolicyConfig;
 use kaleidoscope_bench::html::Report;
 use kaleidoscope_bench::{executor_from_args, five_num, mean, run_matrix, ConfigRun};
 use kaleidoscope_exec::Executor;
+use kaleidoscope_pta::{Analysis, SolveOptions};
 
 fn main() {
     let mut report = Report::new("Kaleidoscope reproduction — evaluation dashboard");
@@ -192,6 +193,40 @@ fn main() {
         stats.lookups,
         stats.misses,
         stats.hits()
+    );
+
+    // Solver hot path: the per-solve cost counters behind BENCH_solver.json,
+    // so representation regressions show up in the dashboard artifact too.
+    report.heading("Solver hot path — per-solve cost counters");
+    let mut solver_rows = Vec::new();
+    for (config_name, opts) in [
+        ("baseline", SolveOptions::baseline()),
+        ("optimistic", SolveOptions::optimistic(true, true)),
+    ] {
+        for m in &models {
+            let a = Analysis::run(&m.module, &opts);
+            let s = &a.result.stats;
+            solver_rows.push(vec![
+                format!("{}/{}", config_name, m.name),
+                s.iterations.to_string(),
+                s.scc_passes.to_string(),
+                s.union_words.to_string(),
+                format!("{:.1}", s.peak_pts_bytes as f64 / 1024.0),
+                format!("{:.2}", s.duration.as_secs_f64() * 1000.0),
+            ]);
+        }
+    }
+    report.table(
+        "SolveStats per model and configuration (hybrid bitset sets, topology-ordered worklist)",
+        vec![
+            "Solve".into(),
+            "Pops".into(),
+            "SCC passes".into(),
+            "Union words".into(),
+            "Peak pts KiB".into(),
+            "Wall ms".into(),
+        ],
+        solver_rows,
     );
 
     let html = report.render();

@@ -112,7 +112,17 @@ pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
 /// `1` forces the legacy serial path. The printed report is identical
 /// either way — configurations of one module share the baseline solve and
 /// context plan through the executor's artifact cache.
-pub fn cmd_analyze(source: &Source, config: Option<&str>, jobs: usize) -> Result<String, CliError> {
+///
+/// With `stats` set, each configuration row is followed by the solver's
+/// internal counters for the fallback and optimistic solves (worklist pops,
+/// SCC passes, union words touched, peak points-to bytes, copy edges) — the
+/// deterministic cost measures the perf benches regress against.
+pub fn cmd_analyze(
+    source: &Source,
+    config: Option<&str>,
+    jobs: usize,
+    stats: bool,
+) -> Result<String, CliError> {
     let module = load(source)?;
     let mut out = String::new();
     let configs: Vec<PolicyConfig> = match config {
@@ -135,18 +145,34 @@ pub fn cmd_analyze(source: &Source, config: Option<&str>, jobs: usize) -> Result
     let results = ex.run_matrix(&[&module], &configs);
     for r in &results[0] {
         let c = r.config;
-        let stats = PtsStats::collect(&r.optimistic, &module);
+        let pstats = PtsStats::collect(&r.optimistic, &module);
         let _ = writeln!(
             out,
             "{:<13} {:>8.2} {:>8} {:>8} {:>11}",
             c.name(),
-            stats.avg,
-            stats.max,
-            stats.count,
+            pstats.avg,
+            pstats.max,
+            pstats.count,
             r.invariants.len()
         );
         for inv in &r.invariants {
             let _ = writeln!(out, "    {inv}");
+        }
+        if stats {
+            for (tag, a) in [("fallback", &r.fallback), ("optimistic", &r.optimistic)] {
+                let s = &a.result.stats;
+                let _ = writeln!(
+                    out,
+                    "    solver[{tag}]: pops={} scc-passes={} union-words={} \
+                     peak-pts-bytes={} copy-edges={} collapsed-objects={}",
+                    s.iterations,
+                    s.scc_passes,
+                    s.union_words,
+                    s.peak_pts_bytes,
+                    s.copy_edges,
+                    s.collapsed_objects
+                );
+            }
         }
     }
     Ok(out)
@@ -313,6 +339,7 @@ OPTIONS:
     --growth <n>       introspection growth threshold
     --types <n>        introspection type-diversity threshold
     --jobs <n>         analyze: worker threads (0 = auto, 1 = serial)
+    --stats            analyze: print solver counters per configuration
 ";
 
 #[cfg(test)]
@@ -336,14 +363,14 @@ mod tests {
     #[test]
     fn analyze_output_independent_of_jobs() {
         let src = Source::Model("TinyDTLS".into());
-        let serial = cmd_analyze(&src, None, 1).unwrap();
-        let parallel = cmd_analyze(&src, None, 4).unwrap();
+        let serial = cmd_analyze(&src, None, 1, false).unwrap();
+        let parallel = cmd_analyze(&src, None, 4, false).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn analyze_sample_file() {
-        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1).unwrap();
+        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1, false).unwrap();
         assert!(out.contains("Baseline"));
         assert!(out.contains("Kaleidoscope"));
         assert!(out.contains("PA@"), "PA invariant listed:\n{out}");
@@ -351,8 +378,27 @@ mod tests {
 
     #[test]
     fn analyze_model() {
-        let out = cmd_analyze(&Source::Model("TinyDTLS".into()), Some("all"), 1).unwrap();
+        let out = cmd_analyze(&Source::Model("TinyDTLS".into()), Some("all"), 1, false).unwrap();
         assert!(out.contains("Kaleidoscope"));
+    }
+
+    #[test]
+    fn analyze_stats_prints_solver_counters() {
+        let src = Source::Model("TinyDTLS".into());
+        let plain = cmd_analyze(&src, Some("all"), 1, false).unwrap();
+        let with_stats = cmd_analyze(&src, Some("all"), 1, true).unwrap();
+        assert!(!plain.contains("solver["));
+        assert!(with_stats.contains("solver[fallback]:"), "{with_stats}");
+        assert!(with_stats.contains("solver[optimistic]:"));
+        assert!(with_stats.contains("union-words="));
+        assert!(with_stats.contains("peak-pts-bytes="));
+        // The stats lines are additive: stripping them recovers the plain report.
+        let stripped: String = with_stats
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("solver["))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain);
     }
 
     #[test]
@@ -410,7 +456,7 @@ mod c_tests {
 
     #[test]
     fn analyze_c_source_end_to_end() {
-        let out = cmd_analyze(&sample_c("fig6.c"), None, 1).unwrap();
+        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false).unwrap();
         assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
     }
 
@@ -422,7 +468,7 @@ mod c_tests {
 
     #[test]
     fn fig7_c_emits_pwc_invariant() {
-        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1).unwrap();
+        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1, false).unwrap();
         assert!(out.contains("PWC"), "{out}");
     }
 

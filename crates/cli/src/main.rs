@@ -16,6 +16,7 @@ struct Args {
     growth: Option<usize>,
     types: Option<usize>,
     jobs: usize,
+    stats: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
@@ -31,6 +32,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         growth: None,
         types: None,
         jobs: 0,
+        stats: false,
     };
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
@@ -42,6 +44,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--config" => args.config = Some(need(&mut argv, "--config")?),
             "--entry" => args.entry = need(&mut argv, "--entry")?,
             "--harden" => args.harden = true,
+            "--stats" => args.stats = true,
             "--input" => {
                 let raw = need(&mut argv, "--input")?;
                 args.input = raw
@@ -88,7 +91,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
         .as_ref()
         .ok_or_else(|| CliError("no input: give a .kir file or --model <Name>".into()))?;
     match cmd {
-        "analyze" => cmd_analyze(source, args.config.as_deref(), args.jobs),
+        "analyze" => cmd_analyze(source, args.config.as_deref(), args.jobs, args.stats),
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),
         "run" => cmd_run(source, &args.entry, &args.input, args.harden),

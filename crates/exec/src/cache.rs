@@ -29,11 +29,25 @@ enum Stage {
     Solve { opts_key: u64, with_ctx: bool },
 }
 
-/// Full cache key: module content fingerprint + stage.
+/// Full cache key: module content fingerprint + stage + the points-to
+/// representation version. Solve artifacts embed representation-dependent
+/// detail (lazily numbered field nodes, discovery-order event lists), so a
+/// representation or propagation-order change must invalidate them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
     fingerprint: u64,
     stage: Stage,
+    repr_version: u32,
+}
+
+impl Key {
+    fn new(fingerprint: u64, stage: Stage) -> Key {
+        Key {
+            fingerprint,
+            stage,
+            repr_version: kaleidoscope_pta::PTS_REPR_VERSION,
+        }
+    }
 }
 
 /// A cached artifact.
@@ -114,13 +128,13 @@ impl ArtifactCache {
         with_ctx: bool,
         compute: impl FnOnce() -> Analysis,
     ) -> Arc<Analysis> {
-        let key = Key {
+        let key = Key::new(
             fingerprint,
-            stage: Stage::Solve {
+            Stage::Solve {
                 opts_key: opts.cache_key(),
                 with_ctx,
             },
-        };
+        );
         match self.slot(key, || Slot::Analysis(Arc::new(compute()))) {
             Slot::Analysis(a) => a,
             Slot::Plan(_) => unreachable!("solve key holds an analysis"),
@@ -129,10 +143,7 @@ impl ArtifactCache {
 
     /// The context plan for `fingerprint`, computing it on a miss.
     pub fn ctx_plan(&self, fingerprint: u64, compute: impl FnOnce() -> CtxPlan) -> Arc<CtxPlan> {
-        let key = Key {
-            fingerprint,
-            stage: Stage::CtxPlan,
-        };
+        let key = Key::new(fingerprint, Stage::CtxPlan);
         match self.slot(key, || Slot::Plan(Arc::new(compute()))) {
             Slot::Plan(p) => p,
             Slot::Analysis(_) => unreachable!("ctx-plan key holds a plan"),

@@ -1,0 +1,398 @@
+//! Word-indexed sparse bitmap blocks — the large-set representation behind
+//! [`crate::pts::PtsSet`].
+//!
+//! A [`BitBlocks`] stores a set of `u32` ids as 64-bit words keyed by word
+//! index (`id / 64`), with the word-index array kept sorted so iteration
+//! yields ids in ascending order. Points-to sets in real constraint graphs
+//! are clustered (objects of one allocation region get adjacent node ids),
+//! so the word skeleton stays short while membership, union, difference,
+//! and subset checks all become O(words) popcount/and-not loops instead of
+//! O(elements) sorted-vec merges.
+//!
+//! All bulk operations report the number of 64-bit words they touched, so
+//! the solver can expose propagation cost as a deterministic counter
+//! (`SolveStats::union_words`) rather than only as wall-clock.
+
+/// Sparse bitmap: sorted word indices + their 64-bit payloads.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct BitBlocks {
+    /// Word indices (`id / 64`), strictly ascending.
+    idx: Vec<u32>,
+    /// Bit payloads, parallel to `idx`; never zero after an operation
+    /// completes (empty words are pruned lazily by `compact`).
+    bits: Vec<u64>,
+    /// Cached population count.
+    count: u32,
+}
+
+impl Clone for BitBlocks {
+    fn clone(&self) -> Self {
+        BitBlocks {
+            idx: self.idx.clone(),
+            bits: self.bits.clone(),
+            count: self.count,
+        }
+    }
+
+    /// Reuse the destination's allocations (`Vec::clone_from`), so the
+    /// solver's `prop.clone_from(&pts)` refresh is allocation-free once the
+    /// vectors have warmed up.
+    fn clone_from(&mut self, other: &Self) {
+        self.idx.clone_from(&other.idx);
+        self.bits.clone_from(&other.bits);
+        self.count = other.count;
+    }
+}
+
+/// Append every set bit of `word` (ascending) as `base + bit` to `out`.
+#[inline]
+fn push_bits(base: u32, mut word: u64, out: &mut Vec<u32>) {
+    while word != 0 {
+        let b = word.trailing_zeros();
+        out.push(base + b);
+        word &= word - 1;
+    }
+}
+
+impl BitBlocks {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a strictly ascending slice of ids.
+    pub fn from_sorted_slice(items: &[u32]) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        let mut s = BitBlocks::new();
+        for &v in items {
+            let w = v >> 6;
+            let bit = 1u64 << (v & 63);
+            match s.idx.last() {
+                Some(&last) if last == w => *s.bits.last_mut().expect("parallel") |= bit,
+                _ => {
+                    s.idx.push(w);
+                    s.bits.push(bit);
+                }
+            }
+        }
+        s.count = items.len() as u32;
+        s
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of 64-bit words in the skeleton.
+    pub fn word_count(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Heap bytes held by the skeleton (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.idx.capacity() * std::mem::size_of::<u32>()
+            + self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        match self.idx.binary_search(&(v >> 6)) {
+            Ok(i) => self.bits[i] & (1u64 << (v & 63)) != 0,
+            Err(_) => false,
+        }
+    }
+
+    /// Insert; returns `true` if the id was new.
+    pub fn insert(&mut self, v: u32) -> bool {
+        let w = v >> 6;
+        let bit = 1u64 << (v & 63);
+        match self.idx.binary_search(&w) {
+            Ok(i) => {
+                if self.bits[i] & bit != 0 {
+                    false
+                } else {
+                    self.bits[i] |= bit;
+                    self.count += 1;
+                    true
+                }
+            }
+            Err(i) => {
+                self.idx.insert(i, w);
+                self.bits.insert(i, bit);
+                self.count += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove; returns `true` if the id was present. Emptied words stay in
+    /// the skeleton (harmless: all operations tolerate zero words).
+    pub fn remove(&mut self, v: u32) -> bool {
+        match self.idx.binary_search(&(v >> 6)) {
+            Ok(i) => {
+                let bit = 1u64 << (v & 63);
+                if self.bits[i] & bit == 0 {
+                    false
+                } else {
+                    self.bits[i] &= !bit;
+                    self.count -= 1;
+                    true
+                }
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Remove all elements, keeping allocations.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        self.bits.clear();
+        self.count = 0;
+    }
+
+    /// Union `other` into `self`, appending the newly added ids (ascending)
+    /// to `added`. Returns the number of words touched.
+    pub fn union_from(&mut self, other: &BitBlocks, added: &mut Vec<u32>) -> u64 {
+        // Probe: does `other`'s word skeleton fit inside ours? If so the
+        // union is a pure in-place OR loop with no structural change (the
+        // common case once a set has warmed up).
+        let mut i = 0usize;
+        let mut fits = true;
+        for &w in &other.idx {
+            while i < self.idx.len() && self.idx[i] < w {
+                i += 1;
+            }
+            if i >= self.idx.len() || self.idx[i] != w {
+                fits = false;
+                break;
+            }
+        }
+        let words = (self.idx.len() + other.idx.len()) as u64;
+        if fits {
+            let mut i = 0usize;
+            for (o, &w) in other.idx.iter().enumerate() {
+                while self.idx[i] < w {
+                    i += 1;
+                }
+                let new = other.bits[o] & !self.bits[i];
+                if new != 0 {
+                    push_bits(w << 6, new, added);
+                    self.bits[i] |= new;
+                    self.count += new.count_ones();
+                }
+            }
+            return words;
+        }
+        // Structural merge: rebuild the skeleton (amortized — only happens
+        // while the word skeleton is still growing).
+        let mut idx = Vec::with_capacity(self.idx.len() + other.idx.len());
+        let mut bits = Vec::with_capacity(idx.capacity());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.idx.len() || b < other.idx.len() {
+            let take_a = b >= other.idx.len() || (a < self.idx.len() && self.idx[a] < other.idx[b]);
+            let take_b = a >= self.idx.len() || (b < other.idx.len() && other.idx[b] < self.idx[a]);
+            if take_a {
+                idx.push(self.idx[a]);
+                bits.push(self.bits[a]);
+                a += 1;
+            } else if take_b {
+                let w = other.idx[b];
+                push_bits(w << 6, other.bits[b], added);
+                self.count += other.bits[b].count_ones();
+                idx.push(w);
+                bits.push(other.bits[b]);
+                b += 1;
+            } else {
+                let w = self.idx[a];
+                let new = other.bits[b] & !self.bits[a];
+                if new != 0 {
+                    push_bits(w << 6, new, added);
+                    self.count += new.count_ones();
+                }
+                idx.push(w);
+                bits.push(self.bits[a] | other.bits[b]);
+                a += 1;
+                b += 1;
+            }
+        }
+        self.idx = idx;
+        self.bits = bits;
+        words
+    }
+
+    /// Append `self \ other` (ascending) to `out`. Returns words touched.
+    pub fn diff_into(&self, other: &BitBlocks, out: &mut Vec<u32>) -> u64 {
+        let mut b = 0usize;
+        for (a, &w) in self.idx.iter().enumerate() {
+            while b < other.idx.len() && other.idx[b] < w {
+                b += 1;
+            }
+            let theirs = if b < other.idx.len() && other.idx[b] == w {
+                other.bits[b]
+            } else {
+                0
+            };
+            push_bits(w << 6, self.bits[a] & !theirs, out);
+        }
+        (self.idx.len() + other.idx.len().min(self.idx.len())) as u64
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitBlocks) -> bool {
+        if self.count > other.count {
+            return false;
+        }
+        let mut b = 0usize;
+        for (a, &w) in self.idx.iter().enumerate() {
+            if self.bits[a] == 0 {
+                continue;
+            }
+            while b < other.idx.len() && other.idx[b] < w {
+                b += 1;
+            }
+            if b >= other.idx.len() || other.idx[b] != w {
+                return false;
+            }
+            if self.bits[a] & !other.bits[b] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Keep only elements matching `keep`; append removed ids to `removed`.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool, removed: &mut Vec<u32>) {
+        for (a, &w) in self.idx.iter().enumerate() {
+            let mut word = self.bits[a];
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                let v = (w << 6) + bit;
+                if !keep(v) {
+                    self.bits[a] &= !(1u64 << bit);
+                    self.count -= 1;
+                    removed.push(v);
+                }
+            }
+        }
+    }
+
+    /// Iterate over elements in ascending order.
+    pub fn iter(&self) -> BlocksIter<'_> {
+        BlocksIter {
+            idx: &self.idx,
+            bits: &self.bits,
+            pos: 0,
+            base: 0,
+            word: 0,
+        }
+    }
+}
+
+/// Sorted-order iterator over a [`BitBlocks`].
+pub struct BlocksIter<'a> {
+    idx: &'a [u32],
+    bits: &'a [u64],
+    pos: usize,
+    base: u32,
+    word: u64,
+}
+
+impl Iterator for BlocksIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.word != 0 {
+                let b = self.word.trailing_zeros();
+                self.word &= self.word - 1;
+                return Some(self.base + b);
+            }
+            if self.pos >= self.idx.len() {
+                return None;
+            }
+            self.base = self.idx[self.pos] << 6;
+            self.word = self.bits[self.pos];
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitBlocks::new();
+        assert!(s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.insert(4096));
+        assert!(!s.insert(5));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64) && !s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 4096]);
+    }
+
+    #[test]
+    fn union_in_place_and_structural() {
+        let mut a = BitBlocks::from_sorted_slice(&[1, 2, 70]);
+        let b = BitBlocks::from_sorted_slice(&[2, 3, 71]);
+        let mut added = Vec::new();
+        a.union_from(&b, &mut added);
+        assert_eq!(added, vec![3, 71]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 70, 71]);
+        // Structural: new word far away.
+        let c = BitBlocks::from_sorted_slice(&[1000]);
+        added.clear();
+        a.union_from(&c, &mut added);
+        assert_eq!(added, vec![1000]);
+        assert_eq!(a.len(), 6);
+        // Idempotent.
+        added.clear();
+        a.union_from(&b, &mut added);
+        assert!(added.is_empty());
+    }
+
+    #[test]
+    fn diff_and_subset() {
+        let a = BitBlocks::from_sorted_slice(&[1, 2, 3, 130]);
+        let b = BitBlocks::from_sorted_slice(&[2, 130]);
+        let mut out = Vec::new();
+        a.diff_into(&b, &mut out);
+        assert_eq!(out, vec![1, 3]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        out.clear();
+        b.diff_into(&a, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn retain_removes_and_reports() {
+        let mut s = BitBlocks::from_sorted_slice(&[1, 2, 3, 64, 65]);
+        let mut removed = Vec::new();
+        s.retain(|v| v % 2 == 0, &mut removed);
+        assert_eq!(removed, vec![1, 3, 65]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 64]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn subset_tolerates_zeroed_words() {
+        let mut a = BitBlocks::from_sorted_slice(&[1, 64]);
+        let b = BitBlocks::from_sorted_slice(&[1]);
+        a.remove(64); // leaves an empty word in the skeleton
+        assert!(a.is_subset(&b));
+        assert!(b.is_subset(&a));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+}

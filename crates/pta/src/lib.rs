@@ -39,6 +39,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bitvec;
 pub mod callgraph;
 pub mod ctxplan;
 pub mod gen;
@@ -49,6 +50,15 @@ pub mod scc;
 pub mod solver;
 pub mod stats;
 pub mod steens;
+
+/// Version of the points-to set representation and propagation order.
+///
+/// Mixed into the `kaleidoscope-exec` artifact-cache key: any change to the
+/// set representation, delta encoding, or worklist ordering that could shift
+/// discovery-order-dependent output (lazily created field-node ids, PWC
+/// event order) must bump this so stale cached solve artifacts are never
+/// reused across representations.
+pub const PTS_REPR_VERSION: u32 = 2;
 
 pub use analysis::Analysis;
 pub use callgraph::CallGraph;

@@ -12,7 +12,11 @@ use std::fmt;
 use kaleidoscope_ir::{FuncId, GlobalId, InstLoc, LocalId, Module, Type};
 
 /// Identifier of a node in the [`NodeTable`].
+///
+/// `repr(transparent)` is load-bearing: `pta::pts` reinterprets
+/// `Vec<NodeId>` as `Vec<u32>` when talking to the bitmap layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

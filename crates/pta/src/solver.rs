@@ -17,7 +17,8 @@
 //!   because field sub-objects only materialize along declared struct
 //!   types, whose nesting is finite.
 
-use std::collections::{HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::time::Duration;
 
 use kaleidoscope_ir::{InstLoc, Module, Type};
@@ -124,6 +125,13 @@ pub struct SolveStats {
     pub collapsed_cycles: usize,
     /// Objects turned field-insensitive.
     pub collapsed_objects: usize,
+    /// 64-bit words touched by set union/difference operations (inline
+    /// merges count one word per two u32 slots). Deterministic proxy for
+    /// propagation cost, unlike wall-clock.
+    pub union_words: u64,
+    /// Peak heap bytes held by the points-to and propagated-frontier sets,
+    /// sampled at each propagation-round boundary.
+    pub peak_pts_bytes: usize,
     /// Wall-clock solving time.
     pub duration: Duration,
 }
@@ -158,6 +166,40 @@ impl SolveResult {
     }
 }
 
+/// Reusable scratch buffers for the propagation loop. Each worklist pop
+/// borrows these via `mem::take`/restore instead of allocating: the delta,
+/// the canonicalized delta, the per-union added-elements buffer, and copies
+/// of the popped node's constraint lists (copies are still required for
+/// correctness — a merge triggered mid-pop moves the solver's own per-node
+/// lists — but they now reuse one allocation across all pops).
+#[derive(Debug, Default)]
+struct Scratch {
+    delta: Vec<NodeId>,
+    delta_canon: Vec<NodeId>,
+    added: Vec<NodeId>,
+    copy_added: Vec<NodeId>,
+    merge_added: Vec<NodeId>,
+    loads: Vec<(NodeId, u32)>,
+    stores: Vec<(NodeId, u32)>,
+    fields: Vec<(NodeId, usize, u32)>,
+    ariths: Vec<(NodeId, InstLoc, u32)>,
+    elems: Vec<(NodeId, u32)>,
+    icalls: Vec<u32>,
+    outs: Vec<NodeId>,
+}
+
+/// Disjoint mutable borrows of two slots of one slice.
+fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
 /// The Andersen worklist solver.
 #[derive(Debug)]
 pub struct Solver<'m> {
@@ -179,8 +221,19 @@ pub struct Solver<'m> {
     icalls_by_fnptr: Vec<Vec<u32>>,
     icall_wired: Vec<PtsSet>,
 
-    worklist: VecDeque<NodeId>,
+    /// Priority worklist: min-heap on `(topological rank, node id)`. Ranks
+    /// come from the SCC condensation (recomputed each `scc_pass`), so
+    /// upstream nodes propagate before downstream ones — the Hardekopf–Lin
+    /// ordering that cuts re-propagation. The `queued` dirty bits guarantee
+    /// at most one live entry per node, so stale ranks can't duplicate work.
+    worklist: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Legacy FIFO worklist, used when [`Solver::use_fifo_worklist`] is set
+    /// (kept for differential testing against the ordered path).
+    fifo: VecDeque<NodeId>,
+    use_fifo: bool,
+    rank: Vec<u32>,
     queued: Vec<bool>,
+    scratch: Scratch,
 
     degraded_fields: HashSet<u32>,
     pa_seen: HashSet<(InstLoc, ObjId)>,
@@ -218,8 +271,12 @@ impl<'m> Solver<'m> {
             elems: Vec::new(),
             icalls_by_fnptr: Vec::new(),
             icall_wired: Vec::new(),
-            worklist: VecDeque::new(),
+            worklist: BinaryHeap::new(),
+            fifo: VecDeque::new(),
+            use_fifo: false,
+            rank: Vec::new(),
             queued: Vec::new(),
+            scratch: Scratch::default(),
             degraded_fields: HashSet::new(),
             pa_seen: HashSet::new(),
             pwc_seen: HashSet::new(),
@@ -247,14 +304,35 @@ impl<'m> Solver<'m> {
         self.ariths.resize_with(n, Vec::new);
         self.elems.resize_with(n, Vec::new);
         self.icalls_by_fnptr.resize_with(n, Vec::new);
+        self.rank.resize(n, 0);
         self.queued.resize(n, false);
+    }
+
+    /// Use the legacy FIFO worklist instead of the topology-ordered one.
+    /// Results are equivalent (the fixpoint is unique); this exists so
+    /// differential tests can compare the two schedules.
+    pub fn use_fifo_worklist(mut self) -> Self {
+        self.use_fifo = true;
+        self
     }
 
     fn push(&mut self, n: NodeId) {
         let n = self.nodes.find(n);
         if !self.queued[n.index()] {
             self.queued[n.index()] = true;
-            self.worklist.push_back(n);
+            if self.use_fifo {
+                self.fifo.push_back(n);
+            } else {
+                self.worklist.push(Reverse((self.rank[n.index()], n.0)));
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<NodeId> {
+        if self.use_fifo {
+            self.fifo.pop_front()
+        } else {
+            self.worklist.pop().map(|Reverse((_, id))| NodeId(id))
         }
     }
 
@@ -269,6 +347,13 @@ impl<'m> Solver<'m> {
         let mut passes = 0usize;
         loop {
             self.drain_worklist(obs);
+            let live_bytes: usize = self
+                .pts
+                .iter()
+                .chain(self.prop.iter())
+                .map(|s| s.heap_bytes())
+                .sum();
+            self.stats.peak_pts_bytes = self.stats.peak_pts_bytes.max(live_bytes);
             passes += 1;
             self.stats.scc_passes = passes;
             if passes >= self.opts.max_passes {
@@ -369,17 +454,21 @@ impl<'m> Solver<'m> {
         }
         self.copy_out[from.index()].push(to);
         obs.derived_copy(&self.nodes, from, to, &why);
-        // Propagate the full current set across the new edge.
-        let src_pts = self.pts[from.index()].clone();
-        let added = self.pts[to.index()].union_into(&src_pts);
+        // Propagate the full current set across the new edge, in place:
+        // disjoint borrows of the two slots, no clone of the source set.
+        let mut added = std::mem::take(&mut self.scratch.copy_added);
+        added.clear();
+        let (src, dst) = two_mut(&mut self.pts, from.index(), to.index());
+        self.stats.union_words += dst.union_from(src, &mut added);
         if !added.is_empty() {
             obs.pts_grew(&self.nodes, to, &added);
             self.push(to);
         }
+        self.scratch.copy_added = added;
     }
 
     fn drain_worklist(&mut self, obs: &mut dyn SolverObserver) {
-        while let Some(n) = self.worklist.pop_front() {
+        while let Some(n) = self.pop() {
             self.queued[n.index()] = false;
             let n = self.nodes.find(n);
             self.stats.iterations += 1;
@@ -387,19 +476,42 @@ impl<'m> Solver<'m> {
                 self.stats.iterations < 500_000_000,
                 "solver iteration budget exceeded; likely divergence"
             );
-            let delta = self.pts[n.index()].difference(&self.prop[n.index()]);
-            if delta.is_empty() {
+            // O(1) early exit. `prop[n] ⊆ pts[n]` is an invariant (pts only
+            // grows during a drain; merges and canonicalization clear prop),
+            // so equal cardinality means the delta is empty — no set walk,
+            // no allocation.
+            if self.pts[n.index()].len() == self.prop[n.index()].len() {
                 continue;
             }
-            self.prop[n.index()] = self.pts[n.index()].clone();
+            let mut delta = std::mem::take(&mut self.scratch.delta);
+            delta.clear();
+            self.stats.union_words +=
+                self.pts[n.index()].diff_into(&self.prop[n.index()], &mut delta);
+            debug_assert!(!delta.is_empty(), "prop ⊆ pts violated");
+            // Refresh the propagated frontier in place (reuses the bitmap
+            // allocation instead of cloning a fresh set).
+            self.prop[n.index()].clone_from(&self.pts[n.index()]);
 
-            // Complex constraints gated on pts(n).
-            let loads = self.loads[n.index()].clone();
-            let stores = self.stores[n.index()].clone();
-            let fields = self.fields[n.index()].clone();
-            let ariths = self.ariths[n.index()].clone();
-            let elems = self.elems[n.index()].clone();
-            let icalls = self.icalls_by_fnptr[n.index()].clone();
+            // Complex constraints gated on pts(n): copied into reusable
+            // scratch (a merge mid-pop moves the solver's own lists).
+            let mut loads = std::mem::take(&mut self.scratch.loads);
+            let mut stores = std::mem::take(&mut self.scratch.stores);
+            let mut fields = std::mem::take(&mut self.scratch.fields);
+            let mut ariths = std::mem::take(&mut self.scratch.ariths);
+            let mut elems = std::mem::take(&mut self.scratch.elems);
+            let mut icalls = std::mem::take(&mut self.scratch.icalls);
+            loads.clear();
+            loads.extend_from_slice(&self.loads[n.index()]);
+            stores.clear();
+            stores.extend_from_slice(&self.stores[n.index()]);
+            fields.clear();
+            fields.extend_from_slice(&self.fields[n.index()]);
+            ariths.clear();
+            ariths.extend_from_slice(&self.ariths[n.index()]);
+            elems.clear();
+            elems.extend_from_slice(&self.elems[n.index()]);
+            icalls.clear();
+            icalls.extend_from_slice(&self.icalls_by_fnptr[n.index()]);
 
             for &o in &delta {
                 let on = self.nodes.find(o);
@@ -446,21 +558,39 @@ impl<'m> Solver<'m> {
             }
 
             // Copy propagation along out-edges.
-            let mut delta_sorted: Vec<NodeId> = delta.iter().map(|&o| self.nodes.find(o)).collect();
-            delta_sorted.sort_unstable();
-            delta_sorted.dedup();
-            let outs = self.copy_out[n.index()].clone();
-            for to in outs {
+            let mut delta_canon = std::mem::take(&mut self.scratch.delta_canon);
+            delta_canon.clear();
+            delta_canon.extend(delta.iter().map(|&o| self.nodes.find(o)));
+            delta_canon.sort_unstable();
+            delta_canon.dedup();
+            let mut outs = std::mem::take(&mut self.scratch.outs);
+            outs.clear();
+            outs.extend_from_slice(&self.copy_out[n.index()]);
+            let mut added = std::mem::take(&mut self.scratch.added);
+            for &to in &outs {
                 let to = self.nodes.find(to);
                 if to == n {
                     continue;
                 }
-                let added = self.pts[to.index()].union_slice(&delta_sorted);
+                added.clear();
+                self.stats.union_words +=
+                    self.pts[to.index()].union_slice_from(&delta_canon, &mut added);
                 if !added.is_empty() {
                     obs.pts_grew(&self.nodes, to, &added);
                     self.push(to);
                 }
             }
+
+            self.scratch.delta = delta;
+            self.scratch.delta_canon = delta_canon;
+            self.scratch.added = added;
+            self.scratch.loads = loads;
+            self.scratch.stores = stores;
+            self.scratch.fields = fields;
+            self.scratch.ariths = ariths;
+            self.scratch.elems = elems;
+            self.scratch.icalls = icalls;
+            self.scratch.outs = outs;
         }
     }
 
@@ -485,8 +615,12 @@ impl<'m> Solver<'m> {
         } else {
             match self.nodes.field_struct_of(obj_node) {
                 Some(sid) => {
-                    let field_tys = self.module.types.def(sid.0).fields.clone();
-                    let f = self.nodes.field_node_typed(obj_node, idx, &field_tys);
+                    // `module` is a shared reference with the solver's
+                    // lifetime, so the type table can be borrowed alongside
+                    // the mutable node-table borrow — no clone.
+                    let module: &Module = self.module;
+                    let field_tys = &module.types.def(sid.0).fields;
+                    let f = self.nodes.field_node_typed(obj_node, idx, field_tys);
                     self.ensure_capacity();
                     f
                 }
@@ -616,11 +750,15 @@ impl<'m> Solver<'m> {
             return;
         };
         let (w, l) = (winner.index(), loser.index());
-        let loser_pts = std::mem::take(&mut self.pts[l]);
-        let added = self.pts[w].union_into(&loser_pts);
+        let mut added = std::mem::take(&mut self.scratch.merge_added);
+        added.clear();
+        let (loser_pts, winner_pts) = two_mut(&mut self.pts, l, w);
+        self.stats.union_words += winner_pts.union_from(loser_pts, &mut added);
+        loser_pts.clear();
         if !added.is_empty() {
             obs.pts_grew(&self.nodes, winner, &added);
         }
+        self.scratch.merge_added = added;
         self.prop[w].clear();
         self.prop[l].clear();
         let moved = std::mem::take(&mut self.copy_out[l]);
@@ -677,7 +815,21 @@ impl<'m> Solver<'m> {
             out.sort_unstable();
             out.dedup();
         }
-        let comps = scc::nontrivial_sccs(&adj);
+        let all_comps = scc::sccs(&adj);
+        // Refresh the worklist priorities: `sccs` yields the condensation
+        // sinks-first, so rank 0 lands on the sources and the min-heap pops
+        // upstream nodes before the nodes they feed. The worklist is empty
+        // here (scc_pass only runs between drains), so no entry holds a
+        // stale rank.
+        debug_assert!(self.worklist.is_empty() && self.fifo.is_empty());
+        let comp_count = all_comps.len() as u32;
+        for (i, comp) in all_comps.iter().enumerate() {
+            let r = comp_count - 1 - i as u32;
+            for &v in comp {
+                self.rank[v as usize] = r;
+            }
+        }
+        let comps: Vec<Vec<u32>> = all_comps.into_iter().filter(|c| c.len() > 1).collect();
         // Self-loop field edges count as (degenerate) PWCs.
         let mut pwc_selfloops: Vec<(NodeId, u32)> = field_edges
             .iter()

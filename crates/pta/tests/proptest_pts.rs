@@ -79,6 +79,86 @@ fn pts_set_matches_btreeset_model() {
     });
 }
 
+/// Same model check, but with value ranges and growth rates chosen to cross
+/// the inline→bitmap promotion boundary (~16 elements) and spread ids over
+/// many 64-bit words, so the sparse-bitmap paths (in-place OR, structural
+/// merge, word-level difference) all get exercised.
+#[test]
+fn hybrid_promotion_matches_btreeset_model() {
+    check(256, 0xb175, |rng| {
+        let mut sut = PtsSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        let n_ops = rng.gen_range(0..40usize);
+        for _ in 0..n_ops {
+            match rng.gen_range(0..5u32) {
+                // Bulk union: the growth op, biased large to force promotion.
+                0 | 1 => {
+                    let n = rng.gen_range(0..40usize);
+                    let vs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2048u32)).collect();
+                    let other: PtsSet = vs.iter().map(|&v| NodeId(v)).collect();
+                    let mut added = Vec::new();
+                    sut.union_from(&other, &mut added);
+                    let mut expect: Vec<u32> =
+                        vs.iter().copied().filter(|v| !model.contains(v)).collect();
+                    expect.sort_unstable();
+                    expect.dedup();
+                    assert_eq!(
+                        added.iter().map(|n| n.0).collect::<Vec<_>>(),
+                        expect,
+                        "union_from delta"
+                    );
+                    model.extend(vs);
+                }
+                // Sorted-slice union (the solver's copy-propagation path).
+                2 => {
+                    let n = rng.gen_range(0..25usize);
+                    let mut vs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2048u32)).collect();
+                    vs.sort_unstable();
+                    vs.dedup();
+                    let slice: Vec<NodeId> = vs.iter().map(|&v| NodeId(v)).collect();
+                    let mut added = Vec::new();
+                    sut.union_slice_from(&slice, &mut added);
+                    let expect: Vec<u32> =
+                        vs.iter().copied().filter(|v| !model.contains(v)).collect();
+                    assert_eq!(
+                        added.iter().map(|n| n.0).collect::<Vec<_>>(),
+                        expect,
+                        "union_slice_from delta"
+                    );
+                    model.extend(vs);
+                }
+                3 => {
+                    let v = rng.gen_range(0..2048u32);
+                    assert_eq!(sut.insert(NodeId(v)), model.insert(v));
+                }
+                _ => {
+                    let v = rng.gen_range(0..2048u32);
+                    assert_eq!(sut.remove(NodeId(v)), model.remove(&v));
+                }
+            }
+            assert_eq!(sut.len(), model.len());
+            let sut_items: Vec<u32> = sut.iter().map(|n| n.0).collect();
+            let model_items: Vec<u32> = model.iter().copied().collect();
+            assert_eq!(sut_items, model_items, "sorted content after op");
+        }
+        // diff_into against a random second set matches the model difference.
+        let vs: Vec<u32> = (0..rng.gen_range(0..50usize))
+            .map(|_| rng.gen_range(0..2048u32))
+            .collect();
+        let other: PtsSet = vs.iter().map(|&v| NodeId(v)).collect();
+        let other_model: BTreeSet<u32> = vs.into_iter().collect();
+        let mut out = Vec::new();
+        sut.diff_into(&other, &mut out);
+        let expect: Vec<u32> = model.difference(&other_model).copied().collect();
+        assert_eq!(out.iter().map(|n| n.0).collect::<Vec<_>>(), expect);
+        assert_eq!(
+            sut.is_subset(&other),
+            model.is_subset(&other_model),
+            "is_subset agrees with model"
+        );
+    });
+}
+
 #[test]
 fn union_is_idempotent_and_monotone() {
     check(256, 0xa11e, |rng| {
