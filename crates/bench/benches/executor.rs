@@ -4,11 +4,12 @@
 //! Writes a `BENCH_executor.json` snapshot to the repository root so the
 //! performance trajectory is tracked across changes.
 
-use kaleidoscope::PolicyConfig;
+use kaleidoscope::{CellHealth, PolicyConfig};
 use kaleidoscope_bench::jobs_from_args;
-use kaleidoscope_bench::timing::{bench, to_json};
+use kaleidoscope_bench::timing::{bench, to_json_with_counters};
 use kaleidoscope_exec::Executor;
 use kaleidoscope_pta::PtsStats;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
     let models = kaleidoscope_apps::all_models();
@@ -30,9 +31,15 @@ fn main() {
     );
 
     // Reduce each cell to its stats inside the worker so the benchmark
-    // measures analysis + caching, not result cloning.
+    // measures analysis + caching, not result cloning. Degraded cells are
+    // counted on the side: a nonzero count in the snapshot means some cell
+    // fell down the fault-domain ladder during the measured runs.
+    let degraded = AtomicU64::new(0);
     let run = |ex: &Executor| {
         ex.run_matrix_map(&modules, &configs, |mi, _, r| {
+            if r.health != CellHealth::Healthy {
+                degraded.fetch_add(1, Ordering::Relaxed);
+            }
             PtsStats::collect(&r.optimistic, modules[mi]).avg
         })
     };
@@ -62,13 +69,21 @@ fn main() {
     }
     let stats = warm.cache_stats();
     println!(
-        "warm cache: {} lookups, {} misses, {} hits",
+        "warm cache: {} lookups, {} misses, {} hits, {} verify failures",
         stats.lookups,
         stats.misses,
-        stats.hits()
+        stats.hits(),
+        stats.verify_failures
     );
+    let degraded = degraded.load(Ordering::Relaxed);
+    println!("degraded cells across all runs: {degraded}");
 
+    let counters = [
+        ("degraded_cells", degraded),
+        ("cache_verify_failures", stats.verify_failures),
+    ];
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_executor.json");
-    std::fs::write(path, to_json(&samples)).expect("write BENCH_executor.json");
+    std::fs::write(path, to_json_with_counters(&samples, &counters))
+        .expect("write BENCH_executor.json");
     println!("wrote {path}");
 }

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use kaleidoscope::PolicyConfig;
+use kaleidoscope::{CellHealth, PolicyConfig};
 use kaleidoscope_bench::html::Report;
 use kaleidoscope_bench::{executor_from_args, five_num, mean, run_matrix, ConfigRun};
 use kaleidoscope_exec::Executor;
@@ -130,6 +130,39 @@ fn main() {
             runs.iter()
                 .map(|r| (r.config.name().to_string(), five_num(&r.cfi_counts)))
                 .collect(),
+        );
+    }
+
+    // Fault-domain accounting: any cell the executor served degraded
+    // (fallback or Steensgaard tier) is listed here; an all-healthy matrix
+    // is the expected steady state.
+    report.heading("Fault domains — degraded cells");
+    let degraded_rows: Vec<Vec<String>> = all
+        .iter()
+        .flat_map(|(name, runs)| {
+            runs.iter().filter_map(move |r| match &r.health {
+                CellHealth::Healthy => None,
+                CellHealth::Degraded { tier, reason } => Some(vec![
+                    name.clone(),
+                    r.config.name().to_string(),
+                    tier.to_string(),
+                    reason.clone(),
+                ]),
+            })
+        })
+        .collect();
+    if degraded_rows.is_empty() {
+        report.paragraph("All matrix cells healthy: no budget exhaustion, panics, or cache corruption encountered.");
+    } else {
+        report.table(
+            &format!("{} of 72 cells degraded", degraded_rows.len()),
+            vec![
+                "Application".into(),
+                "Config".into(),
+                "Tier".into(),
+                "Reason".into(),
+            ],
+            degraded_rows,
         );
     }
 

@@ -20,7 +20,7 @@
 pub mod html;
 pub mod timing;
 
-use kaleidoscope::{analyze, KaleidoscopeResult, PolicyConfig};
+use kaleidoscope::{analyze, CellHealth, KaleidoscopeResult, PolicyConfig};
 use kaleidoscope_apps::AppModel;
 use kaleidoscope_cfi::CfiPolicy;
 use kaleidoscope_exec::Executor;
@@ -38,6 +38,9 @@ pub struct ConfigRun {
     pub cfi_counts: Vec<usize>,
     /// Number of likely invariants emitted.
     pub invariants: usize,
+    /// Whether the executor served this cell healthy or degraded it down
+    /// the fault-domain ladder (fallback / Steensgaard tier).
+    pub health: CellHealth,
 }
 
 /// Reduce one finished analysis to the statistics the tables print.
@@ -51,7 +54,17 @@ pub fn config_run(model: &AppModel, result: &KaleidoscopeResult) -> ConfigRun {
         stats,
         cfi_counts,
         invariants: result.invariants.len(),
+        health: result.health.clone(),
     }
+}
+
+/// Count the degraded cells in a [`run_matrix`] result.
+pub fn degraded_cells(matrix: &[Vec<ConfigRun>]) -> usize {
+    matrix
+        .iter()
+        .flatten()
+        .filter(|r| r.health.is_degraded())
+        .count()
 }
 
 /// Analyze one app under one configuration (legacy serial path).

@@ -56,6 +56,12 @@ pub fn bench(label: &str, iters: usize, mut f: impl FnMut()) -> Sample {
 /// Render samples as a JSON snapshot (used by `benches/executor.rs` to
 /// emit `BENCH_executor.json` so future changes can track the trajectory).
 pub fn to_json(samples: &[Sample]) -> String {
+    to_json_with_counters(samples, &[])
+}
+
+/// Like [`to_json`], with an extra `"counters"` object of named integers
+/// (cache health, degraded-cell counts, …) alongside the timing samples.
+pub fn to_json_with_counters(samples: &[Sample], counters: &[(&str, u64)]) -> String {
     let mut out = String::from("{\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
@@ -68,7 +74,18 @@ pub fn to_json(samples: &[Sample]) -> String {
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !counters.is_empty() {
+        out.push_str(",\n  \"counters\": {");
+        for (i, (name, value)) in counters.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    \"{name}\": {value}{}",
+                if i + 1 == counters.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -90,6 +107,17 @@ mod tests {
         let j = to_json(&s);
         assert!(j.contains("\"label\": \"a\""));
         assert!(j.contains("\"samples\""));
+        assert!(!j.contains("\"counters\""));
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_counters_block() {
+        let s = vec![bench("a", 1, || {})];
+        let j = to_json_with_counters(&s, &[("degraded_cells", 3), ("verify_failures", 0)]);
+        assert!(j.contains("\"counters\""));
+        assert!(j.contains("\"degraded_cells\": 3"));
+        assert!(j.contains("\"verify_failures\": 0"));
         assert!(j.trim_end().ends_with('}'));
     }
 }

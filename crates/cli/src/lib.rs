@@ -10,12 +10,12 @@
 
 use std::fmt::Write as _;
 
-use kaleidoscope::{analyze, IntrospectionConfig, Introspector, PolicyConfig};
+use kaleidoscope::{analyze, CellHealth, IntrospectionConfig, Introspector, PolicyConfig};
 use kaleidoscope_cfi::harden;
 use kaleidoscope_debloat::DebloatPlan;
 use kaleidoscope_exec::Executor;
 use kaleidoscope_ir::{parse_module, verify_module, Module};
-use kaleidoscope_pta::{Analysis, PtsStats, SolveOptions};
+use kaleidoscope_pta::{Analysis, PtsStats, SolveBudget, SolveOptions};
 use kaleidoscope_runtime::ViewKind;
 
 /// CLI-level error.
@@ -117,11 +117,18 @@ pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
 /// internal counters for the fallback and optimistic solves (worklist pops,
 /// SCC passes, union words touched, peak points-to bytes, copy edges) — the
 /// deterministic cost measures the perf benches regress against.
+///
+/// `budget` caps every solve at that many worklist pops (`--budget <n>`).
+/// A cell whose solve exhausts the budget does not fail the command: it
+/// degrades down the executor's ladder (fallback view, then Steensgaard)
+/// and is flagged with a `degraded:` line plus a trailing summary. Without
+/// degradation the report is byte-identical to an unbudgeted run.
 pub fn cmd_analyze(
     source: &Source,
     config: Option<&str>,
     jobs: usize,
     stats: bool,
+    budget: Option<usize>,
 ) -> Result<String, CliError> {
     let module = load(source)?;
     let mut out = String::new();
@@ -141,8 +148,12 @@ pub fn cmd_analyze(
         "{:<13} {:>8} {:>8} {:>8} {:>11}",
         "config", "avg-pts", "max-pts", "pointers", "invariants"
     );
-    let ex = Executor::with_jobs(jobs);
+    let mut ex = Executor::with_jobs(jobs);
+    if let Some(n) = budget {
+        ex = ex.with_budget(SolveBudget::iterations(n));
+    }
     let results = ex.run_matrix(&[&module], &configs);
+    let mut degraded = 0usize;
     for r in &results[0] {
         let c = r.config;
         let pstats = PtsStats::collect(&r.optimistic, &module);
@@ -155,6 +166,10 @@ pub fn cmd_analyze(
             pstats.count,
             r.invariants.len()
         );
+        if let CellHealth::Degraded { tier, reason } = &r.health {
+            degraded += 1;
+            let _ = writeln!(out, "    degraded: serving {tier} tier — {reason}");
+        }
         for inv in &r.invariants {
             let _ = writeln!(out, "    {inv}");
         }
@@ -174,6 +189,13 @@ pub fn cmd_analyze(
                 );
             }
         }
+    }
+    if degraded > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {degraded}/{} configurations degraded (see `degraded:` lines above)",
+            results[0].len()
+        );
     }
     Ok(out)
 }
@@ -340,6 +362,9 @@ OPTIONS:
     --types <n>        introspection type-diversity threshold
     --jobs <n>         analyze: worker threads (0 = auto, 1 = serial)
     --stats            analyze: print solver counters per configuration
+    --budget <n>       analyze: cap each solve at <n> worklist iterations;
+                       exhausted cells degrade (fallback, then Steensgaard)
+                       and are flagged with a `degraded:` line
 ";
 
 #[cfg(test)]
@@ -363,14 +388,14 @@ mod tests {
     #[test]
     fn analyze_output_independent_of_jobs() {
         let src = Source::Model("TinyDTLS".into());
-        let serial = cmd_analyze(&src, None, 1, false).unwrap();
-        let parallel = cmd_analyze(&src, None, 4, false).unwrap();
+        let serial = cmd_analyze(&src, None, 1, false, None).unwrap();
+        let parallel = cmd_analyze(&src, None, 4, false, None).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn analyze_sample_file() {
-        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1, false).unwrap();
+        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1, false, None).unwrap();
         assert!(out.contains("Baseline"));
         assert!(out.contains("Kaleidoscope"));
         assert!(out.contains("PA@"), "PA invariant listed:\n{out}");
@@ -378,15 +403,22 @@ mod tests {
 
     #[test]
     fn analyze_model() {
-        let out = cmd_analyze(&Source::Model("TinyDTLS".into()), Some("all"), 1, false).unwrap();
+        let out = cmd_analyze(
+            &Source::Model("TinyDTLS".into()),
+            Some("all"),
+            1,
+            false,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("Kaleidoscope"));
     }
 
     #[test]
     fn analyze_stats_prints_solver_counters() {
         let src = Source::Model("TinyDTLS".into());
-        let plain = cmd_analyze(&src, Some("all"), 1, false).unwrap();
-        let with_stats = cmd_analyze(&src, Some("all"), 1, true).unwrap();
+        let plain = cmd_analyze(&src, Some("all"), 1, false, None).unwrap();
+        let with_stats = cmd_analyze(&src, Some("all"), 1, true, None).unwrap();
         assert!(!plain.contains("solver["));
         assert!(with_stats.contains("solver[fallback]:"), "{with_stats}");
         assert!(with_stats.contains("solver[optimistic]:"));
@@ -399,6 +431,19 @@ mod tests {
             .map(|l| format!("{l}\n"))
             .collect();
         assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn analyze_budget_tags_degraded_cells() {
+        let src = Source::Model("TinyDTLS".into());
+        let out = cmd_analyze(&src, None, 1, false, Some(1)).unwrap();
+        assert!(out.contains("degraded: serving steensgaard tier"), "{out}");
+        assert!(out.contains("configurations degraded"), "{out}");
+        // A generous budget leaves the report byte-identical to no budget.
+        let plain = cmd_analyze(&src, None, 1, false, None).unwrap();
+        let generous = cmd_analyze(&src, None, 1, false, Some(100_000_000)).unwrap();
+        assert_eq!(plain, generous);
+        assert!(!plain.contains("degraded"));
     }
 
     #[test]
@@ -456,7 +501,7 @@ mod c_tests {
 
     #[test]
     fn analyze_c_source_end_to_end() {
-        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false).unwrap();
+        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false, None).unwrap();
         assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
     }
 
@@ -468,7 +513,7 @@ mod c_tests {
 
     #[test]
     fn fig7_c_emits_pwc_invariant() {
-        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1, false).unwrap();
+        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1, false, None).unwrap();
         assert!(out.contains("PWC"), "{out}");
     }
 

@@ -17,6 +17,7 @@ struct Args {
     types: Option<usize>,
     jobs: usize,
     stats: bool,
+    budget: Option<usize>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
@@ -33,6 +34,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         types: None,
         jobs: 0,
         stats: false,
+        budget: None,
     };
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
@@ -76,6 +78,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                     .parse()
                     .map_err(|_| CliError("--jobs needs a number".into()))?
             }
+            "--budget" => {
+                args.budget = Some(
+                    need(&mut argv, "--budget")?
+                        .parse()
+                        .map_err(|_| CliError("--budget needs a number".into()))?,
+                )
+            }
             other if !other.starts_with('-') && args.source.is_none() => {
                 args.source = Some(Source::File(other.to_string()));
             }
@@ -91,7 +100,13 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
         .as_ref()
         .ok_or_else(|| CliError("no input: give a .kir file or --model <Name>".into()))?;
     match cmd {
-        "analyze" => cmd_analyze(source, args.config.as_deref(), args.jobs, args.stats),
+        "analyze" => cmd_analyze(
+            source,
+            args.config.as_deref(),
+            args.jobs,
+            args.stats,
+            args.budget,
+        ),
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),
         "run" => cmd_run(source, &args.entry, &args.input, args.harden),
@@ -107,13 +122,28 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    match parse_args(argv.into_iter()).and_then(|(cmd, args)| dispatch(&cmd, &args)) {
-        Ok(report) => {
+    // A panic anywhere below is a bug, but the user still gets a one-line
+    // diagnostic and a nonzero exit, not a backtrace dump.
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| {
+        parse_args(argv.into_iter()).and_then(|(cmd, args)| dispatch(&cmd, &args))
+    });
+    match outcome {
+        Ok(Ok(report)) => {
             print!("{report}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "internal error".into());
+            eprintln!("error: internal failure: {msg}");
             ExitCode::FAILURE
         }
     }

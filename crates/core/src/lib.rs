@@ -41,7 +41,8 @@ pub use heaptype::{infer_heap_types, HeapTypeReport};
 pub use introspect::{Alert, AlertReason, IntrospectionConfig, IntrospectionReport, Introspector};
 pub use invariant::{InvariantId, LikelyInvariant};
 pub use pipeline::{
-    analyze, assemble_result, ctx_plan_for, fallback_analysis, optimistic_analysis,
-    KaleidoscopeResult, PolicyConfig,
+    analyze, assemble_degraded_fallback, assemble_degraded_steens, assemble_result, ctx_plan_for,
+    fallback_analysis, optimistic_analysis, try_fallback_analysis, try_optimistic_analysis,
+    CellHealth, DegradedTier, KaleidoscopeResult, PolicyConfig,
 };
 pub use policy::detect_ctx_plan;

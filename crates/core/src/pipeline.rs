@@ -9,7 +9,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use kaleidoscope_ir::{InstLoc, Module};
-use kaleidoscope_pta::{Analysis, CriticalFlow, CtxPlan, ObjSite, SolveOptions};
+use kaleidoscope_pta::{
+    Analysis, CriticalFlow, CtxPlan, ObjSite, SolveBudget, SolveError, SolveOptions,
+};
 
 use crate::invariant::LikelyInvariant;
 use crate::policy::{detect_ctx_plan, direct_callsites};
@@ -87,6 +89,62 @@ impl fmt::Display for PolicyConfig {
     }
 }
 
+/// Which rung of the degradation ladder a degraded cell landed on.
+///
+/// The ladder is the analysis-time analogue of the paper's runtime memory
+/// view switch (§5): when the optimistic solve misbehaves we serve the
+/// sound fallback view; when even the fallback solve fails we serve the
+/// cheap Steensgaard unification tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedTier {
+    /// The optimistic view was replaced by the (sound) fallback view.
+    Fallback,
+    /// Both views were replaced by the Steensgaard unification analysis.
+    Steensgaard,
+}
+
+impl fmt::Display for DegradedTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradedTier::Fallback => "fallback",
+            DegradedTier::Steensgaard => "steensgaard",
+        })
+    }
+}
+
+/// How a matrix cell's artifacts were produced: by the requested
+/// configuration, or degraded down the ladder after a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellHealth {
+    /// Every stage completed as configured.
+    Healthy,
+    /// A stage faulted; the cell serves the given lower tier instead.
+    Degraded {
+        /// The tier the cell was degraded to.
+        tier: DegradedTier,
+        /// One-line cause (budget kind, panic payload, corrupt artifact).
+        reason: String,
+    },
+}
+
+impl CellHealth {
+    /// Whether this cell degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CellHealth::Degraded { .. })
+    }
+}
+
+impl fmt::Display for CellHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellHealth::Healthy => f.write_str("healthy"),
+            CellHealth::Degraded { tier, reason } => {
+                write!(f, "degraded to {tier} ({reason})")
+            }
+        }
+    }
+}
+
 /// The output of the IGO pipeline: both memory views plus the likely
 /// invariants connecting them.
 #[derive(Debug, Clone)]
@@ -101,6 +159,8 @@ pub struct KaleidoscopeResult {
     pub invariants: Vec<LikelyInvariant>,
     /// The context plan used (empty when `config.ctx` is off).
     pub ctx_plan: CtxPlan,
+    /// Whether the cell ran as configured or degraded down the ladder.
+    pub health: CellHealth,
 }
 
 impl KaleidoscopeResult {
@@ -140,6 +200,15 @@ pub fn fallback_analysis(module: &Module) -> Analysis {
     Analysis::run(module, &SolveOptions::baseline())
 }
 
+/// Budgeted variant of [`fallback_analysis`]: a typed error instead of a
+/// panic when the budget is exhausted.
+pub fn try_fallback_analysis(
+    module: &Module,
+    budget: &SolveBudget,
+) -> Result<Analysis, SolveError> {
+    Analysis::try_run(module, &SolveOptions::baseline_with_budget(budget.clone()))
+}
+
 /// Stage: the context plan feeding constraint generation (empty when the
 /// ctx policy is off).
 pub fn ctx_plan_for(module: &Module, config: PolicyConfig) -> CtxPlan {
@@ -157,6 +226,25 @@ pub fn ctx_plan_for(module: &Module, config: PolicyConfig) -> CtxPlan {
 pub fn optimistic_analysis(module: &Module, config: PolicyConfig, ctx_plan: &CtxPlan) -> Analysis {
     let opts = SolveOptions::optimistic(config.pa, config.pwc);
     Analysis::run_full(
+        module,
+        &opts,
+        if config.ctx { Some(ctx_plan) } else { None },
+        &mut kaleidoscope_pta::NullObserver,
+    )
+}
+
+/// Budgeted variant of [`optimistic_analysis`].
+pub fn try_optimistic_analysis(
+    module: &Module,
+    config: PolicyConfig,
+    ctx_plan: &CtxPlan,
+    budget: &SolveBudget,
+) -> Result<Analysis, SolveError> {
+    let opts = SolveOptions {
+        budget: budget.clone(),
+        ..SolveOptions::optimistic(config.pa, config.pwc)
+    };
+    Analysis::try_run_full(
         module,
         &opts,
         if config.ctx { Some(ctx_plan) } else { None },
@@ -241,6 +329,53 @@ pub fn assemble_result(
         optimistic,
         invariants,
         ctx_plan,
+        health: CellHealth::Healthy,
+    }
+}
+
+/// Assemble a cell degraded to the **fallback** tier: the optimistic view
+/// *is* the sound fallback view, so there are no optimistic assumptions to
+/// monitor and the invariant list is empty — exactly the state the runtime
+/// switch leaves a process in after a violation.
+pub fn assemble_degraded_fallback(
+    config: PolicyConfig,
+    fallback: Analysis,
+    ctx_plan: CtxPlan,
+    reason: String,
+) -> KaleidoscopeResult {
+    KaleidoscopeResult {
+        config,
+        optimistic: fallback.clone(),
+        fallback,
+        invariants: Vec::new(),
+        ctx_plan,
+        health: CellHealth::Degraded {
+            tier: DegradedTier::Fallback,
+            reason,
+        },
+    }
+}
+
+/// Assemble a cell degraded to the **Steensgaard** tier: both views are the
+/// unification analysis (sound, cheap, imprecise), used when even the
+/// fallback solve failed. `steens` must come from
+/// [`kaleidoscope_pta::steens_analysis`] so degraded artifacts are
+/// byte-comparable across runs.
+pub fn assemble_degraded_steens(
+    config: PolicyConfig,
+    steens: Analysis,
+    reason: String,
+) -> KaleidoscopeResult {
+    KaleidoscopeResult {
+        config,
+        fallback: steens.clone(),
+        optimistic: steens,
+        invariants: Vec::new(),
+        ctx_plan: CtxPlan::new(),
+        health: CellHealth::Degraded {
+            tier: DegradedTier::Steensgaard,
+            reason,
+        },
     }
 }
 
@@ -366,6 +501,65 @@ mod tests {
                 "Kaleidoscope"
             ]
         );
+    }
+
+    #[test]
+    fn degraded_fallback_serves_sound_view_with_no_invariants() {
+        let m = lighttpd_module();
+        let healthy = analyze(&m, PolicyConfig::all());
+        assert_eq!(healthy.health, CellHealth::Healthy);
+        let r = assemble_degraded_fallback(
+            PolicyConfig::all(),
+            fallback_analysis(&m),
+            CtxPlan::new(),
+            "iteration budget exceeded".into(),
+        );
+        assert!(r.health.is_degraded());
+        assert!(r.invariants.is_empty(), "nothing optimistic to monitor");
+        // The served optimistic view is exactly the fallback view.
+        let f = m.func_by_name("http_write_header").unwrap();
+        for l in 0..m.func(f).locals.len() as u32 {
+            assert_eq!(
+                r.optimistic.pts_of_local(f, LocalId(l)).len(),
+                r.fallback.pts_of_local(f, LocalId(l)).len()
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_steens_tier_tags_health() {
+        let m = lighttpd_module();
+        let steens = kaleidoscope_pta::steens_analysis(&m);
+        let r = assemble_degraded_steens(PolicyConfig::all(), steens, "panic".into());
+        assert!(matches!(
+            r.health,
+            CellHealth::Degraded {
+                tier: DegradedTier::Steensgaard,
+                ..
+            }
+        ));
+        assert_eq!(r.health.to_string(), "degraded to steensgaard (panic)");
+        assert!(r.ctx_plan.is_empty());
+    }
+
+    #[test]
+    fn budgeted_stages_match_unbudgeted_when_sufficient() {
+        let m = lighttpd_module();
+        let a = fallback_analysis(&m);
+        let b = try_fallback_analysis(&m, &SolveBudget::default()).expect("default budget");
+        let f = m.func_by_name("http_write_header").unwrap();
+        for l in 0..m.func(f).locals.len() as u32 {
+            assert_eq!(
+                a.pts_of_local(f, LocalId(l)).len(),
+                b.pts_of_local(f, LocalId(l)).len()
+            );
+        }
+        let tiny = SolveBudget::iterations(1);
+        assert!(try_fallback_analysis(&m, &tiny).is_err());
+        let cfg = PolicyConfig::all();
+        let plan = ctx_plan_for(&m, cfg);
+        assert!(try_optimistic_analysis(&m, cfg, &plan, &tiny).is_err());
+        assert!(try_optimistic_analysis(&m, cfg, &plan, &SolveBudget::default()).is_ok());
     }
 
     #[test]

@@ -12,12 +12,21 @@
 //! Concurrency: each key maps to an [`OnceLock`] slot, so when several
 //! workers want the same artifact at once exactly one computes it and the
 //! rest block on the slot instead of duplicating the solve.
+//!
+//! Integrity: every analysis entry carries a content digest taken when the
+//! artifact was stored. The fallible fetch path ([`ArtifactCache::try_analysis`])
+//! re-digests on every hit and reports [`FetchError::Corrupt`] on mismatch,
+//! so a damaged entry degrades the one cell that reads it instead of
+//! silently serving a wrong memory view. Failed solves are never stored —
+//! a budget-exhausted attempt leaves the slot empty for a retry with a
+//! bigger budget.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use kaleidoscope_pta::{Analysis, CtxPlan, SolveOptions};
+use kaleidoscope_pta::{Analysis, CtxPlan, SolveError, SolveOptions};
 
 /// Which stage artifact a key addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +36,9 @@ enum Stage {
     /// A solved analysis: options key plus whether a context plan fed
     /// constraint generation.
     Solve { opts_key: u64, with_ctx: bool },
+    /// The Steensgaard unification tier (last rung of the degradation
+    /// ladder; one per module).
+    Steens,
 }
 
 /// Full cache key: module content fingerprint + stage + the points-to
@@ -57,6 +69,34 @@ enum Slot {
     Plan(Arc<CtxPlan>),
 }
 
+/// One cache entry: the once-initialized artifact plus the content digest
+/// recorded when it was stored (`0` = not yet digested).
+#[derive(Debug, Default)]
+struct Entry {
+    cell: OnceLock<Slot>,
+    digest: AtomicU64,
+}
+
+/// Why a fallible artifact fetch did not return an artifact.
+#[derive(Debug, Clone)]
+pub enum FetchError {
+    /// The cached entry failed content verification.
+    Corrupt,
+    /// The artifact had to be computed and the solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Corrupt => f.write_str("cached artifact failed content verification"),
+            FetchError::Solve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
 /// Cache traffic counters (monotonic; totals are deterministic for a given
 /// job matrix even though interleaving is not).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +105,8 @@ pub struct CacheStats {
     pub lookups: u64,
     /// Lookups that had to compute the artifact.
     pub misses: u64,
+    /// Hits whose entry failed content verification.
+    pub verify_failures: u64,
 }
 
 impl CacheStats {
@@ -77,9 +119,43 @@ impl CacheStats {
 /// The content-addressed artifact cache.
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
-    slots: Mutex<HashMap<Key, Arc<OnceLock<Slot>>>>,
+    slots: Mutex<HashMap<Key, Arc<Entry>>>,
     lookups: AtomicU64,
     misses: AtomicU64,
+    verify_failures: AtomicU64,
+}
+
+/// Deterministic content digest of an analysis: folds every canonical
+/// points-to set plus the node count. Cheap relative to a solve (one pass
+/// over the sets, no allocation) and stable across runs and threads.
+fn analysis_digest(a: &Analysis) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23)
+    }
+    let mut h = 0xA076_1D64_78BD_642Fu64;
+    for s in &a.result.pts {
+        h = mix(h, s.len() as u64);
+        for n in s.iter() {
+            h = mix(h, u64::from(n.0) + 1);
+        }
+    }
+    h = mix(h, a.result.stats.node_count as u64);
+    // 0 is the "not yet digested" sentinel.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+fn slot_digest(slot: &Slot) -> u64 {
+    match slot {
+        Slot::Analysis(a) => analysis_digest(a),
+        // Plans are small pure derivations; corruption detection targets
+        // the solve artifacts.
+        Slot::Plan(_) => 1,
+    }
 }
 
 impl ArtifactCache {
@@ -93,12 +169,20 @@ impl ArtifactCache {
         CacheStats {
             lookups: self.lookups.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
         }
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Arc<Entry>>> {
+        // A worker that panicked mid-insert cannot leave the map in a bad
+        // state (insertion is a single HashMap op), so a poisoned lock is
+        // recovered rather than propagated.
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of distinct artifacts held.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache lock").len()
+        self.entries().len()
     }
 
     /// Whether the cache holds no artifacts yet.
@@ -106,21 +190,88 @@ impl ArtifactCache {
         self.len() == 0
     }
 
+    fn entry(&self, key: Key) -> Arc<Entry> {
+        Arc::clone(self.entries().entry(key).or_default())
+    }
+
+    /// Infallible slot fetch (no verification): the legacy path for
+    /// artifacts whose compute cannot fail.
     fn slot(&self, key: Key, compute: impl FnOnce() -> Slot) -> Slot {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        let cell = {
-            let mut slots = self.slots.lock().expect("cache lock");
-            Arc::clone(slots.entry(key).or_default())
-        };
-        cell.get_or_init(|| {
+        let entry = self.entry(key);
+        let stored = entry.cell.get_or_init(|| {
             self.misses.fetch_add(1, Ordering::Relaxed);
             compute()
-        })
-        .clone()
+        });
+        let _ = entry.digest.compare_exchange(
+            0,
+            slot_digest(stored),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        stored.clone()
+    }
+
+    /// Fallible, verified analysis fetch for
+    /// `(fingerprint, opts, with_ctx)`.
+    ///
+    /// * On a hit, the entry is re-digested and compared against the
+    ///   digest recorded at store time; a mismatch returns
+    ///   [`FetchError::Corrupt`] (and bumps `verify_failures`).
+    /// * On a miss, `compute` runs; an `Err` is returned as
+    ///   [`FetchError::Solve`] and **nothing is cached**, so a failed
+    ///   budgeted solve never masks a later, better-budgeted one.
+    pub fn try_analysis(
+        &self,
+        fingerprint: u64,
+        opts: &SolveOptions,
+        with_ctx: bool,
+        compute: impl FnOnce() -> Result<Analysis, SolveError>,
+    ) -> Result<Arc<Analysis>, FetchError> {
+        let key = Key::new(
+            fingerprint,
+            Stage::Solve {
+                opts_key: opts.cache_key(),
+                with_ctx,
+            },
+        );
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let entry = self.entry(key);
+        let stored = match entry.cell.get() {
+            Some(slot) => slot.clone(),
+            None => {
+                // Compute outside `get_or_init` so a failed solve leaves
+                // the slot empty. If another worker races us to the slot,
+                // its (identical, content-addressed) artifact wins.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let a = compute().map_err(FetchError::Solve)?;
+                entry
+                    .cell
+                    .get_or_init(|| Slot::Analysis(Arc::new(a)))
+                    .clone()
+            }
+        };
+        let digest = slot_digest(&stored);
+        match entry
+            .digest
+            .compare_exchange(0, digest, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {}
+            Err(recorded) if recorded == digest => {}
+            Err(_) => {
+                self.verify_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(FetchError::Corrupt);
+            }
+        }
+        match stored {
+            Slot::Analysis(a) => Ok(a),
+            Slot::Plan(_) => unreachable!("solve key holds an analysis"),
+        }
     }
 
     /// The solved analysis for `(fingerprint, opts, with_ctx)`, computing
-    /// it with `compute` on a miss.
+    /// it with `compute` on a miss. Unverified legacy path for infallible
+    /// computes.
     pub fn analysis(
         &self,
         fingerprint: u64,
@@ -141,6 +292,16 @@ impl ArtifactCache {
         }
     }
 
+    /// The Steensgaard-tier analysis for `fingerprint`, computing it on a
+    /// miss. One per module; the unification solve cannot fail.
+    pub fn steens(&self, fingerprint: u64, compute: impl FnOnce() -> Analysis) -> Arc<Analysis> {
+        let key = Key::new(fingerprint, Stage::Steens);
+        match self.slot(key, || Slot::Analysis(Arc::new(compute()))) {
+            Slot::Analysis(a) => a,
+            Slot::Plan(_) => unreachable!("steens key holds an analysis"),
+        }
+    }
+
     /// The context plan for `fingerprint`, computing it on a miss.
     pub fn ctx_plan(&self, fingerprint: u64, compute: impl FnOnce() -> CtxPlan) -> Arc<CtxPlan> {
         let key = Key::new(fingerprint, Stage::CtxPlan);
@@ -149,11 +310,41 @@ impl ArtifactCache {
             Slot::Analysis(_) => unreachable!("ctx-plan key holds a plan"),
         }
     }
+
+    /// Fault hook: flip the recorded digest of the solve entry for
+    /// `(fingerprint, opts, with_ctx)`, so the next verified fetch reports
+    /// [`FetchError::Corrupt`]. Returns whether a stored entry existed.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn corrupt_analysis_entry(
+        &self,
+        fingerprint: u64,
+        opts: &SolveOptions,
+        with_ctx: bool,
+    ) -> bool {
+        let key = Key::new(
+            fingerprint,
+            Stage::Solve {
+                opts_key: opts.cache_key(),
+                with_ctx,
+            },
+        );
+        let Some(entry) = self.entries().get(&key).cloned() else {
+            return false;
+        };
+        if entry.cell.get().is_none() {
+            return false;
+        }
+        entry
+            .digest
+            .fetch_xor(0xDEAD_BEEF_DEAD_BEEF, Ordering::AcqRel);
+        true
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kaleidoscope_pta::{BudgetKind, SolveStats};
 
     #[test]
     fn second_lookup_hits_and_shares() {
@@ -191,5 +382,42 @@ mod tests {
         assert_eq!(cache.len(), 4);
         assert_eq!(cache.stats().misses, 4);
         assert_eq!(cache.stats().hits(), 1);
+    }
+
+    #[test]
+    fn failed_solves_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let base = SolveOptions::baseline();
+        let m = kaleidoscope_ir::Module::new("empty");
+        let fail = cache.try_analysis(9, &base, false, || {
+            Err(SolveError::BudgetExceeded {
+                kind: BudgetKind::Iterations,
+                stats: Box::new(SolveStats::default()),
+            })
+        });
+        assert!(matches!(fail, Err(FetchError::Solve(_))));
+        assert_eq!(cache.len(), 1, "slot allocated");
+        // The retry with a working compute succeeds — the failure did not
+        // poison the slot.
+        let ok = cache.try_analysis(9, &base, false, || Ok(Analysis::run(&m, &base)));
+        assert!(ok.is_ok());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn corrupted_entry_is_detected_on_fetch() {
+        let cache = ArtifactCache::new();
+        let base = SolveOptions::baseline();
+        let m = kaleidoscope_ir::Module::new("empty");
+        let ok = cache.try_analysis(3, &base, false, || Ok(Analysis::run(&m, &base)));
+        assert!(ok.is_ok());
+        assert!(!cache.corrupt_analysis_entry(4, &base, false), "no entry");
+        assert!(cache.corrupt_analysis_entry(3, &base, false));
+        let fetched = cache.try_analysis(3, &base, false, || Ok(Analysis::run(&m, &base)));
+        assert!(matches!(fetched, Err(FetchError::Corrupt)));
+        assert_eq!(cache.stats().verify_failures, 1);
+        // The unverified legacy path still serves it (used only by callers
+        // that predate the ladder).
+        let _ = cache.analysis(3, &base, false, || Analysis::run(&m, &base));
     }
 }

@@ -22,31 +22,104 @@
 //! * **A/B checking** — one worker ([`Executor::serial`], `--jobs 1`)
 //!   bypasses both the pool and the cache and runs the legacy
 //!   [`kaleidoscope::analyze`] per cell, as the reference for the
-//!   determinism guarantee.
+//!   determinism guarantee (taken only under the default budget with no
+//!   fault plan, where the two paths are byte-identical by construction).
 //!
 //! Both paths compose the same stage functions from `core::pipeline`
 //! (`fallback_analysis` / `ctx_plan_for` / `optimistic_analysis` /
 //! `assemble_result`), which is what makes their outputs identical.
+//!
+//! # Fault domains and the degradation ladder
+//!
+//! Each cell is a fault domain: its pipeline runs under
+//! [`std::panic::catch_unwind`], its solves run under the executor's
+//! [`SolveBudget`], and its cached artifacts are content-verified on
+//! fetch. A cell that panics, exhausts its budget, or reads a corrupt
+//! artifact does not abort the matrix — it *degrades*, mirroring the
+//! paper's runtime memory-view switch (§5):
+//!
+//! 1. **Fallback rung** — the cell serves the module's sound fallback
+//!    artifact as both views, with no invariants to monitor (exactly the
+//!    post-switch state of a monitored process).
+//! 2. **Steensgaard rung** — if even the fallback solve fails, the cell
+//!    serves the cheap unification-based tier (sound, imprecise, near
+//!    linear time).
+//!
+//! Degraded cells are tagged via [`kaleidoscope::CellHealth`] on the
+//! result, and surface in `kd analyze --stats`, the report dashboard, and
+//! `BENCH_executor.json`. The `fault-injection` cargo feature adds
+//! [`FaultPlan`] for deterministically injecting panics, budget
+//! exhaustion, and cache corruption at chosen cells.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+#[cfg(feature = "fault-injection")]
+mod fault;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{ArtifactCache, CacheStats, FetchError};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultKind, FaultPlan};
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use kaleidoscope::{
-    analyze, assemble_result, ctx_plan_for, fallback_analysis, optimistic_analysis,
-    KaleidoscopeResult, PolicyConfig,
+    analyze, assemble_degraded_fallback, assemble_degraded_steens, assemble_result, ctx_plan_for,
+    try_fallback_analysis, try_optimistic_analysis, KaleidoscopeResult, PolicyConfig,
 };
 use kaleidoscope_ir::Module;
-use kaleidoscope_pta::{CtxPlan, SolveOptions};
+use kaleidoscope_pta::{steens_analysis, CtxPlan, SolveBudget, SolveError, SolveOptions};
+
+/// Why a cell's configured pipeline could not produce its artifact. The
+/// executor converts every variant into a degraded (never missing) cell.
+#[derive(Debug)]
+pub enum CellError {
+    /// The optimistic solve exhausted its budget.
+    OptimisticBudget(SolveError),
+    /// The fallback solve exhausted its budget (skips the fallback rung).
+    FallbackBudget(SolveError),
+    /// The cell's pipeline panicked; the payload is preserved.
+    Panic(String),
+    /// A cached artifact failed content verification.
+    CorruptArtifact,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::OptimisticBudget(e) => write!(f, "optimistic solve failed: {e}"),
+            CellError::FallbackBudget(e) => write!(f, "fallback solve failed: {e}"),
+            CellError::Panic(msg) => write!(f, "cell panicked: {msg}"),
+            CellError::CorruptArtifact => {
+                f.write_str("cached artifact failed content verification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// The batch analysis executor. See the crate docs for the design.
 #[derive(Debug)]
 pub struct Executor {
     jobs: usize,
     cache: ArtifactCache,
+    budget: SolveBudget,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<FaultPlan>,
 }
 
 impl Default for Executor {
@@ -74,12 +147,43 @@ impl Executor {
         Executor {
             jobs,
             cache: ArtifactCache::new(),
+            budget: SolveBudget::default(),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
     }
 
     /// The legacy serial executor (`--jobs 1`).
     pub fn serial() -> Executor {
         Executor::with_jobs(1)
+    }
+
+    /// Set the per-solve budget every cell runs under. Budgets do not
+    /// change artifact content (the fixpoint is unique), only whether a
+    /// cell completes or degrades, so they are excluded from cache keys.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Executor {
+        self.budget = budget;
+        self
+    }
+
+    /// The per-solve budget cells run under.
+    pub fn budget(&self) -> &SolveBudget {
+        &self.budget
+    }
+
+    /// Install a deterministic fault plan (testing/chaos harness).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Executor {
+        self.faults = Some(plan);
+        self
+    }
+
+    fn has_faults(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(p) = &self.faults {
+            return !p.is_empty();
+        }
+        false
     }
 
     /// The worker count this executor schedules onto.
@@ -92,38 +196,173 @@ impl Executor {
         self.cache.stats()
     }
 
-    /// Run the IGO pipeline for one cell through the artifact cache:
-    /// constraint generation + baseline solve + context plan are fetched
-    /// (or computed once) per module, the optimistic solve per
-    /// `(module, config)` equivalence class.
+    fn optimistic_opts(&self, config: PolicyConfig) -> SolveOptions {
+        SolveOptions {
+            budget: self.budget.clone(),
+            ..SolveOptions::optimistic(config.pa, config.pwc)
+        }
+    }
+
+    /// Run the IGO pipeline for one cell through the artifact cache, with
+    /// full fault isolation: on panic, budget exhaustion, or artifact
+    /// corruption the cell degrades down the ladder instead of failing.
     pub fn run_one(&self, module: &Module, config: PolicyConfig) -> KaleidoscopeResult {
+        self.run_cell(module, config, None)
+    }
+
+    fn run_cell(
+        &self,
+        module: &Module,
+        config: PolicyConfig,
+        cell: Option<(usize, usize)>,
+    ) -> KaleidoscopeResult {
+        match self.run_cell_isolated(module, config, cell) {
+            Ok(r) => r,
+            Err(e) => self.degrade(module, config, e),
+        }
+    }
+
+    /// The configured pipeline for one cell, with panics caught and
+    /// surfaced as typed errors.
+    fn run_cell_isolated(
+        &self,
+        module: &Module,
+        config: PolicyConfig,
+        cell: Option<(usize, usize)>,
+    ) -> Result<KaleidoscopeResult, CellError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.configured_cell(module, config, cell)
+        }))
+        .unwrap_or_else(|payload| Err(CellError::Panic(panic_message(payload.as_ref()))))
+    }
+
+    /// The configured (healthy-path) pipeline: cached fallback + context
+    /// plan + cached optimistic solve, all under the executor's budget,
+    /// all cache fetches content-verified. Failed solves are never cached.
+    fn configured_cell(
+        &self,
+        module: &Module,
+        config: PolicyConfig,
+        cell: Option<(usize, usize)>,
+    ) -> Result<KaleidoscopeResult, CellError> {
+        #[cfg(feature = "fault-injection")]
+        let fault = cell.and_then(|(mi, ci)| self.faults.as_ref().and_then(|p| p.fault_at(mi, ci)));
+        #[cfg(not(feature = "fault-injection"))]
+        let _ = cell;
+
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(FaultKind::CellPanic) {
+            panic!("injected fault: cell panic at {cell:?}");
+        }
+
         let fp = module.fingerprint();
+
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(FaultKind::FallbackBudget) {
+            // Solve uncached under an exhausted budget: the faulted
+            // attempt must neither publish nor consume shared artifacts.
+            return Err(CellError::FallbackBudget(synthesize_budget_failure(
+                try_fallback_analysis(module, &SolveBudget::iterations(0)),
+            )));
+        }
+
         let fallback = self
             .cache
-            .analysis(fp, &SolveOptions::baseline(), false, || {
-                fallback_analysis(module)
-            });
+            .try_analysis(fp, &SolveOptions::baseline(), false, || {
+                try_fallback_analysis(module, &self.budget)
+            })
+            .map_err(|e| match e {
+                FetchError::Corrupt => CellError::CorruptArtifact,
+                FetchError::Solve(s) => CellError::FallbackBudget(s),
+            })?;
+
         let ctx_plan = if config.ctx {
             self.cache.ctx_plan(fp, || ctx_plan_for(module, config))
         } else {
-            std::sync::Arc::new(CtxPlan::new())
+            Arc::new(CtxPlan::new())
         };
-        let opts = SolveOptions::optimistic(config.pa, config.pwc);
-        let optimistic = self.cache.analysis(fp, &opts, config.ctx, || {
-            optimistic_analysis(module, config, &ctx_plan)
-        });
-        assemble_result(
+
+        let opts = self.optimistic_opts(config);
+
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(FaultKind::OptimisticBudget) {
+            return Err(CellError::OptimisticBudget(synthesize_budget_failure(
+                try_optimistic_analysis(module, config, &ctx_plan, &SolveBudget::iterations(0)),
+            )));
+        }
+
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(FaultKind::CacheCorruption) {
+            // Ensure the artifact exists, then damage its recorded digest;
+            // the verified fetch below must reject it.
+            let _ = self.cache.try_analysis(fp, &opts, config.ctx, || {
+                try_optimistic_analysis(module, config, &ctx_plan, &self.budget)
+            });
+            self.cache.corrupt_analysis_entry(fp, &opts, config.ctx);
+        }
+
+        let optimistic = self
+            .cache
+            .try_analysis(fp, &opts, config.ctx, || {
+                try_optimistic_analysis(module, config, &ctx_plan, &self.budget)
+            })
+            .map_err(|e| match e {
+                FetchError::Corrupt => CellError::CorruptArtifact,
+                FetchError::Solve(s) => CellError::OptimisticBudget(s),
+            })?;
+
+        Ok(assemble_result(
             module,
             config,
             (*fallback).clone(),
             (*optimistic).clone(),
             (*ctx_plan).clone(),
-        )
+        ))
+    }
+
+    /// The degradation ladder — the analysis-time analogue of the paper's
+    /// runtime switch to the fallback memory view.
+    fn degrade(&self, module: &Module, config: PolicyConfig, err: CellError) -> KaleidoscopeResult {
+        let reason = err.to_string();
+        let fp = module.fingerprint();
+
+        // Rung 1: the module's sound fallback artifact serves as both
+        // views. Skipped when the fallback stage itself failed; guarded
+        // against its own faults so a failure here falls through.
+        if !matches!(err, CellError::FallbackBudget(_)) {
+            let rung1 = catch_unwind(AssertUnwindSafe(|| {
+                let fallback =
+                    self.cache
+                        .try_analysis(fp, &SolveOptions::baseline(), false, || {
+                            try_fallback_analysis(module, &self.budget)
+                        })?;
+                let ctx_plan = if config.ctx {
+                    self.cache.ctx_plan(fp, || ctx_plan_for(module, config))
+                } else {
+                    Arc::new(CtxPlan::new())
+                };
+                Ok::<_, FetchError>(assemble_degraded_fallback(
+                    config,
+                    (*fallback).clone(),
+                    (*ctx_plan).clone(),
+                    reason.clone(),
+                ))
+            }));
+            if let Ok(Ok(r)) = rung1 {
+                return r;
+            }
+        }
+
+        // Rung 2: the Steensgaard unification tier — sound, cheap, and
+        // independent of the Andersen solver entirely.
+        let steens = self.cache.steens(fp, || steens_analysis(module));
+        assemble_degraded_steens(config, (*steens).clone(), reason)
     }
 
     /// Run the full `modules × configs` matrix and return results in
     /// matrix order (`out[m][c]` for `modules[m]` under `configs[c]`),
-    /// independent of worker count.
+    /// independent of worker count. Always completes: faulted cells come
+    /// back degraded, not missing.
     pub fn run_matrix(
         &self,
         modules: &[&Module],
@@ -151,13 +390,26 @@ impl Executor {
             return modules.iter().map(|_| Vec::new()).collect();
         }
 
-        let results: Vec<T> = if self.jobs <= 1 {
+        let legacy = self.jobs <= 1 && self.budget == SolveBudget::default() && !self.has_faults();
+        let results: Vec<T> = if legacy {
             // Legacy serial path: the original per-cell pipeline, no pool,
             // no cache — the A/B reference for byte-identical output.
+            // Only equivalent to the isolated path under the default
+            // budget with no faults, so it is only taken there.
             let mut out = Vec::with_capacity(n_cells);
             for (mi, module) in modules.iter().enumerate() {
                 for (ci, config) in configs.iter().enumerate() {
                     out.push(f(mi, ci, &analyze(module, *config)));
+                }
+            }
+            out
+        } else if self.jobs <= 1 {
+            // Serial but isolated: budgets, faults, and degradation apply
+            // exactly as on the pooled path.
+            let mut out = Vec::with_capacity(n_cells);
+            for (mi, module) in modules.iter().enumerate() {
+                for (ci, config) in configs.iter().enumerate() {
+                    out.push(f(mi, ci, &self.run_cell(module, *config, Some((mi, ci)))));
                 }
             }
             out
@@ -176,18 +428,29 @@ impl Executor {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(mi, ci)) = cells.get(i) else { break };
-                        let result = self.run_one(modules[mi], configs[ci]);
+                        let result = self.run_cell(modules[mi], configs[ci], Some((mi, ci)));
                         let t = f(mi, ci, &result);
-                        *slots[mi * configs.len() + ci].lock().expect("result slot") = Some(t);
+                        // A panicking reducer on another worker may poison
+                        // a slot lock; recover the data — a slot is only
+                        // ever written whole.
+                        *slots[mi * configs.len() + ci]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner()) = Some(t);
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|s| {
+                .enumerate()
+                .map(|(i, s)| {
                     s.into_inner()
-                        .expect("result slot")
-                        .expect("every cell computed")
+                        .unwrap_or_else(|e| e.into_inner())
+                        .unwrap_or_else(|| {
+                            // Unreachable while cells degrade instead of
+                            // failing; kept as a typed diagnostic rather
+                            // than an unwrap on principle.
+                            panic!("matrix cell {i} missing: worker died outside cell isolation")
+                        })
                 })
                 .collect()
         };
@@ -202,9 +465,23 @@ impl Executor {
     }
 }
 
+/// Injected budget faults run a real solve under a zero budget; on the
+/// off-chance the module is trivial enough to finish anyway, synthesize
+/// the error so the fault still fires deterministically.
+#[cfg(feature = "fault-injection")]
+fn synthesize_budget_failure(
+    outcome: Result<kaleidoscope_pta::Analysis, SolveError>,
+) -> SolveError {
+    outcome.err().unwrap_or_else(|| SolveError::BudgetExceeded {
+        kind: kaleidoscope_pta::BudgetKind::Iterations,
+        stats: Box::new(kaleidoscope_pta::SolveStats::default()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kaleidoscope::CellHealth;
     use kaleidoscope_ir::{FunctionBuilder, Type};
     use kaleidoscope_pta::PtsStats;
 
@@ -265,6 +542,7 @@ mod tests {
             stats.misses
         );
         assert!(stats.hits() >= 8, "hits {} too low", stats.hits());
+        assert_eq!(stats.verify_failures, 0);
     }
 
     #[test]
@@ -278,6 +556,8 @@ mod tests {
             let ps = PtsStats::collect(&p.optimistic, &m);
             assert_eq!(ss.sizes, ps.sizes);
             assert_eq!(format!("{:?}", s.invariants), format!("{:?}", p.invariants));
+            assert_eq!(s.health, CellHealth::Healthy);
+            assert_eq!(p.health, CellHealth::Healthy);
         }
     }
 
@@ -292,5 +572,56 @@ mod tests {
         let misses_before = ex.cache_stats().misses;
         ex.run_matrix(&[&m2], &PolicyConfig::table3_order());
         assert_eq!(ex.cache_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_instead_of_panicking() {
+        let m = small_module("tiny-budget");
+        let configs = PolicyConfig::table3_order();
+        // One iteration is not enough for any stage: the fallback solve
+        // fails, so every cell lands on the Steensgaard rung.
+        let ex = Executor::with_jobs(2).with_budget(SolveBudget::iterations(1));
+        let out = ex.run_matrix(&[&m], &configs);
+        assert_eq!(out[0].len(), 8, "matrix completed");
+        for r in &out[0] {
+            match &r.health {
+                CellHealth::Degraded { tier, reason } => {
+                    assert_eq!(*tier, kaleidoscope::DegradedTier::Steensgaard);
+                    assert!(reason.contains("fallback solve failed"), "{reason}");
+                }
+                CellHealth::Healthy => panic!("cell unexpectedly healthy"),
+            }
+            assert!(r.invariants.is_empty());
+        }
+    }
+
+    #[test]
+    fn degraded_steens_cells_match_the_genuine_steens_tier() {
+        let m = small_module("steens-eq");
+        let ex = Executor::serial().with_budget(SolveBudget::iterations(1));
+        let out = ex.run_matrix(&[&m], &PolicyConfig::table3_order());
+        let genuine = kaleidoscope_pta::steens_analysis(&m);
+        for r in &out[0] {
+            let got = PtsStats::collect(&r.optimistic, &m);
+            let want = PtsStats::collect(&genuine, &m);
+            assert_eq!(got.sizes, want.sizes, "degraded artifact == steens tier");
+        }
+    }
+
+    #[test]
+    fn budget_on_executor_does_not_change_healthy_output() {
+        let m = small_module("roomy-budget");
+        let configs = PolicyConfig::table3_order();
+        let reference = Executor::with_jobs(2).run_matrix(&[&m], &configs);
+        let budgeted = Executor::with_jobs(2)
+            .with_budget(SolveBudget::iterations(10_000_000))
+            .run_matrix(&[&m], &configs);
+        for (a, b) in reference[0].iter().zip(&budgeted[0]) {
+            assert_eq!(b.health, CellHealth::Healthy);
+            assert_eq!(
+                PtsStats::collect(&a.optimistic, &m).sizes,
+                PtsStats::collect(&b.optimistic, &m).sizes
+            );
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! The degradation ladder without fault injection: budgets alone must be
+//! enough to push cells down the ladder, and the matrix must always
+//! complete with every degraded cell tagged and byte-identical to the
+//! genuine lower-tier artifact.
+
+use kaleidoscope::{CellHealth, DegradedTier, PolicyConfig};
+use kaleidoscope_exec::Executor;
+use kaleidoscope_ir::Module;
+use kaleidoscope_pta::{steens_analysis, Analysis, PtsStats, SolveBudget};
+
+/// Deterministic render of one analysis view: canonical points-to stats
+/// plus the call graph (BTreeMap-backed, so `Debug` order is stable).
+fn view_render(module: &Module, a: &Analysis) -> String {
+    let stats = PtsStats::collect(a, module);
+    format!(
+        "sizes={:?} avg={:#x} max={} count={} cg={:?}",
+        stats.sizes,
+        stats.avg.to_bits(),
+        stats.max,
+        stats.count,
+        a.result.callgraph,
+    )
+}
+
+#[test]
+fn tight_budget_degrades_every_cell_to_steens_and_completes() {
+    let models = kaleidoscope_apps::all_models();
+    let modules: Vec<&Module> = models.iter().map(|m| &m.module).collect();
+    let configs = PolicyConfig::table3_order();
+    let ex = Executor::with_jobs(2).with_budget(SolveBudget::iterations(1));
+    let out = ex.run_matrix(&modules, &configs);
+
+    assert_eq!(out.len(), modules.len(), "matrix completed");
+    for (mi, row) in out.iter().enumerate() {
+        assert_eq!(row.len(), configs.len());
+        let genuine = steens_analysis(modules[mi]);
+        for r in row {
+            let CellHealth::Degraded { tier, reason } = &r.health else {
+                panic!("{}: cell survived a one-iteration budget", models[mi].name);
+            };
+            assert_eq!(*tier, DegradedTier::Steensgaard);
+            assert!(reason.contains("iteration budget"), "{reason}");
+            assert!(r.invariants.is_empty(), "no optimistic assumptions");
+            // Both served views are byte-identical to the genuine tier.
+            assert_eq!(
+                view_render(modules[mi], &r.optimistic),
+                view_render(modules[mi], &genuine)
+            );
+            assert_eq!(
+                view_render(modules[mi], &r.fallback),
+                view_render(modules[mi], &genuine)
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_deadline_budget_degrades_with_deadline_reason() {
+    let models = kaleidoscope_apps::all_models();
+    let module = &models[0].module;
+    let budget = SolveBudget {
+        deadline: Some(std::time::Duration::ZERO),
+        ..SolveBudget::unlimited()
+    };
+    let ex = Executor::serial().with_budget(budget);
+    let r = ex.run_one(module, PolicyConfig::all());
+    let CellHealth::Degraded { reason, .. } = &r.health else {
+        panic!("zero deadline must degrade");
+    };
+    assert!(reason.contains("deadline"), "{reason}");
+}
+
+#[test]
+fn generous_budget_keeps_the_whole_matrix_healthy() {
+    let models = kaleidoscope_apps::all_models();
+    let modules: Vec<&Module> = models.iter().map(|m| &m.module).collect();
+    let configs = PolicyConfig::table3_order();
+    let budgeted = Executor::with_jobs(2)
+        .with_budget(SolveBudget::iterations(100_000_000))
+        .run_matrix_map(&modules, &configs, |mi, _, r| {
+            assert_eq!(r.health, CellHealth::Healthy);
+            view_render(modules[mi], &r.optimistic)
+        });
+    // And identical to the unbudgeted executor's output, cell for cell.
+    let reference = Executor::with_jobs(2).run_matrix_map(&modules, &configs, |mi, _, r| {
+        view_render(modules[mi], &r.optimistic)
+    });
+    assert_eq!(budgeted, reference);
+}

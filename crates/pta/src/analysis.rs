@@ -12,7 +12,7 @@ use crate::gen::generate;
 use crate::node::{NodeId, ObjSite};
 use crate::observer::{NullObserver, SolverObserver};
 use crate::pts::PtsSet;
-use crate::solver::{SolveOptions, SolveResult, Solver};
+use crate::solver::{SolveError, SolveOptions, SolveResult, Solver};
 
 /// A completed pointer analysis over one module.
 #[derive(Debug, Clone)]
@@ -51,6 +51,24 @@ impl Analysis {
         let program = generate(module, ctx_plan);
         let result = Solver::new(module, program, opts.clone()).solve(obs);
         Analysis { result }
+    }
+
+    /// Fallible variant of [`Analysis::run`]: returns the typed budget
+    /// error instead of panicking when the solve budget is exhausted.
+    pub fn try_run(module: &Module, opts: &SolveOptions) -> Result<Analysis, SolveError> {
+        Self::try_run_full(module, opts, None, &mut NullObserver)
+    }
+
+    /// Fallible variant of [`Analysis::run_full`].
+    pub fn try_run_full(
+        module: &Module,
+        opts: &SolveOptions,
+        ctx_plan: Option<&CtxPlan>,
+        obs: &mut dyn SolverObserver,
+    ) -> Result<Analysis, SolveError> {
+        let program = generate(module, ctx_plan);
+        let result = Solver::new(module, program, opts.clone()).try_solve(obs)?;
+        Ok(Analysis { result })
     }
 
     /// Canonical points-to set of a local variable (empty if the local

@@ -66,6 +66,9 @@ pub use ctxplan::{ChainStep, CriticalFlow, CtxPlan};
 pub use node::{NodeId, NodeKind, NodeTable, ObjId, ObjInfo, ObjSite};
 pub use observer::{NullObserver, SolveEvent, SolverObserver};
 pub use pts::PtsSet;
-pub use solver::{PaFilterEvent, PwcEvent, SolveOptions, SolveResult, SolveStats, Solver};
+pub use solver::{
+    BudgetKind, PaFilterEvent, PwcEvent, SolveBudget, SolveError, SolveOptions, SolveResult,
+    SolveStats, Solver,
+};
 pub use stats::PtsStats;
-pub use steens::steensgaard;
+pub use steens::{steens_analysis, steensgaard};

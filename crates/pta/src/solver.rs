@@ -19,7 +19,8 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
-use std::time::Duration;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 use kaleidoscope_ir::{InstLoc, Module, Type};
 
@@ -29,6 +30,110 @@ use crate::node::{NodeId, NodeKind, NodeTable, ObjId, ObjSite};
 use crate::observer::{CollapseReason, SolverObserver};
 use crate::pts::PtsSet;
 use crate::scc;
+
+/// Resource budget for one solver run — the analysis-time analogue of the
+/// paper's runtime degradation discipline (§5). A solve that exhausts its
+/// budget aborts with a typed [`SolveError::BudgetExceeded`] instead of
+/// panicking, so callers (the batch executor in particular) can degrade to
+/// a sound fallback artifact rather than take the whole process down.
+///
+/// The default budget is effectively unlimited (it preserves the historic
+/// 500M-iteration divergence valve) so `Analysis::run` behaves as before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum worklist pops before the solve aborts.
+    pub max_iterations: usize,
+    /// Maximum live heap bytes held by the points-to + propagated-frontier
+    /// sets (checked at propagation-round boundaries and periodically
+    /// inside a drain).
+    pub max_pts_bytes: usize,
+    /// Wall-clock deadline measured from solve start. Unlike the two
+    /// deterministic limits above, tripping this depends on the machine;
+    /// leave it `None` when byte-stable degradation decisions matter.
+    pub deadline: Option<Duration>,
+}
+
+impl SolveBudget {
+    /// The effectively-unlimited default (historic divergence valve only).
+    pub fn unlimited() -> Self {
+        SolveBudget {
+            max_iterations: 500_000_000,
+            max_pts_bytes: usize::MAX,
+            deadline: None,
+        }
+    }
+
+    /// A budget capped at `max_iterations` worklist pops.
+    pub fn iterations(max_iterations: usize) -> Self {
+        SolveBudget {
+            max_iterations,
+            ..Self::unlimited()
+        }
+    }
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Which budget axis a solve exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Worklist pops exceeded [`SolveBudget::max_iterations`].
+    Iterations,
+    /// Live set bytes exceeded [`SolveBudget::max_pts_bytes`].
+    PtsBytes,
+    /// Wall clock passed [`SolveBudget::deadline`].
+    Deadline,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Iterations => write!(f, "iteration budget"),
+            BudgetKind::PtsBytes => write!(f, "points-to memory budget"),
+            BudgetKind::Deadline => write!(f, "deadline"),
+        }
+    }
+}
+
+/// Typed solver failure. Carries the statistics at the abort point so the
+/// caller can report how far the solve got before degrading.
+#[derive(Debug, Clone)]
+pub enum SolveError {
+    /// The solve exhausted its [`SolveBudget`].
+    BudgetExceeded {
+        /// The axis that was exhausted.
+        kind: BudgetKind,
+        /// Counter snapshot at the abort point.
+        stats: Box<SolveStats>,
+    },
+}
+
+impl SolveError {
+    /// Mutable access to the stats snapshot (to stamp the duration).
+    fn stats_mut(&mut self) -> &mut SolveStats {
+        match self {
+            SolveError::BudgetExceeded { stats, .. } => stats,
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::BudgetExceeded { kind, stats } => write!(
+                f,
+                "solve aborted: {kind} exceeded after {} pops ({} live pts bytes)",
+                stats.iterations, stats.peak_pts_bytes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Solver configuration: which optimistic policies are active.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +148,9 @@ pub struct SolveOptions {
     pub collapse_cycles: bool,
     /// Upper bound on fixpoint/cycle-detection passes (safety valve).
     pub max_passes: usize,
+    /// Resource budget; exhausting it turns the solve into a typed
+    /// [`SolveError`] instead of a panic.
+    pub budget: SolveBudget,
 }
 
 impl SolveOptions {
@@ -53,6 +161,15 @@ impl SolveOptions {
             pwc_defer: false,
             collapse_cycles: true,
             max_passes: 128,
+            budget: SolveBudget::unlimited(),
+        }
+    }
+
+    /// Baseline options under a custom budget.
+    pub fn baseline_with_budget(budget: SolveBudget) -> Self {
+        SolveOptions {
+            budget,
+            ..Self::baseline()
         }
     }
 
@@ -66,8 +183,13 @@ impl SolveOptions {
     }
 
     /// Stable key distinguishing solve configurations, for content-addressed
-    /// artifact caches: equal options ⇔ equal key. Packs the flags into the
-    /// low bits and `max_passes` above them.
+    /// artifact caches: equal *result-affecting* options ⇔ equal key. Packs
+    /// the flags into the low bits and `max_passes` above them.
+    ///
+    /// [`SolveOptions::budget`] is deliberately excluded: the fixpoint is
+    /// unique, so a solve that *succeeds* produces the same result under any
+    /// budget, and budget-exceeded solves are never cached — a cached
+    /// artifact therefore satisfies a request under any budget.
     pub fn cache_key(&self) -> u64 {
         (self.pa_filter as u64)
             | (self.pwc_defer as u64) << 1
@@ -234,6 +356,8 @@ pub struct Solver<'m> {
     rank: Vec<u32>,
     queued: Vec<bool>,
     scratch: Scratch,
+    /// Absolute deadline derived from `opts.budget.deadline` at solve start.
+    deadline_at: Option<Instant>,
 
     degraded_fields: HashSet<u32>,
     pa_seen: HashSet<(InstLoc, ObjId)>,
@@ -277,6 +401,7 @@ impl<'m> Solver<'m> {
             rank: Vec::new(),
             queued: Vec::new(),
             scratch: Scratch::default(),
+            deadline_at: None,
             degraded_fields: HashSet::new(),
             pa_seen: HashSet::new(),
             pwc_seen: HashSet::new(),
@@ -336,38 +461,59 @@ impl<'m> Solver<'m> {
         }
     }
 
-    /// Run the analysis to fixpoint.
-    pub fn solve(mut self, obs: &mut dyn SolverObserver) -> SolveResult {
-        let start = std::time::Instant::now();
+    /// Run the analysis to fixpoint, panicking if the budget is exhausted.
+    ///
+    /// With the default (effectively unlimited) budget this behaves exactly
+    /// like the historic API; callers that thread real budgets should use
+    /// [`Solver::try_solve`] and handle the typed error.
+    pub fn solve(self, obs: &mut dyn SolverObserver) -> SolveResult {
+        self.try_solve(obs)
+            .unwrap_or_else(|e| panic!("likely divergence: {e}"))
+    }
+
+    /// Run the analysis to fixpoint, aborting with a typed error when the
+    /// [`SolveBudget`] is exhausted.
+    pub fn try_solve(mut self, obs: &mut dyn SolverObserver) -> Result<SolveResult, SolveError> {
+        let start = Instant::now();
+        self.deadline_at = self.opts.budget.deadline.map(|d| start + d);
         self.stats.constraint_count = self.constraints.len();
         self.stats.icall_count = self.icalls.len();
         self.stats.obj_count = self.nodes.obj_count();
         self.init(obs);
 
         let mut passes = 0usize;
-        loop {
-            self.drain_worklist(obs);
-            let live_bytes: usize = self
-                .pts
-                .iter()
-                .chain(self.prop.iter())
-                .map(|s| s.heap_bytes())
-                .sum();
+        let run = loop {
+            if let Err(e) = self.drain_worklist(obs) {
+                break Err(e);
+            }
+            let live_bytes = self.live_pts_bytes();
             self.stats.peak_pts_bytes = self.stats.peak_pts_bytes.max(live_bytes);
+            if live_bytes > self.opts.budget.max_pts_bytes {
+                break Err(self.budget_error(BudgetKind::PtsBytes));
+            }
+            if let Some(at) = self.deadline_at {
+                if Instant::now() >= at {
+                    break Err(self.budget_error(BudgetKind::Deadline));
+                }
+            }
             passes += 1;
             self.stats.scc_passes = passes;
             if passes >= self.opts.max_passes {
-                break;
+                break Ok(());
             }
             if !self.scc_pass(obs) {
-                break;
+                break Ok(());
             }
+        };
+        if let Err(mut e) = run {
+            e.stats_mut().duration = start.elapsed();
+            return Err(e);
         }
 
         self.stats.node_count = self.nodes.len();
         self.stats.copy_edges = self.copy_set.len();
         self.stats.duration = start.elapsed();
-        SolveResult {
+        Ok(SolveResult {
             nodes: self.nodes,
             pts: self.pts,
             callgraph: self.callgraph,
@@ -375,6 +521,26 @@ impl<'m> Solver<'m> {
             pwcs: self.pwcs,
             collapsed_objects: self.collapsed_objects,
             stats: self.stats,
+        })
+    }
+
+    /// Live heap bytes held by the points-to + propagated-frontier sets.
+    fn live_pts_bytes(&self) -> usize {
+        self.pts
+            .iter()
+            .chain(self.prop.iter())
+            .map(|s| s.heap_bytes())
+            .sum()
+    }
+
+    /// A budget error carrying the current counter snapshot.
+    fn budget_error(&self, kind: BudgetKind) -> SolveError {
+        let mut stats = self.stats.clone();
+        stats.node_count = self.nodes.len();
+        stats.copy_edges = self.copy_set.len();
+        SolveError::BudgetExceeded {
+            kind,
+            stats: Box::new(stats),
         }
     }
 
@@ -467,15 +633,35 @@ impl<'m> Solver<'m> {
         self.scratch.copy_added = added;
     }
 
-    fn drain_worklist(&mut self, obs: &mut dyn SolverObserver) {
+    fn drain_worklist(&mut self, obs: &mut dyn SolverObserver) -> Result<(), SolveError> {
+        // Cooperative budget checks. Iterations are exact (every pop); the
+        // deadline is sampled every 1024 pops; live set bytes (an O(nodes)
+        // scan) every 65536 pops plus the pass boundary in `try_solve`. All
+        // but the deadline are deterministic for a fixed schedule, so a
+        // given module + budget always degrades (or not) the same way.
+        const DEADLINE_MASK: usize = 1024 - 1;
+        const BYTES_MASK: usize = 65536 - 1;
         while let Some(n) = self.pop() {
             self.queued[n.index()] = false;
             let n = self.nodes.find(n);
             self.stats.iterations += 1;
-            assert!(
-                self.stats.iterations < 500_000_000,
-                "solver iteration budget exceeded; likely divergence"
-            );
+            if self.stats.iterations >= self.opts.budget.max_iterations {
+                return Err(self.budget_error(BudgetKind::Iterations));
+            }
+            if self.stats.iterations & DEADLINE_MASK == 0 {
+                if let Some(at) = self.deadline_at {
+                    if Instant::now() >= at {
+                        return Err(self.budget_error(BudgetKind::Deadline));
+                    }
+                }
+            }
+            if self.stats.iterations & BYTES_MASK == 0 {
+                let live = self.live_pts_bytes();
+                self.stats.peak_pts_bytes = self.stats.peak_pts_bytes.max(live);
+                if live > self.opts.budget.max_pts_bytes {
+                    return Err(self.budget_error(BudgetKind::PtsBytes));
+                }
+            }
             // O(1) early exit. `prop[n] ⊆ pts[n]` is an invariant (pts only
             // grows during a drain; merges and canonicalization clear prop),
             // so equal cardinality means the delta is empty — no set walk,
@@ -592,6 +778,7 @@ impl<'m> Solver<'m> {
             self.scratch.icalls = icalls;
             self.scratch.outs = outs;
         }
+        Ok(())
     }
 
     fn process_field(
@@ -1349,6 +1536,105 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn try_solve(m: &Module, opts: SolveOptions) -> Result<SolveResult, SolveError> {
+        let program = generate(m, None);
+        Solver::new(m, program, opts).try_solve(&mut NullObserver)
+    }
+
+    /// A module with enough pointer flow to need several worklist pops and
+    /// to promote at least one set past the inline representation.
+    fn busy_module() -> Module {
+        let mut m = Module::new("busy");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], kaleidoscope_ir::Type::Void);
+        let slot = b.alloca(
+            "slot",
+            kaleidoscope_ir::Type::ptr(kaleidoscope_ir::Type::Int),
+        );
+        for i in 0..24 {
+            let o = b.alloca(&format!("o{i}"), kaleidoscope_ir::Type::Int);
+            b.store(slot, o);
+        }
+        let v = b.load("v", slot);
+        let _ = v;
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn iteration_budget_is_typed_error_not_panic() {
+        let m = busy_module();
+        let opts = SolveOptions {
+            budget: SolveBudget::iterations(1),
+            ..SolveOptions::baseline()
+        };
+        let err = try_solve(&m, opts).expect_err("budget of 1 pop must trip");
+        let SolveError::BudgetExceeded { kind, stats } = &err;
+        assert_eq!(*kind, BudgetKind::Iterations);
+        assert!(stats.iterations >= 1, "snapshot taken at abort");
+        assert!(stats.node_count > 0, "snapshot carries node counts");
+        assert!(err.to_string().contains("iteration budget"), "{err}");
+    }
+
+    #[test]
+    fn default_budget_reaches_fixpoint() {
+        let m = busy_module();
+        let res = try_solve(&m, SolveOptions::baseline()).expect("unlimited budget");
+        let v = local_pts(&m, &res, "main", 25);
+        assert_eq!(v.len(), 24, "all stored objects reach the load");
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_pass_boundary() {
+        let m = busy_module();
+        let opts = SolveOptions {
+            budget: SolveBudget {
+                deadline: Some(Duration::ZERO),
+                ..SolveBudget::unlimited()
+            },
+            ..SolveOptions::baseline()
+        };
+        let err = try_solve(&m, opts).expect_err("zero deadline must trip");
+        let SolveError::BudgetExceeded { kind, .. } = &err;
+        assert_eq!(*kind, BudgetKind::Deadline);
+    }
+
+    #[test]
+    fn pts_bytes_budget_trips_on_promoted_sets() {
+        // 24 objects in one set forces a bitmap promotion (heap bytes > 0),
+        // so a zero-byte budget must abort at the pass boundary.
+        let m = busy_module();
+        let opts = SolveOptions {
+            budget: SolveBudget {
+                max_pts_bytes: 0,
+                ..SolveBudget::unlimited()
+            },
+            ..SolveOptions::baseline()
+        };
+        let err = try_solve(&m, opts).expect_err("zero byte budget must trip");
+        let SolveError::BudgetExceeded { kind, stats } = &err;
+        assert_eq!(*kind, BudgetKind::PtsBytes);
+        assert!(stats.peak_pts_bytes > 0);
+    }
+
+    #[test]
+    fn budget_does_not_change_the_fixpoint_or_cache_key() {
+        // Same module, wildly different (but sufficient) budgets: identical
+        // results and identical cache keys.
+        let m = busy_module();
+        let tight = SolveOptions {
+            budget: SolveBudget::iterations(400_000),
+            ..SolveOptions::baseline()
+        };
+        assert_eq!(tight.cache_key(), SolveOptions::baseline().cache_key());
+        let a = try_solve(&m, SolveOptions::baseline()).expect("unlimited");
+        let b = try_solve(&m, tight).expect("sufficient");
+        assert_eq!(
+            local_pts(&m, &a, "main", 25).len(),
+            local_pts(&m, &b, "main", 25).len()
+        );
     }
 
     #[test]

@@ -7,12 +7,16 @@
 //! Andersen's set is a subset of the Steensgaard set for the same program).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use kaleidoscope_ir::{FuncId, LocalId, Module, Type};
+use kaleidoscope_ir::{FuncId, Inst, LocalId, Module, Type};
 
-use crate::gen::{generate, ConstraintKind};
+use crate::analysis::Analysis;
+use crate::callgraph::CallGraph;
+use crate::gen::{generate, ConstraintKind, IndirectCall};
 use crate::node::{NodeId, NodeTable};
 use crate::pts::PtsSet;
+use crate::solver::{SolveResult, SolveStats};
 
 /// Result of a Steensgaard run: equivalence classes with pointee links.
 #[derive(Debug, Clone)]
@@ -113,6 +117,13 @@ impl Steens {
 
 /// Run Steensgaard's analysis over a module.
 pub fn steensgaard(module: &Module) -> SteensResult {
+    steens_core(module).0
+}
+
+/// The shared unification pass; also hands back the indirect-call records
+/// and constraint count so [`steens_analysis`] can fill in a call graph and
+/// stats without generating constraints twice.
+fn steens_core(module: &Module) -> (SteensResult, Vec<IndirectCall>, usize) {
     let program = generate(module, None);
     let nodes = program.nodes;
     let mut fresh = nodes.len() as u32;
@@ -182,11 +193,81 @@ pub fn steensgaard(module: &Module) -> SteensResult {
         v.sort_unstable();
     }
 
-    SteensResult {
+    let res = SteensResult {
         nodes,
         parent: s.parent,
         pointee: s.pointee,
         members,
+    };
+    let n_constraints = program.constraints.len();
+    (res, program.icalls, n_constraints)
+}
+
+/// Run Steensgaard and package the result as a canonical [`Analysis`], so
+/// the unification tier can stand in wherever an Andersen analysis is
+/// expected — it is the last rung of the executor's degradation ladder.
+///
+/// The packaging is deterministic: each node's points-to set is the sorted
+/// object-member list of its pointee class, and the call graph carries the
+/// module's direct edges plus the conservative arity-compatible indirect
+/// wiring. Two calls on the same module produce identical artifacts.
+pub fn steens_analysis(module: &Module) -> Analysis {
+    let start = Instant::now();
+    let (res, icalls, constraint_count) = steens_core(module);
+
+    let n = res.nodes.len();
+    let mut pts = vec![PtsSet::new(); n];
+    for id in res.nodes.iter_ids() {
+        let class = res.find(id.0);
+        let Some(&ptee) = res.pointee.get(&class) else {
+            continue;
+        };
+        let ptee = res.find(ptee);
+        if let Some(m) = res.members.get(&ptee) {
+            pts[id.0 as usize] = m.iter().copied().collect();
+        }
+    }
+
+    let mut callgraph = CallGraph::new();
+    for (loc, inst) in module.iter_locs() {
+        if let Inst::Call { callee, .. } = inst {
+            callgraph.add_direct(loc, *callee);
+        }
+    }
+    let taken = module.address_taken_funcs();
+    for ic in &icalls {
+        callgraph.add_indirect_site(ic.site);
+        for &fid in &taken {
+            if module.func(fid).param_count == ic.args.len() {
+                callgraph.add_indirect(ic.site, fid);
+            }
+        }
+    }
+
+    let obj_count = res
+        .nodes
+        .iter_ids()
+        .filter(|&id| res.nodes.is_object_node(id))
+        .count();
+    let stats = SolveStats {
+        node_count: n,
+        obj_count,
+        constraint_count,
+        icall_count: icalls.len(),
+        duration: start.elapsed(),
+        ..SolveStats::default()
+    };
+
+    Analysis {
+        result: SolveResult {
+            nodes: res.nodes,
+            pts,
+            callgraph,
+            pa_filters: Vec::new(),
+            pwcs: Vec::new(),
+            collapsed_objects: Vec::new(),
+            stats,
+        },
     }
 }
 
@@ -295,6 +376,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn steens_analysis_is_deterministic_and_conservative() {
+        let mut m = Module::new("canon");
+        let h = {
+            let mut b = FunctionBuilder::new(&mut m, "h", vec![("x", Type::Int)], Type::Void);
+            b.output(Operand::Local(b.param(0)));
+            b.ret(None);
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let o = b.alloca("o", Type::Int);
+        let p = b.copy("p", o);
+        let fp = b.copy("fp", Operand::Func(h));
+        b.call_ind("r", fp, vec![p.into()], Type::Void);
+        b.ret(None);
+        let main = b.finish();
+
+        let a = steens_analysis(&m);
+        let b2 = steens_analysis(&m);
+        // Same classes, same member order: identical canonical sets.
+        for l in 0..m.func(main).locals.len() as u32 {
+            let x = a.pts_of_local(main, LocalId(l));
+            let y = b2.pts_of_local(main, LocalId(l));
+            assert_eq!(x.iter().collect::<Vec<_>>(), y.iter().collect::<Vec<_>>());
+        }
+        // Indirect call conservatively resolves to the arity-compatible fn.
+        let sites: Vec<_> = a.result.callgraph.indirect_sites().collect();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(a.callsite_targets(sites[0].0), &[h]);
+        // The canonical facade agrees with the raw Steensgaard classes.
+        let raw = steensgaard(&m);
+        assert_eq!(
+            a.pts_of_local(main, LocalId(1)).len(),
+            raw.pts_of_local(&m, main, LocalId(1)).len()
+        );
+        assert!(a.result.stats.node_count > 0);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Failure paths of the memory-view switcher gate (paper §5).
+//!
+//! The unit tests in `switcher.rs` cover the happy path; these tests attack
+//! the gate: wrong secrets from every angle, repeated illegitimate attempts,
+//! and the interaction between the binary one-way switch and the per-family
+//! degradation mask (§8's graded fallback).
+
+use kaleidoscope_prng::{check, Rng};
+use kaleidoscope_runtime::{
+    family_bit, MvSwitcher, SwitchError, ViewKind, FAMILY_ALL, FAMILY_CTX, FAMILY_PA, FAMILY_PWC,
+};
+
+#[test]
+fn every_wrong_secret_is_rejected_without_state_change() {
+    check(64, 0x5117C4, |rng: &mut Rng| {
+        let secret = rng.next_u64();
+        let mut s = MvSwitcher::new(secret);
+        // Any other secret must bounce off the gate, for both entry points.
+        let wrong = secret.wrapping_add(1 + rng.next_u64() % (u64::MAX - 1));
+        assert_ne!(wrong, secret);
+        assert_eq!(s.switch_to_fallback(wrong), Err(SwitchError::BadSecret));
+        assert_eq!(
+            s.disable_family(FAMILY_PA, wrong),
+            Err(SwitchError::BadSecret)
+        );
+        assert_eq!(s.view(), ViewKind::Optimistic);
+        assert_eq!(s.disabled_mask(), 0);
+        assert_eq!(s.switch_count(), 0);
+        assert_eq!(s.rejected_count(), 2);
+        // The gate still works for the legitimate holder afterwards.
+        assert_eq!(s.switch_to_fallback(secret), Ok(ViewKind::Fallback));
+    });
+}
+
+#[test]
+fn rejected_attempts_accumulate_and_never_switch() {
+    let mut s = MvSwitcher::new(42);
+    for bad in [0u64, 41, 43, u64::MAX] {
+        assert_eq!(s.switch_to_fallback(bad), Err(SwitchError::BadSecret));
+    }
+    assert_eq!(s.rejected_count(), 4);
+    assert_eq!(s.switch_count(), 0);
+    assert_eq!(s.view(), ViewKind::Optimistic);
+}
+
+#[test]
+fn one_way_switch_is_idempotent_under_repetition() {
+    let mut s = MvSwitcher::new(7);
+    for _ in 0..10 {
+        assert_eq!(s.switch_to_fallback(7), Ok(ViewKind::Fallback));
+    }
+    assert_eq!(s.switch_count(), 1, "repeat switches are free no-ops");
+    assert_eq!(s.disabled_mask(), FAMILY_ALL);
+    // No way back: degrading further families after the full switch is a
+    // no-op too.
+    assert_eq!(s.disable_family(FAMILY_PA, 7), Ok(FAMILY_ALL));
+    assert_eq!(s.switch_count(), 1);
+    assert_eq!(s.view(), ViewKind::Fallback);
+}
+
+#[test]
+fn bad_secret_after_switch_leaves_fallback_intact() {
+    let mut s = MvSwitcher::new(7);
+    s.switch_to_fallback(7).unwrap();
+    // An attacker probing after the switch cannot flip anything back.
+    assert_eq!(s.switch_to_fallback(8), Err(SwitchError::BadSecret));
+    assert_eq!(s.view(), ViewKind::Fallback);
+    assert_eq!(s.disabled_mask(), FAMILY_ALL);
+    assert_eq!(s.rejected_count(), 1);
+}
+
+#[test]
+fn family_degradation_covers_all_bits_and_reaches_fallback() {
+    let mut s = MvSwitcher::new(3);
+    for (policy, bit) in [("PA", FAMILY_PA), ("PWC", FAMILY_PWC), ("Ctx", FAMILY_CTX)] {
+        assert_eq!(family_bit(policy), bit);
+        assert!(s.family_enabled(bit));
+        let mask = s.disable_family(bit, 3).unwrap();
+        assert!(!s.family_enabled(bit));
+        assert_eq!(mask & bit, bit);
+    }
+    // Disabling every family one by one lands on the plain fallback mask.
+    assert_eq!(s.disabled_mask(), FAMILY_ALL);
+    assert_eq!(s.view(), ViewKind::Fallback);
+    assert_eq!(s.switch_count(), 3, "one switch per family");
+}
+
+#[test]
+fn unknown_policy_tag_degrades_everything() {
+    // An unrecognised tag maps to FAMILY_ALL: the conservative choice for a
+    // monitor firing on an invariant the mask does not model.
+    let mut s = MvSwitcher::new(11);
+    let mask = s.disable_family(family_bit("SomethingNew"), 11).unwrap();
+    assert_eq!(mask, FAMILY_ALL);
+    assert_eq!(s.view(), ViewKind::Fallback);
+}
+
+#[test]
+fn random_degradation_orders_are_monotone_and_one_way() {
+    check(64, 0xFA117, |rng: &mut Rng| {
+        let secret = rng.next_u64();
+        let mut s = MvSwitcher::new(secret);
+        let mut expected = 0u8;
+        for _ in 0..8 {
+            let bit = [FAMILY_PA, FAMILY_PWC, FAMILY_CTX][(rng.next_u64() % 3) as usize];
+            let before = s.disabled_mask();
+            let after = s.disable_family(bit, secret).unwrap();
+            expected |= bit;
+            assert_eq!(after, expected);
+            assert_eq!(after & before, before, "mask only ever grows");
+            assert_eq!(
+                s.view(),
+                if after == 0 {
+                    ViewKind::Optimistic
+                } else {
+                    ViewKind::Fallback
+                }
+            );
+        }
+    });
+}
