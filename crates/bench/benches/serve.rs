@@ -1,0 +1,165 @@
+//! Closed-loop load benchmark for the `kd serve` daemon stack.
+//!
+//! An in-process [`Server`] (real TCP, real router/supervisor/admission,
+//! thread-mode shards so the numbers measure the serving stack rather
+//! than process spawn) is driven by closed-loop clients — each client
+//! issues its next request as soon as the previous one is answered:
+//!
+//! * **cold** — first-ever request for the module: full solve in a shard.
+//! * **warm** — repeat requests: served from the shared artifact store.
+//! * **overload** — more clients than the tenant's concurrency quota,
+//!   measuring the shed path and recording the shed rate.
+//!
+//! Writes `BENCH_serve.json` (cold/warm latency samples plus
+//! admitted/shed counters) to the repository root, next to the other
+//! `BENCH_*.json` trajectories.
+
+use std::sync::Arc;
+
+use kaleidoscope_bench::timing::{bench, to_json_with_counters};
+use kaleidoscope_exec::DiskCache;
+use kaleidoscope_serve::{
+    request_over_tcp, Request, Response, ServeConfig, Server, ShardMode, TenantQuota, WorkerOptions,
+};
+
+fn start_server(tag: &str, max_concurrent: usize) -> (Server, Arc<DiskCache>) {
+    let dir = std::env::temp_dir().join(format!("kd-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(DiskCache::open(dir).expect("bench cache"));
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache: Some(cache.clone()),
+        mode: ShardMode::Thread(WorkerOptions {
+            jobs: 1,
+            cache: Some(cache.clone()),
+            unsafe_faults: false,
+        }),
+        shards_per_tenant: 4,
+        quota: TenantQuota {
+            max_concurrent,
+            ..TenantQuota::default()
+        },
+        shed_jobs: 1,
+    })
+    .expect("bind bench server");
+    (server, cache)
+}
+
+fn must_ok(resp: Result<Response, String>) -> Response {
+    match resp {
+        Ok(r @ Response::Ok { .. }) => r,
+        other => panic!("request failed: {other:?}"),
+    }
+}
+
+fn main() {
+    let models = kaleidoscope_apps::all_models();
+    let modules: Vec<String> = models.iter().map(|m| m.module.to_text()).collect();
+    println!(
+        "serve daemon benchmarks ({} modules, thread shards, closed loop)",
+        modules.len()
+    );
+
+    let mut samples = Vec::new();
+
+    // Cold: every iteration gets a store that has never seen the module,
+    // so each request is a full solve through admission + shard dispatch.
+    {
+        let mut round = 0u64;
+        let module = modules[0].clone();
+        samples.push(bench("serve/request_cold", 3, || {
+            round += 1;
+            let (server, _cache) = start_server(&format!("cold{round}"), 64);
+            let addr = server.addr().to_string();
+            must_ok(request_over_tcp(&addr, &Request::inline("cold", &module)));
+            server.stop();
+        }));
+    }
+
+    // Warm: one server, store pre-populated; repeats ride the cache.
+    let (server, cache) = start_server("warm", 64);
+    let addr = server.addr().to_string();
+    for (i, m) in modules.iter().enumerate() {
+        must_ok(request_over_tcp(
+            &addr,
+            &Request::inline(&format!("p{i}"), m),
+        ));
+    }
+    samples.push(bench("serve/request_warm", 10, || {
+        must_ok(request_over_tcp(
+            &addr,
+            &Request::inline("warm", &modules[0]),
+        ));
+    }));
+
+    // Warm sweep: every module once per iteration, round-robin clients.
+    samples.push(bench("serve/warm_sweep_all_modules", 5, || {
+        for (i, m) in modules.iter().enumerate() {
+            must_ok(request_over_tcp(
+                &addr,
+                &Request::inline(&format!("s{i}"), m),
+            ));
+        }
+    }));
+    let warm_stats = server.router().stats();
+    let cache_stats = cache.stats();
+    server.stop();
+
+    // Overload: quota of 1, eight closed-loop clients hammering fresh
+    // (uncacheable-by-fingerprint) budget-less requests; most requests
+    // shed to the Steensgaard tier. Shed responses still complete, so
+    // the closed loop never stalls — the shed rate is the measure.
+    let (server, _cache) = start_server("overload", 1);
+    let addr = server.addr().to_string();
+    samples.push(bench("serve/overloaded_closed_loop", 3, || {
+        let handles: Vec<_> = (0..8)
+            .map(|c| {
+                let addr = addr.clone();
+                let module = modules[c % modules.len()].clone();
+                std::thread::spawn(move || {
+                    for r in 0..4 {
+                        must_ok(request_over_tcp(
+                            &addr,
+                            &Request::inline(&format!("c{c}-r{r}"), &module),
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client");
+        }
+    }));
+    let overload_stats = server.router().stats();
+    server.stop();
+
+    let shed_rate_pct = (100 * overload_stats.shed)
+        .checked_div(overload_stats.admitted + overload_stats.shed)
+        .unwrap_or(0);
+    println!(
+        "warm path: {} admitted, {} shed, {} cache hits / {} lookups",
+        warm_stats.admitted, warm_stats.shed, cache_stats.report_hits, cache_stats.report_lookups
+    );
+    println!(
+        "overload path: {} admitted, {} shed ({shed_rate_pct}% shed rate)",
+        overload_stats.admitted, overload_stats.shed
+    );
+
+    let counters = [
+        ("warm_admitted", warm_stats.admitted),
+        ("warm_shed", warm_stats.shed),
+        ("warm_cache_hits", cache_stats.report_hits),
+        ("warm_cache_lookups", cache_stats.report_lookups),
+        ("overload_admitted", overload_stats.admitted),
+        ("overload_shed", overload_stats.shed),
+        ("overload_shed_rate_pct", shed_rate_pct),
+        (
+            "overload_degraded_after_failure",
+            overload_stats.degraded_after_failure,
+        ),
+    ];
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, to_json_with_counters(&samples, &counters))
+        .expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

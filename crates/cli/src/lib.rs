@@ -10,13 +10,16 @@
 
 use std::fmt::Write as _;
 
-use kaleidoscope::{analyze, CellHealth, IntrospectionConfig, Introspector, PolicyConfig};
+use kaleidoscope::{analyze, IntrospectionConfig, Introspector, PolicyConfig};
 use kaleidoscope_cfi::harden;
 use kaleidoscope_debloat::DebloatPlan;
-use kaleidoscope_exec::Executor;
+use kaleidoscope_exec::{render_analyze, DiskCache, Executor, ReportScope};
 use kaleidoscope_ir::{parse_module, verify_module, Module};
-use kaleidoscope_pta::{Analysis, PtsStats, SolveBudget, SolveOptions};
+use kaleidoscope_pta::{Analysis, SolveBudget, SolveOptions};
 use kaleidoscope_runtime::ViewKind;
+use kaleidoscope_serve::{
+    request_over_tcp, Request, Response, ServeConfig, Server, ShardMode, TenantQuota, WorkerOptions,
+};
 
 /// CLI-level error.
 #[derive(Debug)]
@@ -86,23 +89,7 @@ pub fn load(source: &Source) -> Result<Module, CliError> {
 /// Parse a configuration name (`baseline`, `ctx`, `pa`, `pwc`, combinations
 /// joined by `-`, or `all`/`kaleidoscope`).
 pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
-    let lower = name.to_ascii_lowercase();
-    match lower.as_str() {
-        "baseline" | "none" => return Ok(PolicyConfig::none()),
-        "all" | "kaleidoscope" | "full" => return Ok(PolicyConfig::all()),
-        _ => {}
-    }
-    let mut c = PolicyConfig::none();
-    for part in lower.split('-') {
-        match part {
-            "kd" => {}
-            "ctx" => c.ctx = true,
-            "pa" => c.pa = true,
-            "pwc" => c.pwc = true,
-            other => return Err(err(format!("unknown policy `{other}` in `{name}`"))),
-        }
-    }
-    Ok(c)
+    PolicyConfig::parse(name).map_err(err)
 }
 
 /// `kaleidoscope analyze` — run the IGO pipeline, print invariants and
@@ -123,81 +110,54 @@ pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
 /// degrades down the executor's ladder (fallback view, then Steensgaard)
 /// and is flagged with a `degraded:` line plus a trailing summary. Without
 /// degradation the report is byte-identical to an unbudgeted run.
+///
+/// `cache_dir` (or the `KD_CACHE_DIR` environment variable) names the
+/// shared on-disk artifact store: a stored report for this module/config
+/// is served without solving, and a healthy freshly-solved report is
+/// published for other `kd` processes — including a running `kd serve`
+/// daemon — to hit. The stored artifact is always the full-precision
+/// fixpoint, so a hit under `--budget` serves a *better* tier than asked.
 pub fn cmd_analyze(
     source: &Source,
     config: Option<&str>,
     jobs: usize,
     stats: bool,
     budget: Option<usize>,
+    cache_dir: Option<&str>,
 ) -> Result<String, CliError> {
     let module = load(source)?;
-    let mut out = String::new();
     let configs: Vec<PolicyConfig> = match config {
         Some(c) => vec![parse_config(c)?],
         None => PolicyConfig::table3_order().to_vec(),
     };
-    let _ = writeln!(
-        out,
-        "module `{}`: {} functions, {} instructions",
-        module.name,
-        module.funcs.len(),
-        module.inst_count()
-    );
-    let _ = writeln!(
-        out,
-        "{:<13} {:>8} {:>8} {:>8} {:>11}",
-        "config", "avg-pts", "max-pts", "pointers", "invariants"
-    );
+    let cache = DiskCache::resolve(cache_dir)
+        .map_err(|e| err(format!("cannot open cache directory: {e}")))?;
+    let scope = ReportScope {
+        config: if configs.len() == 1 {
+            Some(configs[0])
+        } else {
+            None
+        },
+        stats,
+    };
+    let fp = module.fingerprint();
+    if let Some(c) = &cache {
+        let _ = c.put_module(fp, &module.to_text());
+        if let Some(text) = c.get_report(fp, scope) {
+            return Ok(text);
+        }
+    }
     let mut ex = Executor::with_jobs(jobs);
     if let Some(n) = budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
     }
-    let results = ex.run_matrix(&[&module], &configs);
-    let mut degraded = 0usize;
-    for r in &results[0] {
-        let c = r.config;
-        let pstats = PtsStats::collect(&r.optimistic, &module);
-        let _ = writeln!(
-            out,
-            "{:<13} {:>8.2} {:>8} {:>8} {:>11}",
-            c.name(),
-            pstats.avg,
-            pstats.max,
-            pstats.count,
-            r.invariants.len()
-        );
-        if let CellHealth::Degraded { tier, reason } = &r.health {
-            degraded += 1;
-            let _ = writeln!(out, "    degraded: serving {tier} tier — {reason}");
-        }
-        for inv in &r.invariants {
-            let _ = writeln!(out, "    {inv}");
-        }
-        if stats {
-            for (tag, a) in [("fallback", &r.fallback), ("optimistic", &r.optimistic)] {
-                let s = &a.result.stats;
-                let _ = writeln!(
-                    out,
-                    "    solver[{tag}]: pops={} scc-passes={} union-words={} \
-                     peak-pts-bytes={} copy-edges={} collapsed-objects={}",
-                    s.iterations,
-                    s.scc_passes,
-                    s.union_words,
-                    s.peak_pts_bytes,
-                    s.copy_edges,
-                    s.collapsed_objects
-                );
-            }
+    let report = render_analyze(&module, &configs, &ex, stats);
+    if let Some(c) = &cache {
+        if report.all_healthy() {
+            let _ = c.put_report(fp, scope, &report.text);
         }
     }
-    if degraded > 0 {
-        let _ = writeln!(
-            out,
-            "warning: {degraded}/{} configurations degraded (see `degraded:` lines above)",
-            results[0].len()
-        );
-    }
-    Ok(out)
+    Ok(report.text)
 }
 
 /// `kaleidoscope cfi` — print the per-callsite target sets of both views.
@@ -337,6 +297,211 @@ pub fn cmd_fmt(source: &Source) -> Result<String, CliError> {
     Ok(load(source)?.to_text())
 }
 
+/// Arguments to `kd serve`.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Bind address (`127.0.0.1:0` picks a free port, printed on startup).
+    pub addr: String,
+    /// Shared artifact store directory (`--cache-dir` / `KD_CACHE_DIR`);
+    /// `None` falls back to a per-process temp directory, so warm-cache
+    /// repeats work within one daemon lifetime either way.
+    pub cache_dir: Option<String>,
+    /// Worker shards per tenant.
+    pub shards: usize,
+    /// Executor threads per worker solve (`0` = auto).
+    pub jobs: usize,
+    /// Tenant quota: max concurrent solves before shedding.
+    pub max_concurrent: usize,
+    /// Tenant quota: per-request deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Tenant quota: cap on per-request solve budgets.
+    pub tenant_budget: Option<usize>,
+    /// Honor `fault` directives in requests (test deployments only).
+    pub unsafe_faults: bool,
+    /// Use in-process thread shards instead of `kd worker` children
+    /// (debugging; loses crash isolation).
+    pub thread_shards: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> ServeArgs {
+        ServeArgs {
+            addr: "127.0.0.1:0".into(),
+            cache_dir: None,
+            shards: 2,
+            jobs: 0,
+            max_concurrent: 4,
+            deadline_ms: 30_000,
+            tenant_budget: None,
+            unsafe_faults: false,
+            thread_shards: false,
+        }
+    }
+}
+
+fn open_serve_cache(dir: Option<&str>) -> Result<std::sync::Arc<DiskCache>, CliError> {
+    let resolved =
+        DiskCache::resolve(dir).map_err(|e| err(format!("cannot open cache directory: {e}")))?;
+    let cache = match resolved {
+        Some(c) => c,
+        None => {
+            // No configured store: a per-daemon temp store still makes
+            // warm repeats cache hits across this daemon's workers.
+            let tmp = std::env::temp_dir().join(format!("kd-serve-cache-{}", std::process::id()));
+            DiskCache::open(tmp).map_err(|e| err(format!("cannot open cache directory: {e}")))?
+        }
+    };
+    Ok(std::sync::Arc::new(cache))
+}
+
+/// `kd serve` — run the analysis daemon until killed.
+///
+/// Prints `kd serve: listening on <addr>` (with the resolved port) to
+/// stdout once the socket is accepting, then blocks. Workers are `kd
+/// worker` child processes of this binary unless `thread_shards` is set.
+pub fn cmd_serve(args: &ServeArgs) -> Result<(), CliError> {
+    let cache = open_serve_cache(args.cache_dir.as_deref())?;
+    let mode = if args.thread_shards {
+        ShardMode::Thread(WorkerOptions {
+            jobs: args.jobs,
+            cache: Some(cache.clone()),
+            unsafe_faults: false,
+        })
+    } else {
+        ShardMode::Process {
+            bin: std::env::current_exe()
+                .map_err(|e| err(format!("cannot locate own binary: {e}")))?,
+            cache_dir: Some(cache.dir().to_path_buf()),
+            unsafe_faults: args.unsafe_faults,
+            jobs: args.jobs,
+        }
+    };
+    let server = Server::start(ServeConfig {
+        addr: args.addr.clone(),
+        cache: Some(cache),
+        mode,
+        shards_per_tenant: args.shards,
+        quota: TenantQuota {
+            max_concurrent: args.max_concurrent,
+            deadline_ms: args.deadline_ms,
+            max_module_bytes: TenantQuota::default().max_module_bytes,
+            budget: args.tenant_budget,
+        },
+        shed_jobs: 1,
+    })
+    .map_err(|e| err(format!("cannot bind `{}`: {e}", args.addr)))?;
+    println!("kd serve: listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `kd worker` — the daemon's child-process shard: serve requests over
+/// stdin/stdout until EOF. Not intended for interactive use.
+pub fn cmd_worker(
+    jobs: usize,
+    cache_dir: Option<&str>,
+    unsafe_faults: bool,
+) -> Result<(), CliError> {
+    let cache = DiskCache::resolve(cache_dir)
+        .map_err(|e| err(format!("cannot open cache directory: {e}")))?
+        .map(std::sync::Arc::new);
+    let opts = WorkerOptions {
+        jobs,
+        cache,
+        unsafe_faults,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    kaleidoscope_serve::run_worker(stdin.lock(), stdout.lock(), &opts)
+        .map_err(|e| err(format!("worker io: {e}")))
+}
+
+/// Arguments to `kd request`.
+#[derive(Debug, Clone)]
+pub struct RequestArgs {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// The program: a source (file/model) or a fingerprint from an
+    /// earlier response.
+    pub source: Option<Source>,
+    /// Query a previously-submitted module by content fingerprint (hex).
+    pub fingerprint: Option<String>,
+    /// Configuration name; `None` = the full Table-3 matrix.
+    pub config: Option<String>,
+    /// Tenant to account the request against.
+    pub tenant: String,
+    /// Include solver counters in the report.
+    pub stats: bool,
+    /// Per-request solve budget (clamped by the tenant quota).
+    pub budget: Option<usize>,
+    /// Fault directive (testing; requires a `--unsafe-faults` daemon).
+    pub fault: Option<String>,
+}
+
+/// What `kd request` prints: the report on stdout, the serving metadata
+/// on stderr (so piping the report stays clean).
+#[derive(Debug, Clone)]
+pub struct RequestOutput {
+    /// The report, byte-identical to offline `kd analyze` output.
+    pub report: String,
+    /// One line of serving metadata: tier, cache disposition, fingerprint.
+    pub meta: String,
+}
+
+/// `kd request` — send one analysis request to a running daemon.
+pub fn cmd_request(args: &RequestArgs) -> Result<RequestOutput, CliError> {
+    let (module, fingerprint) = match (&args.source, &args.fingerprint) {
+        (Some(src), None) => (Some(load(src)?.to_text()), None),
+        (None, Some(hex)) => (
+            None,
+            Some(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| err(format!("bad fingerprint `{hex}`")))?,
+            ),
+        ),
+        (None, None) => {
+            return Err(err(
+                "no input: give a .kir file, --model <Name>, or --fingerprint <hex>",
+            ))
+        }
+        (Some(_), Some(_)) => return Err(err("give either a program or --fingerprint, not both")),
+    };
+    let req = Request {
+        id: format!("kd-request-{}", std::process::id()),
+        tenant: args.tenant.clone(),
+        module,
+        fingerprint,
+        config: args.config.clone(),
+        stats: args.stats,
+        budget: args.budget,
+        fault: args.fault.clone(),
+    };
+    match request_over_tcp(&args.addr, &req).map_err(err)? {
+        Response::Ok {
+            report,
+            tier,
+            cache,
+            fingerprint,
+            degraded,
+            ..
+        } => Ok(RequestOutput {
+            report,
+            meta: format!(
+                "kd request: tier={tier} cache={} fingerprint={fingerprint:016x} degraded={degraded}",
+                match cache {
+                    kaleidoscope_serve::CacheDisposition::Hit => "hit",
+                    kaleidoscope_serve::CacheDisposition::Miss => "miss",
+                    kaleidoscope_serve::CacheDisposition::Stored => "stored",
+                }
+            ),
+        }),
+        Response::Error { error, .. } => Err(err(format!("server refused request: {error}"))),
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 kd — the Kaleidoscope invariant-guided optimistic pointer analysis CLI
@@ -351,6 +516,9 @@ COMMANDS:
     run          interpret a function: --entry <fn> --input <b,b,..> [--harden]
     debloat      compute per-view reachable function sets: --entry <fn>
     fmt          parse and pretty-print a module
+    serve        run the analysis daemon (newline-delimited JSON over TCP)
+    worker       daemon worker shard over stdin/stdout (spawned by serve)
+    request      send one request to a daemon: --addr <host:port> <program>
 
 OPTIONS:
     --model <Name>     use a built-in application model instead of a file
@@ -360,11 +528,26 @@ OPTIONS:
     --harden           run with CFI + monitors armed
     --growth <n>       introspection growth threshold
     --types <n>        introspection type-diversity threshold
-    --jobs <n>         analyze: worker threads (0 = auto, 1 = serial)
-    --stats            analyze: print solver counters per configuration
-    --budget <n>       analyze: cap each solve at <n> worklist iterations;
-                       exhausted cells degrade (fallback, then Steensgaard)
-                       and are flagged with a `degraded:` line
+    --jobs <n>         analyze/serve/worker: solver threads (0 = auto)
+    --stats            analyze/request: print solver counters per config
+    --budget <n>       analyze/request: cap each solve at <n> worklist
+                       iterations; exhausted cells degrade (fallback, then
+                       Steensgaard) and are flagged with a `degraded:` line
+    --cache-dir <dir>  shared artifact store (also via KD_CACHE_DIR);
+                       analyze/serve/worker reuse stored reports
+
+SERVING:
+    --addr <a>         serve: bind address (default 127.0.0.1:0, port printed)
+                       request: daemon address to contact (required)
+    --shards <n>       serve: worker shards per tenant (default 2)
+    --max-concurrent <n>  serve: tenant solves in flight before shedding
+    --deadline-ms <n>  serve: per-request deadline before a worker is killed
+    --tenant-budget <n>   serve: cap on per-request solve budgets
+    --thread-shards    serve: in-process shards (no crash isolation)
+    --unsafe-faults    serve/worker: honor fault directives (tests only)
+    --tenant <name>    request: tenant to account against (default: default)
+    --fingerprint <h>  request: query a stored module by fingerprint
+    --fault <kind>     request: inject a worker fault (needs --unsafe-faults)
 ";
 
 #[cfg(test)]
@@ -388,14 +571,14 @@ mod tests {
     #[test]
     fn analyze_output_independent_of_jobs() {
         let src = Source::Model("TinyDTLS".into());
-        let serial = cmd_analyze(&src, None, 1, false, None).unwrap();
-        let parallel = cmd_analyze(&src, None, 4, false, None).unwrap();
+        let serial = cmd_analyze(&src, None, 1, false, None, None).unwrap();
+        let parallel = cmd_analyze(&src, None, 4, false, None, None).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn analyze_sample_file() {
-        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1, false, None).unwrap();
+        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1, false, None, None).unwrap();
         assert!(out.contains("Baseline"));
         assert!(out.contains("Kaleidoscope"));
         assert!(out.contains("PA@"), "PA invariant listed:\n{out}");
@@ -409,6 +592,7 @@ mod tests {
             1,
             false,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("Kaleidoscope"));
@@ -417,8 +601,8 @@ mod tests {
     #[test]
     fn analyze_stats_prints_solver_counters() {
         let src = Source::Model("TinyDTLS".into());
-        let plain = cmd_analyze(&src, Some("all"), 1, false, None).unwrap();
-        let with_stats = cmd_analyze(&src, Some("all"), 1, true, None).unwrap();
+        let plain = cmd_analyze(&src, Some("all"), 1, false, None, None).unwrap();
+        let with_stats = cmd_analyze(&src, Some("all"), 1, true, None, None).unwrap();
         assert!(!plain.contains("solver["));
         assert!(with_stats.contains("solver[fallback]:"), "{with_stats}");
         assert!(with_stats.contains("solver[optimistic]:"));
@@ -436,12 +620,12 @@ mod tests {
     #[test]
     fn analyze_budget_tags_degraded_cells() {
         let src = Source::Model("TinyDTLS".into());
-        let out = cmd_analyze(&src, None, 1, false, Some(1)).unwrap();
+        let out = cmd_analyze(&src, None, 1, false, Some(1), None).unwrap();
         assert!(out.contains("degraded: serving steensgaard tier"), "{out}");
         assert!(out.contains("configurations degraded"), "{out}");
         // A generous budget leaves the report byte-identical to no budget.
-        let plain = cmd_analyze(&src, None, 1, false, None).unwrap();
-        let generous = cmd_analyze(&src, None, 1, false, Some(100_000_000)).unwrap();
+        let plain = cmd_analyze(&src, None, 1, false, None, None).unwrap();
+        let generous = cmd_analyze(&src, None, 1, false, Some(100_000_000), None).unwrap();
         assert_eq!(plain, generous);
         assert!(!plain.contains("degraded"));
     }
@@ -501,7 +685,7 @@ mod c_tests {
 
     #[test]
     fn analyze_c_source_end_to_end() {
-        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false, None).unwrap();
+        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false, None, None).unwrap();
         assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
     }
 
@@ -513,7 +697,7 @@ mod c_tests {
 
     #[test]
     fn fig7_c_emits_pwc_invariant() {
-        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1, false, None).unwrap();
+        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1, false, None, None).unwrap();
         assert!(out.contains("PWC"), "{out}");
     }
 

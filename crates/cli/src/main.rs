@@ -4,7 +4,8 @@
 use std::process::ExitCode;
 
 use kaleidoscope_cli::{
-    cmd_analyze, cmd_cfi, cmd_debloat, cmd_fmt, cmd_introspect, cmd_run, CliError, Source, USAGE,
+    cmd_analyze, cmd_cfi, cmd_debloat, cmd_fmt, cmd_introspect, cmd_request, cmd_run, cmd_serve,
+    cmd_worker, CliError, RequestArgs, ServeArgs, Source, USAGE,
 };
 
 struct Args {
@@ -18,6 +19,17 @@ struct Args {
     jobs: usize,
     stats: bool,
     budget: Option<usize>,
+    cache_dir: Option<String>,
+    addr: Option<String>,
+    shards: usize,
+    max_concurrent: usize,
+    deadline_ms: u64,
+    tenant_budget: Option<usize>,
+    tenant: String,
+    fingerprint: Option<String>,
+    fault: Option<String>,
+    unsafe_faults: bool,
+    thread_shards: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
@@ -35,10 +47,26 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         jobs: 0,
         stats: false,
         budget: None,
+        cache_dir: None,
+        addr: None,
+        shards: 2,
+        max_concurrent: 4,
+        deadline_ms: 30_000,
+        tenant_budget: None,
+        tenant: "default".into(),
+        fingerprint: None,
+        fault: None,
+        unsafe_faults: false,
+        thread_shards: false,
     };
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
             .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let number = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> Result<usize, CliError> {
+        need(argv, flag)?
+            .parse()
+            .map_err(|_| CliError(format!("{flag} needs a number")))
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -59,32 +87,23 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                     })
                     .collect::<Result<_, _>>()?;
             }
-            "--growth" => {
-                args.growth = Some(
-                    need(&mut argv, "--growth")?
-                        .parse()
-                        .map_err(|_| CliError("--growth needs a number".into()))?,
-                )
+            "--growth" => args.growth = Some(number(&mut argv, "--growth")?),
+            "--types" => args.types = Some(number(&mut argv, "--types")?),
+            "--jobs" => args.jobs = number(&mut argv, "--jobs")?,
+            "--budget" => args.budget = Some(number(&mut argv, "--budget")?),
+            "--cache-dir" => args.cache_dir = Some(need(&mut argv, "--cache-dir")?),
+            "--addr" => args.addr = Some(need(&mut argv, "--addr")?),
+            "--shards" => args.shards = number(&mut argv, "--shards")?,
+            "--max-concurrent" => args.max_concurrent = number(&mut argv, "--max-concurrent")?,
+            "--deadline-ms" => {
+                args.deadline_ms = number(&mut argv, "--deadline-ms")? as u64;
             }
-            "--types" => {
-                args.types = Some(
-                    need(&mut argv, "--types")?
-                        .parse()
-                        .map_err(|_| CliError("--types needs a number".into()))?,
-                )
-            }
-            "--jobs" => {
-                args.jobs = need(&mut argv, "--jobs")?
-                    .parse()
-                    .map_err(|_| CliError("--jobs needs a number".into()))?
-            }
-            "--budget" => {
-                args.budget = Some(
-                    need(&mut argv, "--budget")?
-                        .parse()
-                        .map_err(|_| CliError("--budget needs a number".into()))?,
-                )
-            }
+            "--tenant-budget" => args.tenant_budget = Some(number(&mut argv, "--tenant-budget")?),
+            "--tenant" => args.tenant = need(&mut argv, "--tenant")?,
+            "--fingerprint" => args.fingerprint = Some(need(&mut argv, "--fingerprint")?),
+            "--fault" => args.fault = Some(need(&mut argv, "--fault")?),
+            "--unsafe-faults" => args.unsafe_faults = true,
+            "--thread-shards" => args.thread_shards = true,
             other if !other.starts_with('-') && args.source.is_none() => {
                 args.source = Some(Source::File(other.to_string()));
             }
@@ -95,6 +114,47 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
 }
 
 fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
+    // The serving commands manage their own io (daemon loop, pipe loop,
+    // stderr metadata) rather than returning a report string.
+    match cmd {
+        "serve" => {
+            return cmd_serve(&ServeArgs {
+                addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+                cache_dir: args.cache_dir.clone(),
+                shards: args.shards,
+                jobs: args.jobs,
+                max_concurrent: args.max_concurrent,
+                deadline_ms: args.deadline_ms,
+                tenant_budget: args.tenant_budget,
+                unsafe_faults: args.unsafe_faults,
+                thread_shards: args.thread_shards,
+            })
+            .map(|()| String::new());
+        }
+        "worker" => {
+            return cmd_worker(args.jobs, args.cache_dir.as_deref(), args.unsafe_faults)
+                .map(|()| String::new());
+        }
+        "request" => {
+            let addr = args
+                .addr
+                .clone()
+                .ok_or_else(|| CliError("request needs --addr <host:port>".into()))?;
+            let out = cmd_request(&RequestArgs {
+                addr,
+                source: args.source.clone(),
+                fingerprint: args.fingerprint.clone(),
+                config: args.config.clone(),
+                tenant: args.tenant.clone(),
+                stats: args.stats,
+                budget: args.budget,
+                fault: args.fault.clone(),
+            })?;
+            eprintln!("{}", out.meta);
+            return Ok(out.report);
+        }
+        _ => {}
+    }
     let source = args
         .source
         .as_ref()
@@ -106,6 +166,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
             args.jobs,
             args.stats,
             args.budget,
+            args.cache_dir.as_deref(),
         ),
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),

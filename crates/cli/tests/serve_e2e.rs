@@ -1,0 +1,188 @@
+//! End-to-end serving tests against the real `kd` binary: a `kd serve`
+//! daemon with process-mode worker shards, driven through `kd request`.
+//!
+//! These pin the acceptance criteria of the serving subsystem:
+//! (a) served responses are byte-identical to offline `kd analyze`
+//! artifacts, (b) a warm-cache repeat returns without a solve, and
+//! (c) a worker crash or blown budget yields a tagged degraded-tier
+//! response with the daemon still serving.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn kd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kd"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kd-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running daemon; killed (with its worker children reaping on pipe
+/// EOF) when dropped.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(cache_dir: &std::path::Path, extra: &[&str]) -> Daemon {
+        let mut child = kd()
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--cache-dir")
+            .arg(cache_dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn kd serve");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("kd serve: listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Run `kd request` and return (stdout, stderr, success).
+fn request(daemon: &Daemon, extra: &[&str]) -> (String, String, bool) {
+    let out = kd()
+        .arg("request")
+        .arg("--addr")
+        .arg(&daemon.addr)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run kd request");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+fn offline_analyze(extra: &[&str]) -> String {
+    let out = kd()
+        .arg("analyze")
+        .arg("--model")
+        .arg("TinyDTLS")
+        .args(extra)
+        .output()
+        .expect("run kd analyze");
+    assert!(out.status.success(), "offline analyze failed");
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+#[test]
+fn served_bytes_match_offline_analyze_and_warm_repeats_skip_the_solve() {
+    let cache = temp_dir("warm");
+    let daemon = Daemon::start(&cache, &["--shards", "2"]);
+    let offline = offline_analyze(&[]);
+
+    // (a) Cold request: solved by a worker process, byte-identical.
+    let (report, meta, ok) = request(&daemon, &["--model", "TinyDTLS"]);
+    assert!(ok, "cold request failed: {meta}");
+    assert_eq!(report, offline, "served bytes differ from offline analyze");
+    assert!(meta.contains("tier=full"), "{meta}");
+    assert!(meta.contains("cache=stored"), "{meta}");
+
+    // (b) Warm repeat: cache hit, no solve, same bytes.
+    let (report2, meta2, ok2) = request(&daemon, &["--model", "TinyDTLS"]);
+    assert!(ok2);
+    assert_eq!(report2, offline);
+    assert!(meta2.contains("cache=hit"), "{meta2}");
+
+    // Fingerprint-only repeat (no module bytes on the wire at all).
+    let fp = meta
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("fingerprint="))
+        .expect("fingerprint in meta")
+        .to_string();
+    let (report3, meta3, ok3) = request(&daemon, &["--fingerprint", &fp]);
+    assert!(ok3, "fingerprint request failed: {meta3}");
+    assert_eq!(report3, offline);
+    assert!(meta3.contains("cache=hit"), "{meta3}");
+
+    // The store is shared with the offline CLI: `kd analyze --cache-dir`
+    // sees the daemon's artifact and serves the same bytes.
+    let shared = offline_analyze(&["--cache-dir", cache.to_str().expect("utf8 path")]);
+    assert_eq!(shared, offline);
+}
+
+#[test]
+fn killed_worker_degrades_the_request_and_the_daemon_keeps_serving() {
+    let cache = temp_dir("kill");
+    let daemon = Daemon::start(&cache, &["--shards", "1", "--unsafe-faults"]);
+
+    // (c) The fault directive kills the worker mid-request; the retry
+    // replacement is killed too; the router then sheds. The client still
+    // gets a well-formed, tier-tagged answer — never a dropped request.
+    let (report, meta, ok) = request(&daemon, &["--model", "TinyDTLS", "--fault", "kill"]);
+    assert!(ok, "faulted request must still be answered: {meta}");
+    assert!(meta.contains("tier=steensgaard"), "{meta}");
+    assert_eq!(
+        report,
+        offline_analyze(&["--budget", "1"]),
+        "the shed answer is the reproducible budget-1 artifact"
+    );
+
+    // The daemon is still up and serves full-tier answers afterwards.
+    let (report2, meta2, ok2) = request(&daemon, &["--model", "TinyDTLS"]);
+    assert!(ok2, "daemon died after worker kill: {meta2}");
+    assert!(meta2.contains("tier=full"), "{meta2}");
+    assert_eq!(report2, offline_analyze(&[]));
+}
+
+#[test]
+fn blown_tenant_budget_yields_a_tagged_degraded_response() {
+    let cache = temp_dir("budget");
+    let daemon = Daemon::start(&cache, &["--shards", "1", "--tenant-budget", "1"]);
+    let (report, meta, ok) = request(&daemon, &["--model", "TinyDTLS"]);
+    assert!(ok, "budgeted request failed: {meta}");
+    assert!(meta.contains("tier=steensgaard"), "{meta}");
+    assert!(meta.contains("degraded=8"), "{meta}");
+    assert_eq!(report, offline_analyze(&["--budget", "1"]));
+}
+
+#[test]
+fn malformed_wire_traffic_cannot_take_the_daemon_down() {
+    use std::io::Write as _;
+    let cache = temp_dir("garbage");
+    let daemon = Daemon::start(&cache, &[]);
+    {
+        let mut stream = std::net::TcpStream::connect(&daemon.addr).expect("connect");
+        stream
+            .write_all(b"complete garbage\n{\"id\":\"x\"}\n\x00\x01\n")
+            .expect("send");
+        let mut replies = String::new();
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        stream.read_to_string(&mut replies).expect("read");
+        assert_eq!(replies.lines().count(), 3, "every line answered: {replies}");
+        for line in replies.lines() {
+            assert!(line.contains("\"status\":\"error\""), "{line}");
+        }
+    }
+    let (_, meta, ok) = request(&daemon, &["--model", "TinyDTLS"]);
+    assert!(ok, "daemon died after garbage: {meta}");
+}

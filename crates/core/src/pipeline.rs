@@ -81,6 +81,36 @@ impl PolicyConfig {
     pub fn any(&self) -> bool {
         self.ctx || self.pa || self.pwc
     }
+
+    /// Parse a configuration name: `baseline`/`none`, `all`/`kaleidoscope`/
+    /// `full`, or policy parts joined by `-` (`ctx`, `pa`, `pwc`, with an
+    /// optional leading `kd`), case-insensitive. This is the one parser
+    /// shared by the CLI and the serve protocol, so a config name means the
+    /// same thing to `kd analyze` and to a daemon request.
+    pub fn parse(name: &str) -> Result<PolicyConfig, String> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "baseline" | "none" => return Ok(PolicyConfig::none()),
+            "all" | "kaleidoscope" | "full" => return Ok(PolicyConfig::all()),
+            _ => {}
+        }
+        let mut c = PolicyConfig::none();
+        for part in lower.split('-') {
+            match part {
+                "kd" => {}
+                "ctx" => c.ctx = true,
+                "pa" => c.pa = true,
+                "pwc" => c.pwc = true,
+                other => return Err(format!("unknown policy `{other}` in `{name}`")),
+            }
+        }
+        Ok(c)
+    }
+
+    /// Stable wire/cache key for a configuration (`ctx`/`pa`/`pwc` bits).
+    pub fn key(&self) -> u8 {
+        (self.ctx as u8) | (self.pa as u8) << 1 | (self.pwc as u8) << 2
+    }
 }
 
 impl fmt::Display for PolicyConfig {

@@ -1,0 +1,296 @@
+//! Content-addressed **on-disk** artifact store shared by the CLI and the
+//! serve daemon.
+//!
+//! The in-memory [`ArtifactCache`](crate::ArtifactCache) memoizes solve
+//! artifacts within one process; this store persists the two artifacts
+//! worth sharing *across* processes:
+//!
+//! * **Modules** — canonical textual IR keyed by its content
+//!   [`fingerprint`](kaleidoscope_ir::Module::fingerprint), so a client can
+//!   submit a module once and query by fingerprint afterwards.
+//! * **Reports** — rendered `analyze` reports keyed by
+//!   `(fingerprint, config scope, stats flag, PTS_REPR_VERSION)`. Only
+//!   *healthy* reports are stored: a degraded report depends on the budget
+//!   that tripped it, and budgets are excluded from cache keys by the same
+//!   argument as the in-memory cache (the fixpoint is unique, so any solve
+//!   that completes produces the same bytes).
+//!
+//! # Layout
+//!
+//! ```text
+//! <cache-dir>/
+//!   modules/<fp:016x>.kir                canonical module text
+//!   reports/<fp:016x>-<scope>-v<N>.txt   healthy analyze report
+//!   reports/<fp:016x>-<scope>-v<N>.sum   "<fnv64:016x> <len>" integrity sidecar
+//! ```
+//!
+//! `<scope>` is `call` (the full Table-3 matrix) or `c<k>` for a single
+//! configuration (`k` = [`PolicyConfig::key`]), with an `s` suffix when
+//! solver stats rows are included. `<N>` is
+//! [`PTS_REPR_VERSION`](kaleidoscope_pta::PTS_REPR_VERSION), so a
+//! representation change can never serve a stale report.
+//!
+//! Every fetch is verified against the sidecar checksum; a mismatch (torn
+//! write, manual edit) is treated as a miss and the entry is recomputed.
+//! Writes go to a temp file in the same directory and are published with an
+//! atomic rename, so concurrent daemon workers and CLI runs can share one
+//! directory without locking — last writer wins with identical bytes.
+//!
+//! The directory is chosen by `--cache-dir`, falling back to the
+//! `KD_CACHE_DIR` environment variable; with neither, callers run without
+//! a disk store (the CLI) or pick their own default (the daemon).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kaleidoscope::PolicyConfig;
+
+/// Environment variable naming the shared cache directory.
+pub const CACHE_DIR_ENV: &str = "KD_CACHE_DIR";
+
+/// What an analyze report covered: the whole Table-3 matrix or a single
+/// configuration, with or without solver-stats rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportScope {
+    /// `None` = all eight Table-3 configurations in order.
+    pub config: Option<PolicyConfig>,
+    /// Whether solver counters are included in the report.
+    pub stats: bool,
+}
+
+impl ReportScope {
+    /// The filename fragment for this scope.
+    fn tag(&self) -> String {
+        let base = match self.config {
+            None => "all".to_string(),
+            Some(c) => format!("c{}", c.key()),
+        };
+        if self.stats {
+            format!("{base}s")
+        } else {
+            base
+        }
+    }
+}
+
+/// Traffic counters for the disk store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Report lookups performed.
+    pub report_lookups: u64,
+    /// Report lookups served from disk (verified).
+    pub report_hits: u64,
+    /// Entries rejected by checksum verification.
+    pub verify_failures: u64,
+}
+
+/// The on-disk artifact store. See the module docs for the layout.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    report_lookups: AtomicU64,
+    report_hits: AtomicU64,
+    verify_failures: AtomicU64,
+}
+
+/// FNV-1a over bytes — same family as the module fingerprint, cheap and
+/// dependency-free.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+impl DiskCache {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("modules"))?;
+        fs::create_dir_all(dir.join("reports"))?;
+        Ok(DiskCache {
+            dir,
+            report_lookups: AtomicU64::new(0),
+            report_hits: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// Resolve a store from an explicit `--cache-dir` value, falling back
+    /// to `KD_CACHE_DIR`. `Ok(None)` means neither is set.
+    pub fn resolve(flag: Option<&str>) -> io::Result<Option<DiskCache>> {
+        let dir = flag
+            .map(str::to_owned)
+            .or_else(|| std::env::var(CACHE_DIR_ENV).ok().filter(|s| !s.is_empty()));
+        dir.map(DiskCache::open).transpose()
+    }
+
+    /// The root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            report_lookups: self.report_lookups.load(Ordering::Relaxed),
+            report_hits: self.report_hits.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    fn module_path(&self, fp: u64) -> PathBuf {
+        self.dir.join("modules").join(format!("{fp:016x}.kir"))
+    }
+
+    fn report_path(&self, fp: u64, scope: ReportScope) -> PathBuf {
+        self.dir.join("reports").join(format!(
+            "{fp:016x}-{}-v{}.txt",
+            scope.tag(),
+            kaleidoscope_pta::PTS_REPR_VERSION
+        ))
+    }
+
+    /// Atomically publish `content` at `path` (same-directory temp file +
+    /// rename, so readers never observe a torn file).
+    fn publish(path: &Path, content: &str) -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, content)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Store a module's canonical text under fingerprint `fp`.
+    ///
+    /// `text` must be the canonical form ([`Module::to_text`]
+    /// (kaleidoscope_ir::Module::to_text)) so that re-parsing the stored
+    /// text yields the same fingerprint.
+    pub fn put_module(&self, fp: u64, text: &str) -> io::Result<()> {
+        let path = self.module_path(fp);
+        if path.exists() {
+            return Ok(()); // content-addressed: identical by construction
+        }
+        Self::publish(&path, text)
+    }
+
+    /// Fetch a module's canonical text by fingerprint.
+    pub fn get_module(&self, fp: u64) -> Option<String> {
+        fs::read_to_string(self.module_path(fp)).ok()
+    }
+
+    /// Store a healthy analyze report.
+    pub fn put_report(&self, fp: u64, scope: ReportScope, text: &str) -> io::Result<()> {
+        let path = self.report_path(fp, scope);
+        Self::publish(&path, text)?;
+        let sum = format!("{:016x} {}", fnv64(text.as_bytes()), text.len());
+        Self::publish(&path.with_extension("sum"), &sum)
+    }
+
+    /// Fetch a verified report; checksum mismatches count as misses (and
+    /// bump `verify_failures`) so a torn or tampered entry is recomputed,
+    /// never served.
+    pub fn get_report(&self, fp: u64, scope: ReportScope) -> Option<String> {
+        self.report_lookups.fetch_add(1, Ordering::Relaxed);
+        let path = self.report_path(fp, scope);
+        let text = fs::read_to_string(&path).ok()?;
+        let sum = fs::read_to_string(path.with_extension("sum")).ok()?;
+        let want = format!("{:016x} {}", fnv64(text.as_bytes()), text.len());
+        if sum != want {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.report_hits.fetch_add(1, Ordering::Relaxed);
+        Some(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("kd-diskcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn module_round_trip_by_fingerprint() {
+        let cache = DiskCache::open(tmpdir("mod")).unwrap();
+        assert_eq!(cache.get_module(0xBEEF), None);
+        cache.put_module(0xBEEF, "module \"m\" {\n}\n").unwrap();
+        assert_eq!(
+            cache.get_module(0xBEEF).as_deref(),
+            Some("module \"m\" {\n}\n")
+        );
+    }
+
+    #[test]
+    fn report_round_trip_and_scope_separation() {
+        let cache = DiskCache::open(tmpdir("rep")).unwrap();
+        let all = ReportScope {
+            config: None,
+            stats: false,
+        };
+        let one = ReportScope {
+            config: Some(PolicyConfig::all()),
+            stats: false,
+        };
+        cache.put_report(1, all, "full matrix\n").unwrap();
+        assert_eq!(cache.get_report(1, all).as_deref(), Some("full matrix\n"));
+        assert_eq!(cache.get_report(1, one), None, "scopes don't alias");
+        assert_eq!(cache.get_report(2, all), None, "fingerprints don't alias");
+        let stats = cache.stats();
+        assert_eq!(stats.report_lookups, 3);
+        assert_eq!(stats.report_hits, 1);
+    }
+
+    #[test]
+    fn corrupt_report_is_a_miss_not_a_wrong_answer() {
+        let dir = tmpdir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        let scope = ReportScope {
+            config: None,
+            stats: true,
+        };
+        cache.put_report(7, scope, "pristine\n").unwrap();
+        // Damage the stored report behind the store's back.
+        let path = cache.report_path(7, scope);
+        fs::write(&path, "tampered\n").unwrap();
+        assert_eq!(cache.get_report(7, scope), None);
+        assert_eq!(cache.stats().verify_failures, 1);
+        // Re-publishing repairs the entry.
+        cache.put_report(7, scope, "pristine\n").unwrap();
+        assert_eq!(cache.get_report(7, scope).as_deref(), Some("pristine\n"));
+    }
+
+    #[test]
+    fn resolve_prefers_flag_over_env() {
+        let dir = tmpdir("resolve");
+        let c = DiskCache::resolve(Some(dir.to_str().unwrap()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(c.dir(), dir.as_path());
+        // No flag and (in the test environment) no env: disabled. Guard the
+        // assertion so a developer's exported KD_CACHE_DIR doesn't fail it.
+        if std::env::var(CACHE_DIR_ENV).is_err() {
+            assert!(DiskCache::resolve(None).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn repr_version_partitions_reports() {
+        let cache = DiskCache::open(tmpdir("repr")).unwrap();
+        let scope = ReportScope {
+            config: None,
+            stats: false,
+        };
+        let path = cache.report_path(3, scope);
+        assert!(path
+            .to_string_lossy()
+            .contains(&format!("-v{}", kaleidoscope_pta::PTS_REPR_VERSION)));
+    }
+}

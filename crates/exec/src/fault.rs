@@ -28,14 +28,21 @@ pub enum FaultKind {
     /// The cell's optimistic cache entry is corrupted before the fetch,
     /// so content verification rejects it.
     CacheCorruption,
+    /// The worker hosting the cell dies mid-solve. In the in-process
+    /// executor this is an abrupt unwind out of the solve (caught by
+    /// cell isolation, degrading to the fallback rung); the serve
+    /// daemon's process shards reproduce the same class of failure with
+    /// a real `exit()` via the request-level `fault:"kill"` directive.
+    WorkerKill,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 4] = [
+    const ALL: [FaultKind; 5] = [
         FaultKind::CellPanic,
         FaultKind::OptimisticBudget,
         FaultKind::CacheCorruption,
         FaultKind::FallbackBudget,
+        FaultKind::WorkerKill,
     ];
 }
 
@@ -84,7 +91,7 @@ impl FaultPlan {
 
     /// A seeded plan: `n` faults at distinct cells of a
     /// `modules × configs` matrix, cycling through the fault kinds so
-    /// every plan of `n ≥ 4` exercises every kind. Config column 0 is
+    /// every plan of `n ≥ 5` exercises every kind. Config column 0 is
     /// excluded (see [`FaultPlan::inject`]). `n` is clamped to the number
     /// of eligible cells.
     pub fn seeded(seed: u64, modules: usize, configs: usize, n: usize) -> FaultPlan {
@@ -138,10 +145,10 @@ mod tests {
 
     #[test]
     fn seeded_plan_covers_all_kinds_and_clamps() {
-        let p = FaultPlan::seeded(7, 9, 8, 4);
+        let p = FaultPlan::seeded(7, 9, 8, 5);
         let kinds: Vec<FaultKind> = p.iter().map(|(_, k)| k).collect();
         for k in FaultKind::ALL {
-            assert!(kinds.contains(&k), "{k:?} missing from a 4-fault plan");
+            assert!(kinds.contains(&k), "{k:?} missing from a 5-fault plan");
         }
         assert_eq!(FaultPlan::seeded(7, 2, 8, 100).len(), 14, "clamped");
         assert!(FaultPlan::seeded(7, 0, 8, 3).is_empty());

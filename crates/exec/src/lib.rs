@@ -54,12 +54,16 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+mod diskcache;
 #[cfg(feature = "fault-injection")]
 mod fault;
+mod report;
 
 pub use cache::{ArtifactCache, CacheStats, FetchError};
+pub use diskcache::{DiskCache, DiskCacheStats, ReportScope, CACHE_DIR_ENV};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultKind, FaultPlan};
+pub use report::{render_analyze, AnalyzeReport};
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -253,6 +257,13 @@ impl Executor {
         #[cfg(feature = "fault-injection")]
         if fault == Some(FaultKind::CellPanic) {
             panic!("injected fault: cell panic at {cell:?}");
+        }
+
+        #[cfg(feature = "fault-injection")]
+        if fault == Some(FaultKind::WorkerKill) {
+            // The in-process stand-in for a worker death: an abrupt
+            // unwind out of the solve, caught by cell isolation.
+            panic!("injected fault: worker killed mid-solve at {cell:?}");
         }
 
         let fp = module.fingerprint();

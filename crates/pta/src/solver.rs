@@ -931,6 +931,67 @@ impl<'m> Solver<'m> {
         self.push(root);
     }
 
+    /// Batched merge of one collapsed SCC's mergeable members.
+    ///
+    /// [`merge_into`](Solver::merge_into) merges pairwise, so collapsing a
+    /// k-cycle one member at a time cascades: an intermediate winner's
+    /// accumulated points-to set and constraint lists can be copied again
+    /// when a later merge picks the other side as representative. Here the
+    /// union-find merges happen first, so the final representative is known
+    /// before any set moves, and every loser's points-to set and constraint
+    /// lists are unioned/moved into that representative exactly once per
+    /// cycle. The fixpoint is unchanged (set union is associative and
+    /// commutative); only the number of words touched shrinks.
+    fn merge_cycle_members(&mut self, mergeable: &[NodeId], obs: &mut dyn SolverObserver) {
+        debug_assert!(mergeable.len() > 1);
+        // Phase 1: union-find only. Track the surviving representative and
+        // the losers whose solver state still needs to move.
+        let mut rep = mergeable[0];
+        let mut losers: Vec<NodeId> = Vec::with_capacity(mergeable.len() - 1);
+        for &m in &mergeable[1..] {
+            if let Some((winner, loser)) = self.nodes.merge(m, rep) {
+                rep = winner;
+                losers.push(loser);
+            }
+        }
+        if losers.is_empty() {
+            return;
+        }
+        // Phase 2: move points-to sets and constraint lists straight into
+        // the final representative — one union per loser, no cascade.
+        let w = rep.index();
+        let mut added = std::mem::take(&mut self.scratch.merge_added);
+        added.clear();
+        for &loser in &losers {
+            let l = loser.index();
+            debug_assert_ne!(l, w);
+            let (loser_pts, winner_pts) = two_mut(&mut self.pts, l, w);
+            self.stats.union_words += winner_pts.union_from(loser_pts, &mut added);
+            loser_pts.clear();
+            self.prop[l].clear();
+            let moved = std::mem::take(&mut self.copy_out[l]);
+            self.copy_out[w].extend(moved);
+            let moved = std::mem::take(&mut self.loads[l]);
+            self.loads[w].extend(moved);
+            let moved = std::mem::take(&mut self.stores[l]);
+            self.stores[w].extend(moved);
+            let moved = std::mem::take(&mut self.fields[l]);
+            self.fields[w].extend(moved);
+            let moved = std::mem::take(&mut self.ariths[l]);
+            self.ariths[w].extend(moved);
+            let moved = std::mem::take(&mut self.elems[l]);
+            self.elems[w].extend(moved);
+            let moved = std::mem::take(&mut self.icalls_by_fnptr[l]);
+            self.icalls_by_fnptr[w].extend(moved);
+        }
+        if !added.is_empty() {
+            obs.pts_grew(&self.nodes, rep, &added);
+        }
+        self.scratch.merge_added = added;
+        self.prop[w].clear();
+        self.push(rep);
+    }
+
     /// Merge node `a` into `b` (union-find + solver state).
     fn merge_into(&mut self, a: NodeId, b: NodeId, obs: &mut dyn SolverObserver) {
         let Some((winner, loser)) = self.nodes.merge(a, b) else {
@@ -1055,10 +1116,7 @@ impl<'m> Solver<'m> {
                     .collect();
                 if mergeable.len() > 1 {
                     obs.cycle_collapsed(&self.nodes, &mergeable, false);
-                    let rep = mergeable[0];
-                    for &m in &mergeable[1..] {
-                        self.merge_into(m, rep, obs);
-                    }
+                    self.merge_cycle_members(&mergeable, obs);
                     self.stats.collapsed_cycles += 1;
                     changed = true;
                 }
@@ -1143,10 +1201,7 @@ impl<'m> Solver<'m> {
                 .collect();
             if mergeable.len() > 1 {
                 obs.cycle_collapsed(&self.nodes, &mergeable, true);
-                let rep = mergeable[0];
-                for &m in &mergeable[1..] {
-                    self.merge_into(m, rep, obs);
-                }
+                self.merge_cycle_members(&mergeable, obs);
                 self.stats.collapsed_cycles += 1;
             }
         }

@@ -1,0 +1,181 @@
+//! Admission control: per-tenant quotas and the shed decision.
+//!
+//! This is the degradation ladder applied at the front door. PR 3's
+//! `SolveBudget` bounded one solve; a [`TenantQuota`] bounds a tenant —
+//! how many solves may be in flight at once, how long each request may
+//! take, how large a module it may submit, and how much solver budget a
+//! single request may burn. When a tenant is over its concurrency quota
+//! the router does not queue (queues turn overload into latency for
+//! everyone): it *sheds* — answers immediately from a cheaper rung of
+//! the ladder (cached artifact, else an in-daemon Steensgaard-tier
+//! solve) and tags the response with the tier served. Nothing is ever
+//! dropped.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-tenant resource bounds.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Solves in flight at once before requests shed.
+    pub max_concurrent: usize,
+    /// Per-request wall-clock deadline (ms); a worker that misses it is
+    /// killed and the request degraded.
+    pub deadline_ms: u64,
+    /// Largest accepted inline module (bytes); larger submissions are
+    /// rejected outright, not degraded.
+    pub max_module_bytes: usize,
+    /// Cap on the per-request solve budget; `None` = unbudgeted full
+    /// solves allowed.
+    pub budget: Option<usize>,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_concurrent: 4,
+            deadline_ms: 30_000,
+            max_module_bytes: 4 << 20,
+            budget: None,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// The solve budget a request is actually dispatched with: the
+    /// stricter of what the client asked for and what the quota allows.
+    pub fn effective_budget(&self, requested: Option<usize>) -> Option<usize> {
+        match (requested, self.budget) {
+            (Some(r), Some(q)) => Some(r.min(q)),
+            (r, q) => r.or(q),
+        }
+    }
+}
+
+/// Outcome of asking to admit one request.
+pub enum Decision {
+    /// Under quota: holds a concurrency slot until dropped.
+    Admit(Permit),
+    /// Over quota: answer from a cheaper tier instead.
+    Shed,
+}
+
+/// An in-flight slot; releases on drop (including on panic or early
+/// return, so a crashed request can never leak quota).
+pub struct Permit {
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Tracks in-flight counts per tenant and decides admit-vs-shed.
+pub struct Admission {
+    quota: TenantQuota,
+    tenants: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+    shed: AtomicU64,
+    admitted: AtomicU64,
+}
+
+impl Admission {
+    /// Gate with one quota applied to every tenant (per-tenant counters,
+    /// shared bounds).
+    pub fn new(quota: TenantQuota) -> Admission {
+        Admission {
+            quota,
+            tenants: Mutex::new(HashMap::new()),
+            shed: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// The quota in force.
+    pub fn quota(&self) -> &TenantQuota {
+        &self.quota
+    }
+
+    /// Try to claim an in-flight slot for `tenant`.
+    pub fn admit(&self, tenant: &str) -> Decision {
+        let counter = {
+            let mut tenants = self.tenants.lock().expect("admission lock poisoned");
+            tenants
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(AtomicUsize::new(0)))
+                .clone()
+        };
+        // Optimistically claim, back out if over — avoids a CAS loop and
+        // over-admits by at most the number of simultaneous racers.
+        let prev = counter.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.quota.max_concurrent {
+            counter.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Decision::Shed;
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Decision::Admit(Permit { in_flight: counter })
+    }
+
+    /// (admitted, shed) counts since startup — the load bench's
+    /// shed-rate numerator and denominator.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.admitted.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_quota_then_sheds_then_recovers() {
+        let adm = Admission::new(TenantQuota {
+            max_concurrent: 2,
+            ..TenantQuota::default()
+        });
+        let a = adm.admit("t");
+        let b = adm.admit("t");
+        let (Decision::Admit(_pa), Decision::Admit(pb)) = (a, b) else {
+            panic!("first two admit");
+        };
+        assert!(matches!(adm.admit("t"), Decision::Shed));
+        drop(pb);
+        assert!(matches!(adm.admit("t"), Decision::Admit(_)));
+        let (admitted, shed) = adm.counters();
+        assert_eq!((admitted, shed), (3, 1));
+    }
+
+    #[test]
+    fn tenants_have_independent_counters() {
+        let adm = Admission::new(TenantQuota {
+            max_concurrent: 1,
+            ..TenantQuota::default()
+        });
+        let _a = match adm.admit("a") {
+            Decision::Admit(p) => p,
+            Decision::Shed => panic!("a admits"),
+        };
+        assert!(matches!(adm.admit("b"), Decision::Admit(_)));
+        assert!(matches!(adm.admit("a"), Decision::Shed));
+    }
+
+    #[test]
+    fn effective_budget_takes_the_stricter_bound() {
+        let q = TenantQuota {
+            budget: Some(100),
+            ..TenantQuota::default()
+        };
+        assert_eq!(q.effective_budget(None), Some(100));
+        assert_eq!(q.effective_budget(Some(50)), Some(50));
+        assert_eq!(q.effective_budget(Some(500)), Some(100));
+        let unlimited = TenantQuota::default();
+        assert_eq!(unlimited.effective_budget(None), None);
+        assert_eq!(unlimited.effective_budget(Some(7)), Some(7));
+    }
+}

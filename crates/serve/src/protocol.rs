@@ -1,0 +1,537 @@
+//! The wire protocol: newline-delimited JSON objects, one per message.
+//!
+//! Both hops speak the same frames — clients to the daemon over TCP, and
+//! the daemon to its worker children over stdin/stdout pipes — so a worker
+//! is just a server with a pipe for a socket. JSON string escapes cover
+//! `\n`, which is what makes one-object-per-line a sound framing: a module
+//! body full of newlines still arrives as a single line.
+//!
+//! Everything here is hand-rolled (encoder, tokenizer, object parser), in
+//! keeping with the workspace's no-external-dependencies rule; the grammar
+//! is restricted to what the protocol needs — one flat object per message
+//! with string / integer / boolean / null fields.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A request, as carried on the wire.
+///
+/// The program is given either inline (`module`, textual IR) or by content
+/// `fingerprint` (hex, as reported by a previous response) — exactly one
+/// must be present. Everything else is optional.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id, echoed verbatim on the response.
+    pub id: String,
+    /// Tenant the request is accounted against (default `"default"`).
+    pub tenant: String,
+    /// Inline textual IR.
+    pub module: Option<String>,
+    /// Content fingerprint of a previously-submitted module (hex).
+    pub fingerprint: Option<u64>,
+    /// Configuration name (`baseline`, `kd-ctx-pa`, `all`, …); absent =
+    /// the full eight-configuration Table-3 matrix.
+    pub config: Option<String>,
+    /// Include solver counters in the report.
+    pub stats: bool,
+    /// Per-request solve budget (worklist iterations), capped by the
+    /// tenant quota.
+    pub budget: Option<usize>,
+    /// Fault directive for tests (`"kill"`); honored only by workers
+    /// started with `--unsafe-faults`.
+    pub fault: Option<String>,
+}
+
+impl Request {
+    /// A minimal request for `module` text under the default tenant.
+    pub fn inline(id: &str, module: &str) -> Request {
+        Request {
+            id: id.to_string(),
+            tenant: "default".to_string(),
+            module: Some(module.to_string()),
+            fingerprint: None,
+            config: None,
+            stats: false,
+            budget: None,
+            fault: None,
+        }
+    }
+}
+
+/// How the response was produced relative to the shared artifact store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Served from the store without a solve.
+    Hit,
+    /// Solved; the result was not storable (degraded or store disabled).
+    Miss,
+    /// Solved and the healthy report was published to the store.
+    Stored,
+}
+
+impl CacheDisposition {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Stored => "stored",
+        }
+    }
+
+    fn parse(s: &str) -> Option<CacheDisposition> {
+        Some(match s {
+            "hit" => CacheDisposition::Hit,
+            "miss" => CacheDisposition::Miss,
+            "stored" => CacheDisposition::Stored,
+            _ => return None,
+        })
+    }
+}
+
+/// A response, as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The analysis ran (possibly degraded) and produced a report.
+    Ok {
+        /// The request id, echoed.
+        id: String,
+        /// The rendered report — byte-identical to `kd analyze` output
+        /// for the same module, configuration, and effective budget.
+        report: String,
+        /// The tier actually served: `full`, `fallback`, or
+        /// `steensgaard` (the ladder's rungs, worst cell wins).
+        tier: String,
+        /// Relation to the shared artifact store.
+        cache: CacheDisposition,
+        /// Module content fingerprint (usable in follow-up requests).
+        fingerprint: u64,
+        /// Number of degraded configuration cells in the report.
+        degraded: u64,
+    },
+    /// The request could not be served at all (parse error, unknown
+    /// fingerprint, quota on module size, …).
+    Error {
+        /// The request id if one was recovered, else `"?"`.
+        id: String,
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Ok { id, .. } | Response::Error { id, .. } => id,
+        }
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encode a request as one JSON line (no trailing newline).
+pub fn encode_request(r: &Request) -> String {
+    let mut out = String::from("{\"id\":");
+    push_json_str(&mut out, &r.id);
+    out.push_str(",\"tenant\":");
+    push_json_str(&mut out, &r.tenant);
+    if let Some(m) = &r.module {
+        out.push_str(",\"module\":");
+        push_json_str(&mut out, m);
+    }
+    if let Some(fp) = r.fingerprint {
+        out.push_str(",\"fingerprint\":");
+        push_json_str(&mut out, &format!("{fp:016x}"));
+    }
+    if let Some(c) = &r.config {
+        out.push_str(",\"config\":");
+        push_json_str(&mut out, c);
+    }
+    if r.stats {
+        out.push_str(",\"stats\":true");
+    }
+    if let Some(b) = r.budget {
+        let _ = write!(out, ",\"budget\":{b}");
+    }
+    if let Some(f) = &r.fault {
+        out.push_str(",\"fault\":");
+        push_json_str(&mut out, f);
+    }
+    out.push('}');
+    out
+}
+
+/// Encode a response as one JSON line (no trailing newline).
+pub fn encode_response(r: &Response) -> String {
+    let mut out = String::from("{\"id\":");
+    push_json_str(&mut out, r.id());
+    match r {
+        Response::Ok {
+            report,
+            tier,
+            cache,
+            fingerprint,
+            degraded,
+            ..
+        } => {
+            out.push_str(",\"status\":\"ok\",\"tier\":");
+            push_json_str(&mut out, tier);
+            let _ = write!(out, ",\"cache\":\"{}\"", cache.as_str());
+            out.push_str(",\"fingerprint\":");
+            push_json_str(&mut out, &format!("{fingerprint:016x}"));
+            let _ = write!(out, ",\"degraded\":{degraded}");
+            out.push_str(",\"report\":");
+            push_json_str(&mut out, report);
+        }
+        Response::Error { error, .. } => {
+            out.push_str(",\"status\":\"error\",\"error\":");
+            push_json_str(&mut out, error);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A parsed flat JSON value (the protocol never nests).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+}
+
+/// A protocol-level parse failure; the daemon answers these with an
+/// `error` response rather than dropping the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed message: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn bad(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parse one flat JSON object into a field map.
+fn parse_object(line: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(' ' | '\t')) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<String, ParseError> {
+        if chars.next() != Some('"') {
+            return Err(bad("expected string"));
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(bad("unterminated string")),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars.next().ok_or_else(|| bad("truncated \\u escape"))?;
+                            code = code * 16
+                                + d.to_digit(16).ok_or_else(|| bad("bad \\u escape digit"))?;
+                        }
+                        s.push(char::from_u32(code).ok_or_else(|| bad("bad \\u code point"))?);
+                    }
+                    other => return Err(bad(format!("bad escape {other:?}"))),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err(bad("expected `{`"));
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(bad(format!("expected `:` after key `{key}`")));
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some('"') => Value::Str(parse_string(&mut chars)?),
+                Some('t') => {
+                    for expect in "true".chars() {
+                        if chars.next() != Some(expect) {
+                            return Err(bad("bad literal"));
+                        }
+                    }
+                    Value::Bool(true)
+                }
+                Some('f') => {
+                    for expect in "false".chars() {
+                        if chars.next() != Some(expect) {
+                            return Err(bad("bad literal"));
+                        }
+                    }
+                    Value::Bool(false)
+                }
+                Some('n') => {
+                    for expect in "null".chars() {
+                        if chars.next() != Some(expect) {
+                            return Err(bad("bad literal"));
+                        }
+                    }
+                    Value::Null
+                }
+                Some(c) if c.is_ascii_digit() || *c == '-' => {
+                    let mut num = String::new();
+                    if chars.peek() == Some(&'-') {
+                        num.push('-');
+                        chars.next();
+                    }
+                    while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                        num.push(chars.next().unwrap_or('0'));
+                    }
+                    Value::Int(
+                        num.parse()
+                            .map_err(|_| bad(format!("bad integer `{num}`")))?,
+                    )
+                }
+                other => return Err(bad(format!("unexpected value start {other:?}"))),
+            };
+            fields.insert(key, value);
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(bad(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(bad("trailing bytes after object"));
+    }
+    Ok(fields)
+}
+
+fn take_str(fields: &mut BTreeMap<String, Value>, key: &str) -> Result<Option<String>, ParseError> {
+    match fields.remove(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(other) => Err(bad(format!(
+            "field `{key}` must be a string, got {other:?}"
+        ))),
+    }
+}
+
+fn take_bool(fields: &mut BTreeMap<String, Value>, key: &str) -> Result<bool, ParseError> {
+    match fields.remove(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(b),
+        Some(other) => Err(bad(format!("field `{key}` must be a bool, got {other:?}"))),
+    }
+}
+
+fn take_uint(fields: &mut BTreeMap<String, Value>, key: &str) -> Result<Option<u64>, ParseError> {
+    match fields.remove(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(n)) if n >= 0 => Ok(Some(n as u64)),
+        Some(other) => Err(bad(format!(
+            "field `{key}` must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+fn parse_fingerprint(hex: &str) -> Result<u64, ParseError> {
+    if hex.is_empty() || hex.len() > 16 {
+        return Err(bad(format!("bad fingerprint `{hex}`")));
+    }
+    u64::from_str_radix(hex, 16).map_err(|_| bad(format!("bad fingerprint `{hex}`")))
+}
+
+/// Decode a request line. Enforces the inline-xor-fingerprint rule and
+/// rejects unknown fields (protecting against silently-ignored typos).
+pub fn decode_request(line: &str) -> Result<Request, ParseError> {
+    let mut fields = parse_object(line)?;
+    let id = take_str(&mut fields, "id")?.ok_or_else(|| bad("missing `id`"))?;
+    let tenant = take_str(&mut fields, "tenant")?.unwrap_or_else(|| "default".to_string());
+    let module = take_str(&mut fields, "module")?;
+    let fingerprint = take_str(&mut fields, "fingerprint")?
+        .map(|h| parse_fingerprint(&h))
+        .transpose()?;
+    let config = take_str(&mut fields, "config")?;
+    let stats = take_bool(&mut fields, "stats")?;
+    let budget = take_uint(&mut fields, "budget")?.map(|n| n as usize);
+    let fault = take_str(&mut fields, "fault")?;
+    if let Some(unknown) = fields.keys().next() {
+        return Err(bad(format!("unknown field `{unknown}`")));
+    }
+    match (&module, &fingerprint) {
+        (None, None) => Err(bad("one of `module` or `fingerprint` is required")),
+        (Some(_), Some(_)) => Err(bad("`module` and `fingerprint` are mutually exclusive")),
+        _ => Ok(Request {
+            id,
+            tenant,
+            module,
+            fingerprint,
+            config,
+            stats,
+            budget,
+            fault,
+        }),
+    }
+}
+
+/// Decode a response line.
+pub fn decode_response(line: &str) -> Result<Response, ParseError> {
+    let mut fields = parse_object(line)?;
+    let id = take_str(&mut fields, "id")?.ok_or_else(|| bad("missing `id`"))?;
+    let status = take_str(&mut fields, "status")?.ok_or_else(|| bad("missing `status`"))?;
+    match status.as_str() {
+        "ok" => Ok(Response::Ok {
+            id,
+            report: take_str(&mut fields, "report")?.ok_or_else(|| bad("missing `report`"))?,
+            tier: take_str(&mut fields, "tier")?.ok_or_else(|| bad("missing `tier`"))?,
+            cache: take_str(&mut fields, "cache")?
+                .as_deref()
+                .and_then(CacheDisposition::parse)
+                .ok_or_else(|| bad("missing or bad `cache`"))?,
+            fingerprint: take_str(&mut fields, "fingerprint")?
+                .map(|h| parse_fingerprint(&h))
+                .transpose()?
+                .ok_or_else(|| bad("missing `fingerprint`"))?,
+            degraded: take_uint(&mut fields, "degraded")?.unwrap_or(0),
+        }),
+        "error" => Ok(Response::Error {
+            id,
+            error: take_str(&mut fields, "error")?.unwrap_or_default(),
+        }),
+        other => Err(bad(format!("unknown status `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_newlines_in_module() {
+        let mut r = Request::inline("r-1", "module \"m\" {\n  func @f {\n  }\n}\n");
+        r.config = Some("kd-ctx-pa".into());
+        r.stats = true;
+        r.budget = Some(500);
+        let line = encode_request(&r);
+        assert!(!line.contains('\n'), "framing: one message per line");
+        assert_eq!(decode_request(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn fingerprint_request_round_trips() {
+        let r = Request {
+            id: "q".into(),
+            tenant: "acme".into(),
+            module: None,
+            fingerprint: Some(0xDEAD_BEEF_0042),
+            config: None,
+            stats: false,
+            budget: None,
+            fault: None,
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            Response::Ok {
+                id: "a".into(),
+                report: "line one\nline \"two\"\n".into(),
+                tier: "full".into(),
+                cache: CacheDisposition::Stored,
+                fingerprint: 7,
+                degraded: 0,
+            },
+            Response::Error {
+                id: "b".into(),
+                error: "boom".into(),
+            },
+        ] {
+            let line = encode_response(&resp);
+            assert!(!line.contains('\n'));
+            assert_eq!(decode_response(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, why) in [
+            ("", "expected `{`"),
+            ("{\"id\":\"x\"}", "one of `module` or `fingerprint`"),
+            ("{\"module\":\"m\"}", "missing `id`"),
+            (
+                "{\"id\":\"x\",\"module\":\"m\",\"fingerprint\":\"ff\"}",
+                "mutually exclusive",
+            ),
+            (
+                "{\"id\":\"x\",\"module\":\"m\",\"bogus\":1}",
+                "unknown field",
+            ),
+            ("{\"id\":\"x\",\"module\":\"m\"} trailing", "trailing"),
+            (
+                "{\"id\":\"x\",\"module\":\"m\",\"budget\":-3}",
+                "non-negative",
+            ),
+            ("{\"id\":\"x\",\"fingerprint\":\"zz\"}", "bad fingerprint"),
+            ("{\"id\":\"x\",\"module\":\"unterminated", "unterminated"),
+        ] {
+            let e = decode_request(line).expect_err(line);
+            assert!(e.0.contains(why), "`{line}` → `{}` (wanted `{why}`)", e.0);
+        }
+    }
+
+    #[test]
+    fn control_characters_survive_the_wire() {
+        let r = Request::inline("c", "weird\u{1}\t\r\nbytes");
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+}

@@ -1,0 +1,341 @@
+//! The front door: a TCP listener, the router, and the shed path.
+//!
+//! One connection may carry many requests — each line is routed
+//! independently and answered in order. Routing is three steps:
+//!
+//! 1. **Validate** — protocol errors and over-size modules are answered
+//!    with `error` responses (a malformed line never drops a
+//!    connection).
+//! 2. **Admit** — the tenant's quota decides full service vs shed; the
+//!    per-request budget is clamped to the quota's cap either way.
+//! 3. **Serve** — admitted requests dispatch to a worker shard through
+//!    the supervisor (crash → retried once → degraded, never dropped);
+//!    shed requests are answered in-daemon from the cheapest viable
+//!    rung: the shared artifact store if it has the report, else a
+//!    one-iteration budget solve that lands on the Steensgaard tier.
+//!
+//! The shed solve renders through the same [`render_analyze`] as every
+//! other path, so a shed response is byte-identical to
+//! `kd analyze --budget 1` for the same module — degraded answers are
+//! still *reproducible* answers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_exec::{render_analyze, DiskCache, Executor, ReportScope};
+use kaleidoscope_pta::SolveBudget;
+
+use crate::admission::{Admission, Decision, TenantQuota};
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, CacheDisposition, Request,
+    Response,
+};
+use crate::shard::ShardMode;
+use crate::supervisor::{ShardHealth, Supervisor};
+use crate::worker::{resolve_module, tier_name};
+
+/// The solve budget used for shed responses: one worklist iteration,
+/// which drives every cell to the Steensgaard rung — the cheap,
+/// near-linear unification tier.
+pub const SHED_BUDGET: usize = 1;
+
+/// Daemon configuration.
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Shared artifact store, if configured.
+    pub cache: Option<Arc<DiskCache>>,
+    /// How worker shards are materialized.
+    pub mode: ShardMode,
+    /// Shards per tenant.
+    pub shards_per_tenant: usize,
+    /// Quota applied to every tenant.
+    pub quota: TenantQuota,
+    /// Executor threads for in-daemon shed solves.
+    pub shed_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache: None,
+            mode: ShardMode::Thread(crate::worker::WorkerOptions::default()),
+            shards_per_tenant: 2,
+            quota: TenantQuota::default(),
+            shed_jobs: 1,
+        }
+    }
+}
+
+/// Router traffic counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterStats {
+    /// Requests admitted to a worker shard.
+    pub admitted: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests degraded after their shard failed (crash or deadline).
+    pub degraded_after_failure: u64,
+    /// Error responses issued.
+    pub errors: u64,
+}
+
+/// Routes requests: admission, dispatch, shed. Independent of the
+/// listener so tests and the bench can drive it directly.
+pub struct Router {
+    supervisor: Supervisor,
+    admission: Admission,
+    cache: Option<Arc<DiskCache>>,
+    shed_jobs: usize,
+    degraded_after_failure: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Router {
+    /// Build the routing stack for `config`.
+    pub fn new(config: &ServeConfig) -> Router {
+        Router {
+            supervisor: Supervisor::new(config.mode.clone(), config.shards_per_tenant),
+            admission: Admission::new(config.quota.clone()),
+            cache: config.cache.clone(),
+            shed_jobs: config.shed_jobs,
+            degraded_after_failure: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Traffic counters (for the bench's shed-rate and the smoke test).
+    pub fn stats(&self) -> RouterStats {
+        let (admitted, shed) = self.admission.counters();
+        RouterStats {
+            admitted,
+            shed,
+            degraded_after_failure: self.degraded_after_failure.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-tenant shard health, from the supervisor.
+    pub fn health(&self) -> Vec<(String, Vec<ShardHealth>)> {
+        self.supervisor.health()
+    }
+
+    /// Route one already-decoded request.
+    pub fn route(&self, req: &Request) -> Response {
+        let quota = self.admission.quota();
+        if let Some(m) = &req.module {
+            if m.len() > quota.max_module_bytes {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    id: req.id.clone(),
+                    error: format!(
+                        "module is {} bytes; tenant quota admits at most {}",
+                        m.len(),
+                        quota.max_module_bytes
+                    ),
+                };
+            }
+        }
+        let mut effective = req.clone();
+        effective.budget = quota.effective_budget(req.budget);
+        let deadline = Duration::from_millis(quota.deadline_ms);
+        match self.admission.admit(&req.tenant) {
+            Decision::Admit(_permit) => match self.supervisor.dispatch(&effective, deadline) {
+                Ok(resp) => {
+                    if matches!(resp, Response::Error { .. }) {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    resp
+                }
+                Err(why) => {
+                    // Worker crashed twice or missed its deadline: the
+                    // ladder owes the client an answer anyway.
+                    self.degraded_after_failure.fetch_add(1, Ordering::Relaxed);
+                    self.shed_response(&effective, &why.to_string())
+                }
+            },
+            Decision::Shed => self.shed_response(&effective, "tenant concurrency quota"),
+        }
+    }
+
+    /// Route one raw line (the per-connection loop's body).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match decode_request(line) {
+            Ok(req) => self.route(&req),
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    id: "?".to_string(),
+                    error: e.to_string(),
+                }
+            }
+        };
+        encode_response(&response)
+    }
+
+    /// Answer without a worker: cached artifact if present, else an
+    /// in-daemon Steensgaard-tier solve under [`SHED_BUDGET`].
+    fn shed_response(&self, req: &Request, _why: &str) -> Response {
+        let cache = self.cache.as_deref();
+        let (module, fp) = match resolve_module(req, cache) {
+            Ok(m) => m,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    id: req.id.clone(),
+                    error: e,
+                };
+            }
+        };
+        let configs: Vec<PolicyConfig> = match &req.config {
+            Some(name) => match PolicyConfig::parse(name) {
+                Ok(c) => vec![c],
+                Err(e) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    return Response::Error {
+                        id: req.id.clone(),
+                        error: e,
+                    };
+                }
+            },
+            None => PolicyConfig::table3_order().to_vec(),
+        };
+        let scope = ReportScope {
+            config: if configs.len() == 1 {
+                Some(configs[0])
+            } else {
+                None
+            },
+            stats: req.stats,
+        };
+        if let Some(text) = cache.and_then(|c| c.get_report(fp, scope)) {
+            return Response::Ok {
+                id: req.id.clone(),
+                report: text,
+                tier: "full".to_string(),
+                cache: CacheDisposition::Hit,
+                fingerprint: fp,
+                degraded: 0,
+            };
+        }
+        let ex =
+            Executor::with_jobs(self.shed_jobs).with_budget(SolveBudget::iterations(SHED_BUDGET));
+        let report = render_analyze(&module, &configs, &ex, req.stats);
+        Response::Ok {
+            id: req.id.clone(),
+            report: report.text,
+            tier: tier_name(report.worst_tier).to_string(),
+            cache: CacheDisposition::Miss,
+            fingerprint: fp,
+            degraded: report.degraded as u64,
+        }
+    }
+}
+
+/// A running daemon: the bound address, the router, and the accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    router: Arc<Router>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads. Returns once the
+    /// socket is listening, so `addr()` is immediately connectable.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let router = Arc::new(Router::new(&config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_router = router.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let router = accept_router.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&router, stream);
+                });
+            }
+        });
+        Ok(Server {
+            addr,
+            router,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolved port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router, for in-process stats and health.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Stop accepting and join the accept loop. In-flight connections
+    /// finish on their own threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn serve_connection(router: &Router, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    for line in BufReader::new(stream).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{}", router.handle_line(&line))?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Client side of one request: connect, send, await the response. Used
+/// by `kd request`, the e2e tests, and the load bench.
+pub fn request_over_tcp(addr: &str, req: &Request) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect `{addr}`: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(writer, "{}", encode_request(req)).map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("receive: {e}"))?;
+    if line.is_empty() {
+        return Err("server closed the connection without answering".to_string());
+    }
+    decode_response(line.trim_end()).map_err(|e| e.to_string())
+}

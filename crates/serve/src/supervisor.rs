@@ -1,0 +1,231 @@
+//! The supervisor: per-tenant shard pools, crash recovery, health.
+//!
+//! This is PR 3's `CellHealth` idea promoted to processes: each shard is
+//! a fault domain, and the supervisor's job is to keep the *daemon*
+//! healthy no matter what a shard does. A shard that crashes or misses a
+//! deadline is discarded and respawned with bounded exponential backoff
+//! (so a crash-looping worker can't spin the machine), and the request
+//! that was in flight is retried once on a fresh shard before the caller
+//! sheds it down the degradation ladder. Requests are therefore *retried
+//! or degraded, never dropped* — the invariant the fault-injection e2e
+//! tests pin down.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+use crate::shard::{Shard, ShardError, ShardMode};
+
+/// Cumulative health of one shard slot.
+#[derive(Debug, Clone, Default)]
+pub struct ShardHealth {
+    /// Requests answered by this slot.
+    pub served: u64,
+    /// Times the slot's worker was respawned after a crash or deadline.
+    pub restarts: u64,
+    /// The most recent failure, if any.
+    pub last_error: Option<String>,
+}
+
+struct Slot {
+    shard: Option<Shard>,
+    health: ShardHealth,
+    /// Consecutive spawn/request failures; drives the backoff and resets
+    /// on any success.
+    strikes: u32,
+}
+
+struct TenantShards {
+    slots: Vec<Mutex<Slot>>,
+    next: AtomicUsize,
+}
+
+/// Supervises the worker shards for every tenant.
+pub struct Supervisor {
+    mode: ShardMode,
+    shards_per_tenant: usize,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    tenants: Mutex<HashMap<String, Arc<TenantShards>>>,
+}
+
+impl Supervisor {
+    /// A supervisor spawning `shards_per_tenant` workers per tenant in
+    /// the given mode. Backoff after the n-th consecutive failure is
+    /// `min(base << n, cap)`.
+    pub fn new(mode: ShardMode, shards_per_tenant: usize) -> Supervisor {
+        Supervisor {
+            mode,
+            shards_per_tenant: shards_per_tenant.max(1),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Override the restart backoff (tests use tiny values).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Supervisor {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    fn tenant(&self, name: &str) -> Arc<TenantShards> {
+        let mut tenants = self.tenants.lock().expect("supervisor lock poisoned");
+        tenants
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(TenantShards {
+                    slots: (0..self.shards_per_tenant)
+                        .map(|_| {
+                            Mutex::new(Slot {
+                                shard: None,
+                                health: ShardHealth::default(),
+                                strikes: 0,
+                            })
+                        })
+                        .collect(),
+                    next: AtomicUsize::new(0),
+                })
+            })
+            .clone()
+    }
+
+    fn backoff(&self, strikes: u32) -> Duration {
+        let shift = strikes.min(6);
+        (self.backoff_base * (1u32 << shift)).min(self.backoff_cap)
+    }
+
+    /// Dispatch one request to one of `tenant`'s shards.
+    ///
+    /// A shard failure (crash, deadline, bad reply) burns the shard and
+    /// retries once on a freshly-spawned replacement; a second failure
+    /// surfaces as `Err` so the caller can degrade the response. The
+    /// slot's lock is held for the duration of the request — the pipe
+    /// transport is one-request-deep by design, so concurrency comes
+    /// from shard count, not pipelining.
+    pub fn dispatch(&self, req: &Request, deadline: Duration) -> Result<Response, ShardError> {
+        let shards = self.tenant(&req.tenant);
+        let idx = shards.next.fetch_add(1, Ordering::Relaxed) % shards.slots.len();
+        let mut slot = shards.slots[idx].lock().expect("slot lock poisoned");
+        let mut last_err = None;
+        for _attempt in 0..2 {
+            if slot.shard.is_none() {
+                if slot.strikes > 0 {
+                    std::thread::sleep(self.backoff(slot.strikes - 1));
+                }
+                match Shard::spawn(&self.mode) {
+                    Ok(s) => {
+                        if slot.health.served > 0 || slot.strikes > 0 {
+                            slot.health.restarts += 1;
+                        }
+                        slot.shard = Some(s);
+                    }
+                    Err(e) => {
+                        slot.strikes += 1;
+                        slot.health.last_error = Some(e.to_string());
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let result = slot
+                .shard
+                .as_mut()
+                .map(|s| s.request(req, deadline))
+                .unwrap_or_else(|| Err(ShardError::Crashed("no shard".into())));
+            match result {
+                Ok(resp) => {
+                    slot.health.served += 1;
+                    slot.strikes = 0;
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    // The shard is unusable (dead child or killed on
+                    // deadline); drop it so the next attempt respawns.
+                    slot.shard = None;
+                    slot.strikes += 1;
+                    slot.health.last_error = Some(e.to_string());
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(ShardError::Crashed("unreachable".into())))
+    }
+
+    /// Snapshot per-tenant shard health (slot order is stable).
+    pub fn health(&self) -> Vec<(String, Vec<ShardHealth>)> {
+        let tenants = self.tenants.lock().expect("supervisor lock poisoned");
+        let mut out: Vec<(String, Vec<ShardHealth>)> = tenants
+            .iter()
+            .map(|(name, shards)| {
+                (
+                    name.clone(),
+                    shards
+                        .slots
+                        .iter()
+                        .map(|s| s.lock().expect("slot lock poisoned").health.clone())
+                        .collect(),
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerOptions;
+
+    fn module_text() -> String {
+        kaleidoscope_apps::model("TinyDTLS")
+            .expect("model")
+            .module
+            .to_text()
+    }
+
+    #[test]
+    fn thread_shards_serve_and_report_health() {
+        let sup = Supervisor::new(ShardMode::Thread(WorkerOptions::default()), 2);
+        let m = module_text();
+        for i in 0..4 {
+            let mut req = Request::inline(&format!("r{i}"), &m);
+            req.tenant = "acme".into();
+            let resp = sup.dispatch(&req, Duration::from_secs(30)).expect("served");
+            assert!(matches!(resp, Response::Ok { .. }));
+        }
+        let health = sup.health();
+        assert_eq!(health.len(), 1);
+        let (tenant, slots) = &health[0];
+        assert_eq!(tenant, "acme");
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots.iter().map(|s| s.served).sum::<u64>(), 4);
+        assert_eq!(slots.iter().map(|s| s.restarts).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn tenants_get_disjoint_shard_pools() {
+        let sup = Supervisor::new(ShardMode::Thread(WorkerOptions::default()), 1);
+        let m = module_text();
+        for tenant in ["a", "b"] {
+            let mut req = Request::inline("r", &m);
+            req.tenant = tenant.into();
+            sup.dispatch(&req, Duration::from_secs(30)).expect("served");
+        }
+        assert_eq!(sup.health().len(), 2);
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let sup = Supervisor::new(ShardMode::Thread(WorkerOptions::default()), 1)
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(40));
+        assert_eq!(sup.backoff(0), Duration::from_millis(10));
+        assert_eq!(sup.backoff(1), Duration::from_millis(20));
+        assert_eq!(sup.backoff(2), Duration::from_millis(40));
+        assert_eq!(sup.backoff(30), Duration::from_millis(40), "capped");
+    }
+}

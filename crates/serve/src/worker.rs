@@ -1,0 +1,335 @@
+//! The worker side of the daemon: parse a request, run the analysis,
+//! answer with a report.
+//!
+//! The same handler backs two execution modes:
+//!
+//! * **Process shards** — `kd worker` runs [`run_worker`] over its
+//!   stdin/stdout pipes, one request line in, one response line out. A
+//!   crash (or an injected `fault:"kill"`) takes down only this child;
+//!   the supervisor sees EOF and restarts it.
+//! * **Thread shards** — tests and the load bench call
+//!   [`handle_request`] directly, so protocol behavior can be asserted
+//!   without process spawning. Fault directives are inert here
+//!   (`unsafe_faults` is never set for thread shards).
+//!
+//! Workers consult the shared [`DiskCache`] before solving and publish
+//! healthy reports back to it, which is what makes a repeat query a cache
+//! hit regardless of which worker — or which *process* — served the first
+//! one. The cached artifact is the full-precision fixpoint, so a hit is
+//! always served at the `full` tier even when the request carried a
+//! budget: the store never holds degraded reports.
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use kaleidoscope::{DegradedTier, PolicyConfig};
+use kaleidoscope_exec::{render_analyze, DiskCache, Executor, ReportScope};
+use kaleidoscope_ir::{parse_module, verify_module, Module};
+use kaleidoscope_pta::SolveBudget;
+
+use crate::protocol::{decode_request, encode_response, CacheDisposition, Request, Response};
+
+/// Configuration a worker runs under (fixed at spawn time, not per
+/// request).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Executor worker threads per solve (`0` = available parallelism).
+    pub jobs: usize,
+    /// The shared on-disk artifact store, if configured.
+    pub cache: Option<Arc<DiskCache>>,
+    /// Honor `fault` directives in requests (test builds of the daemon
+    /// only; never set for thread shards).
+    pub unsafe_faults: bool,
+}
+
+/// The ladder rung a report was served at, as tagged on responses.
+pub fn tier_name(worst: Option<DegradedTier>) -> &'static str {
+    match worst {
+        None => "full",
+        Some(DegradedTier::Fallback) => "fallback",
+        Some(DegradedTier::Steensgaard) => "steensgaard",
+    }
+}
+
+fn error(id: &str, msg: impl Into<String>) -> Response {
+    Response::Error {
+        id: id.to_string(),
+        error: msg.into(),
+    }
+}
+
+/// Resolve the request's program to a verified module plus its canonical
+/// fingerprint, storing inline submissions in the cache for later
+/// fingerprint-only queries.
+pub(crate) fn resolve_module(
+    req: &Request,
+    cache: Option<&DiskCache>,
+) -> Result<(Module, u64), String> {
+    let text = match (&req.module, req.fingerprint) {
+        (Some(text), None) => text.clone(),
+        (None, Some(fp)) => cache.and_then(|c| c.get_module(fp)).ok_or_else(|| {
+            format!("unknown fingerprint `{fp:016x}` (submit the module inline first)")
+        })?,
+        // decode_request enforces exactly-one; direct callers get the same rule.
+        _ => return Err("one of `module` or `fingerprint` is required".to_string()),
+    };
+    let module = parse_module(&text).map_err(|e| format!("parse error: {e}"))?;
+    let problems = verify_module(&module);
+    if !problems.is_empty() {
+        return Err(format!(
+            "module failed verification: {}",
+            problems
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    let fp = module.fingerprint();
+    if let Some(c) = cache {
+        // Store the canonical form, so fetch-by-fingerprint re-parses to
+        // the same fingerprint even if the submission had odd whitespace.
+        let _ = c.put_module(fp, &module.to_text());
+    }
+    Ok((module, fp))
+}
+
+/// Serve one request. This is the single code path behind every tier:
+/// cache hits, full solves, and (in the daemon) the shed path all render
+/// through [`render_analyze`], which keeps responses byte-identical to
+/// `kd analyze` for the same module, configuration, and budget.
+pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
+    if opts.unsafe_faults {
+        if let Some(fault) = &req.fault {
+            match fault.as_str() {
+                // Simulates a worker dying mid-solve: exit without
+                // answering, leaving the supervisor a half-open pipe.
+                "kill" => std::process::exit(101),
+                other => return error(&req.id, format!("unknown fault directive `{other}`")),
+            }
+        }
+    }
+    let cache = opts.cache.as_deref();
+    let (module, fp) = match resolve_module(req, cache) {
+        Ok(m) => m,
+        Err(e) => return error(&req.id, e),
+    };
+    let configs: Vec<PolicyConfig> = match &req.config {
+        Some(name) => match PolicyConfig::parse(name) {
+            Ok(c) => vec![c],
+            Err(e) => return error(&req.id, e),
+        },
+        None => PolicyConfig::table3_order().to_vec(),
+    };
+    let scope = ReportScope {
+        config: if configs.len() == 1 {
+            Some(configs[0])
+        } else {
+            None
+        },
+        stats: req.stats,
+    };
+    if let Some(text) = cache.and_then(|c| c.get_report(fp, scope)) {
+        return Response::Ok {
+            id: req.id.clone(),
+            report: text,
+            tier: "full".to_string(),
+            cache: CacheDisposition::Hit,
+            fingerprint: fp,
+            degraded: 0,
+        };
+    }
+    let mut ex = Executor::with_jobs(opts.jobs);
+    if let Some(n) = req.budget {
+        ex = ex.with_budget(SolveBudget::iterations(n));
+    }
+    let report = render_analyze(&module, &configs, &ex, req.stats);
+    let disposition = match cache {
+        Some(c) if report.all_healthy() => {
+            // Only the full-precision fixpoint is storable; a degraded
+            // report is an artifact of this request's budget.
+            match c.put_report(fp, scope, &report.text) {
+                Ok(()) => CacheDisposition::Stored,
+                Err(_) => CacheDisposition::Miss,
+            }
+        }
+        _ => CacheDisposition::Miss,
+    };
+    Response::Ok {
+        id: req.id.clone(),
+        report: report.text,
+        tier: tier_name(report.worst_tier).to_string(),
+        cache: disposition,
+        fingerprint: fp,
+        degraded: report.degraded as u64,
+    }
+}
+
+/// The `kd worker` loop: one request line in on `input`, one response
+/// line out on `output`, until EOF. Malformed lines get an `error`
+/// response; the loop never exits early on bad input — only on EOF or a
+/// broken pipe (the supervisor restarting us).
+pub fn run_worker(
+    input: impl BufRead,
+    mut output: impl Write,
+    opts: &WorkerOptions,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match decode_request(&line) {
+            Ok(req) => handle_request(&req, opts),
+            Err(e) => error("?", e.to_string()),
+        };
+        writeln!(output, "{}", encode_response(&response))?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_module() -> String {
+        kaleidoscope_apps::model("TinyDTLS")
+            .expect("bundled model")
+            .module
+            .to_text()
+    }
+
+    fn opts_with_cache(tag: &str) -> WorkerOptions {
+        let dir = std::env::temp_dir().join(format!("kd-worker-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        WorkerOptions {
+            jobs: 2,
+            cache: Some(Arc::new(DiskCache::open(dir).expect("temp cache"))),
+            unsafe_faults: false,
+        }
+    }
+
+    #[test]
+    fn inline_request_solves_then_repeat_hits_cache() {
+        let opts = opts_with_cache("warm");
+        let req = Request::inline("cold", &tiny_module());
+        let first = handle_request(&req, &opts);
+        let Response::Ok {
+            report,
+            cache,
+            tier,
+            fingerprint,
+            ..
+        } = &first
+        else {
+            panic!("expected ok, got {first:?}");
+        };
+        assert_eq!(*cache, CacheDisposition::Stored);
+        assert_eq!(tier, "full");
+        // Repeat by fingerprint: no solve, byte-identical report.
+        let again = Request {
+            id: "warm".into(),
+            tenant: "default".into(),
+            module: None,
+            fingerprint: Some(*fingerprint),
+            config: None,
+            stats: false,
+            budget: None,
+            fault: None,
+        };
+        let second = handle_request(&again, &opts);
+        let Response::Ok {
+            report: r2,
+            cache: c2,
+            ..
+        } = &second
+        else {
+            panic!("expected ok, got {second:?}");
+        };
+        assert_eq!(*c2, CacheDisposition::Hit);
+        assert_eq!(r2, report);
+    }
+
+    #[test]
+    fn blown_budget_is_tagged_degraded_and_not_cached() {
+        let opts = opts_with_cache("budget");
+        let mut req = Request::inline("tight", &tiny_module());
+        req.budget = Some(1);
+        let resp = handle_request(&req, &opts);
+        let Response::Ok {
+            tier,
+            cache,
+            degraded,
+            ..
+        } = &resp
+        else {
+            panic!("expected ok, got {resp:?}");
+        };
+        assert_eq!(tier, "steensgaard");
+        assert_eq!(*cache, CacheDisposition::Miss);
+        assert_eq!(*degraded, 8);
+    }
+
+    #[test]
+    fn unknown_fingerprint_is_an_error_not_a_crash() {
+        let opts = opts_with_cache("nofp");
+        let req = Request {
+            id: "q".into(),
+            tenant: "default".into(),
+            module: None,
+            fingerprint: Some(0x1234),
+            config: None,
+            stats: false,
+            budget: None,
+            fault: None,
+        };
+        let resp = handle_request(&req, &opts);
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn fault_directive_is_inert_without_unsafe_faults() {
+        let opts = opts_with_cache("fault");
+        let mut req = Request::inline("f", &tiny_module());
+        req.fault = Some("kill".into());
+        // Would exit(101) if honored; instead it answers normally.
+        let resp = handle_request(&req, &opts);
+        assert!(matches!(resp, Response::Ok { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn worker_loop_answers_malformed_lines_and_keeps_going() {
+        let opts = WorkerOptions::default();
+        let module = tiny_module();
+        let good = crate::protocol::encode_request(&Request::inline("ok-1", &module));
+        let input = format!("not json at all\n\n{good}\n");
+        let mut out = Vec::new();
+        run_worker(io::BufReader::new(input.as_bytes()), &mut out, &opts).expect("io");
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 2, "one response per non-empty line");
+        assert!(matches!(
+            crate::protocol::decode_response(lines[0]).unwrap(),
+            Response::Error { .. }
+        ));
+        let ok = crate::protocol::decode_response(lines[1]).unwrap();
+        assert_eq!(ok.id(), "ok-1");
+    }
+
+    #[test]
+    fn report_matches_offline_renderer_bytes() {
+        let opts = WorkerOptions::default();
+        let module = kaleidoscope_apps::model("TinyDTLS").expect("model").module;
+        let req = Request::inline("id", &module.to_text());
+        let Response::Ok { report, .. } = handle_request(&req, &opts) else {
+            panic!("expected ok");
+        };
+        let offline = render_analyze(
+            &module,
+            &PolicyConfig::table3_order(),
+            &Executor::with_jobs(1),
+            false,
+        );
+        assert_eq!(report, offline.text);
+    }
+}

@@ -1,0 +1,111 @@
+//! Golden-fixture coverage for the wire protocol.
+//!
+//! The encoded forms below are the protocol's compatibility surface: a
+//! client written against these exact bytes must keep working, so any
+//! diff here is a wire-format break and should be treated as one.
+
+use kaleidoscope_serve::{
+    decode_request, decode_response, encode_request, encode_response, CacheDisposition, Request,
+    Response,
+};
+
+#[test]
+fn golden_minimal_request() {
+    let req = Request::inline("r1", "module \"m\" {\n}\n");
+    assert_eq!(
+        encode_request(&req),
+        r#"{"id":"r1","tenant":"default","module":"module \"m\" {\n}\n"}"#
+    );
+}
+
+#[test]
+fn golden_full_request() {
+    let req = Request {
+        id: "req-42".into(),
+        tenant: "acme".into(),
+        module: None,
+        fingerprint: Some(0x00ab_cdef_0123_4567),
+        config: Some("kd-ctx-pa".into()),
+        stats: true,
+        budget: Some(1000),
+        fault: Some("kill".into()),
+    };
+    assert_eq!(
+        encode_request(&req),
+        r#"{"id":"req-42","tenant":"acme","fingerprint":"00abcdef01234567","config":"kd-ctx-pa","stats":true,"budget":1000,"fault":"kill"}"#
+    );
+}
+
+#[test]
+fn golden_ok_response() {
+    let resp = Response::Ok {
+        id: "r1".into(),
+        report: "config line\n\tdetail\n".into(),
+        tier: "steensgaard".into(),
+        cache: CacheDisposition::Miss,
+        fingerprint: 0xfeed,
+        degraded: 8,
+    };
+    assert_eq!(
+        encode_response(&resp),
+        r#"{"id":"r1","status":"ok","tier":"steensgaard","cache":"miss","fingerprint":"000000000000feed","degraded":8,"report":"config line\n\tdetail\n"}"#
+    );
+}
+
+#[test]
+fn golden_error_response() {
+    let resp = Response::Error {
+        id: "?".into(),
+        error: "malformed message: expected `{`".into(),
+    };
+    assert_eq!(
+        encode_response(&resp),
+        r#"{"id":"?","status":"error","error":"malformed message: expected `{`"}"#
+    );
+}
+
+#[test]
+fn goldens_decode_back_to_the_same_values() {
+    // The encoder goldens above must stay parseable by our own decoder.
+    let req = decode_request(
+        r#"{"id":"req-42","tenant":"acme","fingerprint":"00abcdef01234567","config":"kd-ctx-pa","stats":true,"budget":1000,"fault":"kill"}"#,
+    )
+    .expect("golden request decodes");
+    assert_eq!(req.fingerprint, Some(0x00ab_cdef_0123_4567));
+    assert_eq!(req.budget, Some(1000));
+    let resp = decode_response(
+        r#"{"id":"r1","status":"ok","tier":"full","cache":"hit","fingerprint":"000000000000feed","degraded":0,"report":"x\n"}"#,
+    )
+    .expect("golden response decodes");
+    assert_eq!(resp.id(), "r1");
+}
+
+#[test]
+fn field_order_is_not_significant_on_decode() {
+    // Foreign clients may emit fields in any order.
+    let req =
+        decode_request(r#"{"module":"module \"m\" {\n}\n","tenant":"t","id":"x","stats":false}"#)
+            .expect("reordered fields decode");
+    assert_eq!(req.id, "x");
+    assert_eq!(req.tenant, "t");
+}
+
+#[test]
+fn malformed_lines_are_rejected_not_crashed() {
+    for line in [
+        "",
+        "   ",
+        "null",
+        "[1,2,3]",
+        "{",
+        "{}",
+        r#"{"id":"x"}"#,
+        r#"{"id":"x","module":"m","module":"m2","fingerprint":"1"}"#,
+        r#"{"id":"x","module":"m","extra":{"nested":true}}"#,
+        r#"{"id":12,"module":"m"}"#,
+        "\u{0}\u{1}\u{2}",
+        r#"{"id":"x","module":"\q"}"#,
+    ] {
+        assert!(decode_request(line).is_err(), "accepted: {line:?}");
+    }
+}

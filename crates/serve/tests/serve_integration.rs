@@ -1,0 +1,295 @@
+//! In-process integration tests for the serving stack: real TCP, real
+//! router/supervisor/admission, thread-mode shards (process-mode shards
+//! are covered end-to-end in `crates/cli/tests/serve_e2e.rs`).
+
+use std::sync::Arc;
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_exec::{render_analyze, DiskCache, Executor};
+use kaleidoscope_pta::SolveBudget;
+use kaleidoscope_serve::{
+    request_over_tcp, CacheDisposition, Request, Response, ServeConfig, Server, ShardMode,
+    TenantQuota, WorkerOptions, SHED_BUDGET,
+};
+
+fn module_text() -> String {
+    kaleidoscope_apps::model("TinyDTLS")
+        .expect("bundled model")
+        .module
+        .to_text()
+}
+
+fn offline_report(budget: Option<usize>) -> String {
+    let module = kaleidoscope_apps::model("TinyDTLS").expect("model").module;
+    let mut ex = Executor::with_jobs(1);
+    if let Some(n) = budget {
+        ex = ex.with_budget(SolveBudget::iterations(n));
+    }
+    render_analyze(&module, &PolicyConfig::table3_order(), &ex, false).text
+}
+
+fn test_cache(tag: &str) -> Arc<DiskCache> {
+    let dir = std::env::temp_dir().join(format!("kd-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Arc::new(DiskCache::open(dir).expect("temp cache"))
+}
+
+fn start(tag: &str, shards: usize, quota: TenantQuota) -> (Server, Arc<DiskCache>) {
+    let cache = test_cache(tag);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache: Some(cache.clone()),
+        mode: ShardMode::Thread(WorkerOptions {
+            jobs: 1,
+            cache: Some(cache.clone()),
+            unsafe_faults: false,
+        }),
+        shards_per_tenant: shards,
+        quota,
+        shed_jobs: 1,
+    })
+    .expect("bind");
+    (server, cache)
+}
+
+#[test]
+fn concurrent_clients_get_bytes_identical_to_offline_analyze_at_any_shard_count() {
+    let expected = offline_report(None);
+    for shards in [1, 2, 4] {
+        let (server, _cache) = start(
+            &format!("conc{shards}"),
+            shards,
+            TenantQuota {
+                max_concurrent: 64, // never shed in this test
+                ..TenantQuota::default()
+            },
+        );
+        let addr = server.addr().to_string();
+        let module = module_text();
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let addr = addr.clone();
+                let module = module.clone();
+                std::thread::spawn(move || {
+                    let mut req = Request::inline(&format!("client-{i}"), &module);
+                    // Odd clients are a different tenant: distinct shard
+                    // pools, same bytes.
+                    if i % 2 == 1 {
+                        req.tenant = "other".into();
+                    }
+                    request_over_tcp(&addr, &req).expect("request")
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().expect("client thread");
+            let Response::Ok { report, id, .. } = resp else {
+                panic!("expected ok: {resp:?}");
+            };
+            assert_eq!(report, expected, "shards={shards} client={id}");
+        }
+        server.stop();
+    }
+}
+
+#[test]
+fn warm_repeat_is_a_cache_hit_with_identical_bytes() {
+    let (server, cache) = start("warm", 2, TenantQuota::default());
+    let addr = server.addr().to_string();
+    let cold = request_over_tcp(&addr, &Request::inline("cold", &module_text())).expect("cold");
+    let Response::Ok {
+        report,
+        cache: disp,
+        fingerprint,
+        ..
+    } = &cold
+    else {
+        panic!("cold: {cold:?}");
+    };
+    assert_eq!(*disp, CacheDisposition::Stored);
+    let lookups_before = cache.stats().report_lookups;
+    // Repeat by fingerprint only — the canonical warm query.
+    let warm_req = Request {
+        id: "warm".into(),
+        tenant: "default".into(),
+        module: None,
+        fingerprint: Some(*fingerprint),
+        config: None,
+        stats: false,
+        budget: None,
+        fault: None,
+    };
+    let warm = request_over_tcp(&addr, &warm_req).expect("warm");
+    let Response::Ok {
+        report: warm_report,
+        cache: warm_disp,
+        ..
+    } = &warm
+    else {
+        panic!("warm: {warm:?}");
+    };
+    assert_eq!(*warm_disp, CacheDisposition::Hit, "no solve on repeat");
+    assert_eq!(warm_report, report);
+    assert!(cache.stats().report_lookups > lookups_before);
+    assert!(cache.stats().report_hits >= 1);
+    server.stop();
+}
+
+#[test]
+fn over_quota_requests_shed_to_a_tagged_cheaper_tier_never_dropped() {
+    // max_concurrent = 0: every request sheds, deterministically.
+    let (server, _cache) = start(
+        "shed",
+        1,
+        TenantQuota {
+            max_concurrent: 0,
+            ..TenantQuota::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    let resp = request_over_tcp(&addr, &Request::inline("shed-1", &module_text())).expect("shed");
+    let Response::Ok {
+        report,
+        tier,
+        degraded,
+        ..
+    } = &resp
+    else {
+        panic!("shed: {resp:?}");
+    };
+    assert_eq!(tier, "steensgaard", "shed tier is tagged");
+    assert_eq!(*degraded, 8);
+    // The shed answer is still a reproducible artifact: byte-identical
+    // to an offline run under the shed budget.
+    assert_eq!(*report, offline_report(Some(SHED_BUDGET)));
+    let stats = server.router().stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.admitted, 0);
+    server.stop();
+}
+
+#[test]
+fn shed_requests_prefer_a_cached_full_report() {
+    let cache = test_cache("shedhit");
+    // Pre-warm the store out of band (as a `kd analyze --cache-dir` run
+    // or an earlier daemon would).
+    let module = kaleidoscope_apps::model("TinyDTLS").expect("model").module;
+    let offline = offline_report(None);
+    cache
+        .put_report(
+            module.fingerprint(),
+            kaleidoscope_exec::ReportScope {
+                config: None,
+                stats: false,
+            },
+            &offline,
+        )
+        .expect("pre-warm");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache: Some(cache.clone()),
+        mode: ShardMode::Thread(WorkerOptions {
+            jobs: 1,
+            cache: Some(cache),
+            unsafe_faults: false,
+        }),
+        shards_per_tenant: 1,
+        quota: TenantQuota {
+            max_concurrent: 0, // force the shed path
+            ..TenantQuota::default()
+        },
+        shed_jobs: 1,
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let resp = request_over_tcp(&addr, &Request::inline("hit", &module_text())).expect("resp");
+    let Response::Ok {
+        report,
+        tier,
+        cache: disp,
+        ..
+    } = &resp
+    else {
+        panic!("{resp:?}");
+    };
+    assert_eq!(*disp, CacheDisposition::Hit);
+    assert_eq!(tier, "full", "a cached hit outranks the shed solve");
+    assert_eq!(*report, offline);
+    server.stop();
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_error_responses_and_serving_continues() {
+    let (server, _cache) = start(
+        "errors",
+        1,
+        TenantQuota {
+            max_module_bytes: 64,
+            ..TenantQuota::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    // Malformed: raw garbage through a raw socket.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        writeln!(stream, "this is not json").expect("send");
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut line)
+            .expect("recv");
+        let resp = kaleidoscope_serve::decode_response(line.trim_end()).expect("decodes");
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+    }
+    // Oversized module: rejected by quota, not dropped.
+    let resp = request_over_tcp(&addr, &Request::inline("big", &module_text())).expect("answered");
+    let Response::Error { error, .. } = &resp else {
+        panic!("expected quota rejection: {resp:?}");
+    };
+    assert!(error.contains("quota admits at most 64"), "{error}");
+    // The daemon still serves well-formed traffic afterwards.
+    let tiny = "module \"t\"\n";
+    let ok = request_over_tcp(&addr, &Request::inline("after", tiny)).expect("served");
+    assert!(matches!(ok, Response::Ok { .. }), "{ok:?}");
+    assert_eq!(server.router().stats().errors, 2);
+    server.stop();
+}
+
+#[test]
+fn per_request_budget_degrades_and_matches_offline_bytes() {
+    let (server, _cache) = start("budget", 1, TenantQuota::default());
+    let addr = server.addr().to_string();
+    let mut req = Request::inline("tight", &module_text());
+    req.budget = Some(1);
+    let resp = request_over_tcp(&addr, &req).expect("resp");
+    let Response::Ok { report, tier, .. } = &resp else {
+        panic!("{resp:?}");
+    };
+    assert_eq!(tier, "steensgaard");
+    assert_eq!(*report, offline_report(Some(1)));
+    server.stop();
+}
+
+#[test]
+fn tenant_quota_clamps_the_requested_budget() {
+    let (server, _cache) = start(
+        "clamp",
+        1,
+        TenantQuota {
+            budget: Some(1),
+            ..TenantQuota::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    // Client asks for a generous budget; quota clamps it to 1, so the
+    // answer is the budget-1 artifact.
+    let mut req = Request::inline("greedy", &module_text());
+    req.budget = Some(100_000_000);
+    let resp = request_over_tcp(&addr, &req).expect("resp");
+    let Response::Ok { report, tier, .. } = &resp else {
+        panic!("{resp:?}");
+    };
+    assert_eq!(tier, "steensgaard");
+    assert_eq!(*report, offline_report(Some(1)));
+    server.stop();
+}
