@@ -31,6 +31,7 @@ fn start_server(tag: &str, max_concurrent: usize) -> (Server, Arc<DiskCache>) {
         cache: Some(cache.clone()),
         mode: ShardMode::Thread(WorkerOptions {
             jobs: 1,
+            solver_threads: 0,
             cache: Some(cache.clone()),
             unsafe_faults: false,
         }),

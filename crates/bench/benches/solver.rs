@@ -67,6 +67,10 @@ struct Case {
     pops: usize,
     union_words: u64,
     peak_pts_bytes: usize,
+    threads: usize,
+    strata: usize,
+    max_wave_width: usize,
+    barrier_stalls: usize,
 }
 
 fn json(cases: &[Case]) -> String {
@@ -75,7 +79,8 @@ fn json(cases: &[Case]) -> String {
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"min_ms\": {:.4}, \"median_ms\": {:.4}, \"mean_ms\": {:.4}, \
              \"iters\": {}, \"alloc_bytes\": {}, \"alloc_calls\": {}, \"pops\": {}, \
-             \"union_words\": {}, \"peak_pts_bytes\": {}}}{}\n",
+             \"union_words\": {}, \"peak_pts_bytes\": {}, \"threads\": {}, \"strata\": {}, \
+             \"max_wave_width\": {}, \"barrier_stalls\": {}}}{}\n",
             c.sample.label,
             c.sample.min_ms,
             c.sample.median_ms,
@@ -86,6 +91,10 @@ fn json(cases: &[Case]) -> String {
             c.pops,
             c.union_words,
             c.peak_pts_bytes,
+            c.threads,
+            c.strata,
+            c.max_wave_width,
+            c.barrier_stalls,
             if i + 1 == cases.len() { "" } else { "," }
         ));
     }
@@ -125,9 +134,51 @@ fn main() {
                 pops: stats.iterations,
                 union_words: stats.union_words,
                 peak_pts_bytes: stats.peak_pts_bytes,
+                threads: 0,
+                strata: stats.strata,
+                max_wave_width: stats.max_wave_width,
+                barrier_stalls: stats.barrier_stalls,
             });
         }
     }
+
+    // Wave-front schedule at scale: a deterministic ~100k-statement module
+    // from the fuzz scale corpus, solved under the classic schedule (t0)
+    // and the wave schedule at 1/2/4 worker threads. Outputs are
+    // byte-identical across thread counts (see
+    // crates/pta/tests/solver_parallel.rs); this measures only wall clock
+    // and the wave-shape counters.
+    let scale = kaleidoscope_fuzz::scale::corpus_module(0xca1e, 100_000);
+    println!("scale corpus: {} statements", scale.inst_count());
+    let scale_iters = if smoke { 1 } else { 5 };
+    for threads in [0usize, 1, 2, 4] {
+        let opts = SolveOptions {
+            solver_threads: threads,
+            ..SolveOptions::baseline()
+        };
+        let label = format!("solver/scale/andersen-100k/t{threads}");
+        let sample = bench(&label, scale_iters, || {
+            let _ = Analysis::run(&scale, &opts);
+        });
+        let mut stats = None;
+        let (alloc_bytes, alloc_calls) = alloc_traffic(|| {
+            stats = Some(Analysis::run(&scale, &opts).result.stats);
+        });
+        let stats = stats.expect("solve ran");
+        cases.push(Case {
+            sample,
+            alloc_bytes,
+            alloc_calls,
+            pops: stats.iterations,
+            union_words: stats.union_words,
+            peak_pts_bytes: stats.peak_pts_bytes,
+            threads,
+            strata: stats.strata,
+            max_wave_width: stats.max_wave_width,
+            barrier_stalls: stats.barrier_stalls,
+        });
+    }
+
     for name in ["MbedTLS", "TinyDTLS"] {
         let model = kaleidoscope_apps::model(name).expect("model");
         bench(&format!("solver/steensgaard/{name}"), iters, || {

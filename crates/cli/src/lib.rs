@@ -117,6 +117,14 @@ pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
 /// published for other `kd` processes — including a running `kd serve`
 /// daemon — to hit. The stored artifact is always the full-precision
 /// fixpoint, so a hit under `--budget` serves a *better* tier than asked.
+/// `cache_max_bytes` caps the store's total size (oldest artifacts are
+/// evicted at publish time); `0`/`None` leaves it unbounded.
+///
+/// `solver_threads` selects the wave-front parallel propagation schedule
+/// inside each solve (`--solver-threads <n>`; `0` = the classic sequential
+/// schedule). Wave output is byte-identical at any thread count ≥ 1 and is
+/// cached separately from classic-schedule reports.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_analyze(
     source: &Source,
     config: Option<&str>,
@@ -124,6 +132,8 @@ pub fn cmd_analyze(
     stats: bool,
     budget: Option<usize>,
     cache_dir: Option<&str>,
+    solver_threads: usize,
+    cache_max_bytes: Option<u64>,
 ) -> Result<String, CliError> {
     let module = load(source)?;
     let configs: Vec<PolicyConfig> = match config {
@@ -131,7 +141,8 @@ pub fn cmd_analyze(
         None => PolicyConfig::table3_order().to_vec(),
     };
     let cache = DiskCache::resolve(cache_dir)
-        .map_err(|e| err(format!("cannot open cache directory: {e}")))?;
+        .map_err(|e| err(format!("cannot open cache directory: {e}")))?
+        .map(|c| c.with_max_bytes(cache_max_bytes.unwrap_or(0)));
     let scope = ReportScope {
         config: if configs.len() == 1 {
             Some(configs[0])
@@ -139,6 +150,7 @@ pub fn cmd_analyze(
             None
         },
         stats,
+        wave: solver_threads > 0,
     };
     let fp = module.fingerprint();
     if let Some(c) = &cache {
@@ -147,7 +159,7 @@ pub fn cmd_analyze(
             return Ok(text);
         }
     }
-    let mut ex = Executor::with_jobs(jobs);
+    let mut ex = Executor::with_jobs(jobs).with_solver_threads(solver_threads);
     if let Some(n) = budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
     }
@@ -310,6 +322,11 @@ pub struct ServeArgs {
     pub shards: usize,
     /// Executor threads per worker solve (`0` = auto).
     pub jobs: usize,
+    /// Default intra-solve wave-front thread count for workers (`0` =
+    /// classic sequential schedule); requests may override per call.
+    pub solver_threads: usize,
+    /// Cap on the shared artifact store's total bytes (`None` = unbounded).
+    pub cache_max_bytes: Option<u64>,
     /// Tenant quota: max concurrent solves before shedding.
     pub max_concurrent: usize,
     /// Tenant quota: per-request deadline in milliseconds.
@@ -330,6 +347,8 @@ impl Default for ServeArgs {
             cache_dir: None,
             shards: 2,
             jobs: 0,
+            solver_threads: 0,
+            cache_max_bytes: None,
             max_concurrent: 4,
             deadline_ms: 30_000,
             tenant_budget: None,
@@ -339,7 +358,10 @@ impl Default for ServeArgs {
     }
 }
 
-fn open_serve_cache(dir: Option<&str>) -> Result<std::sync::Arc<DiskCache>, CliError> {
+fn open_serve_cache(
+    dir: Option<&str>,
+    max_bytes: Option<u64>,
+) -> Result<std::sync::Arc<DiskCache>, CliError> {
     let resolved =
         DiskCache::resolve(dir).map_err(|e| err(format!("cannot open cache directory: {e}")))?;
     let cache = match resolved {
@@ -351,7 +373,9 @@ fn open_serve_cache(dir: Option<&str>) -> Result<std::sync::Arc<DiskCache>, CliE
             DiskCache::open(tmp).map_err(|e| err(format!("cannot open cache directory: {e}")))?
         }
     };
-    Ok(std::sync::Arc::new(cache))
+    Ok(std::sync::Arc::new(
+        cache.with_max_bytes(max_bytes.unwrap_or(0)),
+    ))
 }
 
 /// `kd serve` — run the analysis daemon until killed.
@@ -360,10 +384,11 @@ fn open_serve_cache(dir: Option<&str>) -> Result<std::sync::Arc<DiskCache>, CliE
 /// stdout once the socket is accepting, then blocks. Workers are `kd
 /// worker` child processes of this binary unless `thread_shards` is set.
 pub fn cmd_serve(args: &ServeArgs) -> Result<(), CliError> {
-    let cache = open_serve_cache(args.cache_dir.as_deref())?;
+    let cache = open_serve_cache(args.cache_dir.as_deref(), args.cache_max_bytes)?;
     let mode = if args.thread_shards {
         ShardMode::Thread(WorkerOptions {
             jobs: args.jobs,
+            solver_threads: args.solver_threads,
             cache: Some(cache.clone()),
             unsafe_faults: false,
         })
@@ -374,6 +399,7 @@ pub fn cmd_serve(args: &ServeArgs) -> Result<(), CliError> {
             cache_dir: Some(cache.dir().to_path_buf()),
             unsafe_faults: args.unsafe_faults,
             jobs: args.jobs,
+            solver_threads: args.solver_threads,
         }
     };
     let server = Server::start(ServeConfig {
@@ -404,12 +430,14 @@ pub fn cmd_worker(
     jobs: usize,
     cache_dir: Option<&str>,
     unsafe_faults: bool,
+    solver_threads: usize,
 ) -> Result<(), CliError> {
     let cache = DiskCache::resolve(cache_dir)
         .map_err(|e| err(format!("cannot open cache directory: {e}")))?
         .map(std::sync::Arc::new);
     let opts = WorkerOptions {
         jobs,
+        solver_threads,
         cache,
         unsafe_faults,
     };
@@ -437,6 +465,8 @@ pub struct RequestArgs {
     pub stats: bool,
     /// Per-request solve budget (clamped by the tenant quota).
     pub budget: Option<usize>,
+    /// Intra-solve wave-front thread count (`None` = worker default).
+    pub solver_threads: Option<usize>,
     /// Fault directive (testing; requires a `--unsafe-faults` daemon).
     pub fault: Option<String>,
 }
@@ -477,6 +507,7 @@ pub fn cmd_request(args: &RequestArgs) -> Result<RequestOutput, CliError> {
         config: args.config.clone(),
         stats: args.stats,
         budget: args.budget,
+        solver_threads: args.solver_threads,
         fault: args.fault.clone(),
     };
     match request_over_tcp(&args.addr, &req).map_err(err)? {
@@ -528,13 +559,18 @@ OPTIONS:
     --harden           run with CFI + monitors armed
     --growth <n>       introspection growth threshold
     --types <n>        introspection type-diversity threshold
-    --jobs <n>         analyze/serve/worker: solver threads (0 = auto)
+    --jobs <n>         analyze/serve/worker: executor workers (0 = auto)
+    --solver-threads <n>  analyze/serve/worker/request: wave-front parallel
+                       propagation inside each solve (0 = classic sequential
+                       schedule; output is identical at any count >= 1)
     --stats            analyze/request: print solver counters per config
     --budget <n>       analyze/request: cap each solve at <n> worklist
                        iterations; exhausted cells degrade (fallback, then
                        Steensgaard) and are flagged with a `degraded:` line
     --cache-dir <dir>  shared artifact store (also via KD_CACHE_DIR);
                        analyze/serve/worker reuse stored reports
+    --cache-max-bytes <n>  analyze/serve: cap the store's total size;
+                       oldest artifacts are evicted at publish time
 
 SERVING:
     --addr <a>         serve: bind address (default 127.0.0.1:0, port printed)
@@ -571,14 +607,24 @@ mod tests {
     #[test]
     fn analyze_output_independent_of_jobs() {
         let src = Source::Model("TinyDTLS".into());
-        let serial = cmd_analyze(&src, None, 1, false, None, None).unwrap();
-        let parallel = cmd_analyze(&src, None, 4, false, None, None).unwrap();
+        let serial = cmd_analyze(&src, None, 1, false, None, None, 0, None).unwrap();
+        let parallel = cmd_analyze(&src, None, 4, false, None, None, 0, None).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn analyze_sample_file() {
-        let out = cmd_analyze(&sample("lighttpd_fig6.kir"), None, 1, false, None, None).unwrap();
+        let out = cmd_analyze(
+            &sample("lighttpd_fig6.kir"),
+            None,
+            1,
+            false,
+            None,
+            None,
+            0,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("Baseline"));
         assert!(out.contains("Kaleidoscope"));
         assert!(out.contains("PA@"), "PA invariant listed:\n{out}");
@@ -593,6 +639,8 @@ mod tests {
             false,
             None,
             None,
+            0,
+            None,
         )
         .unwrap();
         assert!(out.contains("Kaleidoscope"));
@@ -601,13 +649,16 @@ mod tests {
     #[test]
     fn analyze_stats_prints_solver_counters() {
         let src = Source::Model("TinyDTLS".into());
-        let plain = cmd_analyze(&src, Some("all"), 1, false, None, None).unwrap();
-        let with_stats = cmd_analyze(&src, Some("all"), 1, true, None, None).unwrap();
+        let plain = cmd_analyze(&src, Some("all"), 1, false, None, None, 0, None).unwrap();
+        let with_stats = cmd_analyze(&src, Some("all"), 1, true, None, None, 0, None).unwrap();
         assert!(!plain.contains("solver["));
         assert!(with_stats.contains("solver[fallback]:"), "{with_stats}");
         assert!(with_stats.contains("solver[optimistic]:"));
         assert!(with_stats.contains("union-words="));
         assert!(with_stats.contains("peak-pts-bytes="));
+        assert!(with_stats.contains("strata="), "{with_stats}");
+        assert!(with_stats.contains("max-wave-width="));
+        assert!(with_stats.contains("barrier-stalls="));
         // The stats lines are additive: stripping them recovers the plain report.
         let stripped: String = with_stats
             .lines()
@@ -618,14 +669,22 @@ mod tests {
     }
 
     #[test]
+    fn analyze_solver_threads_output_is_thread_count_invariant() {
+        let src = Source::Model("TinyDTLS".into());
+        let w1 = cmd_analyze(&src, None, 1, true, None, None, 1, None).unwrap();
+        let w4 = cmd_analyze(&src, None, 1, true, None, None, 4, None).unwrap();
+        assert_eq!(w1, w4, "wave schedule output independent of thread count");
+    }
+
+    #[test]
     fn analyze_budget_tags_degraded_cells() {
         let src = Source::Model("TinyDTLS".into());
-        let out = cmd_analyze(&src, None, 1, false, Some(1), None).unwrap();
+        let out = cmd_analyze(&src, None, 1, false, Some(1), None, 0, None).unwrap();
         assert!(out.contains("degraded: serving steensgaard tier"), "{out}");
         assert!(out.contains("configurations degraded"), "{out}");
         // A generous budget leaves the report byte-identical to no budget.
-        let plain = cmd_analyze(&src, None, 1, false, None, None).unwrap();
-        let generous = cmd_analyze(&src, None, 1, false, Some(100_000_000), None).unwrap();
+        let plain = cmd_analyze(&src, None, 1, false, None, None, 0, None).unwrap();
+        let generous = cmd_analyze(&src, None, 1, false, Some(100_000_000), None, 0, None).unwrap();
         assert_eq!(plain, generous);
         assert!(!plain.contains("degraded"));
     }
@@ -685,7 +744,7 @@ mod c_tests {
 
     #[test]
     fn analyze_c_source_end_to_end() {
-        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false, None, None).unwrap();
+        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false, None, None, 0, None).unwrap();
         assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
     }
 
@@ -697,7 +756,17 @@ mod c_tests {
 
     #[test]
     fn fig7_c_emits_pwc_invariant() {
-        let out = cmd_analyze(&sample_c("fig7.c"), Some("all"), 1, false, None, None).unwrap();
+        let out = cmd_analyze(
+            &sample_c("fig7.c"),
+            Some("all"),
+            1,
+            false,
+            None,
+            None,
+            0,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("PWC"), "{out}");
     }
 

@@ -20,6 +20,8 @@ struct Args {
     stats: bool,
     budget: Option<usize>,
     cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
+    solver_threads: Option<usize>,
     addr: Option<String>,
     shards: usize,
     max_concurrent: usize,
@@ -48,6 +50,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         stats: false,
         budget: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        solver_threads: None,
         addr: None,
         shards: 2,
         max_concurrent: 4,
@@ -92,6 +96,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--jobs" => args.jobs = number(&mut argv, "--jobs")?,
             "--budget" => args.budget = Some(number(&mut argv, "--budget")?),
             "--cache-dir" => args.cache_dir = Some(need(&mut argv, "--cache-dir")?),
+            "--cache-max-bytes" => {
+                args.cache_max_bytes = Some(number(&mut argv, "--cache-max-bytes")? as u64);
+            }
+            "--solver-threads" => {
+                args.solver_threads = Some(number(&mut argv, "--solver-threads")?);
+            }
             "--addr" => args.addr = Some(need(&mut argv, "--addr")?),
             "--shards" => args.shards = number(&mut argv, "--shards")?,
             "--max-concurrent" => args.max_concurrent = number(&mut argv, "--max-concurrent")?,
@@ -123,6 +133,8 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                 cache_dir: args.cache_dir.clone(),
                 shards: args.shards,
                 jobs: args.jobs,
+                solver_threads: args.solver_threads.unwrap_or(0),
+                cache_max_bytes: args.cache_max_bytes,
                 max_concurrent: args.max_concurrent,
                 deadline_ms: args.deadline_ms,
                 tenant_budget: args.tenant_budget,
@@ -132,8 +144,13 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
             .map(|()| String::new());
         }
         "worker" => {
-            return cmd_worker(args.jobs, args.cache_dir.as_deref(), args.unsafe_faults)
-                .map(|()| String::new());
+            return cmd_worker(
+                args.jobs,
+                args.cache_dir.as_deref(),
+                args.unsafe_faults,
+                args.solver_threads.unwrap_or(0),
+            )
+            .map(|()| String::new());
         }
         "request" => {
             let addr = args
@@ -148,6 +165,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                 tenant: args.tenant.clone(),
                 stats: args.stats,
                 budget: args.budget,
+                solver_threads: args.solver_threads,
                 fault: args.fault.clone(),
             })?;
             eprintln!("{}", out.meta);
@@ -167,6 +185,8 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
             args.stats,
             args.budget,
             args.cache_dir.as_deref(),
+            args.solver_threads.unwrap_or(0),
+            args.cache_max_bytes,
         ),
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),

@@ -231,12 +231,19 @@ pub fn fallback_analysis(module: &Module) -> Analysis {
 }
 
 /// Budgeted variant of [`fallback_analysis`]: a typed error instead of a
-/// panic when the budget is exhausted.
+/// panic when the budget is exhausted. `solver_threads` selects the
+/// wave-front parallel propagation schedule inside the solve (`0` = the
+/// classic sequential schedule).
 pub fn try_fallback_analysis(
     module: &Module,
     budget: &SolveBudget,
+    solver_threads: usize,
 ) -> Result<Analysis, SolveError> {
-    Analysis::try_run(module, &SolveOptions::baseline_with_budget(budget.clone()))
+    let opts = SolveOptions {
+        solver_threads,
+        ..SolveOptions::baseline_with_budget(budget.clone())
+    };
+    Analysis::try_run(module, &opts)
 }
 
 /// Stage: the context plan feeding constraint generation (empty when the
@@ -263,15 +270,18 @@ pub fn optimistic_analysis(module: &Module, config: PolicyConfig, ctx_plan: &Ctx
     )
 }
 
-/// Budgeted variant of [`optimistic_analysis`].
+/// Budgeted variant of [`optimistic_analysis`]. `solver_threads` selects
+/// the wave-front schedule inside the solve (`0` = sequential).
 pub fn try_optimistic_analysis(
     module: &Module,
     config: PolicyConfig,
     ctx_plan: &CtxPlan,
     budget: &SolveBudget,
+    solver_threads: usize,
 ) -> Result<Analysis, SolveError> {
     let opts = SolveOptions {
         budget: budget.clone(),
+        solver_threads,
         ..SolveOptions::optimistic(config.pa, config.pwc)
     };
     Analysis::try_run_full(
@@ -576,7 +586,7 @@ mod tests {
     fn budgeted_stages_match_unbudgeted_when_sufficient() {
         let m = lighttpd_module();
         let a = fallback_analysis(&m);
-        let b = try_fallback_analysis(&m, &SolveBudget::default()).expect("default budget");
+        let b = try_fallback_analysis(&m, &SolveBudget::default(), 0).expect("default budget");
         let f = m.func_by_name("http_write_header").unwrap();
         for l in 0..m.func(f).locals.len() as u32 {
             assert_eq!(
@@ -585,11 +595,11 @@ mod tests {
             );
         }
         let tiny = SolveBudget::iterations(1);
-        assert!(try_fallback_analysis(&m, &tiny).is_err());
+        assert!(try_fallback_analysis(&m, &tiny, 0).is_err());
         let cfg = PolicyConfig::all();
         let plan = ctx_plan_for(&m, cfg);
-        assert!(try_optimistic_analysis(&m, cfg, &plan, &tiny).is_err());
-        assert!(try_optimistic_analysis(&m, cfg, &plan, &SolveBudget::default()).is_ok());
+        assert!(try_optimistic_analysis(&m, cfg, &plan, &tiny, 0).is_err());
+        assert!(try_optimistic_analysis(&m, cfg, &plan, &SolveBudget::default(), 0).is_ok());
     }
 
     #[test]

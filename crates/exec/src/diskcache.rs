@@ -26,7 +26,9 @@
 //!
 //! `<scope>` is `call` (the full Table-3 matrix) or `c<k>` for a single
 //! configuration (`k` = [`PolicyConfig::key`]), with an `s` suffix when
-//! solver stats rows are included. `<N>` is
+//! solver stats rows are included and a `w` suffix when the report was
+//! produced under the wave-front solver schedule (which can differ from the
+//! classic schedule in lazily-created node ids). `<N>` is
 //! [`PTS_REPR_VERSION`](kaleidoscope_pta::PTS_REPR_VERSION), so a
 //! representation change can never serve a stale report.
 //!
@@ -58,20 +60,27 @@ pub struct ReportScope {
     pub config: Option<PolicyConfig>,
     /// Whether solver counters are included in the report.
     pub stats: bool,
+    /// Whether the wave-front solver schedule produced the report. The
+    /// thread *count* is deliberately absent: wave output is byte-identical
+    /// at any count ≥ 1, but wave and classic schedules may differ in
+    /// lazily-created node ids, so they must never alias.
+    pub wave: bool,
 }
 
 impl ReportScope {
     /// The filename fragment for this scope.
     fn tag(&self) -> String {
-        let base = match self.config {
+        let mut base = match self.config {
             None => "all".to_string(),
             Some(c) => format!("c{}", c.key()),
         };
         if self.stats {
-            format!("{base}s")
-        } else {
-            base
+            base.push('s');
         }
+        if self.wave {
+            base.push('w');
+        }
+        base
     }
 }
 
@@ -90,9 +99,20 @@ pub struct DiskCacheStats {
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
     report_lookups: AtomicU64,
     report_hits: AtomicU64,
     verify_failures: AtomicU64,
+}
+
+/// One evictable unit of the store (a module file, or a report with its
+/// checksum sidecar).
+#[derive(Debug)]
+struct Artifact {
+    path: PathBuf,
+    sidecar: Option<PathBuf>,
+    bytes: u64,
+    mtime: Option<std::time::SystemTime>,
 }
 
 /// FNV-1a over bytes — same family as the module fingerprint, cheap and
@@ -114,10 +134,25 @@ impl DiskCache {
         fs::create_dir_all(dir.join("reports"))?;
         Ok(DiskCache {
             dir,
+            max_bytes: None,
             report_lookups: AtomicU64::new(0),
             report_hits: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
         })
+    }
+
+    /// Cap the store's total artifact bytes. After every publish the
+    /// oldest artifacts (by modification time) are evicted until the store
+    /// fits; the artifact just published is the newest, so it survives
+    /// unless it alone exceeds the cap. `0` disables the cap.
+    pub fn with_max_bytes(mut self, max: u64) -> DiskCache {
+        self.max_bytes = if max == 0 { None } else { Some(max) };
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     /// Resolve a store from an explicit `--cache-dir` value, falling back
@@ -163,6 +198,76 @@ impl DiskCache {
         fs::rename(&tmp, path)
     }
 
+    /// Total bytes currently stored across modules and reports (sidecars
+    /// included).
+    pub fn total_bytes(&self) -> u64 {
+        Self::scan_artifacts(&self.dir)
+            .iter()
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// Enumerate evictable artifacts. A report's `.txt` and `.sum` sidecar
+    /// are one artifact (evicted together); a module file is one artifact.
+    fn scan_artifacts(dir: &Path) -> Vec<Artifact> {
+        let mut out = Vec::new();
+        for sub in ["modules", "reports"] {
+            let Ok(entries) = fs::read_dir(dir.join(sub)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                if path.extension().is_some_and(|e| e == "sum") {
+                    continue; // accounted for with its .txt below
+                }
+                let mut bytes = meta.len();
+                let mut sidecar = None;
+                if path.extension().is_some_and(|e| e == "txt") {
+                    let sum = path.with_extension("sum");
+                    if let Ok(m) = fs::metadata(&sum) {
+                        bytes += m.len();
+                        sidecar = Some(sum);
+                    }
+                }
+                let mtime = meta.modified().ok();
+                out.push(Artifact {
+                    path,
+                    sidecar,
+                    bytes,
+                    mtime,
+                });
+            }
+        }
+        out
+    }
+
+    /// Evict oldest artifacts until the store fits under `max_bytes`.
+    /// Ties on modification time break by path, so eviction order is
+    /// deterministic even on coarse-mtime filesystems.
+    fn enforce_cap(&self) {
+        let Some(cap) = self.max_bytes else { return };
+        let mut artifacts = Self::scan_artifacts(&self.dir);
+        let mut total: u64 = artifacts.iter().map(|a| a.bytes).sum();
+        if total <= cap {
+            return;
+        }
+        artifacts.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        for a in &artifacts {
+            if total <= cap {
+                break;
+            }
+            let _ = fs::remove_file(&a.path);
+            if let Some(s) = &a.sidecar {
+                let _ = fs::remove_file(s);
+            }
+            total = total.saturating_sub(a.bytes);
+        }
+    }
+
     /// Store a module's canonical text under fingerprint `fp`.
     ///
     /// `text` must be the canonical form ([`Module::to_text`]
@@ -173,7 +278,9 @@ impl DiskCache {
         if path.exists() {
             return Ok(()); // content-addressed: identical by construction
         }
-        Self::publish(&path, text)
+        Self::publish(&path, text)?;
+        self.enforce_cap();
+        Ok(())
     }
 
     /// Fetch a module's canonical text by fingerprint.
@@ -186,7 +293,9 @@ impl DiskCache {
         let path = self.report_path(fp, scope);
         Self::publish(&path, text)?;
         let sum = format!("{:016x} {}", fnv64(text.as_bytes()), text.len());
-        Self::publish(&path.with_extension("sum"), &sum)
+        Self::publish(&path.with_extension("sum"), &sum)?;
+        self.enforce_cap();
+        Ok(())
     }
 
     /// Fetch a verified report; checksum mismatches count as misses (and
@@ -234,10 +343,12 @@ mod tests {
         let all = ReportScope {
             config: None,
             stats: false,
+            wave: false,
         };
         let one = ReportScope {
             config: Some(PolicyConfig::all()),
             stats: false,
+            wave: false,
         };
         cache.put_report(1, all, "full matrix\n").unwrap();
         assert_eq!(cache.get_report(1, all).as_deref(), Some("full matrix\n"));
@@ -255,6 +366,7 @@ mod tests {
         let scope = ReportScope {
             config: None,
             stats: true,
+            wave: false,
         };
         cache.put_report(7, scope, "pristine\n").unwrap();
         // Damage the stored report behind the store's back.
@@ -282,11 +394,92 @@ mod tests {
     }
 
     #[test]
+    fn wave_scope_does_not_alias_classic_reports() {
+        let cache = DiskCache::open(tmpdir("wave")).unwrap();
+        let classic = ReportScope {
+            config: None,
+            stats: false,
+            wave: false,
+        };
+        let wave = ReportScope {
+            config: None,
+            stats: false,
+            wave: true,
+        };
+        cache.put_report(9, classic, "classic schedule\n").unwrap();
+        assert_eq!(cache.get_report(9, wave), None, "schedules must not alias");
+        cache.put_report(9, wave, "wave schedule\n").unwrap();
+        assert_eq!(
+            cache.get_report(9, classic).as_deref(),
+            Some("classic schedule\n")
+        );
+        assert_eq!(
+            cache.get_report(9, wave).as_deref(),
+            Some("wave schedule\n")
+        );
+    }
+
+    #[test]
+    fn max_bytes_cap_evicts_oldest_artifacts_at_publish() {
+        let cache = DiskCache::open(tmpdir("evict"))
+            .unwrap()
+            .with_max_bytes(256);
+        let scope = ReportScope {
+            config: None,
+            stats: false,
+            wave: false,
+        };
+        let body = "x".repeat(100); // ~120 B per report with its sidecar
+        let now = std::time::SystemTime::now();
+        for fp in 0..4u64 {
+            cache.put_report(fp, scope, &body).unwrap();
+            // Coarse-mtime filesystems would otherwise tie all four entries;
+            // back-date each so "oldest" is unambiguous.
+            let age = std::time::Duration::from_secs(100 - fp * 10);
+            let f = fs::File::options()
+                .write(true)
+                .open(cache.report_path(fp, scope))
+                .unwrap();
+            f.set_modified(now - age).unwrap();
+        }
+        // Publishing one more must evict the oldest entries, not the newest.
+        cache.put_report(9, scope, &body).unwrap();
+        assert!(cache.total_bytes() <= 256, "cap enforced after publish");
+        assert_eq!(cache.get_report(9, scope).as_deref(), Some(body.as_str()));
+        assert_eq!(cache.get_report(0, scope), None, "oldest evicted");
+        assert!(
+            !cache.report_path(0, scope).with_extension("sum").exists(),
+            "sidecar evicted with its report"
+        );
+        assert_eq!(cache.get_report(3, scope).as_deref(), Some(body.as_str()));
+    }
+
+    #[test]
+    fn uncapped_store_never_evicts() {
+        let cache = DiskCache::open(tmpdir("uncapped"))
+            .unwrap()
+            .with_max_bytes(0);
+        assert_eq!(cache.max_bytes(), None);
+        let scope = ReportScope {
+            config: None,
+            stats: false,
+            wave: false,
+        };
+        for fp in 0..8u64 {
+            cache.put_report(fp, scope, &"y".repeat(200)).unwrap();
+        }
+        for fp in 0..8u64 {
+            assert!(cache.get_report(fp, scope).is_some());
+        }
+    }
+
+    #[test]
     fn repr_version_partitions_reports() {
         let cache = DiskCache::open(tmpdir("repr")).unwrap();
         let scope = ReportScope {
             config: None,
             stats: false,
+            wave: false,
         };
         let path = cache.report_path(3, scope);
         assert!(path

@@ -122,6 +122,7 @@ pub struct Executor {
     jobs: usize,
     cache: ArtifactCache,
     budget: SolveBudget,
+    solver_threads: usize,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -152,6 +153,7 @@ impl Executor {
             jobs,
             cache: ArtifactCache::new(),
             budget: SolveBudget::default(),
+            solver_threads: 0,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -173,6 +175,22 @@ impl Executor {
     /// The per-solve budget cells run under.
     pub fn budget(&self) -> &SolveBudget {
         &self.budget
+    }
+
+    /// Run every solve under the wave-front parallel propagation schedule
+    /// with `n` threads. `0` (the default) keeps the classic sequential
+    /// schedule. Wave-schedule artifacts are cache-partitioned from classic
+    /// ones (the schedule changes lazily-created node ids), but the thread
+    /// count itself is not part of the key: wave output is byte-identical
+    /// at any count ≥ 1.
+    pub fn with_solver_threads(mut self, n: usize) -> Executor {
+        self.solver_threads = n;
+        self
+    }
+
+    /// The intra-solve thread count (`0` = classic sequential schedule).
+    pub fn solver_threads(&self) -> usize {
+        self.solver_threads
     }
 
     /// Install a deterministic fault plan (testing/chaos harness).
@@ -203,7 +221,17 @@ impl Executor {
     fn optimistic_opts(&self, config: PolicyConfig) -> SolveOptions {
         SolveOptions {
             budget: self.budget.clone(),
+            solver_threads: self.solver_threads,
             ..SolveOptions::optimistic(config.pa, config.pwc)
+        }
+    }
+
+    /// Baseline options carrying the executor's schedule choice, so cache
+    /// keys separate wave-schedule artifacts from classic ones.
+    fn baseline_opts(&self) -> SolveOptions {
+        SolveOptions {
+            solver_threads: self.solver_threads,
+            ..SolveOptions::baseline()
         }
     }
 
@@ -273,14 +301,14 @@ impl Executor {
             // Solve uncached under an exhausted budget: the faulted
             // attempt must neither publish nor consume shared artifacts.
             return Err(CellError::FallbackBudget(synthesize_budget_failure(
-                try_fallback_analysis(module, &SolveBudget::iterations(0)),
+                try_fallback_analysis(module, &SolveBudget::iterations(0), self.solver_threads),
             )));
         }
 
         let fallback = self
             .cache
-            .try_analysis(fp, &SolveOptions::baseline(), false, || {
-                try_fallback_analysis(module, &self.budget)
+            .try_analysis(fp, &self.baseline_opts(), false, || {
+                try_fallback_analysis(module, &self.budget, self.solver_threads)
             })
             .map_err(|e| match e {
                 FetchError::Corrupt => CellError::CorruptArtifact,
@@ -298,7 +326,13 @@ impl Executor {
         #[cfg(feature = "fault-injection")]
         if fault == Some(FaultKind::OptimisticBudget) {
             return Err(CellError::OptimisticBudget(synthesize_budget_failure(
-                try_optimistic_analysis(module, config, &ctx_plan, &SolveBudget::iterations(0)),
+                try_optimistic_analysis(
+                    module,
+                    config,
+                    &ctx_plan,
+                    &SolveBudget::iterations(0),
+                    self.solver_threads,
+                ),
             )));
         }
 
@@ -307,7 +341,13 @@ impl Executor {
             // Ensure the artifact exists, then damage its recorded digest;
             // the verified fetch below must reject it.
             let _ = self.cache.try_analysis(fp, &opts, config.ctx, || {
-                try_optimistic_analysis(module, config, &ctx_plan, &self.budget)
+                try_optimistic_analysis(
+                    module,
+                    config,
+                    &ctx_plan,
+                    &self.budget,
+                    self.solver_threads,
+                )
             });
             self.cache.corrupt_analysis_entry(fp, &opts, config.ctx);
         }
@@ -315,7 +355,13 @@ impl Executor {
         let optimistic = self
             .cache
             .try_analysis(fp, &opts, config.ctx, || {
-                try_optimistic_analysis(module, config, &ctx_plan, &self.budget)
+                try_optimistic_analysis(
+                    module,
+                    config,
+                    &ctx_plan,
+                    &self.budget,
+                    self.solver_threads,
+                )
             })
             .map_err(|e| match e {
                 FetchError::Corrupt => CellError::CorruptArtifact,
@@ -342,11 +388,11 @@ impl Executor {
         // against its own faults so a failure here falls through.
         if !matches!(err, CellError::FallbackBudget(_)) {
             let rung1 = catch_unwind(AssertUnwindSafe(|| {
-                let fallback =
-                    self.cache
-                        .try_analysis(fp, &SolveOptions::baseline(), false, || {
-                            try_fallback_analysis(module, &self.budget)
-                        })?;
+                let fallback = self
+                    .cache
+                    .try_analysis(fp, &self.baseline_opts(), false, || {
+                        try_fallback_analysis(module, &self.budget, self.solver_threads)
+                    })?;
                 let ctx_plan = if config.ctx {
                     self.cache.ctx_plan(fp, || ctx_plan_for(module, config))
                 } else {
@@ -401,7 +447,10 @@ impl Executor {
             return modules.iter().map(|_| Vec::new()).collect();
         }
 
-        let legacy = self.jobs <= 1 && self.budget == SolveBudget::default() && !self.has_faults();
+        let legacy = self.jobs <= 1
+            && self.budget == SolveBudget::default()
+            && !self.has_faults()
+            && self.solver_threads == 0;
         let results: Vec<T> = if legacy {
             // Legacy serial path: the original per-cell pipeline, no pool,
             // no cache — the A/B reference for byte-identical output.

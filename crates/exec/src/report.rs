@@ -92,13 +92,17 @@ pub fn render_analyze(
                 let _ = writeln!(
                     out,
                     "    solver[{tag}]: pops={} scc-passes={} union-words={} \
-                     peak-pts-bytes={} copy-edges={} collapsed-objects={}",
+                     peak-pts-bytes={} copy-edges={} collapsed-objects={} \
+                     strata={} max-wave-width={} barrier-stalls={}",
                     s.iterations,
                     s.scc_passes,
                     s.union_words,
                     s.peak_pts_bytes,
                     s.copy_edges,
-                    s.collapsed_objects
+                    s.collapsed_objects,
+                    s.strata,
+                    s.max_wave_width,
+                    s.barrier_stalls
                 );
             }
         }

@@ -8,6 +8,7 @@
 //! branch/monitor coverage, and counts invariant violations.
 
 pub mod mutate;
+pub mod scale;
 
 use kaleidoscope::PolicyConfig;
 use kaleidoscope_apps::AppModel;

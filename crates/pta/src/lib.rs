@@ -58,14 +58,17 @@ pub mod steens;
 /// discovery-order-dependent output (lazily created field-node ids, PWC
 /// event order) must bump this so stale cached solve artifacts are never
 /// reused across representations.
-pub const PTS_REPR_VERSION: u32 = 2;
+///
+/// v3: adaptive demotion of shrunken bitmap sets back to the inline
+/// representation, plus the wave-front parallel propagation schedule.
+pub const PTS_REPR_VERSION: u32 = 3;
 
 pub use analysis::Analysis;
 pub use callgraph::CallGraph;
 pub use ctxplan::{ChainStep, CriticalFlow, CtxPlan};
 pub use node::{NodeId, NodeKind, NodeTable, ObjId, ObjInfo, ObjSite};
 pub use observer::{NullObserver, SolveEvent, SolverObserver};
-pub use pts::PtsSet;
+pub use pts::{PtsSet, DEMOTE_AT, SMALL_MAX};
 pub use solver::{
     BudgetKind, PaFilterEvent, PwcEvent, SolveBudget, SolveError, SolveOptions, SolveResult,
     SolveStats, Solver,

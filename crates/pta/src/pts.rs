@@ -4,8 +4,13 @@
 //! elements live in an inline sorted array (no heap allocation at all —
 //! the overwhelmingly common case for points-to sets), and larger sets
 //! promote to the sparse word-indexed bitmap in [`crate::bitvec`], where
-//! union/difference/subset run as word-level popcount loops. Promotion is
-//! one-way; a promoted set never demotes.
+//! union/difference/subset run as word-level popcount loops. The threshold
+//! is adaptive in both directions: a promoted set that shrinks back to
+//! [`DEMOTE_AT`] elements or fewer (via `remove`/`retain`) demotes to the
+//! inline array and frees its bitmap, so large-then-shrinking sets — SCC
+//! merge losers, retained filters — stop pinning peak heap bytes. The
+//! demotion threshold sits at half of [`SMALL_MAX`] so a set oscillating
+//! around the promotion boundary does not thrash representations.
 //!
 //! Every operation observes the set as sorted ascending — the iterator,
 //! `Display`, and the delta slices handed to the solver all yield ids in
@@ -23,6 +28,12 @@ use crate::node::NodeId;
 /// Largest cardinality stored inline before promoting to bitmap blocks.
 pub const SMALL_MAX: usize = 16;
 
+/// Cardinality at or below which a bitmap representation demotes back to
+/// the inline array after shrinking. Half of [`SMALL_MAX`] gives hysteresis:
+/// a set bouncing around the promotion boundary never thrashes between
+/// representations.
+pub const DEMOTE_AT: usize = SMALL_MAX / 2;
+
 /// Cost model for the deterministic `union_words` counter: one 64-bit word
 /// per two inline u32 slots touched, so small-array merges and bitmap OR
 /// loops report in the same unit.
@@ -35,7 +46,8 @@ fn small_words(elems: usize) -> u64 {
 enum Repr {
     /// Inline sorted array; only `buf[..len]` is meaningful.
     Small { len: u8, buf: [NodeId; SMALL_MAX] },
-    /// Sparse bitmap blocks (promoted; never demotes).
+    /// Sparse bitmap blocks (demotes back to `Small` when shrinking to
+    /// [`DEMOTE_AT`] elements or fewer).
     Bits(BitBlocks),
 }
 
@@ -127,6 +139,22 @@ impl PtsSet {
         }
     }
 
+    /// Demote a bitmap that shrank to [`DEMOTE_AT`] elements or fewer back
+    /// to the inline array, freeing the bitmap's heap blocks.
+    fn maybe_demote(&mut self) {
+        if let Repr::Bits(b) = &self.repr {
+            if b.len() <= DEMOTE_AT {
+                let mut buf = [NodeId(0); SMALL_MAX];
+                let mut len = 0u8;
+                for v in b.iter() {
+                    buf[len as usize] = NodeId(v);
+                    len += 1;
+                }
+                self.repr = Repr::Small { len, buf };
+            }
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         match &self.repr {
@@ -193,7 +221,13 @@ impl PtsSet {
                     Err(_) => false,
                 }
             }
-            Repr::Bits(b) => b.remove(n.0),
+            Repr::Bits(b) => {
+                let hit = b.remove(n.0);
+                if hit {
+                    self.maybe_demote();
+                }
+                hit
+            }
         }
     }
 
@@ -382,17 +416,34 @@ impl PtsSet {
             Repr::Bits(b) => {
                 let raw: &mut Vec<u32> = unsafe { transmute_ids(&mut removed) };
                 b.retain(|v| keep(NodeId(v)), raw);
+                if !removed.is_empty() {
+                    self.maybe_demote();
+                }
             }
         }
         removed
     }
 
     /// Remove all elements, keeping any bitmap allocation.
+    ///
+    /// This deliberately does *not* demote: the solver clears and refills
+    /// its propagated-frontier sets every visit, and reusing the warm
+    /// bitmap there is the hot path. Sets that are dead for good should
+    /// use [`PtsSet::release`] instead.
     pub fn clear(&mut self) {
         match &mut self.repr {
             Repr::Small { len, .. } => *len = 0,
             Repr::Bits(b) => b.clear(),
         }
+    }
+
+    /// Remove all elements *and* drop any bitmap allocation, resetting to
+    /// the inline representation. For sets that will never grow again —
+    /// SCC merge losers, collapsed field nodes — where `clear`'s
+    /// allocation reuse would pin `peak_pts_bytes` for the rest of the
+    /// solve.
+    pub fn release(&mut self) {
+        *self = PtsSet::default();
     }
 }
 
@@ -559,6 +610,42 @@ mod tests {
         assert_eq!(big, small);
         assert_eq!(small, big);
         assert!(big.is_subset(&small) && small.is_subset(&big));
+    }
+
+    #[test]
+    fn shrinking_below_demote_threshold_frees_the_bitmap() {
+        let mut s: PtsSet = (0..30u32).map(n).collect();
+        assert!(s.heap_bytes() > 0);
+        // Stay above DEMOTE_AT: still a bitmap (hysteresis).
+        for v in (DEMOTE_AT as u32 + 1)..30 {
+            assert!(s.remove(n(v)));
+        }
+        assert!(s.heap_bytes() > 0, "at DEMOTE_AT+1 the bitmap is kept");
+        // One more removal crosses the threshold and demotes.
+        assert!(s.remove(n(DEMOTE_AT as u32)));
+        assert_eq!(s.heap_bytes(), 0, "demoted to inline");
+        assert_eq!(to_vec(&s), (0..DEMOTE_AT as u32).map(n).collect::<Vec<_>>());
+        // The demoted set can promote again and keeps working.
+        for v in 100..130u32 {
+            assert!(s.insert(n(v)));
+        }
+        assert!(s.heap_bytes() > 0);
+        assert_eq!(s.len(), DEMOTE_AT + 30);
+    }
+
+    #[test]
+    fn retain_demotes_and_release_frees() {
+        let mut s: PtsSet = (0..40u32).map(n).collect();
+        let removed = s.retain(|x| x.0 < 4);
+        assert_eq!(removed.len(), 36);
+        assert_eq!(s.heap_bytes(), 0, "retain shrank it below DEMOTE_AT");
+        assert_eq!(to_vec(&s), (0..4u32).map(n).collect::<Vec<_>>());
+        let mut big: PtsSet = (0..40u32).map(n).collect();
+        big.clear();
+        assert!(big.heap_bytes() > 0, "clear keeps the warm bitmap");
+        big.release();
+        assert_eq!(big.heap_bytes(), 0, "release drops it");
+        assert!(big.is_empty());
     }
 
     #[test]

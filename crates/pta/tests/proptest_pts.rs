@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 
 use kaleidoscope_prng::{check, Rng};
-use kaleidoscope_pta::{NodeId, PtsSet};
+use kaleidoscope_pta::{NodeId, PtsSet, DEMOTE_AT, SMALL_MAX};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -156,6 +156,73 @@ fn hybrid_promotion_matches_btreeset_model() {
             model.is_subset(&other_model),
             "is_subset agrees with model"
         );
+    });
+}
+
+/// Promote-then-demote round trips: grow a random set past the inline
+/// capacity (bitmap representation), shrink it back with random
+/// `remove`/`retain` calls, and check that representation changes never
+/// alter the observable set — contents, sorted iteration order, and the
+/// equality/subset relations all track a `BTreeSet` model, and a set at or
+/// below [`DEMOTE_AT`] holds no heap at all.
+#[test]
+fn promotion_demotion_round_trip_preserves_contents_and_order() {
+    check(256, 0xde04, |rng| {
+        // Grow: strictly more than SMALL_MAX distinct ids forces the
+        // bitmap representation.
+        let grow = SMALL_MAX + 1 + rng.gen_range(0..48usize);
+        let mut sut = PtsSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        while model.len() < grow {
+            let v = rng.gen_range(0..4096u32);
+            sut.insert(NodeId(v));
+            model.insert(v);
+        }
+        assert!(sut.heap_bytes() > 0, "past SMALL_MAX the set is a bitmap");
+        // Shrink back below the demotion threshold, via a random mix of
+        // point removes and a retain sweep.
+        let keep = rng.gen_range(0..=DEMOTE_AT);
+        while model.len() > keep {
+            if rng.gen_bool(0.25) {
+                // Retain a random prefix of the value space.
+                let cut = rng.gen_range(0..4096u32);
+                let before = model.len();
+                sut.retain(|n| n.0 < cut);
+                model.retain(|v| *v < cut);
+                assert_eq!(sut.len(), model.len(), "retain cut at {cut}");
+                if model.len() == before {
+                    continue;
+                }
+            } else {
+                let &v = model.iter().nth(rng.gen_range(0..model.len())).unwrap();
+                assert!(sut.remove(NodeId(v)));
+                model.remove(&v);
+            }
+            // The observable set tracks the model through every
+            // representation change.
+            let sut_items: Vec<u32> = sut.iter().map(|n| n.0).collect();
+            let model_items: Vec<u32> = model.iter().copied().collect();
+            assert_eq!(sut_items, model_items, "sorted content while shrinking");
+        }
+        assert!(
+            sut.heap_bytes() == 0,
+            "at {} ≤ DEMOTE_AT={DEMOTE_AT} elements the set must be inline",
+            model.len()
+        );
+        // The demoted set is a first-class citizen: it compares equal to a
+        // set built inline from scratch, and round-trips through promotion
+        // again.
+        let rebuilt: PtsSet = model.iter().map(|&v| NodeId(v)).collect();
+        assert_eq!(sut, rebuilt, "demoted set equals inline-built set");
+        assert!(sut.is_subset(&rebuilt) && rebuilt.is_subset(&sut));
+        for v in 5000..5000 + SMALL_MAX as u32 + 1 {
+            sut.insert(NodeId(v));
+            model.insert(v);
+        }
+        assert!(sut.heap_bytes() > 0, "re-promotion works after demotion");
+        let sut_items: Vec<u32> = sut.iter().map(|n| n.0).collect();
+        let model_items: Vec<u32> = model.iter().copied().collect();
+        assert_eq!(sut_items, model_items, "sorted content after re-growth");
     });
 }
 

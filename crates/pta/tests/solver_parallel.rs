@@ -1,0 +1,129 @@
+//! Differential coverage for the wave-front parallel schedule.
+//!
+//! The wave schedule (`solver_threads ≥ 1`) must be byte-identical to
+//! itself at every thread count, and must agree with the classic
+//! sequential schedule on every *stable* identity: allocation sites of
+//! every pointer local's points-to set, and resolved indirect-call
+//! targets. (Raw node ids are not comparable across schedules — the two
+//! drains materialize lazily-created field nodes in different orders —
+//! which is also why the disk cache partitions the two schedules.)
+//!
+//! The matrix is every bundled application model × {fallback solve + all
+//! eight Table 3 policy configurations} × threads {1, 2, 4}, plus two
+//! seeded modules from the fuzz scale corpus so the schedule is also
+//! differentially tested on inputs with thousands-wide waves.
+
+use kaleidoscope::{ctx_plan_for, PolicyConfig};
+use kaleidoscope_ir::{LocalId, Module};
+use kaleidoscope_pta::{Analysis, CtxPlan, SolveOptions};
+
+/// Render an analysis on stable identities only: `function/local` →
+/// sorted allocation sites, plus per-callsite indirect targets.
+fn stable_view(module: &Module, a: &Analysis) -> String {
+    let mut out = String::new();
+    for (fid, f) in module.iter_funcs() {
+        for (i, l) in f.locals.iter().enumerate() {
+            if !l.ty.is_ptr() {
+                continue;
+            }
+            let pts = a.pts_of_local(fid, LocalId(i as u32));
+            if pts.is_empty() {
+                continue;
+            }
+            let sites: Vec<String> = a
+                .sites_of(&pts)
+                .into_iter()
+                .map(|s| s.to_string())
+                .collect();
+            out.push_str(&format!("{}/{}: [{}]\n", f.name, l.name, sites.join(" ")));
+        }
+    }
+    let mut calls: Vec<String> = a
+        .result
+        .callgraph
+        .indirect_sites()
+        .map(|(site, targets)| {
+            let names: Vec<&str> = targets
+                .iter()
+                .map(|&t| module.func(t).name.as_str())
+                .collect();
+            format!("call@{site}: [{}]", names.join(" "))
+        })
+        .collect();
+    calls.sort_unstable();
+    for c in calls {
+        out.push_str(&c);
+        out.push('\n');
+    }
+    out
+}
+
+fn solve_view(
+    module: &Module,
+    base: &SolveOptions,
+    ctx: Option<&CtxPlan>,
+    threads: usize,
+) -> String {
+    let opts = SolveOptions {
+        solver_threads: threads,
+        ..base.clone()
+    };
+    let a = Analysis::run_full(module, &opts, ctx, &mut kaleidoscope_pta::NullObserver);
+    stable_view(module, &a)
+}
+
+/// One module's full differential sweep: every solve options variant is
+/// run under the classic schedule and the wave schedule at 1/2/4
+/// threads; wave views must be identical at every thread count and must
+/// match the classic view.
+fn sweep(name: &str, module: &Module) {
+    let mut variants: Vec<(String, SolveOptions, Option<CtxPlan>)> =
+        vec![("fallback".into(), SolveOptions::baseline(), None)];
+    for config in PolicyConfig::table3_order() {
+        let plan = ctx_plan_for(module, config);
+        variants.push((
+            config.name().into(),
+            SolveOptions::optimistic(config.pa, config.pwc),
+            if config.ctx { Some(plan) } else { None },
+        ));
+    }
+    for (vname, base, ctx) in &variants {
+        let classic = solve_view(module, base, ctx.as_ref(), 0);
+        let w1 = solve_view(module, base, ctx.as_ref(), 1);
+        assert_eq!(
+            classic, w1,
+            "{name}/{vname}: wave schedule diverged from classic on stable identities"
+        );
+        for threads in [2usize, 4] {
+            let w = solve_view(module, base, ctx.as_ref(), threads);
+            assert_eq!(
+                w1, w,
+                "{name}/{vname}: wave schedule not thread-count invariant at {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_model_every_config_is_schedule_and_thread_count_invariant() {
+    for m in kaleidoscope_apps::all_models() {
+        sweep(m.name, &m.module);
+    }
+}
+
+#[test]
+fn scale_corpus_modules_are_schedule_and_thread_count_invariant() {
+    // Small targets keep the debug-build sweep fast; the wave shapes are
+    // already thousands wide at this size.
+    for seed in [0xca1e_u64, 0x5eed] {
+        let module = kaleidoscope_fuzz::scale::corpus_module(seed, 4_000);
+        let base = SolveOptions::baseline();
+        let classic = solve_view(&module, &base, None, 0);
+        let w1 = solve_view(&module, &base, None, 1);
+        assert_eq!(classic, w1, "scale/{seed:x}: wave diverged from classic");
+        for threads in [2usize, 4] {
+            let w = solve_view(&module, &base, None, threads);
+            assert_eq!(w1, w, "scale/{seed:x}: not invariant at {threads} threads");
+        }
+    }
+}

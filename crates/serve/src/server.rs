@@ -212,6 +212,10 @@ impl Router {
                 None
             },
             stats: req.stats,
+            // The shed path only knows the request's own schedule choice;
+            // a wave-scoped artifact published by a wave-default worker is
+            // simply a miss here, never a wrong answer.
+            wave: req.solver_threads.is_some_and(|n| n > 0),
         };
         if let Some(text) = cache.and_then(|c| c.get_report(fp, scope)) {
             return Response::Ok {

@@ -35,6 +35,10 @@ use crate::protocol::{decode_request, encode_response, CacheDisposition, Request
 pub struct WorkerOptions {
     /// Executor worker threads per solve (`0` = available parallelism).
     pub jobs: usize,
+    /// Default intra-solve thread count for the wave-front solver
+    /// schedule (`0` = classic sequential). A request's own
+    /// `solver_threads` field overrides this.
+    pub solver_threads: usize,
     /// The shared on-disk artifact store, if configured.
     pub cache: Option<Arc<DiskCache>>,
     /// Honor `fault` directives in requests (test builds of the daemon
@@ -121,6 +125,7 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
         },
         None => PolicyConfig::table3_order().to_vec(),
     };
+    let solver_threads = req.solver_threads.unwrap_or(opts.solver_threads);
     let scope = ReportScope {
         config: if configs.len() == 1 {
             Some(configs[0])
@@ -128,6 +133,7 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
             None
         },
         stats: req.stats,
+        wave: solver_threads > 0,
     };
     if let Some(text) = cache.and_then(|c| c.get_report(fp, scope)) {
         return Response::Ok {
@@ -139,7 +145,7 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
             degraded: 0,
         };
     }
-    let mut ex = Executor::with_jobs(opts.jobs);
+    let mut ex = Executor::with_jobs(opts.jobs).with_solver_threads(solver_threads);
     if let Some(n) = req.budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
     }
@@ -205,6 +211,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         WorkerOptions {
             jobs: 2,
+            solver_threads: 0,
             cache: Some(Arc::new(DiskCache::open(dir).expect("temp cache"))),
             unsafe_faults: false,
         }
@@ -236,6 +243,7 @@ mod tests {
             config: None,
             stats: false,
             budget: None,
+            solver_threads: None,
             fault: None,
         };
         let second = handle_request(&again, &opts);
@@ -282,6 +290,7 @@ mod tests {
             config: None,
             stats: false,
             budget: None,
+            solver_threads: None,
             fault: None,
         };
         let resp = handle_request(&req, &opts);
@@ -314,6 +323,30 @@ mod tests {
         ));
         let ok = crate::protocol::decode_response(lines[1]).unwrap();
         assert_eq!(ok.id(), "ok-1");
+    }
+
+    #[test]
+    fn wave_request_is_served_and_cached_apart_from_classic() {
+        let opts = opts_with_cache("wave");
+        let classic = handle_request(&Request::inline("c", &tiny_module()), &opts);
+        let Response::Ok { cache: c1, .. } = &classic else {
+            panic!("expected ok, got {classic:?}");
+        };
+        assert_eq!(*c1, CacheDisposition::Stored);
+        // Same module under the wave schedule: a fresh solve (no alias
+        // with the classic artifact), then a hit on repeat.
+        let mut wreq = Request::inline("w", &tiny_module());
+        wreq.solver_threads = Some(2);
+        let first = handle_request(&wreq, &opts);
+        let Response::Ok { cache: c2, .. } = &first else {
+            panic!("expected ok, got {first:?}");
+        };
+        assert_eq!(*c2, CacheDisposition::Stored, "wave scope is distinct");
+        let second = handle_request(&wreq, &opts);
+        let Response::Ok { cache: c3, .. } = &second else {
+            panic!("expected ok, got {second:?}");
+        };
+        assert_eq!(*c3, CacheDisposition::Hit);
     }
 
     #[test]

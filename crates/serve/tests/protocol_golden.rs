@@ -28,11 +28,12 @@ fn golden_full_request() {
         config: Some("kd-ctx-pa".into()),
         stats: true,
         budget: Some(1000),
+        solver_threads: Some(4),
         fault: Some("kill".into()),
     };
     assert_eq!(
         encode_request(&req),
-        r#"{"id":"req-42","tenant":"acme","fingerprint":"00abcdef01234567","config":"kd-ctx-pa","stats":true,"budget":1000,"fault":"kill"}"#
+        r#"{"id":"req-42","tenant":"acme","fingerprint":"00abcdef01234567","config":"kd-ctx-pa","stats":true,"budget":1000,"solver_threads":4,"fault":"kill"}"#
     );
 }
 

@@ -41,6 +41,7 @@ fn start(tag: &str, shards: usize, quota: TenantQuota) -> (Server, Arc<DiskCache
         cache: Some(cache.clone()),
         mode: ShardMode::Thread(WorkerOptions {
             jobs: 1,
+            solver_threads: 0,
             cache: Some(cache.clone()),
             unsafe_faults: false,
         }),
@@ -117,6 +118,7 @@ fn warm_repeat_is_a_cache_hit_with_identical_bytes() {
         config: None,
         stats: false,
         budget: None,
+        solver_threads: None,
         fault: None,
     };
     let warm = request_over_tcp(&addr, &warm_req).expect("warm");
@@ -181,6 +183,7 @@ fn shed_requests_prefer_a_cached_full_report() {
             kaleidoscope_exec::ReportScope {
                 config: None,
                 stats: false,
+                wave: false,
             },
             &offline,
         )
@@ -190,6 +193,7 @@ fn shed_requests_prefer_a_cached_full_report() {
         cache: Some(cache.clone()),
         mode: ShardMode::Thread(WorkerOptions {
             jobs: 1,
+            solver_threads: 0,
             cache: Some(cache),
             unsafe_faults: false,
         }),
