@@ -15,14 +15,21 @@
 //! `BENCH_*.json` trajectories.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use kaleidoscope_bench::timing::{bench, to_json_with_counters};
 use kaleidoscope_exec::DiskCache;
 use kaleidoscope_serve::{
-    request_over_tcp, Request, Response, ServeConfig, Server, ShardMode, TenantQuota, WorkerOptions,
+    request_over_tcp, BreakerConfig, Request, Response, ServeConfig, Server, ShardMode,
+    TenantQuota, WorkerOptions,
 };
 
-fn start_server(tag: &str, max_concurrent: usize) -> (Server, Arc<DiskCache>) {
+fn start_server_with(
+    tag: &str,
+    max_concurrent: usize,
+    unsafe_faults: bool,
+    breaker: BreakerConfig,
+) -> (Server, Arc<DiskCache>) {
     let dir = std::env::temp_dir().join(format!("kd-bench-serve-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let cache = Arc::new(DiskCache::open(dir).expect("bench cache"));
@@ -33,7 +40,7 @@ fn start_server(tag: &str, max_concurrent: usize) -> (Server, Arc<DiskCache>) {
             jobs: 1,
             solver_threads: 0,
             cache: Some(cache.clone()),
-            unsafe_faults: false,
+            unsafe_faults,
         }),
         shards_per_tenant: 4,
         quota: TenantQuota {
@@ -41,9 +48,15 @@ fn start_server(tag: &str, max_concurrent: usize) -> (Server, Arc<DiskCache>) {
             ..TenantQuota::default()
         },
         shed_jobs: 1,
+        breaker,
+        ..ServeConfig::default()
     })
     .expect("bind bench server");
     (server, cache)
+}
+
+fn start_server(tag: &str, max_concurrent: usize) -> (Server, Arc<DiskCache>) {
+    start_server_with(tag, max_concurrent, false, BreakerConfig::default())
 }
 
 fn must_ok(resp: Result<Response, String>) -> Response {
@@ -134,6 +147,58 @@ fn main() {
     let overload_stats = server.router().stats();
     server.stop();
 
+    // Breaker: one crash directive trips a shard's breaker (threshold 2,
+    // long cooldown); healthy traffic then short-circuits to the ladder
+    // with no worker touched — the sample is that O(1) degraded path.
+    let (server, _cache) = start_server_with(
+        "breaker",
+        64,
+        true,
+        BreakerConfig {
+            strike_threshold: 2,
+            cooldown: Duration::from_secs(600),
+        },
+    );
+    let addr = server.addr().to_string();
+    must_ok(request_over_tcp(
+        &addr,
+        &Request::inline("prewarm", &modules[0]),
+    ));
+    // Trip every slot: each crash dispatch lands on a different
+    // round-robin slot, and two strikes open that slot's breaker.
+    for i in 0..4 {
+        let mut crash = Request::inline(&format!("crash{i}"), &modules[0]);
+        crash.fault = Some("crash".into());
+        must_ok(request_over_tcp(&addr, &crash));
+    }
+    samples.push(bench("serve/breaker_short_circuit", 10, || {
+        must_ok(request_over_tcp(&addr, &Request::inline("sc", &modules[0])));
+    }));
+    let breaker_stats = server.router().stats();
+    server.stop();
+
+    // Drain: clients in flight when the graceful stop begins; the
+    // counter records how long the drain actually waited for them.
+    let (server, _cache) = start_server("drain", 64);
+    let addr = server.addr().to_string();
+    let drain_clients: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            let module = modules[c % modules.len()].clone();
+            std::thread::spawn(move || {
+                let _ = request_over_tcp(&addr, &Request::inline(&format!("d{c}"), &module));
+            })
+        })
+        .collect();
+    while server.router().stats().admitted < 4 {
+        std::thread::yield_now();
+    }
+    let drain_report = server.stop_graceful(Duration::from_secs(60));
+    for c in drain_clients {
+        c.join().expect("drain client");
+    }
+    assert!(drain_report.drained, "bench drain must complete");
+
     let shed_rate_pct = (100 * overload_stats.shed)
         .checked_div(overload_stats.admitted + overload_stats.shed)
         .unwrap_or(0);
@@ -144,6 +209,12 @@ fn main() {
     println!(
         "overload path: {} admitted, {} shed ({shed_rate_pct}% shed rate)",
         overload_stats.admitted, overload_stats.shed
+    );
+    println!(
+        "breaker path: {} short-circuits; drain: waited {}ms for {} connections",
+        breaker_stats.breaker_short_circuits,
+        drain_report.waited.as_millis(),
+        drain_report.connections_joined
     );
 
     let counters = [
@@ -158,6 +229,22 @@ fn main() {
             "overload_degraded_after_failure",
             overload_stats.degraded_after_failure,
         ),
+        (
+            "breaker_short_circuits",
+            breaker_stats.breaker_short_circuits,
+        ),
+        (
+            "breaker_degraded_after_failure",
+            breaker_stats.degraded_after_failure,
+        ),
+        ("drain_waited_ms", drain_report.waited.as_millis() as u64),
+        (
+            "drain_connections_joined",
+            drain_report.connections_joined as u64,
+        ),
+        ("drain_draining_rejected", drain_report.draining_rejected),
+        ("drain_cache_tmp_swept", drain_report.cache_tmp_swept),
+        ("drain_cache_quarantined", drain_report.cache_quarantined),
     ];
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, to_json_with_counters(&samples, &counters))

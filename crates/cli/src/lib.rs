@@ -18,7 +18,7 @@ use kaleidoscope_ir::{parse_module, verify_module, Module};
 use kaleidoscope_pta::{Analysis, SolveBudget, SolveOptions};
 use kaleidoscope_runtime::ViewKind;
 use kaleidoscope_serve::{
-    request_over_tcp, Request, Response, ServeConfig, Server, ShardMode, TenantQuota, WorkerOptions,
+    Request, Response, ServeConfig, Server, ShardMode, TenantQuota, WorkerOptions,
 };
 
 /// CLI-level error.
@@ -338,6 +338,14 @@ pub struct ServeArgs {
     /// Use in-process thread shards instead of `kd worker` children
     /// (debugging; loses crash isolation).
     pub thread_shards: bool,
+    /// How long a SIGTERM/SIGINT shutdown waits for in-flight requests
+    /// before force-closing connections.
+    pub drain_ms: u64,
+    /// Consecutive shard strikes that open its circuit breaker.
+    pub breaker_strikes: u32,
+    /// How long an open breaker short-circuits requests to the
+    /// degradation ladder before probing the shard again.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -354,7 +362,39 @@ impl Default for ServeArgs {
             tenant_budget: None,
             unsafe_faults: false,
             thread_shards: false,
+            drain_ms: 5_000,
+            breaker_strikes: 3,
+            breaker_cooldown_ms: 5_000,
         }
+    }
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by [`cmd_serve`]'s main
+/// loop to begin a graceful drain.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // A store to a static atomic is async-signal-safe; everything else
+    // (the drain itself) happens on the main thread.
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to the shutdown flag. Uses the C `signal`
+/// entry point directly (libc is always linked) so the offline build
+/// needs no signal-handling crate.
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: the handler only stores to a static atomic, which is
+    // async-signal-safe; `signal` itself has no memory-safety
+    // preconditions beyond a valid handler pointer.
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
     }
 }
 
@@ -378,11 +418,17 @@ fn open_serve_cache(
     ))
 }
 
-/// `kd serve` — run the analysis daemon until killed.
+/// `kd serve` — run the analysis daemon until SIGTERM/SIGINT.
 ///
 /// Prints `kd serve: listening on <addr>` (with the resolved port) to
 /// stdout once the socket is accepting, then blocks. Workers are `kd
 /// worker` child processes of this binary unless `thread_shards` is set.
+///
+/// On SIGTERM or Ctrl-C the daemon drains instead of dying: in-flight
+/// requests finish and are written, late requests get a typed `draining`
+/// response for up to `drain_ms`, connection threads are joined, workers
+/// stopped, and the cache recovery sweep runs — then the process exits 0
+/// with a one-line drain summary.
 pub fn cmd_serve(args: &ServeArgs) -> Result<(), CliError> {
     let cache = open_serve_cache(args.cache_dir.as_deref(), args.cache_max_bytes)?;
     let mode = if args.thread_shards {
@@ -414,14 +460,33 @@ pub fn cmd_serve(args: &ServeArgs) -> Result<(), CliError> {
             budget: args.tenant_budget,
         },
         shed_jobs: 1,
+        breaker: kaleidoscope_serve::BreakerConfig {
+            strike_threshold: args.breaker_strikes.max(1),
+            cooldown: std::time::Duration::from_millis(args.breaker_cooldown_ms),
+        },
+        drain: std::time::Duration::from_millis(args.drain_ms),
     })
     .map_err(|e| err(format!("cannot bind `{}`: {e}", args.addr)))?;
+    install_shutdown_handler();
     println!("kd serve: listening on {}", server.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    loop {
-        std::thread::park();
+    while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
     }
+    let report = server.stop_graceful(std::time::Duration::from_millis(args.drain_ms));
+    println!(
+        "kd serve: drained in {}ms (complete={} connections_joined={} draining_rejected={} \
+         cache_tmp_swept={} cache_quarantined={})",
+        report.waited.as_millis(),
+        report.drained,
+        report.connections_joined,
+        report.draining_rejected,
+        report.cache_tmp_swept,
+        report.cache_quarantined
+    );
+    let _ = std::io::stdout().flush();
+    Ok(())
 }
 
 /// `kd worker` — the daemon's child-process shard: serve requests over
@@ -469,6 +534,13 @@ pub struct RequestArgs {
     pub solver_threads: Option<usize>,
     /// Fault directive (testing; requires a `--unsafe-faults` daemon).
     pub fault: Option<String>,
+    /// Connect/read/write timeout in milliseconds (`None` = the client
+    /// defaults: 10s connect, 120s io).
+    pub timeout_ms: Option<u64>,
+    /// Extra attempts after a connect failure or timeout (requests are
+    /// idempotent, so retrying is safe); backoff is exponential with
+    /// seeded jitter.
+    pub retries: u32,
 }
 
 /// What `kd request` prints: the report on stdout, the serving metadata
@@ -502,6 +574,7 @@ pub fn cmd_request(args: &RequestArgs) -> Result<RequestOutput, CliError> {
     let req = Request {
         id: format!("kd-request-{}", std::process::id()),
         tenant: args.tenant.clone(),
+        op: None,
         module,
         fingerprint,
         config: args.config.clone(),
@@ -510,7 +583,25 @@ pub fn cmd_request(args: &RequestArgs) -> Result<RequestOutput, CliError> {
         solver_threads: args.solver_threads,
         fault: args.fault.clone(),
     };
-    match request_over_tcp(&args.addr, &req).map_err(err)? {
+    let mut opts = kaleidoscope_serve::ClientOptions {
+        retries: args.retries,
+        ..kaleidoscope_serve::ClientOptions::default()
+    };
+    if let Some(ms) = args.timeout_ms {
+        let t = std::time::Duration::from_millis(ms);
+        opts.connect_timeout = t;
+        opts.io_timeout = t;
+    }
+    let resp =
+        kaleidoscope_serve::request_over_tcp_with(&args.addr, &req, &opts).map_err(
+            |e| match e {
+                kaleidoscope_serve::RequestError::Draining => {
+                    err("server is draining for shutdown; retry against another instance")
+                }
+                other => err(other.to_string()),
+            },
+        )?;
+    match resp {
         Response::Ok {
             report,
             tier,
@@ -530,6 +621,10 @@ pub fn cmd_request(args: &RequestArgs) -> Result<RequestOutput, CliError> {
             ),
         }),
         Response::Error { error, .. } => Err(err(format!("server refused request: {error}"))),
+        Response::Draining { .. } => {
+            Err(err("server is draining for shutdown; retry against another instance"))
+        }
+        Response::Health { .. } => Err(err("unexpected health response to an analysis request")),
     }
 }
 
@@ -581,9 +676,18 @@ SERVING:
     --tenant-budget <n>   serve: cap on per-request solve budgets
     --thread-shards    serve: in-process shards (no crash isolation)
     --unsafe-faults    serve/worker: honor fault directives (tests only)
+    --drain-ms <n>     serve: how long SIGTERM/Ctrl-C waits for in-flight
+                       requests before force-closing (default 5000)
+    --breaker-strikes <n>  serve: consecutive shard failures that open its
+                       circuit breaker (default 3)
+    --breaker-cooldown-ms <n>  serve: how long an open breaker serves from
+                       the degradation ladder before reprobing (default 5000)
     --tenant <name>    request: tenant to account against (default: default)
     --fingerprint <h>  request: query a stored module by fingerprint
     --fault <kind>     request: inject a worker fault (needs --unsafe-faults)
+    --timeout-ms <n>   request: connect/read/write timeout (default 10s/120s)
+    --retries <n>      request: retry connect failures and timeouts with
+                       jittered exponential backoff (default 0)
 ";
 
 #[cfg(test)]

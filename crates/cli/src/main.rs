@@ -32,6 +32,11 @@ struct Args {
     fault: Option<String>,
     unsafe_faults: bool,
     thread_shards: bool,
+    drain_ms: u64,
+    breaker_strikes: u32,
+    breaker_cooldown_ms: u64,
+    timeout_ms: Option<u64>,
+    retries: u32,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
@@ -62,6 +67,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         fault: None,
         unsafe_faults: false,
         thread_shards: false,
+        drain_ms: 5_000,
+        breaker_strikes: 3,
+        breaker_cooldown_ms: 5_000,
+        timeout_ms: None,
+        retries: 0,
     };
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
@@ -114,6 +124,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--fault" => args.fault = Some(need(&mut argv, "--fault")?),
             "--unsafe-faults" => args.unsafe_faults = true,
             "--thread-shards" => args.thread_shards = true,
+            "--drain-ms" => args.drain_ms = number(&mut argv, "--drain-ms")? as u64,
+            "--breaker-strikes" => {
+                args.breaker_strikes = number(&mut argv, "--breaker-strikes")? as u32;
+            }
+            "--breaker-cooldown-ms" => {
+                args.breaker_cooldown_ms = number(&mut argv, "--breaker-cooldown-ms")? as u64;
+            }
+            "--timeout-ms" => args.timeout_ms = Some(number(&mut argv, "--timeout-ms")? as u64),
+            "--retries" => args.retries = number(&mut argv, "--retries")? as u32,
             other if !other.starts_with('-') && args.source.is_none() => {
                 args.source = Some(Source::File(other.to_string()));
             }
@@ -140,6 +159,9 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                 tenant_budget: args.tenant_budget,
                 unsafe_faults: args.unsafe_faults,
                 thread_shards: args.thread_shards,
+                drain_ms: args.drain_ms,
+                breaker_strikes: args.breaker_strikes,
+                breaker_cooldown_ms: args.breaker_cooldown_ms,
             })
             .map(|()| String::new());
         }
@@ -167,6 +189,8 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                 budget: args.budget,
                 solver_threads: args.solver_threads,
                 fault: args.fault.clone(),
+                timeout_ms: args.timeout_ms,
+                retries: args.retries,
             })?;
             eprintln!("{}", out.meta);
             return Ok(out.report);

@@ -22,10 +22,11 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// A running daemon; killed (with its worker children reaping on pipe
-/// EOF) when dropped.
+/// EOF) when dropped, or drained gracefully via [`Daemon::terminate`].
 struct Daemon {
     child: Child,
     addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
 }
 
 impl Daemon {
@@ -41,18 +42,62 @@ impl Daemon {
             .stderr(Stdio::inherit())
             .spawn()
             .expect("spawn kd serve");
-        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
         let mut line = String::new();
-        BufReader::new(stdout)
-            .read_line(&mut line)
-            .expect("read listening line");
+        stdout.read_line(&mut line).expect("read listening line");
         let addr = line
             .trim()
             .strip_prefix("kd serve: listening on ")
             .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
             .to_string();
-        Daemon { child, addr }
+        Daemon {
+            child,
+            addr,
+            stdout,
+        }
     }
+
+    /// SIGTERM the daemon and wait for its graceful exit; returns the
+    /// exit status and everything it printed after startup (the drain
+    /// summary line).
+    fn terminate(&mut self) -> (std::process::ExitStatus, String) {
+        let killed = Command::new("kill")
+            .arg("-TERM")
+            .arg(self.child.id().to_string())
+            .status()
+            .expect("run kill");
+        assert!(killed.success(), "kill -TERM failed");
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("daemon stdout");
+        let status = self.child.wait().expect("wait for daemon");
+        (status, rest)
+    }
+}
+
+/// Every `.tmp` publish orphan under a cache directory, recursively.
+fn tmp_litter(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e.starts_with("tmp"))
+            {
+                found.push(p);
+            }
+        }
+    }
+    found
 }
 
 impl Drop for Daemon {
@@ -161,6 +206,123 @@ fn blown_tenant_budget_yields_a_tagged_degraded_response() {
     assert!(meta.contains("tier=steensgaard"), "{meta}");
     assert!(meta.contains("degraded=8"), "{meta}");
     assert_eq!(report, offline_analyze(&["--budget", "1"]));
+}
+
+#[test]
+fn sigterm_drains_gracefully_with_concurrent_clients_and_no_tmp_litter() {
+    let cache = temp_dir("drain");
+    let mut daemon = Daemon::start(
+        &cache,
+        &[
+            "--shards",
+            "4",
+            "--max-concurrent",
+            "64",
+            "--drain-ms",
+            "30000",
+        ],
+    );
+    let offline = offline_analyze(&[]);
+
+    // Four concurrent clients on a cold cache: full-matrix solves in
+    // process workers, so they are genuinely in flight when the signal
+    // lands.
+    let addr = daemon.addr.clone();
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let out = kd()
+                    .arg("request")
+                    .arg("--addr")
+                    .arg(&addr)
+                    .arg("--model")
+                    .arg("TinyDTLS")
+                    .output()
+                    .expect("run kd request");
+                (
+                    String::from_utf8(out.stdout).expect("utf8"),
+                    String::from_utf8(out.stderr).expect("utf8"),
+                    out.status.success(),
+                )
+            })
+        })
+        .collect();
+    // Give the clients time to connect and be admitted, then SIGTERM
+    // mid-burst.
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    let (status, summary) = daemon.terminate();
+
+    // Exit 0, with a drain summary — not a killed process.
+    assert!(status.success(), "drained daemon must exit 0: {status:?}");
+    assert!(summary.contains("kd serve: drained"), "{summary:?}");
+    assert!(summary.contains("complete=true"), "{summary:?}");
+
+    // Every client got a complete, byte-identical answer.
+    for c in clients {
+        let (report, meta, ok) = c.join().expect("client thread");
+        assert!(ok, "client dropped during drain: {meta}");
+        assert_eq!(report, offline, "drained answer differs from offline");
+    }
+
+    // A clean exit leaves no torn publishes behind.
+    assert_eq!(tmp_litter(&cache), Vec::<PathBuf>::new());
+}
+
+#[test]
+fn torn_publish_is_recovered_and_swept_at_shutdown() {
+    let cache = temp_dir("torn");
+    let mut daemon = Daemon::start(&cache, &["--shards", "1", "--unsafe-faults"]);
+
+    // The directive makes the worker die between its tmp-write and
+    // rename, leaving a `.tmp` orphan and a truncated sidecar. The
+    // request itself must still be answered from the ladder.
+    let (report, meta, ok) = request(&daemon, &["--model", "TinyDTLS", "--fault", "torn"]);
+    assert!(ok, "torn-publish request must still be answered: {meta}");
+    assert!(meta.contains("tier=steensgaard"), "{meta}");
+    assert_eq!(report, offline_analyze(&["--budget", "1"]));
+    assert!(
+        !tmp_litter(&cache).is_empty(),
+        "the fault should have left a tmp orphan to recover"
+    );
+
+    // Graceful shutdown runs the recovery sweep: litter gone, counted.
+    let (status, summary) = daemon.terminate();
+    assert!(status.success(), "{status:?}");
+    assert!(
+        !summary.contains("cache_tmp_swept=0"),
+        "sweep must report the orphan: {summary:?}"
+    );
+    assert_eq!(tmp_litter(&cache), Vec::<PathBuf>::new());
+}
+
+#[test]
+fn client_timeout_and_retries_fail_fast_against_a_dead_address() {
+    // Grab a free port, then close the listener: nothing is there.
+    let dead = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        probe.local_addr().expect("addr").to_string()
+    };
+    let started = std::time::Instant::now();
+    let out = kd()
+        .arg("request")
+        .arg("--addr")
+        .arg(&dead)
+        .arg("--model")
+        .arg("TinyDTLS")
+        .arg("--timeout-ms")
+        .arg("300")
+        .arg("--retries")
+        .arg("1")
+        .output()
+        .expect("run kd request");
+    assert!(!out.status.success(), "dead address must fail");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("connect"), "{stderr}");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "timeouts must bound the failure, not hang"
+    );
 }
 
 #[test]

@@ -22,6 +22,7 @@
 //!   modules/<fp:016x>.kir                canonical module text
 //!   reports/<fp:016x>-<scope>-v<N>.txt   healthy analyze report
 //!   reports/<fp:016x>-<scope>-v<N>.sum   "<fnv64:016x> <len>" integrity sidecar
+//!   quarantine/                          corrupt artifacts parked by recovery
 //! ```
 //!
 //! `<scope>` is `call` (the full Table-3 matrix) or `c<k>` for a single
@@ -37,6 +38,12 @@
 //! Writes go to a temp file in the same directory and are published with an
 //! atomic rename, so concurrent daemon workers and CLI runs can share one
 //! directory without locking — last writer wins with identical bytes.
+//!
+//! [`DiskCache::open`] additionally runs a crash-recovery sweep: `.tmp*`
+//! orphans from publishes that died before their rename are deleted, and
+//! reports whose sidecar is missing or fails verification are moved into
+//! `quarantine/` (counted in [`DiskCacheStats`]) instead of silently
+//! re-missing on every fetch forever.
 //!
 //! The directory is chosen by `--cache-dir`, falling back to the
 //! `KD_CACHE_DIR` environment variable; with neither, callers run without
@@ -93,6 +100,10 @@ pub struct DiskCacheStats {
     pub report_hits: u64,
     /// Entries rejected by checksum verification.
     pub verify_failures: u64,
+    /// `.tmp` publish orphans removed by recovery sweeps.
+    pub tmp_swept: u64,
+    /// Corrupt artifacts moved to `quarantine/` by recovery sweeps.
+    pub quarantined: u64,
 }
 
 /// The on-disk artifact store. See the module docs for the layout.
@@ -103,6 +114,8 @@ pub struct DiskCache {
     report_lookups: AtomicU64,
     report_hits: AtomicU64,
     verify_failures: AtomicU64,
+    tmp_swept: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 /// One evictable unit of the store (a module file, or a report with its
@@ -128,17 +141,112 @@ fn fnv64(bytes: &[u8]) -> u64 {
 
 impl DiskCache {
     /// Open (creating if needed) a store rooted at `dir`.
+    ///
+    /// Opening runs a crash-recovery sweep: `.tmp*` publish orphans (left
+    /// by a process that died between its tmp-write and rename) are
+    /// deleted, and reports whose integrity sidecar is missing or wrong
+    /// are moved to `quarantine/` so they stop costing a failed verify on
+    /// every fetch. Both actions are counted in [`DiskCache::stats`].
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
         let dir = dir.into();
         fs::create_dir_all(dir.join("modules"))?;
         fs::create_dir_all(dir.join("reports"))?;
-        Ok(DiskCache {
+        let cache = DiskCache {
             dir,
             max_bytes: None,
             report_lookups: AtomicU64::new(0),
             report_hits: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
-        })
+            tmp_swept: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        };
+        cache.recover();
+        Ok(cache)
+    }
+
+    /// Crash-recovery sweep; runs at [`DiskCache::open`] and again at
+    /// daemon drain (workers are stopped by then, so anything `.tmp` is an
+    /// orphan by definition). Idempotent: a clean store sweeps to itself.
+    pub fn recover(&self) {
+        // 1. `.tmp<pid>` publish orphans: a crash between tmp-write and
+        // rename leaves one behind, invisible to fetches but permanent —
+        // delete them. (A concurrent publisher's live tmp file could in
+        // principle be swept too; its rename then fails and that publish
+        // degrades to a cache miss, never a torn artifact.)
+        for sub in ["modules", "reports"] {
+            let Ok(entries) = fs::read_dir(self.dir.join(sub)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let is_tmp = path
+                    .extension()
+                    .and_then(|e| e.to_str())
+                    .is_some_and(|e| e.starts_with("tmp"));
+                if is_tmp && fs::remove_file(&path).is_ok() {
+                    self.tmp_swept.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // 2. Corrupt reports: a `.txt` whose sidecar is missing, torn, or
+        // wrong would re-fail verification on every fetch forever; move
+        // the pair into `quarantine/` (preserved for inspection, out of
+        // the fetch path) so the next publish starts clean.
+        let Ok(entries) = fs::read_dir(self.dir.join("reports")) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "txt") {
+                continue;
+            }
+            let sidecar = path.with_extension("sum");
+            let healthy = match (fs::read_to_string(&path), fs::read_to_string(&sidecar)) {
+                (Ok(text), Ok(sum)) => {
+                    sum == format!("{:016x} {}", fnv64(text.as_bytes()), text.len())
+                }
+                _ => false,
+            };
+            if healthy {
+                continue;
+            }
+            let quarantine = self.dir.join("quarantine");
+            if fs::create_dir_all(&quarantine).is_err() {
+                continue;
+            }
+            let moved = [&path, &sidecar]
+                .iter()
+                .filter(|p| p.exists())
+                .filter_map(|p| p.file_name().map(|n| (p.to_path_buf(), quarantine.join(n))))
+                .all(|(from, to)| fs::rename(&from, &to).is_ok());
+            if moved {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Test hook for the `TornPublish` fault: leave exactly the debris a
+    /// publish that died mid-flight leaves — a `.tmp<pid>` orphan plus a
+    /// report whose sidecar write was cut short. The next
+    /// [`DiskCache::recover`] sweep must clean up both.
+    #[doc(hidden)]
+    pub fn inject_torn_publish(&self) -> io::Result<()> {
+        let pid = std::process::id();
+        let reports = self.dir.join("reports");
+        // Died between tmp-write and rename: the orphan.
+        fs::write(
+            reports.join(format!("{pid:016x}-all-v0.tmp{pid}")),
+            "partial publish bytes",
+        )?;
+        // Died between the report rename and the sidecar publish: a
+        // visible report with a truncated checksum line.
+        let txt = reports.join(format!(
+            "{pid:016x}-all-v{}.txt",
+            kaleidoscope_pta::PTS_REPR_VERSION
+        ));
+        fs::write(&txt, "torn report body\n")?;
+        fs::write(txt.with_extension("sum"), "00ab")?;
+        Ok(())
     }
 
     /// Cap the store's total artifact bytes. After every publish the
@@ -175,6 +283,8 @@ impl DiskCache {
             report_lookups: self.report_lookups.load(Ordering::Relaxed),
             report_hits: self.report_hits.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -471,6 +581,68 @@ mod tests {
         for fp in 0..8u64 {
             assert!(cache.get_report(fp, scope).is_some());
         }
+    }
+
+    #[test]
+    fn open_sweeps_tmp_orphans_and_quarantines_corrupt_reports() {
+        let dir = tmpdir("recover");
+        let scope = ReportScope {
+            config: None,
+            stats: false,
+            wave: false,
+        };
+        // A healthy store, then a simulated crash mid-publish.
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.put_report(1, scope, "healthy\n").unwrap();
+        cache.inject_torn_publish().unwrap();
+        drop(cache);
+        // Reopen: the orphan is swept, the torn report quarantined, the
+        // healthy report untouched.
+        let cache = DiskCache::open(&dir).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.tmp_swept, 1, "tmp orphan swept at open");
+        assert_eq!(stats.quarantined, 1, "torn report quarantined at open");
+        assert_eq!(cache.get_report(1, scope).as_deref(), Some("healthy\n"));
+        let leftover_tmp = fs::read_dir(dir.join("reports"))
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    .is_some_and(|x| x.starts_with("tmp"))
+            })
+            .count();
+        assert_eq!(leftover_tmp, 0, "no .tmp files survive recovery");
+        assert!(
+            fs::read_dir(dir.join("quarantine")).unwrap().count() >= 2,
+            "quarantine holds the txt and its sidecar"
+        );
+    }
+
+    #[test]
+    fn recovered_store_behaves_identically_to_a_clean_one() {
+        let dir = tmpdir("recover-clean");
+        let scope = ReportScope {
+            config: None,
+            stats: false,
+            wave: false,
+        };
+        {
+            let cache = DiskCache::open(&dir).unwrap();
+            cache.inject_torn_publish().unwrap();
+        }
+        let cache = DiskCache::open(&dir).unwrap();
+        // The torn fingerprint's entry is gone: fetch misses cleanly
+        // (no verify failure — the corrupt pair left the fetch path) and
+        // publish-then-fetch round-trips as on a fresh store.
+        // The torn report's fingerprint is the injecting pid, so this
+        // fetch would have hit the corrupt pair before recovery.
+        let fp = std::process::id() as u64;
+        assert_eq!(cache.get_report(fp, scope), None);
+        assert_eq!(cache.stats().verify_failures, 0, "quarantine beat verify");
+        cache.put_report(fp, scope, "fresh\n").unwrap();
+        assert_eq!(cache.get_report(fp, scope).as_deref(), Some("fresh\n"));
     }
 
     #[test]

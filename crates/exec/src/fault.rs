@@ -34,9 +34,28 @@ pub enum FaultKind {
     /// daemon's process shards reproduce the same class of failure with
     /// a real `exit()` via the request-level `fault:"kill"` directive.
     WorkerKill,
+    /// The serving side accepts a request and never replies (a hung
+    /// solve or a stalled connection). Reproduced by the request-level
+    /// `fault:"stall"` directive; the shard deadline (server side) and
+    /// the read timeout (client side) are the defenses under test.
+    ConnStall,
+    /// The worker is killed while the daemon is draining — the in-flight
+    /// request must still be retried-or-degraded and counted in the
+    /// drain, never dropped. Reproduced in the chaos soak by mixing
+    /// `fault:"kill"` traffic with a mid-burst SIGTERM.
+    KillDuringDrain,
+    /// A cache publish dies between its tmp-write and rename, leaving a
+    /// `.tmp` orphan and a truncated sidecar. Reproduced by the
+    /// request-level `fault:"torn"` directive (and
+    /// `DiskCache::inject_torn_publish`); `DiskCache::open`'s recovery
+    /// sweep is the defense under test.
+    TornPublish,
 }
 
 impl FaultKind {
+    /// The matrix-cell faults [`FaultPlan::seeded`] cycles through. The
+    /// serve-lifecycle kinds ([`FaultKind::SERVE`]) are excluded: they
+    /// target the request/process/disk lifecycle, not a matrix cell.
     const ALL: [FaultKind; 5] = [
         FaultKind::CellPanic,
         FaultKind::OptimisticBudget,
@@ -44,6 +63,26 @@ impl FaultKind {
         FaultKind::FallbackBudget,
         FaultKind::WorkerKill,
     ];
+
+    /// The serve-lifecycle faults, exercised by the daemon chaos soak
+    /// and the serve integration tests rather than by matrix plans.
+    pub const SERVE: [FaultKind; 3] = [
+        FaultKind::ConnStall,
+        FaultKind::KillDuringDrain,
+        FaultKind::TornPublish,
+    ];
+
+    /// The request-level fault directive (`fault:"..."`) that reproduces
+    /// this kind against a live daemon, if one exists.
+    pub fn directive(self) -> Option<&'static str> {
+        match self {
+            FaultKind::WorkerKill => Some("kill"),
+            FaultKind::ConnStall => Some("stall"),
+            FaultKind::KillDuringDrain => Some("kill"),
+            FaultKind::TornPublish => Some("torn"),
+            _ => None,
+        }
+    }
 }
 
 /// A deterministic set of cell faults for one matrix run.

@@ -40,8 +40,15 @@
 //!    a repeat query (even naming only the fingerprint) is a cache hit
 //!    in any worker process.
 //! 3. **Degraded, never dropped** — worker crashes, blown deadlines,
-//!    and quota pressure all produce a tagged response from a lower
-//!    rung of the degradation ladder; the daemon keeps serving.
+//!    quota pressure, and open circuit breakers all produce a tagged
+//!    response from a lower rung of the degradation ladder; the daemon
+//!    keeps serving.
+//! 4. **Crash-safe lifecycle** — shutdown drains: in-flight requests
+//!    finish and their answers hit the wire, late requests get a typed
+//!    `draining` response, connection threads are joined (never
+//!    detached), and the disk cache's recovery sweep leaves no `.tmp`
+//!    litter. The `health` operation reports lifecycle, breaker, and
+//!    recovery state in every lifecycle state.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -54,10 +61,13 @@ pub mod worker;
 
 pub use admission::{Admission, Decision, Permit, TenantQuota};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, CacheDisposition, ParseError,
-    Request, Response,
+    decode_request, decode_response, encode_request, encode_response, CacheDisposition,
+    HealthReport, ParseError, Request, Response,
 };
-pub use server::{request_over_tcp, Router, RouterStats, ServeConfig, Server, SHED_BUDGET};
+pub use server::{
+    request_over_tcp, request_over_tcp_with, ClientOptions, DrainReport, RequestError, Router,
+    RouterStats, ServeConfig, Server, SHED_BUDGET,
+};
 pub use shard::{Shard, ShardError, ShardMode};
-pub use supervisor::{ShardHealth, Supervisor};
+pub use supervisor::{BreakerConfig, BreakerState, ShardHealth, Supervisor};
 pub use worker::{handle_request, run_worker, tier_name, WorkerOptions};

@@ -18,13 +18,17 @@ use std::fmt::Write as _;
 ///
 /// The program is given either inline (`module`, textual IR) or by content
 /// `fingerprint` (hex, as reported by a previous response) — exactly one
-/// must be present. Everything else is optional.
+/// must be present, unless `op` selects a control operation (`"health"`),
+/// in which case neither is allowed. Everything else is optional.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Client-chosen id, echoed verbatim on the response.
     pub id: String,
     /// Tenant the request is accounted against (default `"default"`).
     pub tenant: String,
+    /// Control operation instead of an analysis (`"health"`); mutually
+    /// exclusive with `module`/`fingerprint`.
+    pub op: Option<String>,
     /// Inline textual IR.
     pub module: Option<String>,
     /// Content fingerprint of a previously-submitted module (hex).
@@ -51,6 +55,7 @@ impl Request {
         Request {
             id: id.to_string(),
             tenant: "default".to_string(),
+            op: None,
             module: Some(module.to_string()),
             fingerprint: None,
             config: None,
@@ -60,6 +65,50 @@ impl Request {
             fault: None,
         }
     }
+
+    /// A `{"op":"health"}` control request.
+    pub fn health(id: &str) -> Request {
+        Request {
+            id: id.to_string(),
+            tenant: "default".to_string(),
+            op: Some("health".to_string()),
+            module: None,
+            fingerprint: None,
+            config: None,
+            stats: false,
+            budget: None,
+            solver_threads: None,
+            fault: None,
+        }
+    }
+}
+
+/// The daemon-side state reported by the `health` operation: lifecycle,
+/// per-tenant breaker/shard summaries, and disk-cache recovery counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Lifecycle state: `accepting`, `draining`, or `stopped`.
+    pub state: String,
+    /// Requests currently being routed.
+    pub in_flight: u64,
+    /// Requests admitted to a worker shard since startup.
+    pub admitted: u64,
+    /// Requests shed by admission control since startup.
+    pub shed: u64,
+    /// Requests rejected with a `draining` response.
+    pub draining_rejected: u64,
+    /// Requests short-circuited by an open breaker.
+    pub breaker_short_circuits: u64,
+    /// Shard slots whose breaker is currently open.
+    pub breakers_open: u64,
+    /// Per-tenant shard summary, rendered as
+    /// `tenant:state(served,restarts);...` joined with `|` per tenant
+    /// (kept flat so the one-line protocol can carry it).
+    pub tenants: String,
+    /// `.tmp` orphans removed by disk-cache recovery sweeps.
+    pub cache_tmp_swept: u64,
+    /// Corrupt artifacts quarantined by disk-cache recovery sweeps.
+    pub cache_quarantined: u64,
 }
 
 /// How the response was produced relative to the shared artifact store.
@@ -120,13 +169,30 @@ pub enum Response {
         /// Human-readable reason.
         error: String,
     },
+    /// The daemon is draining for shutdown and no longer accepts new
+    /// analysis work; in-flight requests still complete. Clients should
+    /// fail over, not retry this address.
+    Draining {
+        /// The request id, echoed.
+        id: String,
+    },
+    /// Answer to a `{"op":"health"}` control request.
+    Health {
+        /// The request id, echoed.
+        id: String,
+        /// The daemon-side state snapshot.
+        report: HealthReport,
+    },
 }
 
 impl Response {
     /// The echoed request id.
     pub fn id(&self) -> &str {
         match self {
-            Response::Ok { id, .. } | Response::Error { id, .. } => id,
+            Response::Ok { id, .. }
+            | Response::Error { id, .. }
+            | Response::Draining { id }
+            | Response::Health { id, .. } => id,
         }
     }
 }
@@ -156,6 +222,10 @@ pub fn encode_request(r: &Request) -> String {
     push_json_str(&mut out, &r.id);
     out.push_str(",\"tenant\":");
     push_json_str(&mut out, &r.tenant);
+    if let Some(op) = &r.op {
+        out.push_str(",\"op\":");
+        push_json_str(&mut out, op);
+    }
     if let Some(m) = &r.module {
         out.push_str(",\"module\":");
         push_json_str(&mut out, m);
@@ -210,6 +280,31 @@ pub fn encode_response(r: &Response) -> String {
         Response::Error { error, .. } => {
             out.push_str(",\"status\":\"error\",\"error\":");
             push_json_str(&mut out, error);
+        }
+        Response::Draining { .. } => {
+            out.push_str(",\"status\":\"draining\"");
+        }
+        Response::Health { report, .. } => {
+            out.push_str(",\"status\":\"health\",\"state\":");
+            push_json_str(&mut out, &report.state);
+            let _ = write!(
+                out,
+                ",\"in_flight\":{},\"admitted\":{},\"shed\":{},\"draining_rejected\":{}\
+                 ,\"breaker_short_circuits\":{},\"breakers_open\":{}",
+                report.in_flight,
+                report.admitted,
+                report.shed,
+                report.draining_rejected,
+                report.breaker_short_circuits,
+                report.breakers_open
+            );
+            out.push_str(",\"tenants\":");
+            push_json_str(&mut out, &report.tenants);
+            let _ = write!(
+                out,
+                ",\"cache_tmp_swept\":{},\"cache_quarantined\":{}",
+                report.cache_tmp_swept, report.cache_quarantined
+            );
         }
     }
     out.push('}');
@@ -396,12 +491,14 @@ fn parse_fingerprint(hex: &str) -> Result<u64, ParseError> {
     u64::from_str_radix(hex, 16).map_err(|_| bad(format!("bad fingerprint `{hex}`")))
 }
 
-/// Decode a request line. Enforces the inline-xor-fingerprint rule and
-/// rejects unknown fields (protecting against silently-ignored typos).
+/// Decode a request line. Enforces the inline-xor-fingerprint rule (and
+/// the no-program rule for control operations) and rejects unknown fields
+/// (protecting against silently-ignored typos).
 pub fn decode_request(line: &str) -> Result<Request, ParseError> {
     let mut fields = parse_object(line)?;
     let id = take_str(&mut fields, "id")?.ok_or_else(|| bad("missing `id`"))?;
     let tenant = take_str(&mut fields, "tenant")?.unwrap_or_else(|| "default".to_string());
+    let op = take_str(&mut fields, "op")?;
     let module = take_str(&mut fields, "module")?;
     let fingerprint = take_str(&mut fields, "fingerprint")?
         .map(|h| parse_fingerprint(&h))
@@ -414,21 +511,32 @@ pub fn decode_request(line: &str) -> Result<Request, ParseError> {
     if let Some(unknown) = fields.keys().next() {
         return Err(bad(format!("unknown field `{unknown}`")));
     }
-    match (&module, &fingerprint) {
-        (None, None) => Err(bad("one of `module` or `fingerprint` is required")),
-        (Some(_), Some(_)) => Err(bad("`module` and `fingerprint` are mutually exclusive")),
-        _ => Ok(Request {
-            id,
-            tenant,
-            module,
-            fingerprint,
-            config,
-            stats,
-            budget,
-            solver_threads,
-            fault,
-        }),
+    match &op {
+        Some(o) if o != "health" => return Err(bad(format!("unknown op `{o}`"))),
+        Some(_) if module.is_some() || fingerprint.is_some() => {
+            return Err(bad("`op` requests take no `module` or `fingerprint`"))
+        }
+        Some(_) => {}
+        None => match (&module, &fingerprint) {
+            (None, None) => return Err(bad("one of `module` or `fingerprint` is required")),
+            (Some(_), Some(_)) => {
+                return Err(bad("`module` and `fingerprint` are mutually exclusive"))
+            }
+            _ => {}
+        },
     }
+    Ok(Request {
+        id,
+        tenant,
+        op,
+        module,
+        fingerprint,
+        config,
+        stats,
+        budget,
+        solver_threads,
+        fault,
+    })
 }
 
 /// Decode a response line.
@@ -455,6 +563,23 @@ pub fn decode_response(line: &str) -> Result<Response, ParseError> {
             id,
             error: take_str(&mut fields, "error")?.unwrap_or_default(),
         }),
+        "draining" => Ok(Response::Draining { id }),
+        "health" => Ok(Response::Health {
+            id,
+            report: HealthReport {
+                state: take_str(&mut fields, "state")?.ok_or_else(|| bad("missing `state`"))?,
+                in_flight: take_uint(&mut fields, "in_flight")?.unwrap_or(0),
+                admitted: take_uint(&mut fields, "admitted")?.unwrap_or(0),
+                shed: take_uint(&mut fields, "shed")?.unwrap_or(0),
+                draining_rejected: take_uint(&mut fields, "draining_rejected")?.unwrap_or(0),
+                breaker_short_circuits: take_uint(&mut fields, "breaker_short_circuits")?
+                    .unwrap_or(0),
+                breakers_open: take_uint(&mut fields, "breakers_open")?.unwrap_or(0),
+                tenants: take_str(&mut fields, "tenants")?.unwrap_or_default(),
+                cache_tmp_swept: take_uint(&mut fields, "cache_tmp_swept")?.unwrap_or(0),
+                cache_quarantined: take_uint(&mut fields, "cache_quarantined")?.unwrap_or(0),
+            },
+        }),
         other => Err(bad(format!("unknown status `{other}`"))),
     }
 }
@@ -480,6 +605,7 @@ mod tests {
         let r = Request {
             id: "q".into(),
             tenant: "acme".into(),
+            op: None,
             module: None,
             fingerprint: Some(0xDEAD_BEEF_0042),
             config: None,
@@ -489,6 +615,44 @@ mod tests {
             fault: None,
         };
         assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn health_op_round_trips_and_rejects_a_program() {
+        let r = Request::health("h-1");
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        assert!(decode_request("{\"id\":\"h\",\"op\":\"health\",\"module\":\"m\"}").is_err());
+        assert!(
+            decode_request("{\"id\":\"h\",\"op\":\"flush\"}").is_err(),
+            "unknown op"
+        );
+    }
+
+    #[test]
+    fn draining_and_health_responses_round_trip() {
+        let draining = Response::Draining { id: "d-1".into() };
+        assert_eq!(
+            decode_response(&encode_response(&draining)).unwrap(),
+            draining
+        );
+        let health = Response::Health {
+            id: "h-1".into(),
+            report: HealthReport {
+                state: "draining".into(),
+                in_flight: 3,
+                admitted: 41,
+                shed: 7,
+                draining_rejected: 2,
+                breaker_short_circuits: 5,
+                breakers_open: 1,
+                tenants: "acme:open(12,4)|default:closed(29,0)".into(),
+                cache_tmp_swept: 2,
+                cache_quarantined: 1,
+            },
+        };
+        let line = encode_response(&health);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_response(&line).unwrap(), health);
     }
 
     #[test]

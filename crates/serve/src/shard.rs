@@ -27,6 +27,9 @@ pub enum ShardError {
     Crashed(String),
     /// The worker did not answer within the deadline and was killed.
     DeadlineExceeded,
+    /// Every eligible shard slot's circuit breaker is open: the request
+    /// was short-circuited without spawning or contacting any worker.
+    BreakerOpen,
 }
 
 impl std::fmt::Display for ShardError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for ShardError {
         match self {
             ShardError::Crashed(why) => write!(f, "worker crashed: {why}"),
             ShardError::DeadlineExceeded => write!(f, "worker missed its deadline"),
+            ShardError::BreakerOpen => write!(f, "shard circuit breaker is open"),
         }
     }
 }
@@ -143,7 +147,22 @@ impl Shard {
     /// so a failed shard has no queued work to lose.
     pub fn request(&mut self, req: &Request, deadline: Duration) -> Result<Response, ShardError> {
         match self {
-            Shard::Thread(opts) => Ok(handle_request(req, opts)),
+            Shard::Thread(opts) => {
+                // Thread shards map the process-fatal fault directives to
+                // their transport-level outcomes instead of taking down
+                // the host process, so the supervisor's failure paths
+                // (and the breaker) are testable without child spawns.
+                if opts.unsafe_faults {
+                    match req.fault.as_deref() {
+                        Some("kill") | Some("crash") => {
+                            return Err(ShardError::Crashed("injected crash directive".into()))
+                        }
+                        Some("stall") => return Err(ShardError::DeadlineExceeded),
+                        _ => {}
+                    }
+                }
+                Ok(handle_request(req, opts))
+            }
             Shard::Process {
                 child,
                 stdin,

@@ -1,4 +1,5 @@
-//! The supervisor: per-tenant shard pools, crash recovery, health.
+//! The supervisor: per-tenant shard pools, crash recovery, circuit
+//! breakers, health.
 //!
 //! This is PR 3's `CellHealth` idea promoted to processes: each shard is
 //! a fault domain, and the supervisor's job is to keep the *daemon*
@@ -9,14 +10,67 @@
 //! sheds it down the degradation ladder. Requests are therefore *retried
 //! or degraded, never dropped* — the invariant the fault-injection e2e
 //! tests pin down.
+//!
+//! Backoff alone is not enough against a *persistently* crashing shard:
+//! every request still burns two spawns and two failures, so a crash
+//! loop costs O(requests × backoff). Each slot therefore carries a
+//! **circuit breaker**: after `strike_threshold` consecutive strikes the
+//! breaker opens and dispatch skips the slot entirely for a cooldown
+//! window (requests short-circuit to the degradation ladder via
+//! [`ShardError::BreakerOpen`], tagged `tier=breaker-open` by the
+//! router, with *no* worker spawned). When the cooldown elapses the
+//! breaker goes half-open and admits exactly one probe request; success
+//! closes it, failure re-opens it for another cooldown.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crate::protocol::{Request, Response};
 use crate::shard::{Shard, ShardError, ShardMode};
+
+/// Circuit-breaker tuning, shared by every shard slot.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive strikes that open the breaker.
+    pub strike_threshold: u32,
+    /// How long an open breaker short-circuits requests before the
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            strike_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Observable circuit-breaker state of one shard slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests dispatch normally.
+    #[default]
+    Closed,
+    /// Tripped: requests skip this slot until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next request is admitted as a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (used in health reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
 
 /// Cumulative health of one shard slot.
 #[derive(Debug, Clone, Default)]
@@ -27,14 +81,27 @@ pub struct ShardHealth {
     pub restarts: u64,
     /// The most recent failure, if any.
     pub last_error: Option<String>,
+    /// Current circuit-breaker state.
+    pub breaker: BreakerState,
+    /// Times the breaker transitioned Closed/HalfOpen → Open.
+    pub breaker_trips: u64,
+}
+
+/// Internal breaker state; `Open` remembers when the cooldown ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
 }
 
 struct Slot {
     shard: Option<Shard>,
     health: ShardHealth,
-    /// Consecutive spawn/request failures; drives the backoff and resets
-    /// on any success.
+    /// Consecutive spawn/request failures; drives the backoff and the
+    /// breaker, resets on any success.
     strikes: u32,
+    breaker: Breaker,
 }
 
 struct TenantShards {
@@ -48,6 +115,7 @@ pub struct Supervisor {
     shards_per_tenant: usize,
     backoff_base: Duration,
     backoff_cap: Duration,
+    breaker: BreakerConfig,
     tenants: Mutex<HashMap<String, Arc<TenantShards>>>,
 }
 
@@ -61,6 +129,7 @@ impl Supervisor {
             shards_per_tenant: shards_per_tenant.max(1),
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(2),
+            breaker: BreakerConfig::default(),
             tenants: Mutex::new(HashMap::new()),
         }
     }
@@ -69,6 +138,12 @@ impl Supervisor {
     pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Supervisor {
         self.backoff_base = base;
         self.backoff_cap = cap;
+        self
+    }
+
+    /// Override the circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Supervisor {
+        self.breaker = breaker;
         self
     }
 
@@ -84,6 +159,7 @@ impl Supervisor {
                                 shard: None,
                                 health: ShardHealth::default(),
                                 strikes: 0,
+                                breaker: Breaker::Closed,
                             })
                         })
                         .collect(),
@@ -100,20 +176,55 @@ impl Supervisor {
 
     /// Dispatch one request to one of `tenant`'s shards.
     ///
-    /// A shard failure (crash, deadline, bad reply) burns the shard and
-    /// retries once on a freshly-spawned replacement; a second failure
-    /// surfaces as `Err` so the caller can degrade the response. The
-    /// slot's lock is held for the duration of the request — the pipe
-    /// transport is one-request-deep by design, so concurrency comes
-    /// from shard count, not pipelining.
+    /// Slots are tried round-robin; a slot whose breaker is open (and
+    /// still cooling down) is skipped without spawning or contacting
+    /// anything. If every slot's breaker is open the request
+    /// short-circuits with [`ShardError::BreakerOpen`] — the O(1) path
+    /// that makes a crash-looping shard cost O(cooldown) instead of
+    /// O(requests × backoff).
+    ///
+    /// On the admitted slot, a shard failure (crash, deadline, bad
+    /// reply) burns the shard and retries once on a freshly-spawned
+    /// replacement; a second failure surfaces as `Err` so the caller can
+    /// degrade the response. The slot's lock is held for the duration of
+    /// the request — the pipe transport is one-request-deep by design,
+    /// so concurrency comes from shard count, not pipelining.
     pub fn dispatch(&self, req: &Request, deadline: Duration) -> Result<Response, ShardError> {
         let shards = self.tenant(&req.tenant);
-        let idx = shards.next.fetch_add(1, Ordering::Relaxed) % shards.slots.len();
-        let mut slot = shards.slots[idx].lock().expect("slot lock poisoned");
+        let start = shards.next.fetch_add(1, Ordering::Relaxed);
+        let n = shards.slots.len();
+        for offset in 0..n {
+            let idx = (start + offset) % n;
+            let mut slot = shards.slots[idx].lock().expect("slot lock poisoned");
+            if let Breaker::Open { until } = slot.breaker {
+                if Instant::now() < until {
+                    continue; // cooling down: skip without touching a worker
+                }
+                // Cooldown over: admit this request as the half-open probe.
+                slot.breaker = Breaker::HalfOpen;
+                slot.health.breaker = BreakerState::HalfOpen;
+            }
+            return self.dispatch_slot(&mut slot, req, deadline);
+        }
+        Err(ShardError::BreakerOpen)
+    }
+
+    fn dispatch_slot(
+        &self,
+        slot: &mut MutexGuard<'_, Slot>,
+        req: &Request,
+        deadline: Duration,
+    ) -> Result<Response, ShardError> {
+        // A half-open breaker admits exactly one attempt: the probe. A
+        // closed breaker keeps the original crash-retry (two attempts).
+        let probing = slot.breaker == Breaker::HalfOpen;
+        let attempts = if probing { 1 } else { 2 };
         let mut last_err = None;
-        for _attempt in 0..2 {
+        for _attempt in 0..attempts {
             if slot.shard.is_none() {
-                if slot.strikes > 0 {
+                // The cooldown already was the wait for a probe; only the
+                // closed path pays the restart backoff.
+                if slot.strikes > 0 && !probing {
                     std::thread::sleep(self.backoff(slot.strikes - 1));
                 }
                 match Shard::spawn(&self.mode) {
@@ -140,6 +251,8 @@ impl Supervisor {
                 Ok(resp) => {
                     slot.health.served += 1;
                     slot.strikes = 0;
+                    slot.breaker = Breaker::Closed;
+                    slot.health.breaker = BreakerState::Closed;
                     return Ok(resp);
                 }
                 Err(e) => {
@@ -151,6 +264,16 @@ impl Supervisor {
                     last_err = Some(e);
                 }
             }
+        }
+        // Both attempts failed (or the probe did): trip the breaker once
+        // the strike threshold is crossed, or immediately on a failed
+        // probe — a half-open slot gets no grace.
+        if probing || slot.strikes >= self.breaker.strike_threshold {
+            slot.breaker = Breaker::Open {
+                until: Instant::now() + self.breaker.cooldown,
+            };
+            slot.health.breaker = BreakerState::Open;
+            slot.health.breaker_trips += 1;
         }
         Err(last_err.unwrap_or(ShardError::Crashed("unreachable".into())))
     }
@@ -173,6 +296,19 @@ impl Supervisor {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Stop every shard worker (kills child processes, drops thread
+    /// stand-ins). Called at the end of a graceful drain, after in-flight
+    /// requests have completed; health and breaker state survive for a
+    /// final snapshot.
+    pub fn shutdown(&self) {
+        let tenants = self.tenants.lock().expect("supervisor lock poisoned");
+        for shards in tenants.values() {
+            for slot in &shards.slots {
+                slot.lock().expect("slot lock poisoned").shard = None;
+            }
+        }
     }
 }
 
@@ -227,5 +363,102 @@ mod tests {
         assert_eq!(sup.backoff(1), Duration::from_millis(20));
         assert_eq!(sup.backoff(2), Duration::from_millis(40));
         assert_eq!(sup.backoff(30), Duration::from_millis(40), "capped");
+    }
+
+    fn faulting_supervisor(cooldown: Duration) -> Supervisor {
+        let opts = WorkerOptions {
+            unsafe_faults: true,
+            ..WorkerOptions::default()
+        };
+        Supervisor::new(ShardMode::Thread(opts), 1)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .with_breaker(BreakerConfig {
+                strike_threshold: 2,
+                cooldown,
+            })
+    }
+
+    fn crashing_request(id: &str, m: &str) -> Request {
+        let mut req = Request::inline(id, m);
+        req.fault = Some("crash".to_string());
+        req
+    }
+
+    #[test]
+    fn breaker_opens_after_strikes_and_short_circuits() {
+        let sup = faulting_supervisor(Duration::from_secs(60));
+        let m = module_text();
+        // One dispatch = two attempts = two strikes = threshold reached.
+        let err = sup
+            .dispatch(&crashing_request("r0", &m), Duration::from_secs(5))
+            .expect_err("crash directive must fail the dispatch");
+        assert!(matches!(err, ShardError::Crashed(_)), "{err:?}");
+        let slots = &sup.health()[0].1;
+        assert_eq!(slots[0].breaker, BreakerState::Open);
+        assert_eq!(slots[0].breaker_trips, 1);
+        let restarts_at_trip = slots[0].restarts;
+
+        // During the cooldown even a healthy request short-circuits: no
+        // shard is spawned, no restart happens.
+        for i in 0..3 {
+            let err = sup
+                .dispatch(
+                    &Request::inline(&format!("r{i}"), &m),
+                    Duration::from_secs(5),
+                )
+                .expect_err("open breaker must short-circuit");
+            assert_eq!(err, ShardError::BreakerOpen);
+        }
+        let slots = &sup.health()[0].1;
+        assert_eq!(slots[0].restarts, restarts_at_trip, "no work while open");
+        assert_eq!(slots[0].breaker_trips, 1, "short-circuits are not trips");
+    }
+
+    #[test]
+    fn half_open_probe_closes_breaker_on_success() {
+        let sup = faulting_supervisor(Duration::from_millis(20));
+        let m = module_text();
+        sup.dispatch(&crashing_request("r0", &m), Duration::from_secs(5))
+            .expect_err("trip the breaker");
+        assert_eq!(sup.health()[0].1[0].breaker, BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(30));
+        // Cooldown over: the next request is the probe, and it succeeds.
+        let resp = sup
+            .dispatch(&Request::inline("probe", &m), Duration::from_secs(30))
+            .expect("probe should be admitted and served");
+        assert!(matches!(resp, Response::Ok { .. }));
+        let slots = &sup.health()[0].1;
+        assert_eq!(slots[0].breaker, BreakerState::Closed);
+        assert_eq!(slots[0].breaker_trips, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker_immediately() {
+        let sup = faulting_supervisor(Duration::from_millis(20));
+        let m = module_text();
+        sup.dispatch(&crashing_request("r0", &m), Duration::from_secs(5))
+            .expect_err("trip the breaker");
+        std::thread::sleep(Duration::from_millis(30));
+        let before = sup.health()[0].1[0].restarts;
+        sup.dispatch(&crashing_request("probe", &m), Duration::from_secs(5))
+            .expect_err("failing probe");
+        let slots = &sup.health()[0].1;
+        assert_eq!(slots[0].breaker, BreakerState::Open, "re-opened");
+        assert_eq!(slots[0].breaker_trips, 2);
+        assert!(
+            slots[0].restarts <= before + 1,
+            "a probe is a single attempt, not a retry loop"
+        );
+    }
+
+    #[test]
+    fn shutdown_drops_shards_but_keeps_health() {
+        let sup = Supervisor::new(ShardMode::Thread(WorkerOptions::default()), 2);
+        let m = module_text();
+        sup.dispatch(&Request::inline("r", &m), Duration::from_secs(30))
+            .expect("served");
+        sup.shutdown();
+        let health = sup.health();
+        assert_eq!(health[0].1.iter().map(|s| s.served).sum::<u64>(), 1);
     }
 }

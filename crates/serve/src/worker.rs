@@ -108,7 +108,26 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
             match fault.as_str() {
                 // Simulates a worker dying mid-solve: exit without
                 // answering, leaving the supervisor a half-open pipe.
-                "kill" => std::process::exit(101),
+                // `crash` is the same failure; it exists so seeded chaos
+                // mixes read naturally (`kill` a healthy worker vs a
+                // worker that `crash`es on its own).
+                "kill" | "crash" => std::process::exit(101),
+                // Simulates a hung solve (`ConnStall`): accept the
+                // request, never reply. The shard's deadline kill is the
+                // only way out.
+                "stall" => loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                },
+                // Simulates dying between the tmp-write and the rename of
+                // a cache publish (`TornPublish`): leave a `.tmp` orphan
+                // and a truncated sidecar behind, then die. The next
+                // `DiskCache::open` recovery sweep must clean both up.
+                "torn" => {
+                    if let Some(c) = opts.cache.as_deref() {
+                        let _ = c.inject_torn_publish();
+                    }
+                    std::process::exit(101);
+                }
                 other => return error(&req.id, format!("unknown fault directive `{other}`")),
             }
         }
@@ -238,6 +257,7 @@ mod tests {
         let again = Request {
             id: "warm".into(),
             tenant: "default".into(),
+            op: None,
             module: None,
             fingerprint: Some(*fingerprint),
             config: None,
@@ -285,6 +305,7 @@ mod tests {
         let req = Request {
             id: "q".into(),
             tenant: "default".into(),
+            op: None,
             module: None,
             fingerprint: Some(0x1234),
             config: None,

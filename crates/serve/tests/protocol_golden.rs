@@ -23,6 +23,7 @@ fn golden_full_request() {
     let req = Request {
         id: "req-42".into(),
         tenant: "acme".into(),
+        op: None,
         module: None,
         fingerprint: Some(0x00ab_cdef_0123_4567),
         config: Some("kd-ctx-pa".into()),
@@ -62,6 +63,43 @@ fn golden_error_response() {
     assert_eq!(
         encode_response(&resp),
         r#"{"id":"?","status":"error","error":"malformed message: expected `{`"}"#
+    );
+}
+
+#[test]
+fn golden_health_request() {
+    assert_eq!(
+        encode_request(&Request::health("h1")),
+        r#"{"id":"h1","tenant":"default","op":"health"}"#
+    );
+}
+
+#[test]
+fn golden_draining_response() {
+    let resp = Response::Draining { id: "r9".into() };
+    assert_eq!(encode_response(&resp), r#"{"id":"r9","status":"draining"}"#);
+}
+
+#[test]
+fn golden_health_response() {
+    let resp = Response::Health {
+        id: "h1".into(),
+        report: kaleidoscope_serve::HealthReport {
+            state: "accepting".into(),
+            in_flight: 2,
+            admitted: 40,
+            shed: 3,
+            draining_rejected: 0,
+            breaker_short_circuits: 5,
+            breakers_open: 1,
+            tenants: "acme=2/2 open=1".into(),
+            cache_tmp_swept: 1,
+            cache_quarantined: 0,
+        },
+    };
+    assert_eq!(
+        encode_response(&resp),
+        r#"{"id":"h1","status":"health","state":"accepting","in_flight":2,"admitted":40,"shed":3,"draining_rejected":0,"breaker_short_circuits":5,"breakers_open":1,"tenants":"acme=2/2 open=1","cache_tmp_swept":1,"cache_quarantined":0}"#
     );
 }
 

@@ -8,8 +8,9 @@ use kaleidoscope::PolicyConfig;
 use kaleidoscope_exec::{render_analyze, DiskCache, Executor};
 use kaleidoscope_pta::SolveBudget;
 use kaleidoscope_serve::{
-    request_over_tcp, CacheDisposition, Request, Response, ServeConfig, Server, ShardMode,
-    TenantQuota, WorkerOptions, SHED_BUDGET,
+    request_over_tcp, request_over_tcp_with, BreakerConfig, CacheDisposition, ClientOptions,
+    Request, RequestError, Response, Router, ServeConfig, Server, ShardMode, TenantQuota,
+    WorkerOptions, SHED_BUDGET,
 };
 
 fn module_text() -> String {
@@ -48,6 +49,7 @@ fn start(tag: &str, shards: usize, quota: TenantQuota) -> (Server, Arc<DiskCache
         shards_per_tenant: shards,
         quota,
         shed_jobs: 1,
+        ..ServeConfig::default()
     })
     .expect("bind");
     (server, cache)
@@ -113,6 +115,7 @@ fn warm_repeat_is_a_cache_hit_with_identical_bytes() {
     let warm_req = Request {
         id: "warm".into(),
         tenant: "default".into(),
+        op: None,
         module: None,
         fingerprint: Some(*fingerprint),
         config: None,
@@ -203,6 +206,7 @@ fn shed_requests_prefer_a_cached_full_report() {
             ..TenantQuota::default()
         },
         shed_jobs: 1,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.addr().to_string();
@@ -272,6 +276,208 @@ fn per_request_budget_degrades_and_matches_offline_bytes() {
     assert_eq!(tier, "steensgaard");
     assert_eq!(*report, offline_report(Some(1)));
     server.stop();
+}
+
+#[test]
+fn graceful_drain_answers_every_in_flight_request_before_stopping() {
+    let expected = offline_report(None);
+    let (server, _cache) = start(
+        "drain",
+        4,
+        TenantQuota {
+            max_concurrent: 64, // never shed: all four must be admitted
+            ..TenantQuota::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    let module = module_text();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            let module = module.clone();
+            std::thread::spawn(move || {
+                request_over_tcp(&addr, &Request::inline(&format!("drain-{i}"), &module))
+            })
+        })
+        .collect();
+    // Admission counts monotonically, and a request is counted *after*
+    // it passed the draining check — so admitted >= 4 proves all four
+    // clients are past the point where a drain could reject them.
+    let gate = std::time::Instant::now();
+    while server.router().stats().admitted < 4 {
+        assert!(
+            gate.elapsed() < std::time::Duration::from_secs(30),
+            "clients never got admitted"
+        );
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let report = server.stop_graceful(std::time::Duration::from_secs(60));
+    assert!(
+        report.drained,
+        "in-flight work must finish inside the drain"
+    );
+    // Every client holds a complete, byte-identical answer: drained
+    // means *written*, not merely routed.
+    for c in clients {
+        let resp = c.join().expect("client thread").expect("answered");
+        let Response::Ok { report, .. } = resp else {
+            panic!("expected ok during drain: {resp:?}");
+        };
+        assert_eq!(report, expected);
+    }
+    // The daemon is gone: new connections are refused, not silently hung.
+    assert!(
+        request_over_tcp(&addr, &Request::inline("late", &module)).is_err(),
+        "stopped daemon must not accept"
+    );
+}
+
+#[test]
+fn draining_router_rejects_analysis_but_answers_health() {
+    let router = Router::new(&ServeConfig::default());
+    let resp = router.route(&Request::inline("pre", "module \"t\"\n"));
+    assert!(matches!(resp, Response::Ok { .. }), "{resp:?}");
+    router.begin_drain();
+    let resp = router.route(&Request::inline("mid", "module \"t\"\n"));
+    assert!(
+        matches!(resp, Response::Draining { ref id } if id == "mid"),
+        "{resp:?}"
+    );
+    let health = router.route(&Request::health("h"));
+    let Response::Health { report, .. } = health else {
+        panic!("health must be answered while draining: {health:?}");
+    };
+    assert_eq!(report.state, "draining");
+    assert_eq!(report.draining_rejected, 1);
+    assert_eq!(router.stats().draining_rejected, 1);
+}
+
+#[test]
+fn open_breaker_short_circuits_to_a_tagged_ladder_answer() {
+    let cache = test_cache("breaker");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache: Some(cache.clone()),
+        mode: ShardMode::Thread(WorkerOptions {
+            jobs: 1,
+            solver_threads: 0,
+            cache: Some(cache),
+            unsafe_faults: true,
+        }),
+        shards_per_tenant: 1,
+        quota: TenantQuota::default(),
+        shed_jobs: 1,
+        breaker: BreakerConfig {
+            strike_threshold: 2,
+            cooldown: std::time::Duration::from_secs(120),
+        },
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let module = module_text();
+    // One crashing request = two failed attempts = breaker opens; the
+    // client still gets a ladder answer, never an error.
+    let mut crash = Request::inline("crash", &module);
+    crash.fault = Some("crash".into());
+    let resp = request_over_tcp(&addr, &crash).expect("degraded, not dropped");
+    let Response::Ok { tier, .. } = &resp else {
+        panic!("{resp:?}");
+    };
+    assert_eq!(tier, "steensgaard", "crash degrades to the shed tier");
+    // Healthy traffic now short-circuits: tagged tier, same artifact
+    // bytes as an offline budget-1 run, and no worker involved.
+    let resp = request_over_tcp(&addr, &Request::inline("sc", &module)).expect("answered");
+    let Response::Ok { tier, report, .. } = &resp else {
+        panic!("{resp:?}");
+    };
+    assert_eq!(tier, "breaker-open");
+    assert_eq!(*report, offline_report(Some(SHED_BUDGET)));
+    let stats = server.router().stats();
+    assert_eq!(stats.breaker_short_circuits, 1);
+    assert_eq!(stats.degraded_after_failure, 1);
+    // The health op exposes the open breaker.
+    let health = request_over_tcp(&addr, &Request::health("h")).expect("health");
+    let Response::Health { report, .. } = health else {
+        panic!("{health:?}");
+    };
+    assert_eq!(report.breakers_open, 1);
+    assert_eq!(report.breaker_short_circuits, 1);
+    assert!(report.tenants.contains("open=1"), "{}", report.tenants);
+    server.stop();
+}
+
+#[test]
+fn health_op_reports_accepting_state_over_tcp() {
+    let (server, _cache) = start("health", 1, TenantQuota::default());
+    let addr = server.addr().to_string();
+    request_over_tcp(&addr, &Request::inline("warmup", &module_text())).expect("served");
+    let resp = request_over_tcp(&addr, &Request::health("h1")).expect("health");
+    let Response::Health { id, report } = resp else {
+        panic!("{resp:?}");
+    };
+    assert_eq!(id, "h1");
+    assert_eq!(report.state, "accepting");
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.breakers_open, 0);
+    assert!(
+        report.tenants.contains("default slots=1"),
+        "{}",
+        report.tenants
+    );
+    server.stop();
+}
+
+#[test]
+fn client_times_out_against_a_stalled_server_instead_of_hanging() {
+    // A listener that accepts and then never answers: the old client
+    // would block in read_line forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let hold = std::thread::spawn(move || {
+        let conns: Vec<_> = listener.incoming().take(1).collect();
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        drop(conns);
+    });
+    let opts = ClientOptions {
+        io_timeout: std::time::Duration::from_millis(100),
+        ..ClientOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let err = request_over_tcp_with(&addr, &Request::inline("stall", "module \"t\"\n"), &opts)
+        .expect_err("must time out");
+    assert!(matches!(err, RequestError::Timeout(_)), "{err:?}");
+    assert!(err.is_retryable());
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "timed out, not server-released"
+    );
+    let _ = hold.join();
+}
+
+#[test]
+fn client_retries_connect_failures_with_bounded_backoff() {
+    // Nothing listens here: every attempt is a retryable connect error.
+    let dead = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        probe.local_addr().expect("addr").to_string()
+        // listener drops: the port is free again
+    };
+    let opts = ClientOptions {
+        connect_timeout: std::time::Duration::from_millis(200),
+        retries: 2,
+        backoff_base: std::time::Duration::from_millis(10),
+        ..ClientOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let err = request_over_tcp_with(&dead, &Request::inline("r", "module \"t\"\n"), &opts)
+        .expect_err("no server");
+    assert!(matches!(err, RequestError::Connect(_)), "{err:?}");
+    // Two retries slept at least base + 2*base of backoff (jitter adds).
+    assert!(
+        started.elapsed() >= std::time::Duration::from_millis(30),
+        "backoff must actually wait"
+    );
 }
 
 #[test]

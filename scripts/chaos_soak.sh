@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Chaos soak for the `kd serve` lifecycle: start a daemon with fault
+# directives enabled, fire a concurrent burst of mixed traffic (healthy
+# solves, worker kills, torn publishes, warm repeats), SIGTERM the daemon
+# mid-burst, and assert the crash-safety contract:
+#
+#   1. the daemon exits 0 with a drain summary (graceful, not killed);
+#   2. every request gets exactly one tagged answer — a report with a
+#      tier tag, or a typed `draining` rejection — never a hang or a
+#      silently dropped connection;
+#   3. the cache directory holds no `.tmp` publish orphans afterwards.
+#
+# Used by the `chaos-soak` CI job; runnable locally:
+#
+#   cargo build --release
+#   scripts/chaos_soak.sh target/release/kd
+
+set -euo pipefail
+
+KD="${1:-target/release/kd}"
+if [[ ! -x "$KD" ]]; then
+    echo "error: kd binary not found at $KD (build with: cargo build --release)" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+CACHE="$WORK/cache"
+SERVE_LOG="$WORK/serve.log"
+DAEMON_PID=""
+
+cleanup() {
+    if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# --- start the daemon and scrape its address -------------------------------
+"$KD" serve --addr 127.0.0.1:0 --cache-dir "$CACHE" --shards 2 \
+    --max-concurrent 16 --unsafe-faults --drain-ms 20000 \
+    --breaker-strikes 3 --breaker-cooldown-ms 500 \
+    >"$SERVE_LOG" 2>&1 &
+DAEMON_PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^kd serve: listening on //p' "$SERVE_LOG" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "error: daemon exited at startup:" >&2
+        cat "$SERVE_LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "error: daemon never printed its address" >&2
+    exit 1
+fi
+echo "daemon up at $ADDR (pid $DAEMON_PID)"
+
+# --- warm two models so the burst mixes hits with cold solves --------------
+"$KD" request --addr "$ADDR" --model TinyDTLS >/dev/null 2>&1
+"$KD" request --addr "$ADDR" --model Lighttpd >/dev/null 2>&1
+
+# --- the burst: concurrent mixed traffic, one outcome file per request -----
+REQ_DIR="$WORK/requests"
+mkdir -p "$REQ_DIR"
+
+# fire <slot> <kd request args...> — runs in the background, recording
+# stdout/stderr/exit code under $REQ_DIR/<slot>.*
+fire() {
+    local slot="$1"
+    shift
+    (
+        set +e
+        "$KD" request --addr "$ADDR" --timeout-ms 60000 "$@" \
+            >"$REQ_DIR/$slot.out" 2>"$REQ_DIR/$slot.err"
+        echo "$?" >"$REQ_DIR/$slot.code"
+    ) &
+}
+
+MODELS=(TinyDTLS Lighttpd Memcached Curl Wget MbedTLS)
+SLOT=0
+for round in 1 2 3; do
+    for m in "${MODELS[@]}"; do
+        SLOT=$((SLOT + 1))
+        case "$((SLOT % 5))" in
+        0) fire "$SLOT" --model "$m" --fault kill ;;
+        1) fire "$SLOT" --model "$m" --fault torn ;;
+        2) fire "$SLOT" --model "$m" --config all --budget 1 ;;
+        *) fire "$SLOT" --model "$m" ;;
+        esac
+    done
+    # SIGTERM lands between round 1 and the tail of the burst: some
+    # requests drain to completion, later ones get typed rejections.
+    if [[ "$round" -eq 1 ]]; then
+        sleep 0.5
+        kill -TERM "$DAEMON_PID"
+    fi
+done
+TOTAL="$SLOT"
+
+# --- daemon must exit 0 with a drain summary -------------------------------
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+DAEMON_PID=""
+if [[ "$DAEMON_STATUS" -ne 0 ]]; then
+    echo "FAIL: daemon exited $DAEMON_STATUS after SIGTERM" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+if ! grep -q '^kd serve: drained' "$SERVE_LOG"; then
+    echo "FAIL: no drain summary in the daemon log" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+grep '^kd serve: drained' "$SERVE_LOG"
+
+# --- every request: exactly one tagged answer ------------------------------
+wait # all fire() subshells
+ANSWERED=0
+REJECTED=0
+FAILED=0
+for slot in $(seq 1 "$TOTAL"); do
+    if [[ ! -s "$REQ_DIR/$slot.code" ]]; then
+        echo "FAIL request #$slot: no recorded outcome (hung?)" >&2
+        FAILED=$((FAILED + 1))
+        continue
+    fi
+    code="$(cat "$REQ_DIR/$slot.code")"
+    if [[ "$code" -eq 0 ]]; then
+        # A served answer: non-empty report plus a tier-tagged meta line.
+        if [[ -s "$REQ_DIR/$slot.out" ]] && grep -q 'tier=' "$REQ_DIR/$slot.err"; then
+            ANSWERED=$((ANSWERED + 1))
+        else
+            echo "FAIL request #$slot: exit 0 without a tagged report" >&2
+            FAILED=$((FAILED + 1))
+        fi
+    else
+        # The only acceptable failure is the typed draining rejection
+        # (or a refused connect after the listener closed).
+        if grep -qi 'draining\|connect' "$REQ_DIR/$slot.err"; then
+            REJECTED=$((REJECTED + 1))
+        else
+            echo "FAIL request #$slot: untyped failure:" >&2
+            cat "$REQ_DIR/$slot.err" >&2
+            FAILED=$((FAILED + 1))
+        fi
+    fi
+done
+
+# --- no torn publishes survive a graceful exit -----------------------------
+LITTER="$(find "$CACHE" -name '*.tmp*' 2>/dev/null | wc -l)"
+if [[ "$LITTER" -ne 0 ]]; then
+    echo "FAIL: $LITTER .tmp orphan(s) left in the cache:" >&2
+    find "$CACHE" -name '*.tmp*' >&2
+    exit 1
+fi
+
+echo "soak: $TOTAL requests — $ANSWERED answered, $REJECTED typed rejections, $FAILED failures"
+if [[ "$FAILED" -ne 0 ]]; then
+    exit 1
+fi
+if [[ "$ANSWERED" -lt 2 ]]; then
+    echo "FAIL: expected at least the warm-up answers to land" >&2
+    exit 1
+fi
