@@ -45,6 +45,10 @@ fn start_server_with(
         shards_per_tenant: 4,
         quota: TenantQuota {
             max_concurrent,
+            // The 100k-statement incr corpus renders to ~4.4 MB of text,
+            // just over the default 4 MiB inline-module quota; size
+            // rejection is not what this bench measures.
+            max_module_bytes: 8 << 20,
             ..TenantQuota::default()
         },
         shed_jobs: 1,
@@ -75,6 +79,7 @@ fn main() {
     );
 
     let mut samples = Vec::new();
+    let incr_state_counters: (u64, u64);
 
     // Cold: every iteration gets a store that has never seen the module,
     // so each request is a full solve through admission + shard dispatch.
@@ -146,6 +151,63 @@ fn main() {
     }));
     let overload_stats = server.router().stats();
     server.stop();
+
+    // Incremental watch-mode traffic: the 100k scale corpus, edited by
+    // one function per request, served warm from the previous revision's
+    // snapshot (named explicitly via `prev_fingerprint`, the protocol's
+    // watch-mode field) vs the same edits solved cold on a server that
+    // has never seen the tenant. Single `baseline` config so the numbers
+    // measure the Andersen solve, the tier the re-solve accelerates.
+    {
+        let v1 = kaleidoscope_fuzz::scale::corpus_module(0xca1e, 100_000);
+        let v1_fp = v1.fingerprint();
+        let v1_text = v1.to_text();
+        // Pre-render one distinct single-function edit per iteration:
+        // repeats of one revision would ride the report cache instead of
+        // exercising the incremental path.
+        let edits: Vec<String> = (0..4u64)
+            .map(|i| {
+                let mut m = v1.clone();
+                kaleidoscope_fuzz::edit::append_function(&mut m, 0xca1e, i);
+                m.to_text()
+            })
+            .collect();
+
+        let (server, _cache) = start_server("incr-cold", 64);
+        let addr = server.addr().to_string();
+        let mut round = 0usize;
+        samples.push(bench("serve/incr/request_cold_100k", 2, || {
+            let mut req = Request::inline("ic", &edits[round % edits.len()]);
+            req.config = Some("baseline".into());
+            // A fresh tenant per round keeps the per-tenant head lookup
+            // from warm-starting what is meant to be the cold number.
+            req.tenant = format!("cold{round}");
+            round += 1;
+            must_ok(request_over_tcp(&addr, &req));
+        }));
+        server.stop();
+
+        let (server, cache) = start_server("incr-warm", 64);
+        let addr = server.addr().to_string();
+        let mut prewarm = Request::inline("iw-base", &v1_text);
+        prewarm.config = Some("baseline".into());
+        must_ok(request_over_tcp(&addr, &prewarm));
+        let mut round = 0usize;
+        samples.push(bench("serve/incr/request_warm_edit_100k", 2, || {
+            let mut req = Request::inline("iw", &edits[round % edits.len()]);
+            req.config = Some("baseline".into());
+            req.prev_fingerprint = Some(v1_fp);
+            round += 1;
+            must_ok(request_over_tcp(&addr, &req));
+        }));
+        let incr_cache_stats = cache.stats();
+        println!(
+            "incr warm path: {} snapshot hits / {} lookups",
+            incr_cache_stats.state_hits, incr_cache_stats.state_lookups
+        );
+        incr_state_counters = (incr_cache_stats.state_hits, incr_cache_stats.state_lookups);
+        server.stop();
+    }
 
     // Breaker: one crash directive trips a shard's breaker (threshold 2,
     // long cooldown); healthy traffic then short-circuits to the ladder
@@ -245,6 +307,8 @@ fn main() {
         ("drain_draining_rejected", drain_report.draining_rejected),
         ("drain_cache_tmp_swept", drain_report.cache_tmp_swept),
         ("drain_cache_quarantined", drain_report.cache_quarantined),
+        ("incr_state_hits", incr_state_counters.0),
+        ("incr_state_lookups", incr_state_counters.1),
     ];
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, to_json_with_counters(&samples, &counters))

@@ -16,7 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use kaleidoscope_bench::timing::{bench, Sample};
-use kaleidoscope_pta::{steensgaard, Analysis, SolveOptions};
+use kaleidoscope_pta::{steensgaard, Analysis, NullObserver, SolveOptions};
 
 /// System allocator wrapped with monotonic allocation counters, so a bench
 /// case can report "bytes allocated per solve" — a direct, variance-free
@@ -71,6 +71,8 @@ struct Case {
     strata: usize,
     max_wave_width: usize,
     barrier_stalls: usize,
+    seeded_nodes: usize,
+    total_nodes: usize,
 }
 
 fn json(cases: &[Case]) -> String {
@@ -80,7 +82,8 @@ fn json(cases: &[Case]) -> String {
             "    {{\"label\": \"{}\", \"min_ms\": {:.4}, \"median_ms\": {:.4}, \"mean_ms\": {:.4}, \
              \"iters\": {}, \"alloc_bytes\": {}, \"alloc_calls\": {}, \"pops\": {}, \
              \"union_words\": {}, \"peak_pts_bytes\": {}, \"threads\": {}, \"strata\": {}, \
-             \"max_wave_width\": {}, \"barrier_stalls\": {}}}{}\n",
+             \"max_wave_width\": {}, \"barrier_stalls\": {}, \"seeded_nodes\": {}, \
+             \"total_nodes\": {}}}{}\n",
             c.sample.label,
             c.sample.min_ms,
             c.sample.median_ms,
@@ -95,6 +98,8 @@ fn json(cases: &[Case]) -> String {
             c.strata,
             c.max_wave_width,
             c.barrier_stalls,
+            c.seeded_nodes,
+            c.total_nodes,
             if i + 1 == cases.len() { "" } else { "," }
         ));
     }
@@ -138,6 +143,8 @@ fn main() {
                 strata: stats.strata,
                 max_wave_width: stats.max_wave_width,
                 barrier_stalls: stats.barrier_stalls,
+                seeded_nodes: 0,
+                total_nodes: stats.node_count,
             });
         }
     }
@@ -176,6 +183,145 @@ fn main() {
             strata: stats.strata,
             max_wave_width: stats.max_wave_width,
             barrier_stalls: stats.barrier_stalls,
+            seeded_nodes: 0,
+            total_nodes: stats.node_count,
+        });
+    }
+
+    // Incremental re-solve: a 1-function watch edit on the same 100k
+    // corpus, warm-started from the pre-edit snapshot, vs solving the
+    // edited module from scratch. The warm number is end-to-end honest:
+    // it includes regenerating constraints for both revisions, the
+    // constraint diff, the state restore, and the seeded propagation —
+    // everything a watch daemon pays after the snapshot fetch.
+    {
+        let opts = SolveOptions::baseline();
+        let mut edited = scale.clone();
+        kaleidoscope_fuzz::edit::append_function(&mut edited, 0xca1e, 0);
+        let (_, prev_state) = Analysis::try_run_captured(&scale, &opts, None, &mut NullObserver)
+            .expect("unbudgeted solve");
+        let prev_state = prev_state.expect("converged solve captures a snapshot");
+
+        let sample = bench("solver/incr/andersen-100k/cold", scale_iters, || {
+            let _ = Analysis::run(&edited, &opts);
+        });
+        let mut stats = None;
+        let (alloc_bytes, alloc_calls) = alloc_traffic(|| {
+            stats = Some(Analysis::run(&edited, &opts).result.stats);
+        });
+        let stats = stats.expect("solve ran");
+        cases.push(Case {
+            sample,
+            alloc_bytes,
+            alloc_calls,
+            pops: stats.iterations,
+            union_words: stats.union_words,
+            peak_pts_bytes: stats.peak_pts_bytes,
+            threads: 0,
+            strata: stats.strata,
+            max_wave_width: stats.max_wave_width,
+            barrier_stalls: stats.barrier_stalls,
+            seeded_nodes: 0,
+            total_nodes: stats.node_count,
+        });
+
+        let sample = bench("solver/incr/andersen-100k/warm-edit", scale_iters, || {
+            let _ = Analysis::try_run_incremental(
+                &scale,
+                None,
+                &prev_state,
+                &edited,
+                &opts,
+                None,
+                &mut NullObserver,
+            );
+        });
+        let mut stats = None;
+        let (alloc_bytes, alloc_calls) = alloc_traffic(|| {
+            let (a, _) = Analysis::try_run_incremental(
+                &scale,
+                None,
+                &prev_state,
+                &edited,
+                &opts,
+                None,
+                &mut NullObserver,
+            )
+            .expect("unbudgeted solve");
+            stats = Some(a.result.stats);
+        });
+        let stats = stats.expect("solve ran");
+        assert_eq!(stats.incr_fallback_full, 0, "append edit must warm-start");
+        println!(
+            "incr warm edit: {} seeded of {} nodes, {} pops",
+            stats.incr_seeded_nodes, stats.node_count, stats.iterations
+        );
+        cases.push(Case {
+            sample,
+            alloc_bytes,
+            alloc_calls,
+            pops: stats.iterations,
+            union_words: stats.union_words,
+            peak_pts_bytes: stats.peak_pts_bytes,
+            threads: 0,
+            strata: stats.strata,
+            max_wave_width: stats.max_wave_width,
+            barrier_stalls: stats.barrier_stalls,
+            seeded_nodes: stats.incr_seeded_nodes,
+            total_nodes: stats.node_count,
+        });
+
+        // Leaf edit: the new function reads shared state but publishes
+        // nothing back into it — the common watch-mode shape. The seeded
+        // propagation stays local to the new function, so this case shows
+        // the ceiling of the warm start (vs the honest globally-rippling
+        // `warm-edit` case above).
+        let mut leaf_edited = scale.clone();
+        kaleidoscope_fuzz::edit::append_leaf_function(&mut leaf_edited, 0xca1e, 1);
+        let sample = bench("solver/incr/andersen-100k/warm-leaf", scale_iters, || {
+            let _ = Analysis::try_run_incremental(
+                &scale,
+                None,
+                &prev_state,
+                &leaf_edited,
+                &opts,
+                None,
+                &mut NullObserver,
+            );
+        });
+        let mut stats = None;
+        let (alloc_bytes, alloc_calls) = alloc_traffic(|| {
+            let (a, _) = Analysis::try_run_incremental(
+                &scale,
+                None,
+                &prev_state,
+                &leaf_edited,
+                &opts,
+                None,
+                &mut NullObserver,
+            )
+            .expect("unbudgeted solve");
+            stats = Some(a.result.stats);
+        });
+        let stats = stats.expect("solve ran");
+        assert_eq!(stats.incr_fallback_full, 0, "leaf edit must warm-start");
+        println!(
+            "incr warm leaf: {} seeded of {} nodes, {} pops",
+            stats.incr_seeded_nodes, stats.node_count, stats.iterations
+        );
+        cases.push(Case {
+            sample,
+            alloc_bytes,
+            alloc_calls,
+            pops: stats.iterations,
+            union_words: stats.union_words,
+            peak_pts_bytes: stats.peak_pts_bytes,
+            threads: 0,
+            strata: stats.strata,
+            max_wave_width: stats.max_wave_width,
+            barrier_stalls: stats.barrier_stalls,
+            seeded_nodes: stats.incr_seeded_nodes,
+            total_nodes: stats.node_count,
         });
     }
 

@@ -124,6 +124,13 @@ pub fn parse_config(name: &str) -> Result<PolicyConfig, CliError> {
 /// inside each solve (`--solver-threads <n>`; `0` = the classic sequential
 /// schedule). Wave output is byte-identical at any thread count ≥ 1 and is
 /// cached separately from classic-schedule reports.
+///
+/// `incremental_from` (`--incremental-from <fp>`) names the fingerprint of
+/// a previously-analyzed revision whose solved-state snapshot (published
+/// to the cache by that run) should warm-start this solve. Requires a
+/// cache directory. Warm-starting is advisory and sound: a missing
+/// snapshot or an incompatible edit falls back to a cold solve, and the
+/// report bytes are identical either way — only the time differs.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_analyze(
     source: &Source,
@@ -134,6 +141,7 @@ pub fn cmd_analyze(
     cache_dir: Option<&str>,
     solver_threads: usize,
     cache_max_bytes: Option<u64>,
+    incremental_from: Option<u64>,
 ) -> Result<String, CliError> {
     let module = load(source)?;
     let configs: Vec<PolicyConfig> = match config {
@@ -142,7 +150,13 @@ pub fn cmd_analyze(
     };
     let cache = DiskCache::resolve(cache_dir)
         .map_err(|e| err(format!("cannot open cache directory: {e}")))?
-        .map(|c| c.with_max_bytes(cache_max_bytes.unwrap_or(0)));
+        .map(|c| std::sync::Arc::new(c.with_max_bytes(cache_max_bytes.unwrap_or(0))));
+    if incremental_from.is_some() && cache.is_none() {
+        return Err(err(
+            "--incremental-from needs a cache directory (--cache-dir or KD_CACHE_DIR) \
+             holding the previous revision's snapshot",
+        ));
+    }
     let scope = ReportScope {
         config: if configs.len() == 1 {
             Some(configs[0])
@@ -162,6 +176,12 @@ pub fn cmd_analyze(
     let mut ex = Executor::with_jobs(jobs).with_solver_threads(solver_threads);
     if let Some(n) = budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
+    }
+    if let Some(c) = &cache {
+        ex = ex.with_state_store(c.clone());
+        if let Some(prev) = incremental_from.filter(|&prev| prev != fp) {
+            ex = ex.with_incremental_from(prev);
+        }
     }
     let report = render_analyze(&module, &configs, &ex, stats);
     if let Some(c) = &cache {
@@ -522,6 +542,9 @@ pub struct RequestArgs {
     pub source: Option<Source>,
     /// Query a previously-submitted module by content fingerprint (hex).
     pub fingerprint: Option<String>,
+    /// Warm-start from this previous revision's snapshot (hex); absent
+    /// defers to the daemon's per-tenant auto-lookup.
+    pub prev_fingerprint: Option<String>,
     /// Configuration name; `None` = the full Table-3 matrix.
     pub config: Option<String>,
     /// Tenant to account the request against.
@@ -571,12 +594,20 @@ pub fn cmd_request(args: &RequestArgs) -> Result<RequestOutput, CliError> {
         }
         (Some(_), Some(_)) => return Err(err("give either a program or --fingerprint, not both")),
     };
+    let prev_fingerprint = args
+        .prev_fingerprint
+        .as_deref()
+        .map(|hex| {
+            u64::from_str_radix(hex, 16).map_err(|_| err(format!("bad prev fingerprint `{hex}`")))
+        })
+        .transpose()?;
     let req = Request {
         id: format!("kd-request-{}", std::process::id()),
         tenant: args.tenant.clone(),
         op: None,
         module,
         fingerprint,
+        prev_fingerprint,
         config: args.config.clone(),
         stats: args.stats,
         budget: args.budget,
@@ -666,6 +697,9 @@ OPTIONS:
                        analyze/serve/worker reuse stored reports
     --cache-max-bytes <n>  analyze/serve: cap the store's total size;
                        oldest artifacts are evicted at publish time
+    --incremental-from <h>  analyze: warm-start from the named previous
+                       revision's solved-state snapshot (needs --cache-dir;
+                       identical report bytes, faster on small edits)
 
 SERVING:
     --addr <a>         serve: bind address (default 127.0.0.1:0, port printed)
@@ -684,6 +718,8 @@ SERVING:
                        the degradation ladder before reprobing (default 5000)
     --tenant <name>    request: tenant to account against (default: default)
     --fingerprint <h>  request: query a stored module by fingerprint
+    --prev-fingerprint <h>  request: warm-start from a previous revision's
+                       snapshot (absent = the daemon's per-tenant lookup)
     --fault <kind>     request: inject a worker fault (needs --unsafe-faults)
     --timeout-ms <n>   request: connect/read/write timeout (default 10s/120s)
     --retries <n>      request: retry connect failures and timeouts with
@@ -711,8 +747,8 @@ mod tests {
     #[test]
     fn analyze_output_independent_of_jobs() {
         let src = Source::Model("TinyDTLS".into());
-        let serial = cmd_analyze(&src, None, 1, false, None, None, 0, None).unwrap();
-        let parallel = cmd_analyze(&src, None, 4, false, None, None, 0, None).unwrap();
+        let serial = cmd_analyze(&src, None, 1, false, None, None, 0, None, None).unwrap();
+        let parallel = cmd_analyze(&src, None, 4, false, None, None, 0, None, None).unwrap();
         assert_eq!(serial, parallel);
     }
 
@@ -726,6 +762,7 @@ mod tests {
             None,
             None,
             0,
+            None,
             None,
         )
         .unwrap();
@@ -745,6 +782,7 @@ mod tests {
             None,
             0,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("Kaleidoscope"));
@@ -753,8 +791,9 @@ mod tests {
     #[test]
     fn analyze_stats_prints_solver_counters() {
         let src = Source::Model("TinyDTLS".into());
-        let plain = cmd_analyze(&src, Some("all"), 1, false, None, None, 0, None).unwrap();
-        let with_stats = cmd_analyze(&src, Some("all"), 1, true, None, None, 0, None).unwrap();
+        let plain = cmd_analyze(&src, Some("all"), 1, false, None, None, 0, None, None).unwrap();
+        let with_stats =
+            cmd_analyze(&src, Some("all"), 1, true, None, None, 0, None, None).unwrap();
         assert!(!plain.contains("solver["));
         assert!(with_stats.contains("solver[fallback]:"), "{with_stats}");
         assert!(with_stats.contains("solver[optimistic]:"));
@@ -775,22 +814,97 @@ mod tests {
     #[test]
     fn analyze_solver_threads_output_is_thread_count_invariant() {
         let src = Source::Model("TinyDTLS".into());
-        let w1 = cmd_analyze(&src, None, 1, true, None, None, 1, None).unwrap();
-        let w4 = cmd_analyze(&src, None, 1, true, None, None, 4, None).unwrap();
+        let w1 = cmd_analyze(&src, None, 1, true, None, None, 1, None, None).unwrap();
+        let w4 = cmd_analyze(&src, None, 1, true, None, None, 4, None, None).unwrap();
         assert_eq!(w1, w4, "wave schedule output independent of thread count");
     }
 
     #[test]
     fn analyze_budget_tags_degraded_cells() {
         let src = Source::Model("TinyDTLS".into());
-        let out = cmd_analyze(&src, None, 1, false, Some(1), None, 0, None).unwrap();
+        let out = cmd_analyze(&src, None, 1, false, Some(1), None, 0, None, None).unwrap();
         assert!(out.contains("degraded: serving steensgaard tier"), "{out}");
         assert!(out.contains("configurations degraded"), "{out}");
         // A generous budget leaves the report byte-identical to no budget.
-        let plain = cmd_analyze(&src, None, 1, false, None, None, 0, None).unwrap();
-        let generous = cmd_analyze(&src, None, 1, false, Some(100_000_000), None, 0, None).unwrap();
+        let plain = cmd_analyze(&src, None, 1, false, None, None, 0, None, None).unwrap();
+        let generous =
+            cmd_analyze(&src, None, 1, false, Some(100_000_000), None, 0, None, None).unwrap();
         assert_eq!(plain, generous);
         assert!(!plain.contains("degraded"));
+    }
+
+    #[test]
+    fn analyze_incremental_from_matches_cold_bytes() {
+        use kaleidoscope_ir::{FunctionBuilder, Type};
+        let dir = std::env::temp_dir().join(format!("kd-cli-incr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let v1 = kaleidoscope_apps::model("TinyDTLS").expect("model").module;
+        let mut v2 = v1.clone();
+        let mut b = FunctionBuilder::new(&mut v2, "cli_extra", vec![], Type::Void);
+        let o = b.alloca("o", Type::Int);
+        let _ = b.copy("p", o);
+        b.ret(None);
+        b.finish();
+        let v1_path = dir.join("v1.kir");
+        let v2_path = dir.join("v2.kir");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&v1_path, v1.to_text()).unwrap();
+        std::fs::write(&v2_path, v2.to_text()).unwrap();
+        let v1_src = Source::File(v1_path.to_string_lossy().into_owned());
+        let v2_src = Source::File(v2_path.to_string_lossy().into_owned());
+        let cache = dir.join("cache");
+        let cache_dir = cache.to_string_lossy().into_owned();
+
+        // Cold reference, no cache involved at all.
+        let cold = cmd_analyze(&v2_src, None, 1, false, None, None, 0, None, None).unwrap();
+        // Analyze v1 with the cache: publishes its snapshots.
+        let _ = cmd_analyze(
+            &v1_src,
+            None,
+            1,
+            false,
+            None,
+            Some(&cache_dir),
+            0,
+            None,
+            None,
+        )
+        .unwrap();
+        // Warm-start v2 from v1: byte-identical to the cold run.
+        let warm = cmd_analyze(
+            &v2_src,
+            None,
+            1,
+            false,
+            None,
+            Some(&cache_dir),
+            0,
+            None,
+            Some(v1.fingerprint()),
+        )
+        .unwrap();
+        assert_eq!(warm, cold, "incremental report == cold bytes");
+        // The stats view proves reuse actually happened.
+        let stats = cmd_analyze(
+            &v2_src,
+            None,
+            1,
+            true,
+            None,
+            Some(&cache_dir),
+            0,
+            None,
+            Some(v1.fingerprint()),
+        )
+        .unwrap();
+        assert!(stats.contains("incr-reused="), "{stats}");
+        assert!(stats.contains("incr-fallback-full=0"), "{stats}");
+        // Without a cache directory the flag is a hard error, not a
+        // silent cold solve. (Skipped when the environment supplies a
+        // fallback store via KD_CACHE_DIR.)
+        if std::env::var(kaleidoscope_exec::CACHE_DIR_ENV).is_err() {
+            assert!(cmd_analyze(&v2_src, None, 1, false, None, None, 0, None, Some(1)).is_err());
+        }
     }
 
     #[test]
@@ -848,7 +962,18 @@ mod c_tests {
 
     #[test]
     fn analyze_c_source_end_to_end() {
-        let out = cmd_analyze(&sample_c("fig6.c"), None, 1, false, None, None, 0, None).unwrap();
+        let out = cmd_analyze(
+            &sample_c("fig6.c"),
+            None,
+            1,
+            false,
+            None,
+            None,
+            0,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("PA@"), "PA invariant from C source:\n{out}");
     }
 
@@ -868,6 +993,7 @@ mod c_tests {
             None,
             None,
             0,
+            None,
             None,
         )
         .unwrap();

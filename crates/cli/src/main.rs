@@ -29,6 +29,8 @@ struct Args {
     tenant_budget: Option<usize>,
     tenant: String,
     fingerprint: Option<String>,
+    incremental_from: Option<String>,
+    prev_fingerprint: Option<String>,
     fault: Option<String>,
     unsafe_faults: bool,
     thread_shards: bool,
@@ -64,6 +66,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         tenant_budget: None,
         tenant: "default".into(),
         fingerprint: None,
+        incremental_from: None,
+        prev_fingerprint: None,
         fault: None,
         unsafe_faults: false,
         thread_shards: false,
@@ -121,6 +125,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--tenant-budget" => args.tenant_budget = Some(number(&mut argv, "--tenant-budget")?),
             "--tenant" => args.tenant = need(&mut argv, "--tenant")?,
             "--fingerprint" => args.fingerprint = Some(need(&mut argv, "--fingerprint")?),
+            "--incremental-from" => {
+                args.incremental_from = Some(need(&mut argv, "--incremental-from")?);
+            }
+            "--prev-fingerprint" => {
+                args.prev_fingerprint = Some(need(&mut argv, "--prev-fingerprint")?);
+            }
             "--fault" => args.fault = Some(need(&mut argv, "--fault")?),
             "--unsafe-faults" => args.unsafe_faults = true,
             "--thread-shards" => args.thread_shards = true,
@@ -183,6 +193,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                 addr,
                 source: args.source.clone(),
                 fingerprint: args.fingerprint.clone(),
+                prev_fingerprint: args.prev_fingerprint.clone(),
                 config: args.config.clone(),
                 tenant: args.tenant.clone(),
                 stats: args.stats,
@@ -202,16 +213,27 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
         .as_ref()
         .ok_or_else(|| CliError("no input: give a .kir file or --model <Name>".into()))?;
     match cmd {
-        "analyze" => cmd_analyze(
-            source,
-            args.config.as_deref(),
-            args.jobs,
-            args.stats,
-            args.budget,
-            args.cache_dir.as_deref(),
-            args.solver_threads.unwrap_or(0),
-            args.cache_max_bytes,
-        ),
+        "analyze" => {
+            let incremental_from = args
+                .incremental_from
+                .as_deref()
+                .map(|hex| {
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|_| CliError(format!("bad --incremental-from value `{hex}`")))
+                })
+                .transpose()?;
+            cmd_analyze(
+                source,
+                args.config.as_deref(),
+                args.jobs,
+                args.stats,
+                args.budget,
+                args.cache_dir.as_deref(),
+                args.solver_threads.unwrap_or(0),
+                args.cache_max_bytes,
+                incremental_from,
+            )
+        }
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),
         "run" => cmd_run(source, &args.entry, &args.input, args.harden),

@@ -10,7 +10,7 @@ use std::fmt;
 
 use kaleidoscope_ir::{InstLoc, Module};
 use kaleidoscope_pta::{
-    Analysis, CriticalFlow, CtxPlan, ObjSite, SolveBudget, SolveError, SolveOptions,
+    Analysis, CriticalFlow, CtxPlan, ObjSite, SolveBudget, SolveError, SolveOptions, SolvedState,
 };
 
 use crate::invariant::LikelyInvariant;
@@ -246,6 +246,37 @@ pub fn try_fallback_analysis(
     Analysis::try_run(module, &opts)
 }
 
+/// Incremental-aware variant of [`try_fallback_analysis`]: when `prev`
+/// supplies the previous revision's module and captured fixpoint, the
+/// solve warm-starts from it (falling back to a sound full solve on any
+/// incompatible edit); either way a fresh [`SolvedState`] snapshot of the
+/// new fixpoint is captured when the solve converges.
+pub fn try_fallback_analysis_incr(
+    module: &Module,
+    budget: &SolveBudget,
+    solver_threads: usize,
+    prev: Option<(&Module, &SolvedState)>,
+) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+    let opts = SolveOptions {
+        solver_threads,
+        ..SolveOptions::baseline_with_budget(budget.clone())
+    };
+    match prev {
+        Some((prev_module, prev_state)) => Analysis::try_run_incremental(
+            prev_module,
+            None,
+            prev_state,
+            module,
+            &opts,
+            None,
+            &mut kaleidoscope_pta::NullObserver,
+        ),
+        None => {
+            Analysis::try_run_captured(module, &opts, None, &mut kaleidoscope_pta::NullObserver)
+        }
+    }
+}
+
 /// Stage: the context plan feeding constraint generation (empty when the
 /// ctx policy is off).
 pub fn ctx_plan_for(module: &Module, config: PolicyConfig) -> CtxPlan {
@@ -292,6 +323,47 @@ pub fn try_optimistic_analysis(
     )
 }
 
+/// Incremental-aware variant of [`try_optimistic_analysis`]. The previous
+/// revision's context plan is derived from its module here (plan detection
+/// is deterministic), so callers only have to thread the module and the
+/// captured state. See [`try_fallback_analysis_incr`] for semantics.
+pub fn try_optimistic_analysis_incr(
+    module: &Module,
+    config: PolicyConfig,
+    ctx_plan: &CtxPlan,
+    budget: &SolveBudget,
+    solver_threads: usize,
+    prev: Option<(&Module, &SolvedState)>,
+) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+    let opts = SolveOptions {
+        budget: budget.clone(),
+        solver_threads,
+        ..SolveOptions::optimistic(config.pa, config.pwc)
+    };
+    let plan = if config.ctx { Some(ctx_plan) } else { None };
+    match prev {
+        Some((prev_module, prev_state)) => {
+            let prev_plan = if config.ctx {
+                Some(ctx_plan_for(prev_module, config))
+            } else {
+                None
+            };
+            Analysis::try_run_incremental(
+                prev_module,
+                prev_plan.as_ref(),
+                prev_state,
+                module,
+                &opts,
+                plan,
+                &mut kaleidoscope_pta::NullObserver,
+            )
+        }
+        None => {
+            Analysis::try_run_captured(module, &opts, plan, &mut kaleidoscope_pta::NullObserver)
+        }
+    }
+}
+
 /// ❸ Stage: derive the likely-invariant descriptors and package the
 /// result. Pure over its inputs — given the same views it always produces
 /// the same invariants, so cached and freshly solved views assemble to
@@ -320,16 +392,20 @@ pub fn assemble_result(
         });
     }
 
-    // PWC: one invariant per deferred cycle (deduplicated by field set).
-    let mut seen_pwc: Vec<Vec<InstLoc>> = Vec::new();
-    for pwc in &optimistic.result.pwcs {
-        if pwc.field_locs.is_empty() || seen_pwc.contains(&pwc.field_locs) {
-            continue;
-        }
-        seen_pwc.push(pwc.field_locs.clone());
-        invariants.push(LikelyInvariant::Pwc {
-            field_locs: pwc.field_locs.clone(),
-        });
+    // PWC: one invariant per deferred cycle (deduplicated by field set and
+    // ordered by it, so the report does not depend on discovery order —
+    // incremental warm-starts replay stored events before new detections).
+    let mut seen_pwc: Vec<Vec<InstLoc>> = optimistic
+        .result
+        .pwcs
+        .iter()
+        .filter(|pwc| !pwc.field_locs.is_empty())
+        .map(|pwc| pwc.field_locs.clone())
+        .collect();
+    seen_pwc.sort();
+    seen_pwc.dedup();
+    for field_locs in seen_pwc {
+        invariants.push(LikelyInvariant::Pwc { field_locs });
     }
 
     // Ctx: one invariant per critical flow.

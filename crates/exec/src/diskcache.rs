@@ -22,8 +22,29 @@
 //!   modules/<fp:016x>.kir                canonical module text
 //!   reports/<fp:016x>-<scope>-v<N>.txt   healthy analyze report
 //!   reports/<fp:016x>-<scope>-v<N>.sum   "<fnv64:016x> <len>" integrity sidecar
+//!   state/<fp:016x>-k<key>[c]-v<N>i<M>.bin  solved-state snapshot (incremental)
+//!   state/<fp:016x>-k<key>[c]-v<N>i<M>.sum  integrity sidecar
+//!   heads/t<fnv64(tenant):016x>.fp       tenant's last-served fingerprint
 //!   quarantine/                          corrupt artifacts parked by recovery
 //! ```
+//!
+//! **State snapshots** are the serialized
+//! [`SolvedState`](kaleidoscope_pta::SolvedState) of a converged solve,
+//! fetched by the fingerprint of the *previous* revision to warm-start an
+//! incremental re-solve. They are keyed by the solve's
+//! [`SolveOptions::cache_key`](kaleidoscope_pta::SolveOptions::cache_key)
+//! (`k<key>`), whether a context plan fed generation (`c`),
+//! `PTS_REPR_VERSION` (`v<N>`) and
+//! [`INCR_STATE_VERSION`](kaleidoscope_pta::INCR_STATE_VERSION) (`i<M>`) —
+//! a snapshot must never warm a solve under a different schedule, policy
+//! set, or representation.
+//!
+//! **Tenant heads** record the last module fingerprint served for each
+//! tenant, so the daemon can auto-select a warm-start snapshot for
+//! watch-mode traffic that doesn't carry an explicit `prev_fingerprint`.
+//! Heads are advisory: a stale, missing, or evicted head only costs a
+//! cold solve, never a wrong answer, so they carry no integrity sidecar
+//! and are excluded from the eviction cap.
 //!
 //! `<scope>` is `call` (the full Table-3 matrix) or `c<k>` for a single
 //! configuration (`k` = [`PolicyConfig::key`]), with an `s` suffix when
@@ -98,6 +119,10 @@ pub struct DiskCacheStats {
     pub report_lookups: u64,
     /// Report lookups served from disk (verified).
     pub report_hits: u64,
+    /// Solved-state snapshot lookups performed.
+    pub state_lookups: u64,
+    /// Snapshot lookups served from disk (verified).
+    pub state_hits: u64,
     /// Entries rejected by checksum verification.
     pub verify_failures: u64,
     /// `.tmp` publish orphans removed by recovery sweeps.
@@ -113,6 +138,8 @@ pub struct DiskCache {
     max_bytes: Option<u64>,
     report_lookups: AtomicU64,
     report_hits: AtomicU64,
+    state_lookups: AtomicU64,
+    state_hits: AtomicU64,
     verify_failures: AtomicU64,
     tmp_swept: AtomicU64,
     quarantined: AtomicU64,
@@ -151,11 +178,15 @@ impl DiskCache {
         let dir = dir.into();
         fs::create_dir_all(dir.join("modules"))?;
         fs::create_dir_all(dir.join("reports"))?;
+        fs::create_dir_all(dir.join("state"))?;
+        fs::create_dir_all(dir.join("heads"))?;
         let cache = DiskCache {
             dir,
             max_bytes: None,
             report_lookups: AtomicU64::new(0),
             report_hits: AtomicU64::new(0),
+            state_lookups: AtomicU64::new(0),
+            state_hits: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
             tmp_swept: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -173,7 +204,7 @@ impl DiskCache {
         // delete them. (A concurrent publisher's live tmp file could in
         // principle be swept too; its rename then fails and that publish
         // degrades to a cache miss, never a torn artifact.)
-        for sub in ["modules", "reports"] {
+        for sub in ["modules", "reports", "state", "heads"] {
             let Ok(entries) = fs::read_dir(self.dir.join(sub)) else {
                 continue;
             };
@@ -188,39 +219,42 @@ impl DiskCache {
                 }
             }
         }
-        // 2. Corrupt reports: a `.txt` whose sidecar is missing, torn, or
-        // wrong would re-fail verification on every fetch forever; move
-        // the pair into `quarantine/` (preserved for inspection, out of
-        // the fetch path) so the next publish starts clean.
-        let Ok(entries) = fs::read_dir(self.dir.join("reports")) else {
-            return;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().is_none_or(|e| e != "txt") {
+        // 2. Corrupt artifacts: a report `.txt` or state `.bin` whose
+        // sidecar is missing, torn, or wrong would re-fail verification on
+        // every fetch forever; move the pair into `quarantine/` (preserved
+        // for inspection, out of the fetch path) so the next publish
+        // starts clean.
+        for (sub, ext) in [("reports", "txt"), ("state", "bin")] {
+            let Ok(entries) = fs::read_dir(self.dir.join(sub)) else {
                 continue;
-            }
-            let sidecar = path.with_extension("sum");
-            let healthy = match (fs::read_to_string(&path), fs::read_to_string(&sidecar)) {
-                (Ok(text), Ok(sum)) => {
-                    sum == format!("{:016x} {}", fnv64(text.as_bytes()), text.len())
-                }
-                _ => false,
             };
-            if healthy {
-                continue;
-            }
-            let quarantine = self.dir.join("quarantine");
-            if fs::create_dir_all(&quarantine).is_err() {
-                continue;
-            }
-            let moved = [&path, &sidecar]
-                .iter()
-                .filter(|p| p.exists())
-                .filter_map(|p| p.file_name().map(|n| (p.to_path_buf(), quarantine.join(n))))
-                .all(|(from, to)| fs::rename(&from, &to).is_ok());
-            if moved {
-                self.quarantined.fetch_add(1, Ordering::Relaxed);
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_none_or(|e| e != ext) {
+                    continue;
+                }
+                let sidecar = path.with_extension("sum");
+                let healthy = match (fs::read(&path), fs::read_to_string(&sidecar)) {
+                    (Ok(bytes), Ok(sum)) => {
+                        sum == format!("{:016x} {}", fnv64(&bytes), bytes.len())
+                    }
+                    _ => false,
+                };
+                if healthy {
+                    continue;
+                }
+                let quarantine = self.dir.join("quarantine");
+                if fs::create_dir_all(&quarantine).is_err() {
+                    continue;
+                }
+                let moved = [&path, &sidecar]
+                    .iter()
+                    .filter(|p| p.exists())
+                    .filter_map(|p| p.file_name().map(|n| (p.to_path_buf(), quarantine.join(n))))
+                    .all(|(from, to)| fs::rename(&from, &to).is_ok());
+                if moved {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -282,6 +316,8 @@ impl DiskCache {
         DiskCacheStats {
             report_lookups: self.report_lookups.load(Ordering::Relaxed),
             report_hits: self.report_hits.load(Ordering::Relaxed),
+            state_lookups: self.state_lookups.load(Ordering::Relaxed),
+            state_hits: self.state_hits.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
             tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
@@ -303,6 +339,11 @@ impl DiskCache {
     /// Atomically publish `content` at `path` (same-directory temp file +
     /// rename, so readers never observe a torn file).
     fn publish(path: &Path, content: &str) -> io::Result<()> {
+        Self::publish_bytes(path, content.as_bytes())
+    }
+
+    /// Byte-level [`DiskCache::publish`] (state snapshots are binary).
+    fn publish_bytes(path: &Path, content: &[u8]) -> io::Result<()> {
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
         fs::write(&tmp, content)?;
         fs::rename(&tmp, path)
@@ -321,7 +362,7 @@ impl DiskCache {
     /// are one artifact (evicted together); a module file is one artifact.
     fn scan_artifacts(dir: &Path) -> Vec<Artifact> {
         let mut out = Vec::new();
-        for sub in ["modules", "reports"] {
+        for sub in ["modules", "reports", "state"] {
             let Ok(entries) = fs::read_dir(dir.join(sub)) else {
                 continue;
             };
@@ -332,11 +373,11 @@ impl DiskCache {
                     continue;
                 }
                 if path.extension().is_some_and(|e| e == "sum") {
-                    continue; // accounted for with its .txt below
+                    continue; // accounted for with its .txt/.bin below
                 }
                 let mut bytes = meta.len();
                 let mut sidecar = None;
-                if path.extension().is_some_and(|e| e == "txt") {
+                if path.extension().is_some_and(|e| e == "txt" || e == "bin") {
                     let sum = path.with_extension("sum");
                     if let Ok(m) = fs::metadata(&sum) {
                         bytes += m.len();
@@ -423,6 +464,70 @@ impl DiskCache {
         }
         self.report_hits.fetch_add(1, Ordering::Relaxed);
         Some(text)
+    }
+
+    fn state_path(&self, fp: u64, opts_key: u64, with_ctx: bool) -> PathBuf {
+        self.dir.join("state").join(format!(
+            "{fp:016x}-k{opts_key:x}{}-v{}i{}.bin",
+            if with_ctx { "c" } else { "" },
+            kaleidoscope_pta::PTS_REPR_VERSION,
+            kaleidoscope_pta::INCR_STATE_VERSION,
+        ))
+    }
+
+    /// Store a solved-state snapshot for `(fp, opts_key, with_ctx)` —
+    /// the serialized fixpoint of a converged solve, fetched later by the
+    /// next revision of the same tenant to warm-start incrementally.
+    pub fn put_state(
+        &self,
+        fp: u64,
+        opts_key: u64,
+        with_ctx: bool,
+        bytes: &[u8],
+    ) -> io::Result<()> {
+        let path = self.state_path(fp, opts_key, with_ctx);
+        Self::publish_bytes(&path, bytes)?;
+        let sum = format!("{:016x} {}", fnv64(bytes), bytes.len());
+        Self::publish(&path.with_extension("sum"), &sum)?;
+        self.enforce_cap();
+        Ok(())
+    }
+
+    /// Fetch a verified solved-state snapshot; checksum mismatches count
+    /// as misses (the caller solves cold), never as wrong warm-starts.
+    pub fn get_state(&self, fp: u64, opts_key: u64, with_ctx: bool) -> Option<Vec<u8>> {
+        self.state_lookups.fetch_add(1, Ordering::Relaxed);
+        let path = self.state_path(fp, opts_key, with_ctx);
+        let bytes = fs::read(&path).ok()?;
+        let sum = fs::read_to_string(path.with_extension("sum")).ok()?;
+        let want = format!("{:016x} {}", fnv64(&bytes), bytes.len());
+        if sum != want {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.state_hits.fetch_add(1, Ordering::Relaxed);
+        Some(bytes)
+    }
+
+    fn head_path(&self, tenant: &str) -> PathBuf {
+        // Tenant names are client-chosen free text; key the file by hash
+        // so odd characters can't escape the directory.
+        self.dir
+            .join("heads")
+            .join(format!("t{:016x}.fp", fnv64(tenant.as_bytes())))
+    }
+
+    /// Record `fp` as the last module fingerprint served for `tenant`
+    /// (the warm-start candidate for that tenant's next request).
+    pub fn put_tenant_head(&self, tenant: &str, fp: u64) -> io::Result<()> {
+        Self::publish(&self.head_path(tenant), &format!("{fp:016x}"))
+    }
+
+    /// The last module fingerprint served for `tenant`, if recorded.
+    /// Malformed head files read as absent (a cold solve, never an error).
+    pub fn get_tenant_head(&self, tenant: &str) -> Option<u64> {
+        let text = fs::read_to_string(self.head_path(tenant)).ok()?;
+        u64::from_str_radix(text.trim(), 16).ok()
     }
 }
 
@@ -643,6 +748,54 @@ mod tests {
         assert_eq!(cache.stats().verify_failures, 0, "quarantine beat verify");
         cache.put_report(fp, scope, "fresh\n").unwrap();
         assert_eq!(cache.get_report(fp, scope).as_deref(), Some("fresh\n"));
+    }
+
+    #[test]
+    fn state_round_trip_and_key_separation() {
+        let cache = DiskCache::open(tmpdir("state")).unwrap();
+        let blob: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(cache.get_state(5, 3, false), None);
+        cache.put_state(5, 3, false, &blob).unwrap();
+        assert_eq!(cache.get_state(5, 3, false).as_deref(), Some(&blob[..]));
+        assert_eq!(cache.get_state(5, 7, false), None, "opts keys don't alias");
+        assert_eq!(cache.get_state(5, 3, true), None, "ctx flag doesn't alias");
+        assert_eq!(cache.get_state(6, 3, false), None, "fps don't alias");
+        let stats = cache.stats();
+        assert_eq!(stats.state_lookups, 5);
+        assert_eq!(stats.state_hits, 1);
+        // A tampered snapshot is a miss (solve cold), never a warm-start.
+        fs::write(cache.state_path(5, 3, false), b"garbage").unwrap();
+        assert_eq!(cache.get_state(5, 3, false), None);
+        assert_eq!(cache.stats().verify_failures, 1);
+    }
+
+    #[test]
+    fn corrupt_state_is_quarantined_at_open() {
+        let dir = tmpdir("state-recover");
+        {
+            let cache = DiskCache::open(&dir).unwrap();
+            cache.put_state(11, 1, false, b"valid snapshot").unwrap();
+            fs::write(cache.state_path(11, 1, false), b"torn").unwrap();
+        }
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.stats().quarantined, 1, "torn snapshot quarantined");
+        assert_eq!(cache.get_state(11, 1, false), None);
+        assert_eq!(cache.stats().verify_failures, 0, "quarantine beat verify");
+    }
+
+    #[test]
+    fn tenant_heads_round_trip_and_tolerate_garbage() {
+        let cache = DiskCache::open(tmpdir("heads")).unwrap();
+        assert_eq!(cache.get_tenant_head("acme"), None);
+        cache.put_tenant_head("acme", 0xFEED_F00D).unwrap();
+        cache.put_tenant_head("other", 0x42).unwrap();
+        assert_eq!(cache.get_tenant_head("acme"), Some(0xFEED_F00D));
+        assert_eq!(cache.get_tenant_head("other"), Some(0x42));
+        cache.put_tenant_head("acme", 0x1).unwrap();
+        assert_eq!(cache.get_tenant_head("acme"), Some(0x1), "last write wins");
+        // A scribbled head reads as absent, never an error.
+        fs::write(cache.head_path("acme"), "not hex at all").unwrap();
+        assert_eq!(cache.get_tenant_head("acme"), None);
     }
 
     #[test]

@@ -72,10 +72,13 @@ use std::sync::{Arc, Mutex};
 
 use kaleidoscope::{
     analyze, assemble_degraded_fallback, assemble_degraded_steens, assemble_result, ctx_plan_for,
-    try_fallback_analysis, try_optimistic_analysis, KaleidoscopeResult, PolicyConfig,
+    try_fallback_analysis, try_fallback_analysis_incr, try_optimistic_analysis,
+    try_optimistic_analysis_incr, KaleidoscopeResult, PolicyConfig,
 };
-use kaleidoscope_ir::Module;
-use kaleidoscope_pta::{steens_analysis, CtxPlan, SolveBudget, SolveError, SolveOptions};
+use kaleidoscope_ir::{parse_module, Module};
+use kaleidoscope_pta::{
+    steens_analysis, CtxPlan, SolveBudget, SolveError, SolveOptions, SolvedState,
+};
 
 /// Why a cell's configured pipeline could not produce its artifact. The
 /// executor converts every variant into a degraded (never missing) cell.
@@ -123,6 +126,8 @@ pub struct Executor {
     cache: ArtifactCache,
     budget: SolveBudget,
     solver_threads: usize,
+    state_store: Option<Arc<DiskCache>>,
+    incremental_from: Option<u64>,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -154,6 +159,8 @@ impl Executor {
             cache: ArtifactCache::new(),
             budget: SolveBudget::default(),
             solver_threads: 0,
+            state_store: None,
+            incremental_from: None,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -191,6 +198,30 @@ impl Executor {
     /// The intra-solve thread count (`0` = classic sequential schedule).
     pub fn solver_threads(&self) -> usize {
         self.solver_threads
+    }
+
+    /// Attach a shared on-disk store for solved-state snapshots. Every
+    /// converged solve publishes its captured fixpoint there, and (with
+    /// [`Executor::with_incremental_from`]) the previous revision's
+    /// snapshot is fetched from it to warm-start incrementally.
+    pub fn with_state_store(mut self, store: Arc<DiskCache>) -> Executor {
+        self.state_store = Some(store);
+        self
+    }
+
+    /// Warm-start every solve from the captured fixpoint of the module
+    /// revision fingerprinted `prev_fp`, when its snapshot and canonical
+    /// text are present in the state store. Missing or incompatible
+    /// snapshots fall back to a sound full solve — output is byte-identical
+    /// either way, only the solve time and the `incr-*` stats change.
+    pub fn with_incremental_from(mut self, prev_fp: u64) -> Executor {
+        self.incremental_from = Some(prev_fp);
+        self
+    }
+
+    /// The configured previous-revision fingerprint, if any.
+    pub fn incremental_from(&self) -> Option<u64> {
+        self.incremental_from
     }
 
     /// Install a deterministic fault plan (testing/chaos harness).
@@ -240,6 +271,34 @@ impl Executor {
     /// corruption the cell degrades down the ladder instead of failing.
     pub fn run_one(&self, module: &Module, config: PolicyConfig) -> KaleidoscopeResult {
         self.run_cell(module, config, None)
+    }
+
+    /// The previous revision's module and captured fixpoint for one solve
+    /// family, when incremental inputs are configured and present in the
+    /// state store. Any missing, stale, or mismatched piece yields `None`
+    /// (the solve runs cold) — never a wrong warm-start: the snapshot and
+    /// the re-parsed module must both round-trip to the stored fingerprint.
+    fn prev_inputs(&self, opts_key: u64, with_ctx: bool) -> Option<(Module, SolvedState)> {
+        let store = self.state_store.as_ref()?;
+        let prev_fp = self.incremental_from?;
+        let state = SolvedState::from_bytes(&store.get_state(prev_fp, opts_key, with_ctx)?)?;
+        if state.fingerprint != prev_fp {
+            return None;
+        }
+        let module = parse_module(&store.get_module(prev_fp)?).ok()?;
+        if module.fingerprint() != prev_fp {
+            return None;
+        }
+        Some((module, state))
+    }
+
+    /// Publish a converged solve's snapshot to the state store (best
+    /// effort: a failed disk write only costs the next edit its warm
+    /// start).
+    fn publish_state(&self, fp: u64, opts_key: u64, with_ctx: bool, state: Option<&SolvedState>) {
+        if let (Some(store), Some(s)) = (self.state_store.as_ref(), state) {
+            let _ = store.put_state(fp, opts_key, with_ctx, &s.to_bytes());
+        }
     }
 
     fn run_cell(
@@ -308,7 +367,19 @@ impl Executor {
         let fallback = self
             .cache
             .try_analysis(fp, &self.baseline_opts(), false, || {
-                try_fallback_analysis(module, &self.budget, self.solver_threads)
+                if self.state_store.is_none() {
+                    return try_fallback_analysis(module, &self.budget, self.solver_threads);
+                }
+                let key = self.baseline_opts().cache_key();
+                let prev = self.prev_inputs(key, false);
+                let (analysis, state) = try_fallback_analysis_incr(
+                    module,
+                    &self.budget,
+                    self.solver_threads,
+                    prev.as_ref().map(|(m, s)| (m, s)),
+                )?;
+                self.publish_state(fp, key, false, state.as_ref());
+                Ok(analysis)
             })
             .map_err(|e| match e {
                 FetchError::Corrupt => CellError::CorruptArtifact,
@@ -355,13 +426,27 @@ impl Executor {
         let optimistic = self
             .cache
             .try_analysis(fp, &opts, config.ctx, || {
-                try_optimistic_analysis(
+                if self.state_store.is_none() {
+                    return try_optimistic_analysis(
+                        module,
+                        config,
+                        &ctx_plan,
+                        &self.budget,
+                        self.solver_threads,
+                    );
+                }
+                let key = opts.cache_key();
+                let prev = self.prev_inputs(key, config.ctx);
+                let (analysis, state) = try_optimistic_analysis_incr(
                     module,
                     config,
                     &ctx_plan,
                     &self.budget,
                     self.solver_threads,
-                )
+                    prev.as_ref().map(|(m, s)| (m, s)),
+                )?;
+                self.publish_state(fp, key, config.ctx, state.as_ref());
+                Ok(analysis)
             })
             .map_err(|e| match e {
                 FetchError::Corrupt => CellError::CorruptArtifact,
@@ -450,7 +535,8 @@ impl Executor {
         let legacy = self.jobs <= 1
             && self.budget == SolveBudget::default()
             && !self.has_faults()
-            && self.solver_threads == 0;
+            && self.solver_threads == 0
+            && self.state_store.is_none();
         let results: Vec<T> = if legacy {
             // Legacy serial path: the original per-cell pipeline, no pool,
             // no cache — the A/B reference for byte-identical output.
@@ -632,6 +718,63 @@ mod tests {
         let misses_before = ex.cache_stats().misses;
         ex.run_matrix(&[&m2], &PolicyConfig::table3_order());
         assert_eq!(ex.cache_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn incremental_executor_reuses_state_and_matches_cold() {
+        let dir = std::env::temp_dir().join(format!("kd-exec-incr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(DiskCache::open(&dir).expect("open store"));
+
+        let v1 = small_module("watch");
+        let mut v2 = small_module("watch");
+        {
+            let mut b = FunctionBuilder::new(&mut v2, "extra", vec![], Type::Void);
+            let y = b.alloca("y", Type::Int);
+            let q = b.alloca("q", Type::ptr(Type::Int));
+            b.store(q, y);
+            b.ret(None);
+            b.finish();
+        }
+        store.put_module(v1.fingerprint(), &v1.to_text()).unwrap();
+
+        let configs = PolicyConfig::table3_order();
+        // Cold solve of v1 publishes its snapshots.
+        Executor::with_jobs(2)
+            .with_state_store(Arc::clone(&store))
+            .run_matrix(&[&v1], &configs);
+        assert!(store.stats().state_lookups == 0 || store.stats().state_hits == 0);
+
+        // Warm solve of v2 from v1's fingerprint reuses them...
+        let warm_ex = Executor::with_jobs(2)
+            .with_state_store(Arc::clone(&store))
+            .with_incremental_from(v1.fingerprint());
+        let warm = warm_ex.run_matrix(&[&v2], &configs);
+        assert!(store.stats().state_hits > 0, "snapshots were fetched");
+
+        // ...and matches a from-scratch solve of v2 exactly.
+        let cold = Executor::with_jobs(2).run_matrix(&[&v2], &configs);
+        for (w, c) in warm[0].iter().zip(&cold[0]) {
+            assert_eq!(w.health, CellHealth::Healthy);
+            let ws = &w.optimistic.result.stats;
+            assert_eq!(ws.incr_fallback_full, 0, "append edit must warm-start");
+            assert!(ws.incr_reused > 0);
+            assert!(ws.incr_seeded_nodes < ws.node_count);
+            assert_eq!(
+                PtsStats::collect(&w.optimistic, &v2).sizes,
+                PtsStats::collect(&c.optimistic, &v2).sizes
+            );
+            assert_eq!(format!("{:?}", w.invariants), format!("{:?}", c.invariants));
+        }
+
+        // An unknown previous fingerprint degrades gracefully to cold.
+        let orphan = Executor::serial()
+            .with_state_store(Arc::clone(&store))
+            .with_incremental_from(0xDEAD_BEEF)
+            .run_one(&v2, PolicyConfig::all());
+        assert_eq!(orphan.health, CellHealth::Healthy);
+        assert_eq!(orphan.optimistic.result.stats.incr_reused, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

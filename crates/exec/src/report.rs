@@ -104,6 +104,13 @@ pub fn render_analyze(
                     s.max_wave_width,
                     s.barrier_stalls
                 );
+                if s.incr_reused > 0 || s.incr_fallback_full > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    incr[{tag}]: incr-reused={} incr-seeded={} incr-fallback-full={}",
+                        s.incr_reused, s.incr_seeded_nodes, s.incr_fallback_full
+                    );
+                }
             }
         }
     }

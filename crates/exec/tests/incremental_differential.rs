@@ -1,0 +1,102 @@
+//! The incremental differential gate: incremental re-solves must produce
+//! **byte-identical** analysis reports to from-scratch solves at every
+//! step of a watch-mode edit script, at every thread count.
+//!
+//! This is the empirical soundness argument for warm-starting (DESIGN.md
+//! §5g): the restore path is monotone, so the fixpoint is provably the
+//! same, but the report also encodes derived artifacts (call graphs,
+//! invariant tables, degradation events) whose construction could in
+//! principle be schedule-sensitive. Comparing the rendered bytes end to
+//! end closes that gap.
+//!
+//! CI runs this over a seed matrix via `KD_EDIT_SEEDS` (comma-separated
+//! integers; default `1,2`) and `KD_EDIT_STEPS` (default 3); locally it
+//! runs with the defaults as part of the normal suite. Reports are
+//! rendered without `--stats`: stats rows (worklist pops, the `incr[..]`
+//! counters themselves) are *path*-dependent by construction and are the
+//! one part of the output warm and cold solves legitimately disagree on.
+
+use std::sync::Arc;
+
+use kaleidoscope::PolicyConfig;
+use kaleidoscope_exec::{render_analyze, DiskCache, Executor};
+use kaleidoscope_fuzz::edit::{edit_script, EditKind};
+
+fn env_list(var: &str, default: &[u64]) -> Vec<u64> {
+    match std::env::var(var) {
+        Ok(raw) => raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad {var} entry `{s}`"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+#[test]
+fn incremental_reports_match_cold_bytes_at_every_step() {
+    let seeds = env_list("KD_EDIT_SEEDS", &[1, 2]);
+    let steps = env_list("KD_EDIT_STEPS", &[3])[0] as usize;
+    let configs = PolicyConfig::table3_order();
+
+    for &seed in &seeds {
+        let script = edit_script(seed, steps);
+        for threads in [1usize, 4] {
+            let dir = std::env::temp_dir().join(format!(
+                "kd-incr-diff-s{seed}-t{threads}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(DiskCache::open(&dir).expect("open store"));
+
+            // Revision 0: cold solve, publishing the first snapshots.
+            let base = &script[0].module;
+            store
+                .put_module(base.fingerprint(), &base.to_text())
+                .unwrap();
+            let ex0 = Executor::with_jobs(2)
+                .with_solver_threads(threads)
+                .with_state_store(Arc::clone(&store));
+            let _ = render_analyze(base, &configs, &ex0, false);
+
+            let mut prev_fp = base.fingerprint();
+            for (i, step) in script.iter().enumerate().skip(1) {
+                let m = &step.module;
+                store.put_module(m.fingerprint(), &m.to_text()).unwrap();
+                let warm_ex = Executor::with_jobs(2)
+                    .with_solver_threads(threads)
+                    .with_state_store(Arc::clone(&store))
+                    .with_incremental_from(prev_fp);
+                let warm = render_analyze(m, &configs, &warm_ex, false).text;
+                let cold_ex = Executor::with_jobs(2).with_solver_threads(threads);
+                let cold = render_analyze(m, &configs, &cold_ex, false).text;
+                assert_eq!(
+                    warm, cold,
+                    "seed {seed} threads {threads} step {i} ({:?}): report bytes diverged",
+                    step.kind
+                );
+                // The warm pass must have exercised the intended path: a
+                // with-stats rendering of the same warm executor reports
+                // reuse on appends and the fallback counter on removals.
+                let stats_report = render_analyze(m, &configs, &warm_ex, true).text;
+                match step.kind {
+                    EditKind::Append => assert!(
+                        stats_report.contains("incr-fallback-full=0"),
+                        "seed {seed} threads {threads} step {i}: append did not warm-start:\n{stats_report}"
+                    ),
+                    EditKind::Remove => assert!(
+                        stats_report.contains("incr-fallback-full=1"),
+                        "seed {seed} threads {threads} step {i}: removal did not fall back:\n{stats_report}"
+                    ),
+                    EditKind::Base => unreachable!(),
+                }
+                prev_fp = m.fingerprint();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

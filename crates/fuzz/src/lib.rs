@@ -7,6 +7,7 @@
 //! fuzzer that drives an application's request entry point, accumulates
 //! branch/monitor coverage, and counts invariant violations.
 
+pub mod edit;
 pub mod mutate;
 pub mod scale;
 

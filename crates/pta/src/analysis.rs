@@ -9,6 +9,7 @@ use kaleidoscope_ir::{FuncId, InstLoc, LocalId, Module};
 
 use crate::ctxplan::CtxPlan;
 use crate::gen::generate;
+use crate::incr::{ConstraintDiff, SolvedState};
 use crate::node::{NodeId, ObjSite};
 use crate::observer::{NullObserver, SolverObserver};
 use crate::pts::PtsSet;
@@ -69,6 +70,43 @@ impl Analysis {
         let program = generate(module, ctx_plan);
         let result = Solver::new(module, program, opts.clone()).try_solve(obs)?;
         Ok(Analysis { result })
+    }
+
+    /// Like [`Analysis::try_run_full`], but also captures a [`SolvedState`]
+    /// snapshot when the solve converges, for later incremental re-solves
+    /// of edited revisions of the same module.
+    pub fn try_run_captured(
+        module: &Module,
+        opts: &SolveOptions,
+        ctx_plan: Option<&CtxPlan>,
+        obs: &mut dyn SolverObserver,
+    ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+        let program = generate(module, ctx_plan);
+        let (result, state) = Solver::new(module, program, opts.clone())
+            .try_solve_captured(module.fingerprint(), obs)?;
+        Ok((Analysis { result }, state))
+    }
+
+    /// Incremental re-solve: warm-start from `prev` (the captured fixpoint
+    /// of `prev_module` under the same options) and seed the worklist with
+    /// only the touched nodes. Any incompatible edit falls back to a sound
+    /// full solve, visible as `stats.incr_fallback_full == 1`. Captures a
+    /// fresh snapshot of the new fixpoint for chained edits.
+    pub fn try_run_incremental(
+        prev_module: &Module,
+        prev_plan: Option<&CtxPlan>,
+        prev: &SolvedState,
+        module: &Module,
+        opts: &SolveOptions,
+        ctx_plan: Option<&CtxPlan>,
+        obs: &mut dyn SolverObserver,
+    ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+        let prev_program = generate(prev_module, prev_plan);
+        let program = generate(module, ctx_plan);
+        let diff = ConstraintDiff::compute(prev_module, &prev_program, module, &program);
+        let (result, state) = Solver::new(module, program, opts.clone())
+            .try_resolve_incremental_captured(module.fingerprint(), prev, &diff, obs)?;
+        Ok((Analysis { result }, state))
     }
 
     /// Canonical points-to set of a local variable (empty if the local

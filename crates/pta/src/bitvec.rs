@@ -55,6 +55,24 @@ fn push_bits(base: u32, mut word: u64, out: &mut Vec<u32>) {
 }
 
 impl BitBlocks {
+    /// Word-level FNV-1a over the raw `(idx, bits)` representation: a cheap
+    /// identity hash for interning bit-identical sets without iterating
+    /// their members.
+    pub fn repr_hash(&self, mut h: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for (&i, &b) in self.idx.iter().zip(&self.bits) {
+            h = (h ^ i as u64).wrapping_mul(PRIME);
+            h = (h ^ b).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Raw representation equality — word-slice compares, cheaper than
+    /// member iteration.
+    pub fn repr_eq(&self, other: &BitBlocks) -> bool {
+        self.count == other.count && self.idx == other.idx && self.bits == other.bits
+    }
+
     /// Empty set.
     pub fn new() -> Self {
         Self::default()

@@ -43,6 +43,7 @@ pub mod bitvec;
 pub mod callgraph;
 pub mod ctxplan;
 pub mod gen;
+pub mod incr;
 pub mod node;
 pub mod observer;
 pub mod pts;
@@ -61,11 +62,15 @@ pub mod steens;
 ///
 /// v3: adaptive demotion of shrunken bitmap sets back to the inline
 /// representation, plus the wave-front parallel propagation schedule.
-pub const PTS_REPR_VERSION: u32 = 3;
+///
+/// v4: deterministic PWC invariant ordering in reports (sorted by field
+/// locations) and the incremental re-solve counters in [`SolveStats`].
+pub const PTS_REPR_VERSION: u32 = 4;
 
 pub use analysis::Analysis;
 pub use callgraph::CallGraph;
 pub use ctxplan::{ChainStep, CriticalFlow, CtxPlan};
+pub use incr::{ConstraintDiff, FallbackReason, SolvedState, INCR_STATE_VERSION};
 pub use node::{NodeId, NodeKind, NodeTable, ObjId, ObjInfo, ObjSite};
 pub use observer::{NullObserver, SolveEvent, SolverObserver};
 pub use pts::{PtsSet, DEMOTE_AT, SMALL_MAX};

@@ -233,6 +233,11 @@ impl NodeTable {
         n
     }
 
+    /// The return-value node of a function, if it was created.
+    pub fn ret_node_opt(&self, func: FuncId) -> Option<NodeId> {
+        self.rets.get(&func).copied()
+    }
+
     /// Get or create an abstract object for an allocation site.
     pub fn object(&mut self, site: ObjSite, ty: Option<Type>) -> ObjId {
         if let Some(&o) = self.site_objs.get(&site) {
@@ -288,6 +293,11 @@ impl NodeTable {
         let n = self.push(kind, ty);
         self.addrs.insert(o, n);
         n
+    }
+
+    /// The address-constant node of an object, if it was created.
+    pub fn addr_node_opt(&self, o: ObjId) -> Option<NodeId> {
+        self.addrs.get(&o).copied()
     }
 
     /// Create a fresh context-policy dummy node.

@@ -101,6 +101,38 @@ impl PtsSet {
         Self::default()
     }
 
+    /// Hash of the *raw representation* (inline slots or bitmap words, not
+    /// members). Two content-equal sets in different representations may
+    /// hash differently — callers use this as a cheap pre-dedup for sets
+    /// built by identical propagation, with an exact fallback behind it.
+    pub(crate) fn repr_hash(&self) -> u64 {
+        const FNV: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        match &self.repr {
+            Repr::Small { len, buf } => {
+                let mut h = (FNV ^ 1).wrapping_mul(PRIME);
+                for m in &buf[..*len as usize] {
+                    h = (h ^ m.0 as u64).wrapping_mul(PRIME);
+                }
+                h
+            }
+            Repr::Bits(b) => b.repr_hash((FNV ^ 2).wrapping_mul(PRIME)),
+        }
+    }
+
+    /// Raw-representation equality (same inline slots / same bitmap
+    /// words). `false` across representations even for equal contents —
+    /// exact where `repr_hash` matches, cheap everywhere.
+    pub(crate) fn repr_eq(&self, other: &PtsSet) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Small { len: l1, buf: b1 }, Repr::Small { len: l2, buf: b2 }) => {
+                l1 == l2 && b1[..*l1 as usize] == b2[..*l2 as usize]
+            }
+            (Repr::Bits(a), Repr::Bits(b)) => a.repr_eq(b),
+            _ => false,
+        }
+    }
+
     /// Create a set from an iterator (sorted and deduplicated).
     pub fn from_iter_unsorted(iter: impl IntoIterator<Item = NodeId>) -> Self {
         let mut items: Vec<NodeId> = iter.into_iter().collect();

@@ -281,6 +281,15 @@ pub struct SolveStats {
     /// Wave-front schedule only: waves of width 1, where the barrier had
     /// no parallel work to hand out. Thread-count independent.
     pub barrier_stalls: usize,
+    /// Incremental re-solve only: previous-fixpoint nodes translated and
+    /// reused as the warm-start state (zero for from-scratch solves).
+    pub incr_reused: usize,
+    /// Incremental re-solve only: nodes seeded onto the initial worklist —
+    /// the touched frontier of the edit, ≪ `node_count` on small edits.
+    pub incr_seeded_nodes: usize,
+    /// 1 when an incremental request had to fall back to a sound full
+    /// re-solve (removed/changed constraints, version or option mismatch).
+    pub incr_fallback_full: usize,
     /// Wall-clock solving time.
     pub duration: Duration,
 }
@@ -432,25 +441,32 @@ fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 }
 
 /// The Andersen worklist solver.
+///
+/// Fields are `pub(crate)` so the incremental module (`crate::incr`) can
+/// capture and restore solved state; external callers go through the
+/// public `solve`/`try_solve`/`resolve_incremental` entry points.
 #[derive(Debug)]
 pub struct Solver<'m> {
-    module: &'m Module,
-    opts: SolveOptions,
-    nodes: NodeTable,
-    constraints: Vec<Constraint>,
-    icalls: Vec<IndirectCall>,
+    pub(crate) module: &'m Module,
+    pub(crate) opts: SolveOptions,
+    pub(crate) nodes: NodeTable,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) icalls: Vec<IndirectCall>,
+    /// Node count of the generated [`Program`] at construction time; nodes
+    /// at indices ≥ this were lazily created by the solver itself.
+    pub(crate) gen_node_len: usize,
 
-    pts: Vec<PtsSet>,
-    prop: Vec<PtsSet>,
-    copy_out: Vec<Vec<NodeId>>,
-    copy_set: HashSet<(u32, u32)>,
-    loads: Vec<Vec<(NodeId, u32)>>,
-    stores: Vec<Vec<(NodeId, u32)>>,
-    fields: Vec<Vec<(NodeId, usize, u32)>>,
-    ariths: Vec<Vec<(NodeId, InstLoc, u32)>>,
-    elems: Vec<Vec<(NodeId, u32)>>,
-    icalls_by_fnptr: Vec<Vec<u32>>,
-    icall_wired: Vec<PtsSet>,
+    pub(crate) pts: Vec<PtsSet>,
+    pub(crate) prop: Vec<PtsSet>,
+    pub(crate) copy_out: Vec<Vec<NodeId>>,
+    pub(crate) copy_set: HashSet<(u32, u32)>,
+    pub(crate) loads: Vec<Vec<(NodeId, u32)>>,
+    pub(crate) stores: Vec<Vec<(NodeId, u32)>>,
+    pub(crate) fields: Vec<Vec<(NodeId, usize, u32)>>,
+    pub(crate) ariths: Vec<Vec<(NodeId, InstLoc, u32)>>,
+    pub(crate) elems: Vec<Vec<(NodeId, u32)>>,
+    pub(crate) icalls_by_fnptr: Vec<Vec<u32>>,
+    pub(crate) icall_wired: Vec<PtsSet>,
 
     /// Priority worklist: min-heap on `(topological rank, node id)`. Ranks
     /// come from the SCC condensation (recomputed each `scc_pass`), so
@@ -463,20 +479,20 @@ pub struct Solver<'m> {
     fifo: VecDeque<NodeId>,
     use_fifo: bool,
     rank: Vec<u32>,
-    queued: Vec<bool>,
+    pub(crate) queued: Vec<bool>,
     scratch: Scratch,
     /// Absolute deadline derived from `opts.budget.deadline` at solve start.
     deadline_at: Option<Instant>,
 
-    degraded_fields: HashSet<u32>,
-    pa_seen: HashSet<(InstLoc, ObjId)>,
-    pwc_seen: HashSet<Vec<NodeId>>,
+    pub(crate) degraded_fields: HashSet<u32>,
+    pub(crate) pa_seen: HashSet<(InstLoc, ObjId)>,
+    pub(crate) pwc_seen: HashSet<Vec<NodeId>>,
 
-    callgraph: CallGraph,
-    pa_filters: Vec<PaFilterEvent>,
-    pwcs: Vec<PwcEvent>,
-    collapsed_objects: Vec<ObjId>,
-    stats: SolveStats,
+    pub(crate) callgraph: CallGraph,
+    pub(crate) pa_filters: Vec<PaFilterEvent>,
+    pub(crate) pwcs: Vec<PwcEvent>,
+    pub(crate) collapsed_objects: Vec<ObjId>,
+    pub(crate) stats: SolveStats,
 }
 
 impl<'m> Solver<'m> {
@@ -487,12 +503,14 @@ impl<'m> Solver<'m> {
             constraints,
             icalls,
         } = program;
+        let gen_node_len = nodes.len();
         let mut s = Solver {
             module,
             opts,
             nodes,
             constraints,
             icalls,
+            gen_node_len,
             pts: Vec::new(),
             prop: Vec::new(),
             copy_out: Vec::new(),
@@ -524,7 +542,7 @@ impl<'m> Solver<'m> {
         s
     }
 
-    fn ensure_capacity(&mut self) {
+    pub(crate) fn ensure_capacity(&mut self) {
         let n = self.nodes.len();
         if self.pts.len() >= n {
             return;
@@ -559,7 +577,7 @@ impl<'m> Solver<'m> {
         self
     }
 
-    fn push(&mut self, n: NodeId) {
+    pub(crate) fn push(&mut self, n: NodeId) {
         let n = self.nodes.find(n);
         if !self.queued[n.index()] {
             self.queued[n.index()] = true;
@@ -593,16 +611,36 @@ impl<'m> Solver<'m> {
     /// [`SolveBudget`] is exhausted.
     pub fn try_solve(mut self, obs: &mut dyn SolverObserver) -> Result<SolveResult, SolveError> {
         let start = Instant::now();
+        self.prepare(start);
+        self.init(obs);
+        self.run_loop(start, obs)?;
+        Ok(self.finish())
+    }
+
+    /// Stamp the pre-solve statistics and arm the deadline. Shared by the
+    /// from-scratch and incremental entry points.
+    pub(crate) fn prepare(&mut self, start: Instant) {
         self.deadline_at = self.opts.budget.deadline.map(|d| start + d);
         self.stats.constraint_count = self.constraints.len();
         self.stats.icall_count = self.icalls.len();
         self.stats.obj_count = self.nodes.obj_count();
-        self.init(obs);
+    }
 
+    /// Drive the drain/cycle-detect loop to fixpoint. Returns whether the
+    /// solve *converged* (exited because a cycle-detection pass found
+    /// nothing left to change) as opposed to hitting the `max_passes`
+    /// safety valve — only converged states are safe to snapshot for
+    /// incremental reuse. Stamps the final statistics on success.
+    pub(crate) fn run_loop(
+        &mut self,
+        start: Instant,
+        obs: &mut dyn SolverObserver,
+    ) -> Result<bool, SolveError> {
         // The FIFO worklist has no rank structure to build waves from, so
         // it always drains sequentially.
         let use_waves = self.opts.solver_threads > 0 && !self.use_fifo;
         let mut passes = 0usize;
+        let mut converged = false;
         let run = loop {
             let drained = if use_waves {
                 self.drain_worklist_waves(obs)
@@ -628,6 +666,7 @@ impl<'m> Solver<'m> {
                 break Ok(());
             }
             if !self.scc_pass(obs) {
+                converged = true;
                 break Ok(());
             }
         };
@@ -639,7 +678,12 @@ impl<'m> Solver<'m> {
         self.stats.node_count = self.nodes.len();
         self.stats.copy_edges = self.copy_set.len();
         self.stats.duration = start.elapsed();
-        Ok(SolveResult {
+        Ok(converged)
+    }
+
+    /// Consume the solver into its result.
+    pub(crate) fn finish(self) -> SolveResult {
+        SolveResult {
             nodes: self.nodes,
             pts: self.pts,
             callgraph: self.callgraph,
@@ -647,7 +691,7 @@ impl<'m> Solver<'m> {
             pwcs: self.pwcs,
             collapsed_objects: self.collapsed_objects,
             stats: self.stats,
-        })
+        }
     }
 
     /// Live heap bytes held by the points-to + propagated-frontier sets.
@@ -670,7 +714,7 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn init(&mut self, obs: &mut dyn SolverObserver) {
+    pub(crate) fn init(&mut self, obs: &mut dyn SolverObserver) {
         for i in 0..self.constraints.len() {
             let c = self.constraints[i].clone();
             let cid = i as u32;
@@ -729,7 +773,7 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn add_copy(
+    pub(crate) fn add_copy(
         &mut self,
         from: NodeId,
         to: NodeId,

@@ -33,6 +33,12 @@ pub struct Request {
     pub module: Option<String>,
     /// Content fingerprint of a previously-submitted module (hex).
     pub fingerprint: Option<u64>,
+    /// Fingerprint of the tenant's *previous* revision (hex): ask the
+    /// worker to warm-start from that revision's solved-state snapshot
+    /// (falling back to a cold solve if the snapshot is missing or the
+    /// edit is incompatible). Absent = the daemon's per-tenant
+    /// auto-lookup applies; explicit `null` is treated as absent.
+    pub prev_fingerprint: Option<u64>,
     /// Configuration name (`baseline`, `kd-ctx-pa`, `all`, …); absent =
     /// the full eight-configuration Table-3 matrix.
     pub config: Option<String>,
@@ -58,6 +64,7 @@ impl Request {
             op: None,
             module: Some(module.to_string()),
             fingerprint: None,
+            prev_fingerprint: None,
             config: None,
             stats: false,
             budget: None,
@@ -74,6 +81,7 @@ impl Request {
             op: Some("health".to_string()),
             module: None,
             fingerprint: None,
+            prev_fingerprint: None,
             config: None,
             stats: false,
             budget: None,
@@ -232,6 +240,10 @@ pub fn encode_request(r: &Request) -> String {
     }
     if let Some(fp) = r.fingerprint {
         out.push_str(",\"fingerprint\":");
+        push_json_str(&mut out, &format!("{fp:016x}"));
+    }
+    if let Some(fp) = r.prev_fingerprint {
+        out.push_str(",\"prev_fingerprint\":");
         push_json_str(&mut out, &format!("{fp:016x}"));
     }
     if let Some(c) = &r.config {
@@ -503,6 +515,9 @@ pub fn decode_request(line: &str) -> Result<Request, ParseError> {
     let fingerprint = take_str(&mut fields, "fingerprint")?
         .map(|h| parse_fingerprint(&h))
         .transpose()?;
+    let prev_fingerprint = take_str(&mut fields, "prev_fingerprint")?
+        .map(|h| parse_fingerprint(&h))
+        .transpose()?;
     let config = take_str(&mut fields, "config")?;
     let stats = take_bool(&mut fields, "stats")?;
     let budget = take_uint(&mut fields, "budget")?.map(|n| n as usize);
@@ -513,7 +528,7 @@ pub fn decode_request(line: &str) -> Result<Request, ParseError> {
     }
     match &op {
         Some(o) if o != "health" => return Err(bad(format!("unknown op `{o}`"))),
-        Some(_) if module.is_some() || fingerprint.is_some() => {
+        Some(_) if module.is_some() || fingerprint.is_some() || prev_fingerprint.is_some() => {
             return Err(bad("`op` requests take no `module` or `fingerprint`"))
         }
         Some(_) => {}
@@ -531,6 +546,7 @@ pub fn decode_request(line: &str) -> Result<Request, ParseError> {
         op,
         module,
         fingerprint,
+        prev_fingerprint,
         config,
         stats,
         budget,
@@ -608,6 +624,7 @@ mod tests {
             op: None,
             module: None,
             fingerprint: Some(0xDEAD_BEEF_0042),
+            prev_fingerprint: None,
             config: None,
             stats: false,
             budget: None,
@@ -615,6 +632,26 @@ mod tests {
             fault: None,
         };
         assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn prev_fingerprint_round_trips_and_is_rejected_on_ops() {
+        let mut r = Request::inline("incr", "module \"m\" {\n}\n");
+        r.prev_fingerprint = Some(0x0123_4567_89AB_CDEF);
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        // Also legal next to `fingerprint` (prev ≠ current revision).
+        let decoded =
+            decode_request("{\"id\":\"x\",\"fingerprint\":\"ff\",\"prev_fingerprint\":\"fe\"}")
+                .unwrap();
+        assert_eq!(decoded.fingerprint, Some(0xff));
+        assert_eq!(decoded.prev_fingerprint, Some(0xfe));
+        // But never on control operations.
+        assert!(
+            decode_request("{\"id\":\"h\",\"op\":\"health\",\"prev_fingerprint\":\"ff\"}").is_err()
+        );
+        assert!(
+            decode_request("{\"id\":\"x\",\"module\":\"m\",\"prev_fingerprint\":\"zz\"}").is_err()
+        );
     }
 
     #[test]

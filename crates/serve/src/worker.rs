@@ -155,6 +155,9 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
         wave: solver_threads > 0,
     };
     if let Some(text) = cache.and_then(|c| c.get_report(fp, scope)) {
+        if let Some(c) = cache {
+            let _ = c.put_tenant_head(&req.tenant, fp);
+        }
         return Response::Ok {
             id: req.id.clone(),
             report: text,
@@ -168,7 +171,24 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
     if let Some(n) = req.budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
     }
+    if let Some(store) = &opts.cache {
+        // Warm-start candidate: the request's explicit `prev_fingerprint`,
+        // else the tenant's recorded head. Either is advisory — a missing
+        // or incompatible snapshot just solves cold — and a self-edge
+        // (prev == current) is skipped outright.
+        ex = ex.with_state_store(Arc::clone(store));
+        let prev = req
+            .prev_fingerprint
+            .or_else(|| store.get_tenant_head(&req.tenant))
+            .filter(|&prev| prev != fp);
+        if let Some(prev) = prev {
+            ex = ex.with_incremental_from(prev);
+        }
+    }
     let report = render_analyze(&module, &configs, &ex, req.stats);
+    if let Some(c) = cache {
+        let _ = c.put_tenant_head(&req.tenant, fp);
+    }
     let disposition = match cache {
         Some(c) if report.all_healthy() => {
             // Only the full-precision fixpoint is storable; a degraded
@@ -260,6 +280,7 @@ mod tests {
             op: None,
             module: None,
             fingerprint: Some(*fingerprint),
+            prev_fingerprint: None,
             config: None,
             stats: false,
             budget: None,
@@ -308,6 +329,7 @@ mod tests {
             op: None,
             module: None,
             fingerprint: Some(0x1234),
+            prev_fingerprint: None,
             config: None,
             stats: false,
             budget: None,
@@ -368,6 +390,70 @@ mod tests {
             panic!("expected ok, got {second:?}");
         };
         assert_eq!(*c3, CacheDisposition::Hit);
+    }
+
+    #[test]
+    fn watch_mode_edit_warm_starts_and_matches_cold_bytes() {
+        use kaleidoscope_ir::{FunctionBuilder, Type};
+        let opts = opts_with_cache("incr");
+        let v1 = kaleidoscope_apps::model("TinyDTLS").expect("model").module;
+        let mut v2 = v1.clone();
+        let mut b = FunctionBuilder::new(&mut v2, "watch_extra", vec![], Type::Void);
+        let o = b.alloca("o", Type::Int);
+        let _ = b.copy("p", o);
+        b.ret(None);
+        b.finish();
+
+        // Revision 1: cold solve; publishes snapshots and the tenant head.
+        let mut r1 = Request::inline("v1", &v1.to_text());
+        r1.tenant = "watch".into();
+        let first = handle_request(&r1, &opts);
+        let Response::Ok {
+            fingerprint: v1_fp, ..
+        } = first
+        else {
+            panic!("expected ok, got {first:?}");
+        };
+        assert_eq!(
+            opts.cache.as_ref().unwrap().get_tenant_head("watch"),
+            Some(v1_fp),
+            "serving records the tenant head"
+        );
+
+        // Revision 2 warm-started from revision 1: byte-identical to the
+        // offline cold render (the differential gate's property).
+        let mut r2 = Request::inline("v2", &v2.to_text());
+        r2.tenant = "watch".into();
+        r2.prev_fingerprint = Some(v1_fp);
+        let warm = handle_request(&r2, &opts);
+        let Response::Ok { report, .. } = &warm else {
+            panic!("expected ok, got {warm:?}");
+        };
+        let offline = render_analyze(
+            &v2,
+            &PolicyConfig::table3_order(),
+            &Executor::with_jobs(1),
+            false,
+        );
+        assert_eq!(*report, offline.text, "warm report == cold bytes");
+
+        // A stats-bearing repeat proves the warm path actually engaged:
+        // the incr counters show reuse and no full fallback.
+        let mut r3 = Request::inline("v2-stats", &v2.to_text());
+        r3.tenant = "watch".into();
+        r3.prev_fingerprint = Some(v1_fp);
+        r3.stats = true;
+        let Response::Ok { report: stats, .. } = handle_request(&r3, &opts) else {
+            panic!("expected ok");
+        };
+        assert!(
+            stats.contains("incr-reused="),
+            "warm path engaged:\n{stats}"
+        );
+        assert!(
+            stats.contains("incr-fallback-full=0"),
+            "append edit must not fall back:\n{stats}"
+        );
     }
 
     #[test]

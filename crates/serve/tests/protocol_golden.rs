@@ -26,6 +26,7 @@ fn golden_full_request() {
         op: None,
         module: None,
         fingerprint: Some(0x00ab_cdef_0123_4567),
+        prev_fingerprint: Some(0x00ab_cdef_0123_0000),
         config: Some("kd-ctx-pa".into()),
         stats: true,
         budget: Some(1000),
@@ -34,8 +35,23 @@ fn golden_full_request() {
     };
     assert_eq!(
         encode_request(&req),
-        r#"{"id":"req-42","tenant":"acme","fingerprint":"00abcdef01234567","config":"kd-ctx-pa","stats":true,"budget":1000,"solver_threads":4,"fault":"kill"}"#
+        r#"{"id":"req-42","tenant":"acme","fingerprint":"00abcdef01234567","prev_fingerprint":"00abcdef01230000","config":"kd-ctx-pa","stats":true,"budget":1000,"solver_threads":4,"fault":"kill"}"#
     );
+}
+
+#[test]
+fn golden_incremental_request_and_absence_compatibility() {
+    // A watch-mode client naming its previous revision.
+    let mut req = Request::inline("w1", "module \"m\" {\n}\n");
+    req.prev_fingerprint = Some(0xFEED);
+    assert_eq!(
+        encode_request(&req),
+        r#"{"id":"w1","tenant":"default","module":"module \"m\" {\n}\n","prev_fingerprint":"000000000000feed"}"#
+    );
+    // Pre-incremental clients never send the field; their frames must
+    // keep decoding unchanged (the daemon's per-tenant lookup fills in).
+    let old = decode_request(r#"{"id":"r1","tenant":"default","module":"m"}"#).unwrap();
+    assert_eq!(old.prev_fingerprint, None);
 }
 
 #[test]

@@ -118,6 +118,7 @@ fn warm_repeat_is_a_cache_hit_with_identical_bytes() {
         op: None,
         module: None,
         fingerprint: Some(*fingerprint),
+        prev_fingerprint: None,
         config: None,
         stats: false,
         budget: None,

@@ -28,14 +28,36 @@ CACHE="$WORK/cache"
 SERVE_LOG="$WORK/serve.log"
 DAEMON_PID=""
 
+CLIENT_PIDS=()
+
 cleanup() {
+    # The burst clients are background subshells with a 60s request
+    # timeout; kill them first so an interrupted run does not leave a
+    # herd of kd clients pinging a dead address.
+    local pid
+    for pid in "${CLIENT_PIDS[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill -9 "$DAEMON_PID" 2>/dev/null || true
         wait "$DAEMON_PID" 2>/dev/null || true
     fi
     rm -rf "$WORK"
 }
+# An EXIT trap alone does not run when a signal kills the shell; catch
+# INT/TERM, clean up once, and propagate 128+signal so an interrupted
+# soak reads as interrupted, never as a pass.
+on_signal() {
+    trap - EXIT INT TERM
+    cleanup
+    exit "$1"
+}
 trap cleanup EXIT
+trap 'on_signal 130' INT
+trap 'on_signal 143' TERM
 
 # --- start the daemon and scrape its address -------------------------------
 "$KD" serve --addr 127.0.0.1:0 --cache-dir "$CACHE" --shards 2 \
@@ -80,6 +102,7 @@ fire() {
             >"$REQ_DIR/$slot.out" 2>"$REQ_DIR/$slot.err"
         echo "$?" >"$REQ_DIR/$slot.code"
     ) &
+    CLIENT_PIDS+=("$!")
 }
 
 MODELS=(TinyDTLS Lighttpd Memcached Curl Wget MbedTLS)
@@ -120,7 +143,16 @@ fi
 grep '^kd serve: drained' "$SERVE_LOG"
 
 # --- every request: exactly one tagged answer ------------------------------
-wait # all fire() subshells
+# Join every fire() subshell by pid. The subshells themselves exit 0 (the
+# client's code lands in the per-slot .code file, judged below); a nonzero
+# status here means a subshell itself broke, which is a harness bug.
+for pid in "${CLIENT_PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "FAIL: burst subshell $pid exited nonzero" >&2
+        exit 1
+    fi
+done
+CLIENT_PIDS=()
 ANSWERED=0
 REJECTED=0
 FAILED=0

@@ -28,7 +28,18 @@ cleanup() {
     fi
     rm -rf "$WORK"
 }
+# An EXIT trap alone does not run when a signal kills the shell, so ^C or
+# a CI cancellation would leak the daemon and the temp dir. Catch INT/TERM
+# explicitly, clean up once, and exit with the conventional 128+signal
+# code so callers see the interruption, not a pass.
+on_signal() {
+    trap - EXIT INT TERM
+    cleanup
+    exit "$1"
+}
 trap cleanup EXIT
+trap 'on_signal 130' INT
+trap 'on_signal 143' TERM
 
 # --- start the daemon and scrape its address -------------------------------
 "$KD" serve --addr 127.0.0.1:0 --cache-dir "$CACHE" --shards 2 --unsafe-faults \
