@@ -152,30 +152,89 @@ fn main() {
     let overload_stats = server.router().stats();
     server.stop();
 
-    // Incremental watch-mode traffic: the 100k scale corpus, edited by
-    // one function per request, served warm from the previous revision's
-    // snapshot (named explicitly via `prev_fingerprint`, the protocol's
-    // watch-mode field) vs the same edits solved cold on a server that
-    // has never seen the tenant. Single `baseline` config so the numbers
-    // measure the Andersen solve, the tier the re-solve accelerates.
+    // The 100k-statement scale corpus drives both the frontend benches
+    // and the incremental watch-mode serve traffic below. Pre-render one
+    // distinct single-function edit per iteration: repeats of one
+    // revision would ride the report cache instead of exercising the
+    // incremental path.
+    let v1 = kaleidoscope_fuzz::scale::corpus_module(0xca1e, 100_000);
+    let v1_fp = v1.fingerprint();
+    let v1_text = v1.to_text();
+    let edits: Vec<String> = (0..4u64)
+        .map(|i| {
+            let mut m = v1.clone();
+            kaleidoscope_fuzz::edit::append_function(&mut m, 0xca1e, i);
+            m.to_text()
+        })
+        .collect();
+
+    // Frontend: cold parse + constraint generation of the corpus, the
+    // same load served from a pre-populated per-function `fe/` cache
+    // (every body hits), and a single-function edit against that cache
+    // (everything but the edited function splices from disk).
+    let fe_warm_stats;
+    let fe_edit_stats;
     {
-        let v1 = kaleidoscope_fuzz::scale::corpus_module(0xca1e, 100_000);
-        let v1_fp = v1.fingerprint();
-        let v1_text = v1.to_text();
-        // Pre-render one distinct single-function edit per iteration:
-        // repeats of one revision would ride the report cache instead of
-        // exercising the incremental path.
-        let edits: Vec<String> = (0..4u64)
-            .map(|i| {
-                let mut m = v1.clone();
-                kaleidoscope_fuzz::edit::append_function(&mut m, 0xca1e, i);
-                m.to_text()
-            })
-            .collect();
+        use kaleidoscope_exec::load_frontend;
+        samples.push(bench("frontend/parse_cold_100k", 3, || {
+            let loaded = load_frontend(&v1_text, None, 0).expect("cold parse");
+            assert!(loaded.stats.funcs > 0);
+        }));
+        let dir = std::env::temp_dir().join(format!("kd-bench-fe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fe_cache = DiskCache::open(dir).expect("bench fe cache");
+        let seeded = load_frontend(&v1_text, Some(&fe_cache), 0).expect("seed fe cache");
+        assert_eq!(seeded.stats.fe_cache_hits, 0, "first load misses everywhere");
+        let mut warm = seeded.stats;
+        samples.push(bench("frontend/load_warm_100k", 3, || {
+            warm = load_frontend(&v1_text, Some(&fe_cache), 0)
+                .expect("warm load")
+                .stats;
+        }));
+        assert_eq!(warm.fe_cache_misses, 0, "warm load must hit every function");
+        let mut edit = warm;
+        let mut round = 0usize;
+        samples.push(bench("frontend/load_warm_edit_100k", 3, || {
+            edit = load_frontend(&edits[round % edits.len()], Some(&fe_cache), 0)
+                .expect("edit load")
+                .stats;
+            round += 1;
+        }));
+        fe_warm_stats = warm;
+        fe_edit_stats = edit;
+    }
+
+    // Incremental watch-mode traffic: the corpus edited by one function
+    // per request, served warm from the previous revision's snapshot
+    // (named explicitly via `prev_fingerprint`, the protocol's watch-mode
+    // field) vs the same edits solved cold on a server that has never
+    // seen the tenant. Single `baseline` config so the numbers measure
+    // the Andersen solve, the tier the re-solve accelerates. The daemon's
+    // frontend counters break each end-to-end number into parse /
+    // constraint-generation time and fe-cache hits.
+    let incr_cold_fe: (u64, u64, u64);
+    let incr_warm_fe: (u64, u64, u64);
+    {
+        fn fe_of(resp: &Response) -> (u64, u64, u64) {
+            match resp {
+                Response::Ok {
+                    parse_ms,
+                    gen_ms,
+                    fe_cache_hits,
+                    ..
+                } => (
+                    parse_ms.unwrap_or(0),
+                    gen_ms.unwrap_or(0),
+                    fe_cache_hits.unwrap_or(0),
+                ),
+                _ => (0, 0, 0),
+            }
+        }
 
         let (server, _cache) = start_server("incr-cold", 64);
         let addr = server.addr().to_string();
         let mut round = 0usize;
+        let mut cold_fe = (0, 0, 0);
         samples.push(bench("serve/incr/request_cold_100k", 2, || {
             let mut req = Request::inline("ic", &edits[round % edits.len()]);
             req.config = Some("baseline".into());
@@ -183,8 +242,9 @@ fn main() {
             // from warm-starting what is meant to be the cold number.
             req.tenant = format!("cold{round}");
             round += 1;
-            must_ok(request_over_tcp(&addr, &req));
+            cold_fe = fe_of(&must_ok(request_over_tcp(&addr, &req)));
         }));
+        incr_cold_fe = cold_fe;
         server.stop();
 
         let (server, cache) = start_server("incr-warm", 64);
@@ -193,17 +253,23 @@ fn main() {
         prewarm.config = Some("baseline".into());
         must_ok(request_over_tcp(&addr, &prewarm));
         let mut round = 0usize;
+        let mut warm_fe = (0, 0, 0);
         samples.push(bench("serve/incr/request_warm_edit_100k", 2, || {
             let mut req = Request::inline("iw", &edits[round % edits.len()]);
             req.config = Some("baseline".into());
             req.prev_fingerprint = Some(v1_fp);
             round += 1;
-            must_ok(request_over_tcp(&addr, &req));
+            warm_fe = fe_of(&must_ok(request_over_tcp(&addr, &req)));
         }));
+        incr_warm_fe = warm_fe;
         let incr_cache_stats = cache.stats();
         println!(
-            "incr warm path: {} snapshot hits / {} lookups",
-            incr_cache_stats.state_hits, incr_cache_stats.state_lookups
+            "incr warm path: {} snapshot hits / {} lookups; last warm edit: parse {}ms gen {}ms fe-hits {}",
+            incr_cache_stats.state_hits,
+            incr_cache_stats.state_lookups,
+            incr_warm_fe.0,
+            incr_warm_fe.1,
+            incr_warm_fe.2
         );
         incr_state_counters = (incr_cache_stats.state_hits, incr_cache_stats.state_lookups);
         server.stop();
@@ -309,6 +375,15 @@ fn main() {
         ("drain_cache_quarantined", drain_report.cache_quarantined),
         ("incr_state_hits", incr_state_counters.0),
         ("incr_state_lookups", incr_state_counters.1),
+        ("frontend_funcs", fe_warm_stats.funcs as u64),
+        ("frontend_warm_fe_hits", fe_warm_stats.fe_cache_hits as u64),
+        ("frontend_edit_fe_misses", fe_edit_stats.fe_cache_misses as u64),
+        ("incr_cold_parse_ms", incr_cold_fe.0),
+        ("incr_cold_gen_ms", incr_cold_fe.1),
+        ("incr_cold_fe_hits", incr_cold_fe.2),
+        ("incr_warm_parse_ms", incr_warm_fe.0),
+        ("incr_warm_gen_ms", incr_warm_fe.1),
+        ("incr_warm_fe_hits", incr_warm_fe.2),
     ];
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, to_json_with_counters(&samples, &counters))

@@ -13,7 +13,9 @@ use std::fmt::Write as _;
 use kaleidoscope::{analyze, IntrospectionConfig, Introspector, PolicyConfig};
 use kaleidoscope_cfi::harden;
 use kaleidoscope_debloat::DebloatPlan;
-use kaleidoscope_exec::{render_analyze, DiskCache, Executor, ReportScope};
+use kaleidoscope_exec::{
+    load_frontend, render_analyze, DiskCache, Executor, FrontendStats, ReportScope,
+};
 use kaleidoscope_ir::{parse_module, verify_module, Module};
 use kaleidoscope_pta::{Analysis, SolveBudget, SolveOptions};
 use kaleidoscope_runtime::ViewKind;
@@ -60,7 +62,12 @@ pub fn load(source: &Source) -> Result<Module, CliError> {
                 kaleidoscope_cfront::compile(&text, &stem)
                     .map_err(|e| err(format!("in `{path}`: {e}")))?
             } else {
-                parse_module(&text).map_err(|e| err(format!("parse error in `{path}`: {e}")))?
+                parse_module(&text).map_err(|e| {
+                    err(format!(
+                        "parse error in `{path}`: {e}\n{}",
+                        e.snippet(&text)
+                    ))
+                })?
             };
             let problems = verify_module(&module);
             if !problems.is_empty() {
@@ -143,7 +150,53 @@ pub fn cmd_analyze(
     cache_max_bytes: Option<u64>,
     incremental_from: Option<u64>,
 ) -> Result<String, CliError> {
-    let module = load(source)?;
+    cmd_analyze_full(
+        source,
+        config,
+        jobs,
+        stats,
+        budget,
+        cache_dir,
+        solver_threads,
+        cache_max_bytes,
+        incremental_from,
+    )
+    .map(|out| out.report)
+}
+
+/// The result of [`cmd_analyze_full`]: the printed report plus, for
+/// textual-IR sources, the frontend loader's counters (parse/generation
+/// time and per-function cache hits). The counters never appear in the
+/// report text — it stays byte-identical across cold and warm runs.
+pub struct AnalyzeOutput {
+    /// The analysis report, exactly as `cmd_analyze` returns it.
+    pub report: String,
+    /// Frontend counters for textual-IR files; `None` for `.c` sources
+    /// and built-in models, which bypass the cached frontend.
+    pub frontend: Option<FrontendStats>,
+}
+
+/// Like [`cmd_analyze`], but also returns the frontend loader's counters
+/// so the binary can print a `--stats` breakdown to stderr.
+///
+/// Textual-IR files go through [`kaleidoscope_exec::load_frontend`]: the
+/// body pass and constraint generation are parallelized across
+/// `solver_threads` workers, per-function lowered IR + constraint blocks
+/// are cached in the disk cache's `fe/` namespace, and the pre-built
+/// blocks are spliced into every solve via the executor. `.c` sources and
+/// built-in models keep the plain path.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_analyze_full(
+    source: &Source,
+    config: Option<&str>,
+    jobs: usize,
+    stats: bool,
+    budget: Option<usize>,
+    cache_dir: Option<&str>,
+    solver_threads: usize,
+    cache_max_bytes: Option<u64>,
+    incremental_from: Option<u64>,
+) -> Result<AnalyzeOutput, CliError> {
     let configs: Vec<PolicyConfig> = match config {
         Some(c) => vec![parse_config(c)?],
         None => PolicyConfig::table3_order().to_vec(),
@@ -157,6 +210,34 @@ pub fn cmd_analyze(
              holding the previous revision's snapshot",
         ));
     }
+    // The cache is opened before loading so textual-IR sources can reuse
+    // per-function frontend entries from earlier revisions.
+    let (module, frontend) = match source {
+        Source::File(path) if !path.ends_with(".c") => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+            let loaded = load_frontend(&text, cache.as_deref(), solver_threads)
+                .map_err(|e| {
+                    err(format!(
+                        "parse error in `{path}`: {e}\n{}",
+                        e.snippet(&text)
+                    ))
+                })?;
+            let problems = verify_module(&loaded.module);
+            if !problems.is_empty() {
+                return Err(err(format!(
+                    "`{path}` failed verification: {}",
+                    problems
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )));
+            }
+            (loaded.module, Some((loaded.blocks, loaded.stats)))
+        }
+        _ => (load(source)?, None),
+    };
     let scope = ReportScope {
         config: if configs.len() == 1 {
             Some(configs[0])
@@ -167,13 +248,20 @@ pub fn cmd_analyze(
         wave: solver_threads > 0,
     };
     let fp = module.fingerprint();
+    let fe_stats = frontend.as_ref().map(|(_, s)| *s);
     if let Some(c) = &cache {
         let _ = c.put_module(fp, &module.to_text());
         if let Some(text) = c.get_report(fp, scope) {
-            return Ok(text);
+            return Ok(AnalyzeOutput {
+                report: text,
+                frontend: fe_stats,
+            });
         }
     }
     let mut ex = Executor::with_jobs(jobs).with_solver_threads(solver_threads);
+    if let Some((blocks, _)) = frontend {
+        ex = ex.with_frontend(fp, blocks);
+    }
     if let Some(n) = budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
     }
@@ -189,7 +277,10 @@ pub fn cmd_analyze(
             let _ = c.put_report(fp, scope, &report.text);
         }
     }
-    Ok(report.text)
+    Ok(AnalyzeOutput {
+        report: report.text,
+        frontend: fe_stats,
+    })
 }
 
 /// `kaleidoscope cfi` — print the per-callsite target sets of both views.
@@ -905,6 +996,82 @@ mod tests {
         if std::env::var(kaleidoscope_exec::CACHE_DIR_ENV).is_err() {
             assert!(cmd_analyze(&v2_src, None, 1, false, None, None, 0, None, Some(1)).is_err());
         }
+    }
+
+    #[test]
+    fn analyze_frontend_cache_warms_across_revisions() {
+        use kaleidoscope_ir::{FunctionBuilder, Type};
+        let dir = std::env::temp_dir().join(format!("kd-cli-fe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let v1 = kaleidoscope_apps::model("TinyDTLS").expect("model").module;
+        let mut v2 = v1.clone();
+        let mut b = FunctionBuilder::new(&mut v2, "fe_extra", vec![], Type::Void);
+        let o = b.alloca("o", Type::Int);
+        let _ = b.copy("p", o);
+        b.ret(None);
+        b.finish();
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1_path = dir.join("v1.kir");
+        let v2_path = dir.join("v2.kir");
+        std::fs::write(&v1_path, v1.to_text()).unwrap();
+        std::fs::write(&v2_path, v2.to_text()).unwrap();
+        let v1_src = Source::File(v1_path.to_string_lossy().into_owned());
+        let v2_src = Source::File(v2_path.to_string_lossy().into_owned());
+        let cache = dir.join("cache");
+        let cache_dir = cache.to_string_lossy().into_owned();
+
+        // Cacheless reference bytes.
+        let cold = cmd_analyze(&v2_src, None, 1, false, None, None, 0, None, None).unwrap();
+        // First cached run of v1 populates fe/ entries: every function is
+        // a miss, and the counters come back on the side channel.
+        let first = cmd_analyze_full(
+            &v1_src,
+            None,
+            1,
+            false,
+            None,
+            Some(&cache_dir),
+            0,
+            None,
+            None,
+        )
+        .unwrap();
+        let fe1 = first.frontend.expect("textual-IR source has frontend stats");
+        assert_eq!(fe1.fe_cache_hits, 0, "cold revision has no fe hits");
+        assert_eq!(fe1.fe_cache_misses, fe1.funcs);
+        // v2 differs by one appended function: all shared bodies hit.
+        let second = cmd_analyze_full(
+            &v2_src,
+            None,
+            1,
+            false,
+            None,
+            Some(&cache_dir),
+            0,
+            None,
+            None,
+        )
+        .unwrap();
+        let fe2 = second.frontend.expect("frontend stats");
+        assert_eq!(fe2.funcs, fe1.funcs + 1);
+        assert_eq!(fe2.fe_cache_hits, fe1.funcs, "shared bodies splice from fe/");
+        assert_eq!(fe2.fe_cache_misses, 1, "only the new function regenerates");
+        // The spliced run's report is byte-identical to the cacheless one.
+        assert_eq!(second.report, cold);
+        // Models bypass the frontend loader entirely.
+        let model = cmd_analyze_full(
+            &Source::Model("TinyDTLS".into()),
+            None,
+            1,
+            false,
+            None,
+            None,
+            0,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(model.frontend.is_none());
     }
 
     #[test]

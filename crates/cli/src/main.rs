@@ -4,7 +4,7 @@
 use std::process::ExitCode;
 
 use kaleidoscope_cli::{
-    cmd_analyze, cmd_cfi, cmd_debloat, cmd_fmt, cmd_introspect, cmd_request, cmd_run, cmd_serve,
+    cmd_analyze_full, cmd_cfi, cmd_debloat, cmd_fmt, cmd_introspect, cmd_request, cmd_run, cmd_serve,
     cmd_worker, CliError, RequestArgs, ServeArgs, Source, USAGE,
 };
 
@@ -222,7 +222,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                         .map_err(|_| CliError(format!("bad --incremental-from value `{hex}`")))
                 })
                 .transpose()?;
-            cmd_analyze(
+            let out = cmd_analyze_full(
                 source,
                 args.config.as_deref(),
                 args.jobs,
@@ -232,7 +232,18 @@ fn dispatch(cmd: &str, args: &Args) -> Result<String, CliError> {
                 args.solver_threads.unwrap_or(0),
                 args.cache_max_bytes,
                 incremental_from,
-            )
+            )?;
+            // Frontend counters go to stderr, like `request` metadata: the
+            // stdout report stays byte-identical across cold and warm runs.
+            if args.stats {
+                if let Some(fe) = out.frontend {
+                    eprintln!(
+                        "frontend: funcs={} fe_cache_hits={} fe_cache_misses={} parse_ms={} gen_ms={}",
+                        fe.funcs, fe.fe_cache_hits, fe.fe_cache_misses, fe.parse_ms, fe.gen_ms
+                    );
+                }
+            }
+            return Ok(out.report);
         }
         "cfi" => cmd_cfi(source, args.config.as_deref()),
         "introspect" => cmd_introspect(source, args.growth, args.types),

@@ -7,10 +7,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use kaleidoscope_ir::{InstLoc, Module};
 use kaleidoscope_pta::{
-    Analysis, CriticalFlow, CtxPlan, ObjSite, SolveBudget, SolveError, SolveOptions, SolvedState,
+    Analysis, CriticalFlow, CtxPlan, ModuleBlocks, ObjSite, SolveBudget, SolveError, SolveOptions,
+    SolvedState,
 };
 
 use crate::invariant::LikelyInvariant;
@@ -181,10 +183,13 @@ impl fmt::Display for CellHealth {
 pub struct KaleidoscopeResult {
     /// The configuration that produced this result.
     pub config: PolicyConfig,
-    /// ❶ The conservative analysis (fallback memory view).
-    pub fallback: Analysis,
+    /// ❶ The conservative analysis (fallback memory view). Shared, not
+    /// owned: warm executor cells hand out the cached artifact without
+    /// deep-copying hundreds of megabytes of points-to bitmaps, and a
+    /// degraded cell's two views alias one allocation.
+    pub fallback: Arc<Analysis>,
     /// ❷ The optimistic analysis (optimistic memory view).
-    pub optimistic: Analysis,
+    pub optimistic: Arc<Analysis>,
     /// ❸ The optimistic assumptions to monitor at runtime.
     pub invariants: Vec<LikelyInvariant>,
     /// The context plan used (empty when `config.ctx` is off).
@@ -216,9 +221,9 @@ impl KaleidoscopeResult {
 /// on one set of stage functions is what makes their outputs
 /// byte-identical.
 pub fn analyze(module: &Module, config: PolicyConfig) -> KaleidoscopeResult {
-    let fallback = fallback_analysis(module);
+    let fallback = Arc::new(fallback_analysis(module));
     let ctx_plan = ctx_plan_for(module, config);
-    let optimistic = optimistic_analysis(module, config, &ctx_plan);
+    let optimistic = Arc::new(optimistic_analysis(module, config, &ctx_plan));
     assemble_result(module, config, fallback, optimistic, ctx_plan)
 }
 
@@ -246,6 +251,22 @@ pub fn try_fallback_analysis(
     Analysis::try_run(module, &opts)
 }
 
+/// [`try_fallback_analysis`] with pre-recorded frontend constraint blocks:
+/// constraint generation replays `blocks` instead of re-walking the IR.
+/// The generated program — and hence the analysis — is identical.
+pub fn try_fallback_analysis_fe(
+    module: &Module,
+    budget: &SolveBudget,
+    solver_threads: usize,
+    blocks: Option<&ModuleBlocks>,
+) -> Result<Analysis, SolveError> {
+    let opts = SolveOptions {
+        solver_threads,
+        ..SolveOptions::baseline_with_budget(budget.clone())
+    };
+    Analysis::try_run_full_fe(module, &opts, None, &mut kaleidoscope_pta::NullObserver, blocks)
+}
+
 /// Incremental-aware variant of [`try_fallback_analysis`]: when `prev`
 /// supplies the previous revision's module and captured fixpoint, the
 /// solve warm-starts from it (falling back to a sound full solve on any
@@ -257,12 +278,27 @@ pub fn try_fallback_analysis_incr(
     solver_threads: usize,
     prev: Option<(&Module, &SolvedState)>,
 ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+    try_fallback_analysis_incr_fe(module, budget, solver_threads, prev, None, None)
+}
+
+/// [`try_fallback_analysis_incr`] with pre-recorded frontend constraint
+/// blocks for the current (`blocks`) and previous (`prev_blocks`) module
+/// revisions. Constraint generation replays the blocks instead of
+/// re-walking the IR; the generated program is identical either way.
+pub fn try_fallback_analysis_incr_fe(
+    module: &Module,
+    budget: &SolveBudget,
+    solver_threads: usize,
+    prev: Option<(&Module, &SolvedState)>,
+    prev_blocks: Option<&ModuleBlocks>,
+    blocks: Option<&ModuleBlocks>,
+) -> Result<(Analysis, Option<SolvedState>), SolveError> {
     let opts = SolveOptions {
         solver_threads,
         ..SolveOptions::baseline_with_budget(budget.clone())
     };
     match prev {
-        Some((prev_module, prev_state)) => Analysis::try_run_incremental(
+        Some((prev_module, prev_state)) => Analysis::try_run_incremental_fe(
             prev_module,
             None,
             prev_state,
@@ -270,10 +306,16 @@ pub fn try_fallback_analysis_incr(
             &opts,
             None,
             &mut kaleidoscope_pta::NullObserver,
+            prev_blocks,
+            blocks,
         ),
-        None => {
-            Analysis::try_run_captured(module, &opts, None, &mut kaleidoscope_pta::NullObserver)
-        }
+        None => Analysis::try_run_captured_fe(
+            module,
+            &opts,
+            None,
+            &mut kaleidoscope_pta::NullObserver,
+            blocks,
+        ),
     }
 }
 
@@ -323,6 +365,31 @@ pub fn try_optimistic_analysis(
     )
 }
 
+/// [`try_optimistic_analysis`] with pre-recorded frontend constraint
+/// blocks. Blocks are plan-free: functions the context plan touches are
+/// regenerated live during the splice.
+pub fn try_optimistic_analysis_fe(
+    module: &Module,
+    config: PolicyConfig,
+    ctx_plan: &CtxPlan,
+    budget: &SolveBudget,
+    solver_threads: usize,
+    blocks: Option<&ModuleBlocks>,
+) -> Result<Analysis, SolveError> {
+    let opts = SolveOptions {
+        budget: budget.clone(),
+        solver_threads,
+        ..SolveOptions::optimistic(config.pa, config.pwc)
+    };
+    Analysis::try_run_full_fe(
+        module,
+        &opts,
+        if config.ctx { Some(ctx_plan) } else { None },
+        &mut kaleidoscope_pta::NullObserver,
+        blocks,
+    )
+}
+
 /// Incremental-aware variant of [`try_optimistic_analysis`]. The previous
 /// revision's context plan is derived from its module here (plan detection
 /// is deterministic), so callers only have to thread the module and the
@@ -334,6 +401,33 @@ pub fn try_optimistic_analysis_incr(
     budget: &SolveBudget,
     solver_threads: usize,
     prev: Option<(&Module, &SolvedState)>,
+) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+    try_optimistic_analysis_incr_fe(
+        module,
+        config,
+        ctx_plan,
+        budget,
+        solver_threads,
+        prev,
+        None,
+        None,
+    )
+}
+
+/// [`try_optimistic_analysis_incr`] with pre-recorded frontend constraint
+/// blocks. Blocks are plan-free: functions the context plan touches are
+/// regenerated live during the splice, so the optimistic program is still
+/// identical to full live generation.
+#[allow(clippy::too_many_arguments)]
+pub fn try_optimistic_analysis_incr_fe(
+    module: &Module,
+    config: PolicyConfig,
+    ctx_plan: &CtxPlan,
+    budget: &SolveBudget,
+    solver_threads: usize,
+    prev: Option<(&Module, &SolvedState)>,
+    prev_blocks: Option<&ModuleBlocks>,
+    blocks: Option<&ModuleBlocks>,
 ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
     let opts = SolveOptions {
         budget: budget.clone(),
@@ -348,7 +442,7 @@ pub fn try_optimistic_analysis_incr(
             } else {
                 None
             };
-            Analysis::try_run_incremental(
+            Analysis::try_run_incremental_fe(
                 prev_module,
                 prev_plan.as_ref(),
                 prev_state,
@@ -356,11 +450,17 @@ pub fn try_optimistic_analysis_incr(
                 &opts,
                 plan,
                 &mut kaleidoscope_pta::NullObserver,
+                prev_blocks,
+                blocks,
             )
         }
-        None => {
-            Analysis::try_run_captured(module, &opts, plan, &mut kaleidoscope_pta::NullObserver)
-        }
+        None => Analysis::try_run_captured_fe(
+            module,
+            &opts,
+            plan,
+            &mut kaleidoscope_pta::NullObserver,
+            blocks,
+        ),
     }
 }
 
@@ -371,8 +471,8 @@ pub fn try_optimistic_analysis_incr(
 pub fn assemble_result(
     module: &Module,
     config: PolicyConfig,
-    fallback: Analysis,
-    optimistic: Analysis,
+    fallback: Arc<Analysis>,
+    optimistic: Arc<Analysis>,
     ctx_plan: CtxPlan,
 ) -> KaleidoscopeResult {
     let mut invariants = Vec::new();
@@ -455,13 +555,13 @@ pub fn assemble_result(
 /// switch leaves a process in after a violation.
 pub fn assemble_degraded_fallback(
     config: PolicyConfig,
-    fallback: Analysis,
+    fallback: Arc<Analysis>,
     ctx_plan: CtxPlan,
     reason: String,
 ) -> KaleidoscopeResult {
     KaleidoscopeResult {
         config,
-        optimistic: fallback.clone(),
+        optimistic: Arc::clone(&fallback),
         fallback,
         invariants: Vec::new(),
         ctx_plan,
@@ -479,12 +579,12 @@ pub fn assemble_degraded_fallback(
 /// byte-comparable across runs.
 pub fn assemble_degraded_steens(
     config: PolicyConfig,
-    steens: Analysis,
+    steens: Arc<Analysis>,
     reason: String,
 ) -> KaleidoscopeResult {
     KaleidoscopeResult {
         config,
-        fallback: steens.clone(),
+        fallback: Arc::clone(&steens),
         optimistic: steens,
         invariants: Vec::new(),
         ctx_plan: CtxPlan::new(),
@@ -626,7 +726,7 @@ mod tests {
         assert_eq!(healthy.health, CellHealth::Healthy);
         let r = assemble_degraded_fallback(
             PolicyConfig::all(),
-            fallback_analysis(&m),
+            Arc::new(fallback_analysis(&m)),
             CtxPlan::new(),
             "iteration budget exceeded".into(),
         );
@@ -646,7 +746,7 @@ mod tests {
     fn degraded_steens_tier_tags_health() {
         let m = lighttpd_module();
         let steens = kaleidoscope_pta::steens_analysis(&m);
-        let r = assemble_degraded_steens(PolicyConfig::all(), steens, "panic".into());
+        let r = assemble_degraded_steens(PolicyConfig::all(), Arc::new(steens), "panic".into());
         assert!(matches!(
             r.health,
             CellHealth::Degraded {

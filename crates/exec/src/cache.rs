@@ -125,9 +125,14 @@ pub struct ArtifactCache {
     verify_failures: AtomicU64,
 }
 
-/// Deterministic content digest of an analysis: folds every canonical
-/// points-to set plus the node count. Cheap relative to a solve (one pass
-/// over the sets, no allocation) and stable across runs and threads.
+/// Deterministic digest of an analysis: folds every points-to set's raw
+/// representation (inline slots / bitmap words, never decoded members)
+/// plus the node count. The entry this digest guards is an immutable
+/// in-memory `Arc<Analysis>` — store-time and hit-time digest the *same
+/// object* — so representation sensitivity is fine, and the word-level
+/// fold keeps re-verification O(backing words) instead of O(members)
+/// (member iteration cost seconds per hit on mesh-heavy 100k-corpus
+/// fixpoints whose sets carry hundreds of millions of members).
 fn analysis_digest(a: &Analysis) -> u64 {
     #[inline]
     fn mix(h: u64, v: u64) -> u64 {
@@ -135,10 +140,7 @@ fn analysis_digest(a: &Analysis) -> u64 {
     }
     let mut h = 0xA076_1D64_78BD_642Fu64;
     for s in &a.result.pts {
-        h = mix(h, s.len() as u64);
-        for n in s.iter() {
-            h = mix(h, u64::from(n.0) + 1);
-        }
+        h = mix(h, s.fold_digest(s.len() as u64));
     }
     h = mix(h, a.result.stats.node_count as u64);
     // 0 is the "not yet digested" sentinel.

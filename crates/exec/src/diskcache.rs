@@ -24,9 +24,19 @@
 //!   reports/<fp:016x>-<scope>-v<N>.sum   "<fnv64:016x> <len>" integrity sidecar
 //!   state/<fp:016x>-k<key>[c]-v<N>i<M>.bin  solved-state snapshot (incremental)
 //!   state/<fp:016x>-k<key>[c]-v<N>i<M>.sum  integrity sidecar
+//!   fe/<key:016x>-v<F>.bin               per-function frontend cache entry
+//!   fe/<key:016x>-v<F>.sum               integrity sidecar
 //!   heads/t<fnv64(tenant):016x>.fp       tenant's last-served fingerprint
 //!   quarantine/                          corrupt artifacts parked by recovery
 //! ```
+//!
+//! **Frontend entries** (`fe/`) hold one function's lowered IR plus its
+//! recorded constraint block, keyed by a content hash of the function's
+//! signature and raw body text mixed with [`FE_CACHE_VERSION`] (`v<F>` in
+//! the filename keeps incompatible encodings from ever being fetched).
+//! Entries carry an import list validated by the frontend loader against
+//! the current revision's header, so a stale id mapping reads as a miss,
+//! never a wrong splice.
 //!
 //! **State snapshots** are the serialized
 //! [`SolvedState`](kaleidoscope_pta::SolvedState) of a converged solve,
@@ -80,6 +90,12 @@ use kaleidoscope::PolicyConfig;
 /// Environment variable naming the shared cache directory.
 pub const CACHE_DIR_ENV: &str = "KD_CACHE_DIR";
 
+/// Version of the per-function frontend cache entries (`fe/` namespace):
+/// the IR/block byte codec, the key derivation, and the import-list
+/// layout. Any change to `kaleidoscope_ir::codec`, the block op encoding,
+/// or the entry framing must bump this so stale entries are never decoded.
+pub const FE_CACHE_VERSION: u32 = 1;
+
 /// What an analyze report covered: the whole Table-3 matrix or a single
 /// configuration, with or without solver-stats rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +139,10 @@ pub struct DiskCacheStats {
     pub state_lookups: u64,
     /// Snapshot lookups served from disk (verified).
     pub state_hits: u64,
+    /// Per-function frontend entry lookups performed.
+    pub fe_lookups: u64,
+    /// Frontend entry lookups served from disk (verified).
+    pub fe_hits: u64,
     /// Entries rejected by checksum verification.
     pub verify_failures: u64,
     /// `.tmp` publish orphans removed by recovery sweeps.
@@ -140,6 +160,8 @@ pub struct DiskCache {
     report_hits: AtomicU64,
     state_lookups: AtomicU64,
     state_hits: AtomicU64,
+    fe_lookups: AtomicU64,
+    fe_hits: AtomicU64,
     verify_failures: AtomicU64,
     tmp_swept: AtomicU64,
     quarantined: AtomicU64,
@@ -179,6 +201,7 @@ impl DiskCache {
         fs::create_dir_all(dir.join("modules"))?;
         fs::create_dir_all(dir.join("reports"))?;
         fs::create_dir_all(dir.join("state"))?;
+        fs::create_dir_all(dir.join("fe"))?;
         fs::create_dir_all(dir.join("heads"))?;
         let cache = DiskCache {
             dir,
@@ -187,6 +210,8 @@ impl DiskCache {
             report_hits: AtomicU64::new(0),
             state_lookups: AtomicU64::new(0),
             state_hits: AtomicU64::new(0),
+            fe_lookups: AtomicU64::new(0),
+            fe_hits: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
             tmp_swept: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -204,7 +229,7 @@ impl DiskCache {
         // delete them. (A concurrent publisher's live tmp file could in
         // principle be swept too; its rename then fails and that publish
         // degrades to a cache miss, never a torn artifact.)
-        for sub in ["modules", "reports", "state", "heads"] {
+        for sub in ["modules", "reports", "state", "fe", "heads"] {
             let Ok(entries) = fs::read_dir(self.dir.join(sub)) else {
                 continue;
             };
@@ -224,7 +249,7 @@ impl DiskCache {
         // every fetch forever; move the pair into `quarantine/` (preserved
         // for inspection, out of the fetch path) so the next publish
         // starts clean.
-        for (sub, ext) in [("reports", "txt"), ("state", "bin")] {
+        for (sub, ext) in [("reports", "txt"), ("state", "bin"), ("fe", "bin")] {
             let Ok(entries) = fs::read_dir(self.dir.join(sub)) else {
                 continue;
             };
@@ -318,6 +343,8 @@ impl DiskCache {
             report_hits: self.report_hits.load(Ordering::Relaxed),
             state_lookups: self.state_lookups.load(Ordering::Relaxed),
             state_hits: self.state_hits.load(Ordering::Relaxed),
+            fe_lookups: self.fe_lookups.load(Ordering::Relaxed),
+            fe_hits: self.fe_hits.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
             tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
@@ -362,7 +389,7 @@ impl DiskCache {
     /// are one artifact (evicted together); a module file is one artifact.
     fn scan_artifacts(dir: &Path) -> Vec<Artifact> {
         let mut out = Vec::new();
-        for sub in ["modules", "reports", "state"] {
+        for sub in ["modules", "reports", "state", "fe"] {
             let Ok(entries) = fs::read_dir(dir.join(sub)) else {
                 continue;
             };
@@ -506,6 +533,40 @@ impl DiskCache {
             return None;
         }
         self.state_hits.fetch_add(1, Ordering::Relaxed);
+        Some(bytes)
+    }
+
+    fn fe_path(&self, key: u64) -> PathBuf {
+        self.dir
+            .join("fe")
+            .join(format!("{key:016x}-v{FE_CACHE_VERSION}.bin"))
+    }
+
+    /// Store a per-function frontend entry (lowered IR + constraint block +
+    /// import list, pre-encoded by the frontend loader) under its content
+    /// key.
+    pub fn put_fe(&self, key: u64, bytes: &[u8]) -> io::Result<()> {
+        let path = self.fe_path(key);
+        Self::publish_bytes(&path, bytes)?;
+        let sum = format!("{:016x} {}", fnv64(bytes), bytes.len());
+        Self::publish(&path.with_extension("sum"), &sum)?;
+        self.enforce_cap();
+        Ok(())
+    }
+
+    /// Fetch a verified frontend entry; checksum mismatches count as
+    /// misses (the function re-parses), never as a wrong splice.
+    pub fn get_fe(&self, key: u64) -> Option<Vec<u8>> {
+        self.fe_lookups.fetch_add(1, Ordering::Relaxed);
+        let path = self.fe_path(key);
+        let bytes = fs::read(&path).ok()?;
+        let sum = fs::read_to_string(path.with_extension("sum")).ok()?;
+        let want = format!("{:016x} {}", fnv64(&bytes), bytes.len());
+        if sum != want {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.fe_hits.fetch_add(1, Ordering::Relaxed);
         Some(bytes)
     }
 
@@ -780,6 +841,42 @@ mod tests {
         let cache = DiskCache::open(&dir).unwrap();
         assert_eq!(cache.stats().quarantined, 1, "torn snapshot quarantined");
         assert_eq!(cache.get_state(11, 1, false), None);
+        assert_eq!(cache.stats().verify_failures, 0, "quarantine beat verify");
+    }
+
+    #[test]
+    fn fe_entries_round_trip_and_verify() {
+        let cache = DiskCache::open(tmpdir("fe")).unwrap();
+        assert_eq!(cache.get_fe(0xABCD), None);
+        cache.put_fe(0xABCD, b"entry bytes").unwrap();
+        assert_eq!(cache.get_fe(0xABCD).as_deref(), Some(&b"entry bytes"[..]));
+        assert_eq!(cache.get_fe(0xABCE), None, "keys don't alias");
+        let stats = cache.stats();
+        assert_eq!(stats.fe_lookups, 3);
+        assert_eq!(stats.fe_hits, 1);
+        // The filename carries the fe-cache version so incompatible
+        // encodings never decode.
+        assert!(cache
+            .fe_path(0xABCD)
+            .to_string_lossy()
+            .contains(&format!("-v{FE_CACHE_VERSION}")));
+        // Tampering reads as a miss.
+        fs::write(cache.fe_path(0xABCD), b"scribbled").unwrap();
+        assert_eq!(cache.get_fe(0xABCD), None);
+        assert_eq!(cache.stats().verify_failures, 1);
+    }
+
+    #[test]
+    fn corrupt_fe_entry_is_quarantined_at_open() {
+        let dir = tmpdir("fe-recover");
+        {
+            let cache = DiskCache::open(&dir).unwrap();
+            cache.put_fe(0x77, b"valid entry").unwrap();
+            fs::write(cache.fe_path(0x77), b"torn").unwrap();
+        }
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.stats().quarantined, 1, "torn fe entry quarantined");
+        assert_eq!(cache.get_fe(0x77), None);
         assert_eq!(cache.stats().verify_failures, 0, "quarantine beat verify");
     }
 

@@ -57,10 +57,12 @@ mod cache;
 mod diskcache;
 #[cfg(feature = "fault-injection")]
 mod fault;
+mod frontend;
 mod report;
 
 pub use cache::{ArtifactCache, CacheStats, FetchError};
-pub use diskcache::{DiskCache, DiskCacheStats, ReportScope, CACHE_DIR_ENV};
+pub use diskcache::{DiskCache, DiskCacheStats, ReportScope, CACHE_DIR_ENV, FE_CACHE_VERSION};
+pub use frontend::{load_frontend, FrontendStats, LoadedFrontend};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultKind, FaultPlan};
 pub use report::{render_analyze, AnalyzeReport};
@@ -68,16 +70,18 @@ pub use report::{render_analyze, AnalyzeReport};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use kaleidoscope::{
     analyze, assemble_degraded_fallback, assemble_degraded_steens, assemble_result, ctx_plan_for,
-    try_fallback_analysis, try_fallback_analysis_incr, try_optimistic_analysis,
-    try_optimistic_analysis_incr, KaleidoscopeResult, PolicyConfig,
+    try_fallback_analysis, try_fallback_analysis_fe, try_fallback_analysis_incr_fe,
+    try_optimistic_analysis_fe, try_optimistic_analysis_incr_fe, KaleidoscopeResult, PolicyConfig,
 };
+#[cfg(feature = "fault-injection")]
+use kaleidoscope::try_optimistic_analysis;
 use kaleidoscope_ir::{parse_module, Module};
 use kaleidoscope_pta::{
-    steens_analysis, CtxPlan, SolveBudget, SolveError, SolveOptions, SolvedState,
+    steens_analysis, CtxPlan, ModuleBlocks, SolveBudget, SolveError, SolveOptions, SolvedState,
 };
 
 /// Why a cell's configured pipeline could not produce its artifact. The
@@ -128,6 +132,13 @@ pub struct Executor {
     solver_threads: usize,
     state_store: Option<Arc<DiskCache>>,
     incremental_from: Option<u64>,
+    /// Pre-recorded constraint blocks for the module fingerprinted by the
+    /// first component (from [`load_frontend`]); solves of that module
+    /// replay them instead of re-walking the IR.
+    frontend: Option<(u64, Arc<ModuleBlocks>)>,
+    /// Lazily parsed previous-revision module + blocks, shared across the
+    /// solve families of one request (each family otherwise re-parses it).
+    prev_memo: OnceLock<Option<(Arc<Module>, Arc<ModuleBlocks>)>>,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -161,6 +172,8 @@ impl Executor {
             solver_threads: 0,
             state_store: None,
             incremental_from: None,
+            frontend: None,
+            prev_memo: OnceLock::new(),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -224,6 +237,24 @@ impl Executor {
         self.incremental_from
     }
 
+    /// Attach pre-recorded frontend constraint blocks for the module
+    /// fingerprinted `fp` (from [`load_frontend`]). Solves of that exact
+    /// module splice the blocks instead of regenerating constraints from
+    /// the IR; any other module ignores them. Output is byte-identical
+    /// either way.
+    pub fn with_frontend(mut self, fp: u64, blocks: Arc<ModuleBlocks>) -> Executor {
+        self.frontend = Some((fp, blocks));
+        self
+    }
+
+    /// The attached frontend blocks, when they belong to `module`.
+    fn frontend_blocks(&self, fp: u64) -> Option<&ModuleBlocks> {
+        self.frontend
+            .as_ref()
+            .filter(|(ffp, _)| *ffp == fp)
+            .map(|(_, b)| &**b)
+    }
+
     /// Install a deterministic fault plan (testing/chaos harness).
     #[cfg(feature = "fault-injection")]
     pub fn with_faults(mut self, plan: FaultPlan) -> Executor {
@@ -273,23 +304,45 @@ impl Executor {
         self.run_cell(module, config, None)
     }
 
-    /// The previous revision's module and captured fixpoint for one solve
-    /// family, when incremental inputs are configured and present in the
-    /// state store. Any missing, stale, or mismatched piece yields `None`
-    /// (the solve runs cold) — never a wrong warm-start: the snapshot and
-    /// the re-parsed module must both round-trip to the stored fingerprint.
-    fn prev_inputs(&self, opts_key: u64, with_ctx: bool) -> Option<(Module, SolvedState)> {
+    /// The previous revision's parsed module and recorded constraint
+    /// blocks, parsed/built once per executor and shared across all solve
+    /// families of the request (each family used to re-parse it from the
+    /// store). `None` when incremental inputs are absent or the stored
+    /// text does not round-trip to the expected fingerprint.
+    fn prev_module(&self) -> Option<(Arc<Module>, Arc<ModuleBlocks>)> {
+        self.prev_memo
+            .get_or_init(|| {
+                let store = self.state_store.as_ref()?;
+                let prev_fp = self.incremental_from?;
+                let module = parse_module(&store.get_module(prev_fp)?).ok()?;
+                if module.fingerprint() != prev_fp {
+                    return None;
+                }
+                let blocks = ModuleBlocks::build_parallel(&module, self.solver_threads.max(1));
+                Some((Arc::new(module), Arc::new(blocks)))
+            })
+            .clone()
+    }
+
+    /// The previous revision's module, blocks, and captured fixpoint for
+    /// one solve family, when incremental inputs are configured and present
+    /// in the state store. Any missing, stale, or mismatched piece yields
+    /// `None` (the solve runs cold) — never a wrong warm-start: the
+    /// snapshot and the re-parsed module must both round-trip to the
+    /// stored fingerprint.
+    fn prev_inputs(
+        &self,
+        opts_key: u64,
+        with_ctx: bool,
+    ) -> Option<(Arc<Module>, Arc<ModuleBlocks>, SolvedState)> {
         let store = self.state_store.as_ref()?;
         let prev_fp = self.incremental_from?;
         let state = SolvedState::from_bytes(&store.get_state(prev_fp, opts_key, with_ctx)?)?;
         if state.fingerprint != prev_fp {
             return None;
         }
-        let module = parse_module(&store.get_module(prev_fp)?).ok()?;
-        if module.fingerprint() != prev_fp {
-            return None;
-        }
-        Some((module, state))
+        let (module, blocks) = self.prev_module()?;
+        Some((module, blocks, state))
     }
 
     /// Publish a converged solve's snapshot to the state store (best
@@ -364,19 +417,27 @@ impl Executor {
             )));
         }
 
+        let blocks = self.frontend_blocks(fp);
         let fallback = self
             .cache
             .try_analysis(fp, &self.baseline_opts(), false, || {
                 if self.state_store.is_none() {
-                    return try_fallback_analysis(module, &self.budget, self.solver_threads);
+                    return try_fallback_analysis_fe(
+                        module,
+                        &self.budget,
+                        self.solver_threads,
+                        blocks,
+                    );
                 }
                 let key = self.baseline_opts().cache_key();
                 let prev = self.prev_inputs(key, false);
-                let (analysis, state) = try_fallback_analysis_incr(
+                let (analysis, state) = try_fallback_analysis_incr_fe(
                     module,
                     &self.budget,
                     self.solver_threads,
-                    prev.as_ref().map(|(m, s)| (m, s)),
+                    prev.as_ref().map(|(m, _, s)| (&**m, s)),
+                    prev.as_ref().map(|(_, b, _)| &**b),
+                    blocks,
                 )?;
                 self.publish_state(fp, key, false, state.as_ref());
                 Ok(analysis)
@@ -427,23 +488,26 @@ impl Executor {
             .cache
             .try_analysis(fp, &opts, config.ctx, || {
                 if self.state_store.is_none() {
-                    return try_optimistic_analysis(
+                    return try_optimistic_analysis_fe(
                         module,
                         config,
                         &ctx_plan,
                         &self.budget,
                         self.solver_threads,
+                        blocks,
                     );
                 }
                 let key = opts.cache_key();
                 let prev = self.prev_inputs(key, config.ctx);
-                let (analysis, state) = try_optimistic_analysis_incr(
+                let (analysis, state) = try_optimistic_analysis_incr_fe(
                     module,
                     config,
                     &ctx_plan,
                     &self.budget,
                     self.solver_threads,
-                    prev.as_ref().map(|(m, s)| (m, s)),
+                    prev.as_ref().map(|(m, _, s)| (&**m, s)),
+                    prev.as_ref().map(|(_, b, _)| &**b),
+                    blocks,
                 )?;
                 self.publish_state(fp, key, config.ctx, state.as_ref());
                 Ok(analysis)
@@ -456,8 +520,8 @@ impl Executor {
         Ok(assemble_result(
             module,
             config,
-            (*fallback).clone(),
-            (*optimistic).clone(),
+            fallback,
+            optimistic,
             (*ctx_plan).clone(),
         ))
     }
@@ -485,7 +549,7 @@ impl Executor {
                 };
                 Ok::<_, FetchError>(assemble_degraded_fallback(
                     config,
-                    (*fallback).clone(),
+                    fallback,
                     (*ctx_plan).clone(),
                     reason.clone(),
                 ))
@@ -498,7 +562,7 @@ impl Executor {
         // Rung 2: the Steensgaard unification tier — sound, cheap, and
         // independent of the Andersen solver entirely.
         let steens = self.cache.steens(fp, || steens_analysis(module));
-        assemble_degraded_steens(config, (*steens).clone(), reason)
+        assemble_degraded_steens(config, steens, reason)
     }
 
     /// Run the full `modules × configs` matrix and return results in
@@ -536,7 +600,8 @@ impl Executor {
             && self.budget == SolveBudget::default()
             && !self.has_faults()
             && self.solver_threads == 0
-            && self.state_store.is_none();
+            && self.state_store.is_none()
+            && self.frontend.is_none();
         let results: Vec<T> = if legacy {
             // Legacy serial path: the original per-cell pipeline, no pool,
             // no cache — the A/B reference for byte-identical output.
@@ -775,6 +840,33 @@ mod tests {
         assert_eq!(orphan.health, CellHealth::Healthy);
         assert_eq!(orphan.optimistic.result.stats.incr_reused, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frontend_blocks_do_not_change_output() {
+        let m = small_module("fe-exec");
+        let text = m.to_text();
+        let lf = load_frontend(&text, None, 2).expect("frontend load");
+        assert_eq!(lf.module.fingerprint(), m.fingerprint());
+
+        let configs = PolicyConfig::table3_order();
+        let plain = Executor::with_jobs(2).run_matrix(&[&m], &configs);
+        let ex = Executor::with_jobs(2).with_frontend(lf.module.fingerprint(), lf.blocks);
+        let spliced = ex.run_matrix(&[&lf.module], &configs);
+        for (p, s) in plain[0].iter().zip(&spliced[0]) {
+            assert_eq!(s.health, CellHealth::Healthy);
+            assert_eq!(
+                PtsStats::collect(&p.optimistic, &m).sizes,
+                PtsStats::collect(&s.optimistic, &m).sizes
+            );
+            assert_eq!(format!("{:?}", p.invariants), format!("{:?}", s.invariants));
+        }
+
+        // Blocks for a *different* module are ignored, not misapplied.
+        let other = small_module("fe-other-name");
+        let ex = Executor::serial().with_frontend(m.fingerprint(), ModuleBlocks::build(&m).into());
+        let r = ex.run_one(&other, PolicyConfig::all());
+        assert_eq!(r.health, CellHealth::Healthy);
     }
 
     #[test]

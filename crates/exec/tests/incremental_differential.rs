@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use kaleidoscope::PolicyConfig;
-use kaleidoscope_exec::{render_analyze, DiskCache, Executor};
+use kaleidoscope_exec::{load_frontend, render_analyze, DiskCache, Executor};
 use kaleidoscope_fuzz::edit::{edit_script, EditKind};
 
 fn env_list(var: &str, default: &[u64]) -> Vec<u64> {
@@ -95,6 +95,63 @@ fn incremental_reports_match_cold_bytes_at_every_step() {
                     EditKind::Base => unreachable!(),
                 }
                 prev_fp = m.fingerprint();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The frontend-cache differential: loading a revision through the
+/// per-function `fe/` cache (spliced constraint blocks, skipped body
+/// parses) must leave the rendered report byte-identical to a plain
+/// parse-everything run, at every step of the edit script and at every
+/// thread count. This is the gate that lets the cache be a pure
+/// performance feature: any splice bug shows up here as a byte diff.
+#[test]
+fn frontend_cache_reports_match_cacheless_bytes_at_every_step() {
+    let seeds = env_list("KD_EDIT_SEEDS", &[1, 2]);
+    let steps = env_list("KD_EDIT_STEPS", &[3])[0] as usize;
+    let configs = PolicyConfig::table3_order();
+
+    for &seed in &seeds {
+        let script = edit_script(seed, steps);
+        for threads in [1usize, 4] {
+            let dir = std::env::temp_dir().join(format!(
+                "kd-fe-diff-s{seed}-t{threads}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(DiskCache::open(&dir).expect("open store"));
+
+            for (i, step) in script.iter().enumerate() {
+                let text = step.module.to_text();
+                // Cache-on: per-function entries from earlier revisions
+                // splice in; the blocks feed the executor directly.
+                let loaded =
+                    load_frontend(&text, Some(&store), threads).expect("frontend load");
+                if i > 0 {
+                    assert!(
+                        loaded.stats.fe_cache_hits > 0,
+                        "seed {seed} threads {threads} step {i}: warm revision \
+                         never hit the fe cache"
+                    );
+                }
+                let fp = loaded.module.fingerprint();
+                let on_ex = Executor::with_jobs(2)
+                    .with_solver_threads(threads)
+                    .with_frontend(fp, Arc::clone(&loaded.blocks));
+                let on = render_analyze(&loaded.module, &configs, &on_ex, false).text;
+                // Cache-off: plain parse, no pre-built blocks.
+                let plain = load_frontend(&text, None, threads).expect("plain load");
+                assert_eq!(plain.stats.fe_cache_hits, 0);
+                let off_ex = Executor::with_jobs(2).with_solver_threads(threads);
+                let off = render_analyze(&plain.module, &configs, &off_ex, false).text;
+                assert_eq!(
+                    on, off,
+                    "seed {seed} threads {threads} step {i} ({:?}): fe-cache-on \
+                     report bytes diverged from cache-off",
+                    step.kind
+                );
             }
             let _ = std::fs::remove_dir_all(&dir);
         }

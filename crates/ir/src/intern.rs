@@ -1,0 +1,109 @@
+//! A module-wide string interner for the frontend.
+//!
+//! The lexer interns every identifier-like lexeme once, so tokens carry a
+//! copyable [`Symbol`] instead of an owned `String` and the parser compares
+//! and hashes `u32`s instead of re-hashing byte strings per occurrence.
+//! Resolution back to `&str` is an index into the interner's arena; a
+//! `String` is only materialized at the points where the [`Module`] itself
+//! stores an owned name (function/global/local declarations).
+//!
+//! [`Module`]: crate::module::Module
+
+use std::collections::HashMap;
+
+/// Interned string handle. `Symbol(u32)` is `Copy`, so tokens and parser
+/// scratch tables move it freely without touching the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The arena index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only string arena with a hash index for deduplication.
+///
+/// Lookups of already-interned strings are allocation-free; each distinct
+/// string is boxed exactly once for the lifetime of the interner.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    arena: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// An empty interner with room for `cap` distinct strings, sized from
+    /// the lexer's pre-scan so the common case never rehashes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Interner {
+            map: HashMap::with_capacity(cap),
+            arena: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `s`, returning its stable [`Symbol`]. The hit path performs
+    /// one hash lookup and no allocation.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.arena.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.arena.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// The string behind `sym`.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.arena[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_stable() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn distinct_names_never_collide() {
+        // The property the round-trip tests pin at scale: two different
+        // spellings can never intern to one symbol.
+        let mut i = Interner::with_capacity(64);
+        let syms: Vec<Symbol> = (0..1000).map(|n| i.intern(&format!("v{n}"))).collect();
+        for (n, s) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(*s), format!("v{n}"));
+        }
+        assert_eq!(i.len(), 1000);
+    }
+}

@@ -37,7 +37,10 @@
 //! ```
 
 pub mod builder;
+pub mod codec;
+pub mod intern;
 pub mod layout;
+pub mod lexer;
 pub mod loc;
 pub mod module;
 pub mod parser;
@@ -47,13 +50,15 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use intern::{Interner, Symbol};
 pub use layout::Layout;
 pub use loc::InstLoc;
 pub use module::{
     BinOpKind, Block, BlockId, FuncId, Function, GlobalDecl, GlobalId, Inst, LocalDecl, LocalId,
     Module, Operand, Terminator,
 };
-pub use parser::{parse_module, ParseError};
+pub use parser::{parse_header, parse_module, parse_module_parallel, ModuleShell, ParseError};
 pub use transform::{mem2reg, Mem2RegStats};
 pub use types::{FuncSig, StructDef, StructId, Type, TypeRegistry};
 pub use verify::{verify_module, VerifyError};

@@ -7,8 +7,9 @@
 
 use kaleidoscope_ir::{FuncId, InstLoc, LocalId, Module};
 
+use crate::block::ModuleBlocks;
 use crate::ctxplan::CtxPlan;
-use crate::gen::generate;
+use crate::gen::generate_spliced;
 use crate::incr::{ConstraintDiff, SolvedState};
 use crate::node::{NodeId, ObjSite};
 use crate::observer::{NullObserver, SolverObserver};
@@ -49,7 +50,7 @@ impl Analysis {
         ctx_plan: Option<&CtxPlan>,
         obs: &mut dyn SolverObserver,
     ) -> Analysis {
-        let program = generate(module, ctx_plan);
+        let program = generate_spliced(module, ctx_plan, None);
         let result = Solver::new(module, program, opts.clone()).solve(obs);
         Analysis { result }
     }
@@ -67,7 +68,21 @@ impl Analysis {
         ctx_plan: Option<&CtxPlan>,
         obs: &mut dyn SolverObserver,
     ) -> Result<Analysis, SolveError> {
-        let program = generate(module, ctx_plan);
+        Self::try_run_full_fe(module, opts, ctx_plan, obs, None)
+    }
+
+    /// [`Analysis::try_run_full`] with pre-recorded frontend constraint
+    /// blocks: constraint generation replays `blocks` for every function
+    /// the context plan does not affect, producing a program identical to
+    /// full live generation.
+    pub fn try_run_full_fe(
+        module: &Module,
+        opts: &SolveOptions,
+        ctx_plan: Option<&CtxPlan>,
+        obs: &mut dyn SolverObserver,
+        blocks: Option<&ModuleBlocks>,
+    ) -> Result<Analysis, SolveError> {
+        let program = generate_spliced(module, ctx_plan, blocks);
         let result = Solver::new(module, program, opts.clone()).try_solve(obs)?;
         Ok(Analysis { result })
     }
@@ -81,7 +96,18 @@ impl Analysis {
         ctx_plan: Option<&CtxPlan>,
         obs: &mut dyn SolverObserver,
     ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
-        let program = generate(module, ctx_plan);
+        Self::try_run_captured_fe(module, opts, ctx_plan, obs, None)
+    }
+
+    /// [`Analysis::try_run_captured`] with pre-recorded frontend blocks.
+    pub fn try_run_captured_fe(
+        module: &Module,
+        opts: &SolveOptions,
+        ctx_plan: Option<&CtxPlan>,
+        obs: &mut dyn SolverObserver,
+        blocks: Option<&ModuleBlocks>,
+    ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+        let program = generate_spliced(module, ctx_plan, blocks);
         let (result, state) = Solver::new(module, program, opts.clone())
             .try_solve_captured(module.fingerprint(), obs)?;
         Ok((Analysis { result }, state))
@@ -101,8 +127,37 @@ impl Analysis {
         ctx_plan: Option<&CtxPlan>,
         obs: &mut dyn SolverObserver,
     ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
-        let prev_program = generate(prev_module, prev_plan);
-        let program = generate(module, ctx_plan);
+        Self::try_run_incremental_fe(
+            prev_module,
+            prev_plan,
+            prev,
+            module,
+            opts,
+            ctx_plan,
+            obs,
+            None,
+            None,
+        )
+    }
+
+    /// [`Analysis::try_run_incremental`] with pre-recorded frontend blocks
+    /// for the previous and current revisions. Both generations (the
+    /// previous program regenerated for diffing, and the new program)
+    /// splice their blocks when given.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_run_incremental_fe(
+        prev_module: &Module,
+        prev_plan: Option<&CtxPlan>,
+        prev: &SolvedState,
+        module: &Module,
+        opts: &SolveOptions,
+        ctx_plan: Option<&CtxPlan>,
+        obs: &mut dyn SolverObserver,
+        prev_blocks: Option<&ModuleBlocks>,
+        blocks: Option<&ModuleBlocks>,
+    ) -> Result<(Analysis, Option<SolvedState>), SolveError> {
+        let prev_program = generate_spliced(prev_module, prev_plan, prev_blocks);
+        let program = generate_spliced(module, ctx_plan, blocks);
         let diff = ConstraintDiff::compute(prev_module, &prev_program, module, &program);
         let (result, state) = Solver::new(module, program, opts.clone())
             .try_resolve_incremental_captured(module.fingerprint(), prev, &diff, obs)?;

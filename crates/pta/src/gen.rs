@@ -11,6 +11,9 @@
 
 use kaleidoscope_ir::{FuncId, Inst, InstLoc, LocalId, Module, Operand, Terminator, Type};
 
+use crate::block::{
+    plan_affected, BlockOp, FuncBlock, ModuleBlocks, SymConstraintKind, SymOrigin, SymRef, SymSite,
+};
 use crate::ctxplan::{ChainStep, CriticalFlow, CtxPlan};
 use crate::node::{NodeId, NodeTable, ObjId, ObjSite};
 
@@ -185,6 +188,23 @@ struct Gen<'m> {
 /// `ctx_plan` carries the optimistic context-sensitivity bypass; pass
 /// `None` for the baseline analysis.
 pub fn generate(module: &Module, ctx_plan: Option<&CtxPlan>) -> Program {
+    generate_spliced(module, ctx_plan, None)
+}
+
+/// Generate the constraint program, replaying pre-recorded [`FuncBlock`]s
+/// for every function the context plan does not touch.
+///
+/// `blocks` must be index-aligned with `Module::iter_funcs` (ignored when
+/// the lengths disagree). Replay performs exactly the primitive-call
+/// sequence live generation would, so the resulting [`Program`] is
+/// identical — node ids, constraint order, everything — to a fresh
+/// [`generate`]. Functions in [`plan_affected`] are always generated live,
+/// because the bypass rewrites their bodies and callsites.
+pub fn generate_spliced(
+    module: &Module,
+    ctx_plan: Option<&CtxPlan>,
+    blocks: Option<&ModuleBlocks>,
+) -> Program {
     let mut g = Gen {
         module,
         nodes: NodeTable::new(),
@@ -201,8 +221,22 @@ pub fn generate(module: &Module, ctx_plan: Option<&CtxPlan>) -> Program {
         g.nodes
             .object(ObjSite::Func(fid), Some(Type::Func(f.sig())));
     }
-    for (fid, _) in module.iter_funcs() {
-        g.gen_func(fid);
+    match blocks {
+        Some(bs) if bs.funcs.len() == module.iter_funcs().count() => {
+            let affected = plan_affected(module, ctx_plan);
+            for (i, (fid, _)) in module.iter_funcs().enumerate() {
+                if affected.contains(&fid) {
+                    g.gen_func(fid);
+                } else {
+                    g.replay_block(fid, &bs.funcs[i]);
+                }
+            }
+        }
+        _ => {
+            for (fid, _) in module.iter_funcs() {
+                g.gen_func(fid);
+            }
+        }
     }
     Program {
         nodes: g.nodes,
@@ -244,6 +278,124 @@ impl<'m> Gen<'m> {
             });
         }
         n
+    }
+
+    /// Resolve a self-relative reference, creating the node if needed —
+    /// the replay counterpart of `op_node`/`local_node`/`ret_node`.
+    fn resolve_ref(&mut self, fid: FuncId, r: SymRef) -> NodeId {
+        match r {
+            SymRef::SelfLocal(l) => self.nodes.local_node(fid, l),
+            SymRef::SelfRet => self.nodes.ret_node(fid),
+            SymRef::CalleeLocal(f, l) => self.nodes.local_node(f, l),
+            SymRef::CalleeRet(f) => self.nodes.ret_node(f),
+            SymRef::GlobalAddr(g) => {
+                let obj = self
+                    .nodes
+                    .object_at(ObjSite::Global(g))
+                    .expect("globals pre-created");
+                self.addr_const(obj)
+            }
+            SymRef::FuncAddr(f) => {
+                let obj = self
+                    .nodes
+                    .object_at(ObjSite::Func(f))
+                    .expect("functions pre-created");
+                self.addr_const(obj)
+            }
+        }
+    }
+
+    fn site_obj(&mut self, fid: FuncId, site: SymSite) -> ObjId {
+        let site = match site {
+            SymSite::Stack(l) => ObjSite::Stack(l.rebase(fid)),
+            SymSite::Heap(l) => ObjSite::Heap(l.rebase(fid)),
+        };
+        self.nodes
+            .object_at(site)
+            .expect("block Obj op precedes uses")
+    }
+
+    /// Replay a recorded plan-free block for function `fid`, reproducing
+    /// live generation's exact node-creation and constraint order.
+    fn replay_block(&mut self, fid: FuncId, block: &FuncBlock) {
+        for op in &block.ops {
+            match op {
+                BlockOp::Obj { site, ty } => {
+                    let site = match site {
+                        SymSite::Stack(l) => ObjSite::Stack(l.rebase(fid)),
+                        SymSite::Heap(l) => ObjSite::Heap(l.rebase(fid)),
+                    };
+                    self.nodes.object(site, ty.clone());
+                }
+                BlockOp::Touch(r) => {
+                    self.resolve_ref(fid, *r);
+                }
+                BlockOp::Push { kind, origin } => {
+                    let kind = match kind {
+                        SymConstraintKind::AddrOf { dst, obj } => ConstraintKind::AddrOf {
+                            dst: self.resolve_ref(fid, *dst),
+                            obj: self.site_obj(fid, *obj),
+                        },
+                        SymConstraintKind::Copy { dst, src } => ConstraintKind::Copy {
+                            dst: self.resolve_ref(fid, *dst),
+                            src: self.resolve_ref(fid, *src),
+                        },
+                        SymConstraintKind::Load { dst, addr } => ConstraintKind::Load {
+                            dst: self.resolve_ref(fid, *dst),
+                            addr: self.resolve_ref(fid, *addr),
+                        },
+                        SymConstraintKind::Store { addr, src } => ConstraintKind::Store {
+                            addr: self.resolve_ref(fid, *addr),
+                            src: self.resolve_ref(fid, *src),
+                        },
+                        SymConstraintKind::Field { dst, base, idx } => ConstraintKind::Field {
+                            dst: self.resolve_ref(fid, *dst),
+                            base: self.resolve_ref(fid, *base),
+                            idx: *idx,
+                        },
+                        SymConstraintKind::PtrArith { dst, base, loc } => ConstraintKind::PtrArith {
+                            dst: self.resolve_ref(fid, *dst),
+                            base: self.resolve_ref(fid, *base),
+                            loc: loc.rebase(fid),
+                        },
+                        SymConstraintKind::Elem { dst, base } => ConstraintKind::Elem {
+                            dst: self.resolve_ref(fid, *dst),
+                            base: self.resolve_ref(fid, *base),
+                        },
+                    };
+                    let origin = match origin {
+                        SymOrigin::Inst(l) => Origin::Inst(l.rebase(fid)),
+                        SymOrigin::CallArg { site, idx } => Origin::CallArg {
+                            site: site.rebase(fid),
+                            idx: *idx,
+                        },
+                        SymOrigin::CallRet { site } => Origin::CallRet {
+                            site: site.rebase(fid),
+                        },
+                    };
+                    self.constraints.push(Constraint { kind, origin });
+                }
+                BlockOp::ICall {
+                    site,
+                    fnptr,
+                    args,
+                    dst,
+                } => {
+                    let fnptr = self.resolve_ref(fid, *fnptr);
+                    let args = args
+                        .iter()
+                        .map(|a| a.map(|r| self.resolve_ref(fid, r)))
+                        .collect();
+                    let dst = dst.map(|r| self.resolve_ref(fid, r));
+                    self.icalls.push(IndirectCall {
+                        site: site.rebase(fid),
+                        fnptr,
+                        args,
+                        dst,
+                    });
+                }
+            }
+        }
     }
 
     fn gen_func(&mut self, fid: FuncId) {
@@ -643,5 +795,153 @@ mod tests {
 
     fn m_op(b: &FunctionBuilder<'_>) -> Operand {
         Operand::Global(b.module().global_by_name("g").unwrap())
+    }
+
+    /// Assert two programs are identical down to node ids and order.
+    fn assert_programs_identical(a: &Program, b: &Program) {
+        assert_eq!(a.constraints, b.constraints);
+        assert_eq!(a.icalls, b.icalls);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        assert_eq!(a.nodes.obj_count(), b.nodes.obj_count());
+        for n in a.nodes.iter_ids() {
+            assert_eq!(a.nodes.kind(n), b.nodes.kind(n), "kind of {n}");
+            assert_eq!(a.nodes.ty(n), b.nodes.ty(n), "type of {n}");
+        }
+        for o in 0..a.nodes.obj_count() {
+            let o = crate::node::ObjId(o as u32);
+            assert_eq!(a.nodes.obj_info(o).site, b.nodes.obj_info(o).site);
+            assert_eq!(a.nodes.obj_info(o).ty, b.nodes.obj_info(o).ty);
+        }
+    }
+
+    fn exercise_module() -> Module {
+        let mut m = Module::new("splice");
+        let s = m.types.declare("pair", vec![Type::ptr(Type::Int), Type::Int]);
+        let s = s.unwrap();
+        m.add_global("g", Type::ptr(Type::Int)).unwrap();
+        let callee = {
+            let mut b = FunctionBuilder::new(
+                &mut m,
+                "callee",
+                vec![("p", Type::ptr(Type::Int))],
+                Type::ptr(Type::Int),
+            );
+            let p = b.param(0);
+            b.ret(Some(p.into()));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let x = b.alloca("x", Type::Int);
+        let h = b.heap_alloc("h", Type::Int);
+        let pr = b.alloca("pr", Type::Struct(s));
+        let q = b.alloca("q", Type::ptr(Type::Int));
+        b.store(q, x);
+        let l = b.load("l", q);
+        let f0 = b.field_addr("f0", pr, 0);
+        b.store(f0, h);
+        let pa = b.ptr_arith("pa", q, Operand::ConstInt(1));
+        let ar = b.alloca("ar", Type::Array(Box::new(Type::Int), 4));
+        let el = b.elem_addr("el", ar, Operand::ConstInt(2));
+        let _ = (pa, el);
+        b.call("r", callee, vec![l.into()]);
+        let fp = b.copy("fp", Operand::Func(callee));
+        b.call_ind("ri", fp, vec![x.into(), Operand::ConstInt(3).into()], Type::ptr(Type::Int));
+        let gv = b.load("gv", m_op(&b));
+        let _ = gv;
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn spliced_blocks_reproduce_live_generation_exactly() {
+        let m = exercise_module();
+        let live = generate(&m, None);
+        let blocks = crate::block::ModuleBlocks::build(&m);
+        let spliced = generate_spliced(&m, None, Some(&blocks));
+        assert_programs_identical(&live, &spliced);
+        // Parallel block recording is index-deterministic.
+        let par = crate::block::ModuleBlocks::build_parallel(&m, 4);
+        assert_eq!(par, blocks);
+        // Codec round-trip of every block preserves the splice result.
+        let decoded = crate::block::ModuleBlocks {
+            funcs: blocks
+                .funcs
+                .iter()
+                .map(|b| crate::block::FuncBlock::from_bytes(&b.to_bytes()).unwrap())
+                .collect(),
+        };
+        let respliced = generate_spliced(&m, None, Some(&decoded));
+        assert_programs_identical(&live, &respliced);
+    }
+
+    #[test]
+    fn spliced_generation_with_ctx_plan_regenerates_affected_live() {
+        // Same module/plan as ctx_plan_skips_store_and_replicates_per_callsite,
+        // plus an unrelated function that stays on the replay path.
+        let mut m = Module::new("ctx");
+        let s = m
+            .types
+            .declare("ev_base", vec![Type::ptr(Type::Int)])
+            .unwrap();
+        let insert = {
+            let mut b = FunctionBuilder::new(
+                &mut m,
+                "ev_queue_insert",
+                vec![
+                    ("b", Type::ptr(Type::Struct(s))),
+                    ("cb", Type::ptr(Type::Int)),
+                ],
+                Type::Void,
+            );
+            let base = b.param(0);
+            let cb = b.param(1);
+            let slot = b.field_addr("slot", base, 0);
+            b.store(slot, cb);
+            b.ret(None);
+            b.finish()
+        };
+        {
+            let mut b = FunctionBuilder::new(&mut m, "unrelated", vec![], Type::Void);
+            let a = b.alloca("a", Type::Int);
+            let p = b.alloca("p", Type::ptr(Type::Int));
+            b.store(p, a);
+            b.ret(None);
+            b.finish();
+        }
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], Type::Void);
+        let g1 = b.alloca("g1", Type::Struct(s));
+        let c1 = b.alloca("c1", Type::Int);
+        b.call("r1", insert, vec![g1.into(), c1.into()]);
+        b.call("r2", insert, vec![g1.into(), c1.into()]);
+        b.ret(None);
+        b.finish();
+
+        let store_loc = InstLoc::new(insert, kaleidoscope_ir::BlockId(0), 1);
+        let mut plan = CtxPlan::new();
+        plan.funcs.insert(
+            insert,
+            FuncCtxPlan {
+                flows: vec![CriticalFlow::Store {
+                    loc: store_loc,
+                    base_param: 0,
+                    addr_chain: vec![ChainStep::Field(0)],
+                    src_param: 1,
+                }],
+            },
+        );
+
+        let blocks = crate::block::ModuleBlocks::build(&m);
+        // Baseline plan-free splice matches live.
+        assert_programs_identical(
+            &generate(&m, None),
+            &generate_spliced(&m, None, Some(&blocks)),
+        );
+        // With the plan, affected funcs regenerate live; result still
+        // matches a full live generation under the same plan.
+        assert_programs_identical(
+            &generate(&m, Some(&plan)),
+            &generate_spliced(&m, Some(&plan), Some(&blocks)),
+        );
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod analysis;
 pub mod bitvec;
+pub mod block;
 pub mod callgraph;
 pub mod ctxplan;
 pub mod gen;
@@ -68,6 +69,7 @@ pub mod steens;
 pub const PTS_REPR_VERSION: u32 = 4;
 
 pub use analysis::Analysis;
+pub use block::{build_func_block, plan_affected, FuncBlock, ModuleBlocks};
 pub use callgraph::CallGraph;
 pub use ctxplan::{ChainStep, CriticalFlow, CtxPlan};
 pub use incr::{ConstraintDiff, FallbackReason, SolvedState, INCR_STATE_VERSION};

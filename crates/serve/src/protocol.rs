@@ -168,6 +168,15 @@ pub enum Response {
         fingerprint: u64,
         /// Number of degraded configuration cells in the report.
         degraded: u64,
+        /// Frontend parse time in milliseconds (header + bodies + `fe/`
+        /// cache lookups). Optional: absent from older peers.
+        parse_ms: Option<u64>,
+        /// Constraint-block recording time in milliseconds (cache misses
+        /// only). Optional: absent from older peers.
+        gen_ms: Option<u64>,
+        /// Functions served from the per-function frontend cache.
+        /// Optional: absent from older peers.
+        fe_cache_hits: Option<u64>,
     },
     /// The request could not be served at all (parse error, unknown
     /// fingerprint, quota on module size, …).
@@ -278,6 +287,9 @@ pub fn encode_response(r: &Response) -> String {
             cache,
             fingerprint,
             degraded,
+            parse_ms,
+            gen_ms,
+            fe_cache_hits,
             ..
         } => {
             out.push_str(",\"status\":\"ok\",\"tier\":");
@@ -286,6 +298,15 @@ pub fn encode_response(r: &Response) -> String {
             out.push_str(",\"fingerprint\":");
             push_json_str(&mut out, &format!("{fingerprint:016x}"));
             let _ = write!(out, ",\"degraded\":{degraded}");
+            if let Some(v) = parse_ms {
+                let _ = write!(out, ",\"parse_ms\":{v}");
+            }
+            if let Some(v) = gen_ms {
+                let _ = write!(out, ",\"gen_ms\":{v}");
+            }
+            if let Some(v) = fe_cache_hits {
+                let _ = write!(out, ",\"fe_cache_hits\":{v}");
+            }
             out.push_str(",\"report\":");
             push_json_str(&mut out, report);
         }
@@ -574,6 +595,9 @@ pub fn decode_response(line: &str) -> Result<Response, ParseError> {
                 .transpose()?
                 .ok_or_else(|| bad("missing `fingerprint`"))?,
             degraded: take_uint(&mut fields, "degraded")?.unwrap_or(0),
+            parse_ms: take_uint(&mut fields, "parse_ms")?,
+            gen_ms: take_uint(&mut fields, "gen_ms")?,
+            fe_cache_hits: take_uint(&mut fields, "fe_cache_hits")?,
         }),
         "error" => Ok(Response::Error {
             id,
@@ -716,6 +740,20 @@ mod tests {
                 cache: CacheDisposition::Stored,
                 fingerprint: 7,
                 degraded: 0,
+                parse_ms: Some(12),
+                gen_ms: Some(3),
+                fe_cache_hits: Some(40),
+            },
+            Response::Ok {
+                id: "a2".into(),
+                report: "bare".into(),
+                tier: "full".into(),
+                cache: CacheDisposition::Hit,
+                fingerprint: 9,
+                degraded: 0,
+                parse_ms: None,
+                gen_ms: None,
+                fe_cache_hits: None,
             },
             Response::Error {
                 id: "b".into(),

@@ -365,7 +365,7 @@ impl Router {
     /// untouched either way.
     fn shed_response(&self, req: &Request, tier_override: Option<&str>) -> Response {
         let cache = self.cache.as_deref();
-        let (module, fp) = match resolve_module(req, cache) {
+        let resolved = match resolve_module(req, cache, req.solver_threads.unwrap_or(0)) {
             Ok(m) => m,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -375,6 +375,8 @@ impl Router {
                 };
             }
         };
+        let (module, fp) = (resolved.module, resolved.fp);
+        let fe = resolved.fe;
         let configs: Vec<PolicyConfig> = match &req.config {
             Some(name) => match PolicyConfig::parse(name) {
                 Ok(c) => vec![c],
@@ -408,10 +410,14 @@ impl Router {
                 cache: CacheDisposition::Hit,
                 fingerprint: fp,
                 degraded: 0,
+                parse_ms: Some(fe.parse_ms),
+                gen_ms: Some(fe.gen_ms),
+                fe_cache_hits: Some(fe.fe_cache_hits as u64),
             };
         }
-        let ex =
-            Executor::with_jobs(self.shed_jobs).with_budget(SolveBudget::iterations(SHED_BUDGET));
+        let ex = Executor::with_jobs(self.shed_jobs)
+            .with_budget(SolveBudget::iterations(SHED_BUDGET))
+            .with_frontend(fp, resolved.blocks);
         let report = render_analyze(&module, &configs, &ex, req.stats);
         Response::Ok {
             id: req.id.clone(),
@@ -422,6 +428,9 @@ impl Router {
             cache: CacheDisposition::Miss,
             fingerprint: fp,
             degraded: report.degraded as u64,
+            parse_ms: Some(fe.parse_ms),
+            gen_ms: Some(fe.gen_ms),
+            fe_cache_hits: Some(fe.fe_cache_hits as u64),
         }
     }
 }

@@ -23,8 +23,8 @@ use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 
 use kaleidoscope::{DegradedTier, PolicyConfig};
-use kaleidoscope_exec::{render_analyze, DiskCache, Executor, ReportScope};
-use kaleidoscope_ir::{parse_module, verify_module, Module};
+use kaleidoscope_exec::{load_frontend, render_analyze, DiskCache, Executor, FrontendStats, ReportScope};
+use kaleidoscope_ir::{verify_module, Module};
 use kaleidoscope_pta::SolveBudget;
 
 use crate::protocol::{decode_request, encode_response, CacheDisposition, Request, Response};
@@ -62,13 +62,27 @@ fn error(id: &str, msg: impl Into<String>) -> Response {
     }
 }
 
+/// A request's program, resolved through the cached frontend: the verified
+/// module, its canonical fingerprint, the replayable constraint blocks,
+/// and the frontend's load counters.
+#[derive(Debug)]
+pub(crate) struct ResolvedModule {
+    pub module: Module,
+    pub fp: u64,
+    pub blocks: Arc<kaleidoscope_pta::ModuleBlocks>,
+    pub fe: FrontendStats,
+}
+
 /// Resolve the request's program to a verified module plus its canonical
 /// fingerprint, storing inline submissions in the cache for later
-/// fingerprint-only queries.
+/// fingerprint-only queries. Parsing and constraint recording go through
+/// [`load_frontend`], so unchanged functions are served from the `fe/`
+/// cache and the blocks ride along for the solve to splice.
 pub(crate) fn resolve_module(
     req: &Request,
     cache: Option<&DiskCache>,
-) -> Result<(Module, u64), String> {
+    threads: usize,
+) -> Result<ResolvedModule, String> {
     let text = match (&req.module, req.fingerprint) {
         (Some(text), None) => text.clone(),
         (None, Some(fp)) => cache.and_then(|c| c.get_module(fp)).ok_or_else(|| {
@@ -77,7 +91,8 @@ pub(crate) fn resolve_module(
         // decode_request enforces exactly-one; direct callers get the same rule.
         _ => return Err("one of `module` or `fingerprint` is required".to_string()),
     };
-    let module = parse_module(&text).map_err(|e| format!("parse error: {e}"))?;
+    let loaded = load_frontend(&text, cache, threads).map_err(|e| format!("parse error: {e}"))?;
+    let module = loaded.module;
     let problems = verify_module(&module);
     if !problems.is_empty() {
         return Err(format!(
@@ -95,7 +110,12 @@ pub(crate) fn resolve_module(
         // the same fingerprint even if the submission had odd whitespace.
         let _ = c.put_module(fp, &module.to_text());
     }
-    Ok((module, fp))
+    Ok(ResolvedModule {
+        module,
+        fp,
+        blocks: loaded.blocks,
+        fe: loaded.stats,
+    })
 }
 
 /// Serve one request. This is the single code path behind every tier:
@@ -133,10 +153,13 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
         }
     }
     let cache = opts.cache.as_deref();
-    let (module, fp) = match resolve_module(req, cache) {
+    let solver_threads = req.solver_threads.unwrap_or(opts.solver_threads);
+    let resolved = match resolve_module(req, cache, solver_threads) {
         Ok(m) => m,
         Err(e) => return error(&req.id, e),
     };
+    let (module, fp) = (resolved.module, resolved.fp);
+    let fe = resolved.fe;
     let configs: Vec<PolicyConfig> = match &req.config {
         Some(name) => match PolicyConfig::parse(name) {
             Ok(c) => vec![c],
@@ -144,7 +167,6 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
         },
         None => PolicyConfig::table3_order().to_vec(),
     };
-    let solver_threads = req.solver_threads.unwrap_or(opts.solver_threads);
     let scope = ReportScope {
         config: if configs.len() == 1 {
             Some(configs[0])
@@ -165,9 +187,14 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
             cache: CacheDisposition::Hit,
             fingerprint: fp,
             degraded: 0,
+            parse_ms: Some(fe.parse_ms),
+            gen_ms: Some(fe.gen_ms),
+            fe_cache_hits: Some(fe.fe_cache_hits as u64),
         };
     }
-    let mut ex = Executor::with_jobs(opts.jobs).with_solver_threads(solver_threads);
+    let mut ex = Executor::with_jobs(opts.jobs)
+        .with_solver_threads(solver_threads)
+        .with_frontend(fp, resolved.blocks);
     if let Some(n) = req.budget {
         ex = ex.with_budget(SolveBudget::iterations(n));
     }
@@ -207,6 +234,9 @@ pub fn handle_request(req: &Request, opts: &WorkerOptions) -> Response {
         cache: disposition,
         fingerprint: fp,
         degraded: report.degraded as u64,
+        parse_ms: Some(fe.parse_ms),
+        gen_ms: Some(fe.gen_ms),
+        fe_cache_hits: Some(fe.fe_cache_hits as u64),
     }
 }
 

@@ -63,11 +63,37 @@ fn golden_ok_response() {
         cache: CacheDisposition::Miss,
         fingerprint: 0xfeed,
         degraded: 8,
+        parse_ms: None,
+        gen_ms: None,
+        fe_cache_hits: None,
     };
     assert_eq!(
         encode_response(&resp),
         r#"{"id":"r1","status":"ok","tier":"steensgaard","cache":"miss","fingerprint":"000000000000feed","degraded":8,"report":"config line\n\tdetail\n"}"#
     );
+}
+
+#[test]
+fn golden_ok_response_with_frontend_counters() {
+    // The frontend counters are additive and optional: absent fields keep
+    // the pre-counter golden above byte-identical, present fields slot in
+    // between `degraded` and `report`.
+    let resp = Response::Ok {
+        id: "r2".into(),
+        report: "x\n".into(),
+        tier: "full".into(),
+        cache: CacheDisposition::Stored,
+        fingerprint: 0xfeed,
+        degraded: 0,
+        parse_ms: Some(41),
+        gen_ms: Some(7),
+        fe_cache_hits: Some(1180),
+    };
+    assert_eq!(
+        encode_response(&resp),
+        r#"{"id":"r2","status":"ok","tier":"full","cache":"stored","fingerprint":"000000000000feed","degraded":0,"parse_ms":41,"gen_ms":7,"fe_cache_hits":1180,"report":"x\n"}"#
+    );
+    assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
 }
 
 #[test]

@@ -45,6 +45,14 @@ medians() {
     sed -n 's/.*"label": "\([^"]*\)".*"median_ms": \([0-9.]*\).*/\1 \2/p'
 }
 
+# One "name value" pair per counter line (the `"counters"` object is also
+# one entry per line). Counters are informational breakdowns — fe-cache
+# hits, parse/gen milliseconds behind the serve/incr medians — and are
+# diffed for the report but never fail the guard.
+counters() {
+    sed -n '/"counters"/,/}/s/^ *"\([a-z_]*\)": \([0-9]*\),\{0,1\}$/\1 \2/p'
+}
+
 : >"$OUT"
 status=0
 for f in "$@"; do
@@ -79,6 +87,16 @@ for f in "$@"; do
     ' <(git show "$REF:$f" | medians) <(medians <"$f") | tee -a "$OUT"; then
         status=1
     fi
+    # Counter breakdown diff (informational only).
+    awk '
+        NR == FNR { base[$1] = $2; next }
+        {
+            if ($1 in base && base[$1] != $2)
+                printf "%-11s %-46s %10d -> %10d\n", "counter", $1, base[$1], $2
+            else if (!($1 in base))
+                printf "%-11s %-46s %23s %10d\n", "counter-new", $1, "", $2
+        }
+    ' <(git show "$REF:$f" | counters) <(counters <"$f") | tee -a "$OUT"
 done
 
 if [[ "$status" -ne 0 ]]; then
